@@ -1,0 +1,131 @@
+//! Design-choice ablations (DESIGN.md Section 6): which model terms produce
+//! the paper's shapes, and what the applications' tuning knobs trade off.
+
+use hetero_fem::rd::{PrecondKind, RdConfig};
+use hetero_hpc::apps::App;
+use hetero_hpc::modeled::run_modeled;
+use hetero_hpc::run::{execute, Fidelity, RunRequest};
+use hetero_platform::catalog;
+use hetero_simmpi::ClusterTopology;
+
+fn modeled_total(
+    platform: &hetero_platform::PlatformSpec,
+    topo: &ClusterTopology,
+    net: &hetero_simmpi::NetworkModel,
+    ranks: usize,
+) -> f64 {
+    let run = run_modeled(&App::paper_rd(3), ranks, 20, topo, net, platform.compute, 2012);
+    run.iterations.last().unwrap().total
+}
+
+/// Ablation 1 — NIC sharing: all 16 ranks of a cc2.8xlarge share one
+/// adapter. Keeping the 63-node topology but giving each rank a dedicated
+/// 10 GbE port (node bandwidth x16, hypothetical hardware) removes a large
+/// share of EC2's cost at scale — confirming the paper's own explanation
+/// that per-node adapters are the bottleneck term.
+fn ablate_nic_sharing() {
+    println!("--- ablation: NIC sharing (RD, 1000 ranks, ec2 fabric, 63 nodes) ---");
+    let ec2 = catalog::ec2();
+    let topo = ClusterTopology::uniform(63, 16);
+    let shared = modeled_total(&ec2, &topo, &ec2.network, 1000);
+    let mut fat_net = ec2.network.clone();
+    fat_net.node_bw *= 16.0;
+    let private = modeled_total(&ec2, &topo, &fat_net, 1000);
+    println!("  one 10GbE port per node (real)       : {shared:>8.2} s/iter");
+    println!("  one 10GbE port per rank (hypothetical): {private:>8.2} s/iter");
+    println!("  sharing penalty                       : {:>8.2}x\n", shared / private);
+    assert!(shared > private);
+}
+
+/// Ablation 2 — placement-group spread: sweep the cross-group latency
+/// multiplier. At the study's parameters the spread penalty is mild, which
+/// is exactly why Table II saw no benefit from a single placement group.
+fn ablate_placement_spread() {
+    println!("--- ablation: placement-group spread (RD, 1000 ranks on 63 nodes, 4 groups) ---");
+    let ec2 = catalog::ec2();
+    let mix_topo = ClusterTopology::round_robin_groups(63, 16, 4);
+    let single = modeled_total(&ec2, &ClusterTopology::uniform(63, 16), &ec2.network, 1000);
+    for lat_mult in [1.0f64, 1.25, 2.0, 4.0] {
+        let mut net = ec2.network.clone();
+        net.cross_group_lat_mult = lat_mult;
+        net.cross_group_bw_mult = 1.0 / lat_mult.sqrt();
+        let spread = modeled_total(&ec2, &mix_topo, &net, 1000);
+        println!(
+            "  cross-group latency x{lat_mult:<4}: mix {spread:>8.2} s/iter ({:>+5.1}% vs single group)",
+            (spread / single - 1.0) * 100.0
+        );
+    }
+    println!();
+}
+
+/// Ablation 3 — preconditioner choice: ILU(0) spends more in the
+/// preconditioner phase to save Krylov iterations (and their latency-bound
+/// dot products); Jacobi does the opposite. This is the phase trade-off
+/// behind the paper's per-phase plots.
+fn ablate_preconditioner() {
+    println!("--- ablation: RD preconditioner (numerical engine, 8 ranks x 5^3 cells, ellipse) ---");
+    for pk in [PrecondKind::None, PrecondKind::Jacobi, PrecondKind::Ssor, PrecondKind::Ilu0] {
+        let app = App::Rd(RdConfig { precond: pk, steps: 3, ..RdConfig::default() });
+        let req = RunRequest {
+            fidelity: Fidelity::Numerical,
+            discard: 1,
+            ..RunRequest::new(catalog::ellipse(), app, 8, 5)
+        };
+        let out = execute(&req).unwrap();
+        println!(
+            "  {:<8} precond {:.4} s  solve {:.4} s  total {:.4} s  ({:>5.1} CG iters)",
+            format!("{pk:?}"),
+            out.phases.precond,
+            out.phases.solve,
+            out.phases.total,
+            out.krylov_iters
+        );
+    }
+    println!();
+}
+
+/// Ablation 4 — fabric contention exponent: the single knob behind EC2's
+/// large-scale collapse. With full bisection (exponent 0) EC2 would
+/// out-scale everything; the calibrated 1.7 reproduces the paper's cloud
+/// curve.
+fn ablate_contention() {
+    println!("--- ablation: ec2 fabric contention exponent (RD, 1000 ranks) ---");
+    let ec2 = catalog::ec2();
+    let topo = ClusterTopology::uniform(63, 16);
+    let lagrange = catalog::lagrange();
+    let lagrange_343 =
+        modeled_total(&lagrange, &ClusterTopology::uniform(29, 12), &lagrange.network, 343);
+    for exp in [0.0f64, 0.75, 1.35, 1.7, 2.2] {
+        let mut net = ec2.network.clone();
+        net.oversubscription = exp;
+        let t = modeled_total(&ec2, &topo, &net, 1000);
+        println!("  exponent {exp:<5}: {t:>8.2} s/iter");
+    }
+    println!("  (reference: lagrange at its 343-rank limit: {lagrange_343:.2} s/iter)\n");
+}
+
+/// Extension — strong scaling: the paper only studies weak scaling; here a
+/// fixed 64^3-cell RD problem is thrown at more and more cores of each
+/// platform, the complementary question its Section VIII raises.
+fn extension_strong_scaling() {
+    use hetero_hpc::scenarios::{strong_scaling, ScenarioOptions};
+    println!("--- extension: strong scaling (RD, fixed 64^3 mesh) ---");
+    let opts = ScenarioOptions { steps: 3, discard: 1, ..ScenarioOptions::paper() };
+    for platform in catalog::all_platforms() {
+        let pts = strong_scaling(&platform, App::paper_rd, 64, &opts);
+        print!("  {:<9}", platform.key);
+        for p in &pts {
+            print!(" {:>4}r: {:>5.2}x (eff {:>4.0}%) |", p.ranks, p.speedup, p.efficiency * 100.0);
+        }
+        println!();
+    }
+    println!();
+}
+
+fn main() {
+    ablate_nic_sharing();
+    ablate_placement_spread();
+    ablate_preconditioner();
+    ablate_contention();
+    extension_strong_scaling();
+}

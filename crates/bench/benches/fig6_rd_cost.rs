@@ -1,0 +1,39 @@
+//! Regenerates **Figure 6**: per-iteration costs of the test architectures
+//! for the RD weak-scaling benchmark, including the "ec2 mix" cost-aware
+//! curve.
+
+use hetero_bench::write_artifact;
+use hetero_hpc::report::render_cost_curves;
+use hetero_hpc::scenarios::{fig6, ScenarioOptions};
+
+fn main() {
+    let opts = ScenarioOptions::paper();
+    let (table, curves) = fig6(&opts);
+    let text = render_cost_curves("RD", &curves);
+    println!("{text}");
+    write_artifact("fig6.txt", &text);
+
+    let mut csv = String::from("curve,ranks,cost_usd_per_iteration\n");
+    for c in &curves {
+        for &(ranks, cost) in &c.points {
+            csv.push_str(&format!("{},{},{:.6}\n", c.label, ranks, cost));
+        }
+    }
+    write_artifact("fig6.csv", &csv);
+
+    // The whole-node billing effect the paper highlights in the first two
+    // points of the chart.
+    let ec2 = curves.iter().find(|c| c.label == "ec2").unwrap();
+    let rate = |ranks: usize| {
+        let cost = ec2.points.iter().find(|&&(r, _)| r == ranks).unwrap().1;
+        let t = table.outcome(ranks, "ec2").unwrap().phases.total;
+        cost / (ranks as f64 * t / 3600.0)
+    };
+    println!("paper checkpoints:");
+    println!(
+        "  whole-instance billing: effective $/core-h at 1 rank = {:.2}, at 16+ ranks = {:.3}",
+        rate(1),
+        rate(27)
+    );
+    println!("\nartifacts: target/paper-artifacts/fig6.{{txt,csv}}");
+}

@@ -1,0 +1,49 @@
+//! Regenerates **Figure 7**: per-iteration costs of the test architectures
+//! for the Navier-Stokes weak-scaling benchmark — the chart behind the
+//! paper's headline cost finding that with the cost-aware (spot) strategy
+//! "EC2 costs less than our on-premise cluster and is faster as well".
+
+use hetero_bench::write_artifact;
+use hetero_hpc::report::render_cost_curves;
+use hetero_hpc::scenarios::{fig7, ScenarioOptions};
+
+fn main() {
+    let opts = ScenarioOptions::paper();
+    let (table, curves) = fig7(&opts);
+    let text = render_cost_curves("NS", &curves);
+    println!("{text}");
+    write_artifact("fig7.txt", &text);
+
+    let mut csv = String::from("curve,ranks,cost_usd_per_iteration\n");
+    for c in &curves {
+        for &(ranks, cost) in &c.points {
+            csv.push_str(&format!("{},{},{:.6}\n", c.label, ranks, cost));
+        }
+    }
+    write_artifact("fig7.csv", &csv);
+
+    let at = |label: &str, ranks: usize| -> Option<f64> {
+        curves
+            .iter()
+            .find(|c| c.label == label)?
+            .points
+            .iter()
+            .find(|&&(r, _)| r == ranks)
+            .map(|&(_, c)| c)
+    };
+    println!("paper checkpoints (NS at 64 ranks):");
+    let t_puma = table.outcome(64, "puma").unwrap().phases.total;
+    let t_ec2 = table.outcome(64, "ec2").unwrap().phases.total;
+    println!(
+        "  time: ec2 {:.1} s vs puma {:.1} s ({}x faster)",
+        t_ec2,
+        t_puma,
+        (t_puma / t_ec2 * 10.0).round() / 10.0
+    );
+    println!(
+        "  cost: ec2 mix {:.4} $ vs puma {:.4} $ per iteration",
+        at("ec2 mix", 64).unwrap(),
+        at("puma", 64).unwrap()
+    );
+    println!("\nartifacts: target/paper-artifacts/fig7.{{txt,csv}}");
+}

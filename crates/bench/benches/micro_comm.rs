@@ -1,0 +1,118 @@
+//! Criterion micro-benchmarks of the simulation substrate itself: how fast
+//! the host executes the virtual-time runtime, the analytic replay, and the
+//! partitioners. These bound the harness's own cost, not simulated time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetero_hpc::apps::App;
+use hetero_hpc::modeled::run_modeled;
+use hetero_mesh::StructuredHexMesh;
+use hetero_partition::{
+    refine::kl_refine, BlockPartitioner, DualGraph, GreedyPartitioner, Partitioner, RcbPartitioner,
+};
+use hetero_platform::catalog;
+use hetero_simmpi::collectives::ReduceOp;
+use hetero_simmpi::{run_spmd, ClusterTopology, ComputeModel, NetworkModel, Payload, SpmdConfig};
+use std::hint::black_box;
+
+fn cfg(size: usize) -> SpmdConfig {
+    SpmdConfig {
+        size,
+        topo: ClusterTopology::uniform(size.div_ceil(4).max(1), 4),
+        net: NetworkModel::gigabit_ethernet(),
+        compute: ComputeModel::new(1e9, 4e9),
+        seed: 3,
+    }
+}
+
+fn bench_threaded_allreduce(c: &mut Criterion) {
+    let mut g = c.benchmark_group("threaded_allreduce");
+    g.sample_size(10);
+    for p in [4usize, 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(p), &p, |bench, &p| {
+            bench.iter(|| {
+                let r = run_spmd(cfg(p), |comm| {
+                    let mut acc = 0.0;
+                    for _ in 0..20 {
+                        acc = comm.allreduce_scalar(ReduceOp::Sum, 1.0);
+                    }
+                    acc
+                });
+                black_box(r[0].value)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_threaded_pingpong(c: &mut Criterion) {
+    c.bench_function("threaded_pingpong_1000msgs", |bench| {
+        bench.iter(|| {
+            run_spmd(cfg(2), |comm| {
+                if comm.rank() == 0 {
+                    for _ in 0..500 {
+                        comm.send(1, 1, Payload::F64(vec![1.0; 64]));
+                        let _ = comm.recv_f64(1, 2);
+                    }
+                } else {
+                    for _ in 0..500 {
+                        let v = comm.recv_f64(0, 1);
+                        comm.send(0, 2, Payload::F64(v));
+                    }
+                }
+            });
+        });
+    });
+}
+
+fn bench_modeled_replay(c: &mut Criterion) {
+    // The analytic engine's host cost for one full paper-scale RD run: this
+    // is what makes 1000-rank sweeps cheap.
+    let ec2 = catalog::ec2();
+    let mut g = c.benchmark_group("modeled_replay_rd");
+    g.sample_size(10);
+    for ranks in [64usize, 1000] {
+        g.bench_with_input(BenchmarkId::from_parameter(ranks), &ranks, |bench, &ranks| {
+            let topo = ec2.topology(ranks);
+            bench.iter(|| {
+                black_box(run_modeled(
+                    &App::paper_rd(8),
+                    ranks,
+                    20,
+                    &topo,
+                    &ec2.network,
+                    ec2.compute,
+                    7,
+                ))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_partitioners(c: &mut Criterion) {
+    let mesh = StructuredHexMesh::unit_cube(20); // the paper's per-rank mesh
+    let mut g = c.benchmark_group("partition_8000_cells");
+    g.sample_size(10);
+    g.bench_function("block", |bench| {
+        bench.iter(|| black_box(BlockPartitioner.partition(&mesh, 8)));
+    });
+    g.bench_function("rcb", |bench| {
+        bench.iter(|| black_box(RcbPartitioner.partition(&mesh, 8)));
+    });
+    g.bench_function("greedy_plus_kl", |bench| {
+        let graph = DualGraph::from_mesh(&mesh);
+        bench.iter(|| {
+            let mut asg = GreedyPartitioner.partition(&mesh, 8);
+            let stats = kl_refine(&graph, &mut asg, 8, 1.1, 4);
+            black_box((asg, stats))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = comm;
+    config = Criterion::default().sample_size(10);
+    targets = bench_threaded_allreduce, bench_threaded_pingpong, bench_modeled_replay, bench_partitioners
+);
+criterion_main!(comm);

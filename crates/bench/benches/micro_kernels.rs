@@ -1,0 +1,139 @@
+//! Criterion micro-benchmarks of the real numerical kernels: these measure
+//! *host* throughput of the from-scratch implementations (SpMV, element
+//! integration, ILU(0), CG), independent of the virtual-time simulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hetero_fem::assembly::scalar_kernels;
+use hetero_fem::element::ElementOrder;
+use hetero_linalg::csr::TripletBuilder;
+use hetero_linalg::precond::{IluZero, Jacobi, Preconditioner};
+use hetero_linalg::solver::{cg, SolveOptions};
+use hetero_linalg::{DistMatrix, DistVector, ExchangePlan};
+use hetero_mesh::Point3;
+use hetero_simmpi::{run_spmd, ClusterTopology, ComputeModel, NetworkModel, SpmdConfig};
+use std::hint::black_box;
+
+fn laplacian_3d(n: usize) -> DistMatrix {
+    // 7-point stencil on an n^3 grid.
+    let total = n * n * n;
+    let id = |i: usize, j: usize, k: usize| i + n * (j + n * k);
+    let mut b = TripletBuilder::with_capacity(total, total, 7 * total);
+    for k in 0..n {
+        for j in 0..n {
+            for i in 0..n {
+                let r = id(i, j, k);
+                b.add(r, r, 6.0);
+                if i > 0 {
+                    b.add(r, id(i - 1, j, k), -1.0);
+                }
+                if i + 1 < n {
+                    b.add(r, id(i + 1, j, k), -1.0);
+                }
+                if j > 0 {
+                    b.add(r, id(i, j - 1, k), -1.0);
+                }
+                if j + 1 < n {
+                    b.add(r, id(i, j + 1, k), -1.0);
+                }
+                if k > 0 {
+                    b.add(r, id(i, j, k - 1), -1.0);
+                }
+                if k + 1 < n {
+                    b.add(r, id(i, j, k + 1), -1.0);
+                }
+            }
+        }
+    }
+    DistMatrix::new(b.build(), ExchangePlan::empty())
+}
+
+fn serial_cfg() -> SpmdConfig {
+    SpmdConfig {
+        size: 1,
+        topo: ClusterTopology::uniform(1, 1),
+        net: NetworkModel::ideal(),
+        compute: ComputeModel::new(1e9, 4e9),
+        seed: 0,
+    }
+}
+
+fn bench_spmv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spmv");
+    for n in [16usize, 32] {
+        let a = laplacian_3d(n);
+        g.throughput(Throughput::Elements(a.nnz() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n * n * n), &a, |bench, a| {
+            let x = vec![1.0f64; a.n_local()];
+            let mut y = vec![0.0f64; a.n_owned()];
+            bench.iter(|| {
+                a.local().spmv(black_box(&x), &mut y);
+                black_box(&y);
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_element_integration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("element_kernels");
+    for order in [ElementOrder::Q1, ElementOrder::Q2] {
+        g.bench_function(format!("{order:?}"), |bench| {
+            bench.iter(|| black_box(scalar_kernels(order, Point3::splat(0.05))));
+        });
+    }
+    g.finish();
+}
+
+fn bench_ilu0_factorization(c: &mut Criterion) {
+    let a = laplacian_3d(16);
+    c.bench_function("ilu0_factor_4096", |bench| {
+        bench.iter(|| {
+            run_spmd(serial_cfg(), |comm| {
+                black_box(IluZero::new(black_box(&a), comm));
+            });
+        });
+    });
+}
+
+fn bench_cg_solve(c: &mut Criterion) {
+    let a = laplacian_3d(12);
+    c.bench_function("cg_jacobi_1728", |bench| {
+        bench.iter(|| {
+            run_spmd(serial_cfg(), |comm| {
+                let jac = Jacobi::new(&a, comm);
+                let mut b = a.new_vector();
+                b.fill(1.0);
+                let mut x = a.new_vector();
+                let stats = cg(&a, &b, &mut x, &jac, SolveOptions::default(), comm);
+                assert!(stats.converged);
+                black_box(stats.iterations)
+            });
+        });
+    });
+}
+
+fn bench_precond_apply(c: &mut Criterion) {
+    let a = laplacian_3d(16);
+    let mut g = c.benchmark_group("precond_apply_4096");
+    g.bench_function("jacobi", |bench| {
+        bench.iter(|| {
+            run_spmd(serial_cfg(), |comm| {
+                let m = Jacobi::new(&a, comm);
+                let r = DistVector::from_values(vec![1.0; a.n_owned()], a.n_owned());
+                let mut z = a.new_vector();
+                for _ in 0..10 {
+                    m.apply(&r, &mut z, comm);
+                }
+                black_box(z.owned()[0])
+            });
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = kernels;
+    config = Criterion::default().sample_size(10);
+    targets = bench_spmv, bench_element_integration, bench_ilu0_factorization, bench_cg_solve, bench_precond_apply
+);
+criterion_main!(kernels);

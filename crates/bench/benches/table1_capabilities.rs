@@ -1,0 +1,27 @@
+//! Regenerates **Table I** (the platform capability matrix with the
+//! remediation annotations) and the **Section VI** provisioning effort
+//! report.
+
+use hetero_bench::write_artifact;
+use hetero_hpc::report::render_table1;
+use hetero_hpc::scenarios::table1;
+
+fn main() {
+    let t = table1();
+    let text = render_table1(&t);
+    println!("{text}");
+    write_artifact("table1.txt", &text);
+
+    println!("paper checkpoints:");
+    for plan in &t.plans {
+        let expect = match plan.platform.as_str() {
+            "puma" => "home environment, no preconditioning needed",
+            "ellipse" => "\"about 8 man-hours of work by an experienced member\"",
+            "lagrange" => "\"about 8 man-hours for the LifeV developer\"",
+            "ec2" => "\"provisioning of a machine took about a day\"",
+            _ => "",
+        };
+        println!("  {:<9} {:>5.1} h  — {expect}", plan.platform, plan.total_hours());
+    }
+    println!("\nartifact: target/paper-artifacts/table1.txt");
+}

@@ -1,0 +1,451 @@
+//! The analytic (modeled) execution engine for paper-scale runs.
+//!
+//! Replays the per-iteration communication/computation sequence of
+//! [`hetero_fem::rd::solve_rd`] / [`hetero_fem::ns::solve_ns`] on a
+//! [`hetero_simmpi::modeled::VirtualRank`], using
+//!
+//! * the real [`BlockLayout`] partition topology (neighbour sets and shared
+//!   interface node counts, in closed form even at 1000 ranks),
+//! * the shared work formulas of [`hetero_fem::profile`], and
+//! * Krylov iteration counts from the calibrated laws in the same module.
+//!
+//! The replayed rank is the partition's **critical rank** (largest
+//! halo footprint), matching the paper's "total maximal iteration time"
+//! reduction. `tests/model_validation.rs` checks the replay against the
+//! threaded numerical engine at small scale.
+
+use hetero_fem::element::ElementOrder;
+use hetero_fem::ns::NsConfig;
+use hetero_fem::phase::PhaseTimes;
+use hetero_fem::profile;
+use hetero_fem::rd::RdConfig;
+use hetero_partition::BlockLayout;
+use hetero_simmpi::modeled::{VirtualEnv, VirtualMsg, VirtualRank};
+use hetero_simmpi::{ClusterTopology, ComputeModel, NetworkModel, Work};
+
+use crate::apps::App;
+
+/// A modeled run's result: per-iteration phase times of the critical rank
+/// plus the aggregate traffic estimate used for limit checks.
+#[derive(Debug, Clone)]
+pub struct ModeledRun {
+    /// Phase times for each simulated iteration.
+    pub iterations: Vec<PhaseTimes>,
+    /// Estimated aggregate bytes through the fabric per iteration (all
+    /// ranks).
+    pub bytes_per_iteration: f64,
+    /// Krylov iterations per time step assumed by the replay (RD: CG; NS:
+    /// summed momentum + pressure).
+    pub krylov_iters: usize,
+}
+
+/// Mirror of one rank's view of the partition, in closed form.
+struct Spaces {
+    cells: usize,
+    /// For each element order used: (neighbors with shared-node counts,
+    /// owned dofs, matrix nnz).
+    q1: SpaceInfo,
+    q2: SpaceInfo,
+    n_axis: usize,
+}
+
+struct SpaceInfo {
+    neighbors: Vec<(usize, usize)>,
+    n_owned: f64,
+    nnz: f64,
+}
+
+fn space_info(layout: &BlockLayout, rank: usize, order: ElementOrder, ranks: usize) -> SpaceInfo {
+    let q = order.q();
+    let neighbors = layout.node_neighbors(rank, q);
+    let (nx, ny, nz) = layout.cell_dims();
+    let global = ((q * nx + 1) * (q * ny + 1) * (q * nz + 1)) as f64;
+    let n_owned = global / ranks as f64;
+    let nnz = n_owned * profile::stencil_nnz_per_row(order);
+    SpaceInfo { neighbors, n_owned, nnz }
+}
+
+/// The rank whose halo footprint is largest (ties to the lowest id).
+fn critical_rank(layout: &BlockLayout, q: usize) -> usize {
+    let mut best = (0usize, 0usize);
+    for r in 0..layout.num_parts() {
+        let total: usize = layout.node_neighbors(r, q).iter().map(|&(_, s)| s).sum();
+        if total > best.1 {
+            best = (r, total);
+        }
+    }
+    best.0
+}
+
+/// The replay context: a virtual rank plus topology-aware message builders.
+struct Replay {
+    v: VirtualRank,
+    topo: ClusterTopology,
+    rank: usize,
+    size: usize,
+    /// Total bytes this rank received (proxy for fabric traffic).
+    recv_bytes: f64,
+}
+
+impl Replay {
+    fn msgs(&self, neighbors: &[(usize, usize)], bytes_per_node: f64) -> Vec<VirtualMsg> {
+        neighbors
+            .iter()
+            .map(|&(peer, shared)| VirtualMsg {
+                peer,
+                bytes: shared as f64 * bytes_per_node,
+                same_node: self.topo.same_node(peer, self.rank),
+                same_group: self.topo.same_group(peer, self.rank),
+            })
+            .collect()
+    }
+
+    /// A ghost update on a space: every neighbour sends its shared values.
+    fn halo(&mut self, info: &SpaceInfo) {
+        let msgs = self.msgs(&info.neighbors, 8.0);
+        self.recv_bytes += msgs.iter().map(|m| m.bytes).sum::<f64>();
+        self.v.halo_exchange(&msgs);
+    }
+
+    /// Owner-shipping of assembled contributions: upper-coordinate
+    /// neighbours ship `entry_bytes` per shared interface node to this rank
+    /// (the ownership rule hands interfaces to the lower block).
+    fn ship(&mut self, info: &SpaceInfo, entry_bytes: f64) {
+        let msgs: Vec<VirtualMsg> = info
+            .neighbors
+            .iter()
+            .map(|&(peer, shared)| VirtualMsg {
+                peer,
+                bytes: if peer > self.rank { shared as f64 * entry_bytes } else { 64.0 },
+                same_node: self.topo.same_node(peer, self.rank),
+                same_group: self.topo.same_group(peer, self.rank),
+            })
+            .collect();
+        self.recv_bytes += msgs.iter().map(|m| m.bytes).sum::<f64>();
+        self.v.halo_exchange(&msgs);
+    }
+
+    fn allreduce(&mut self, n: usize) {
+        self.v.allreduce(n);
+        if self.size > 1 {
+            self.recv_bytes += 8.0 * n as f64 * 2.0;
+        }
+    }
+
+    fn axpy(&mut self, n: f64) {
+        self.v.compute(Work::new(2.0 * n, 24.0 * n));
+    }
+
+    fn spmv(&mut self, info: &SpaceInfo) {
+        self.halo(info);
+        self.v.compute(Work::new(2.0 * info.nnz, 20.0 * info.nnz));
+    }
+
+    fn sweep(&mut self, nnz: f64) {
+        self.v.compute(Work::new(2.0 * nnz, 20.0 * nnz));
+    }
+}
+
+/// Replays one RD time step; returns its phase times.
+fn rd_step(r: &mut Replay, s: &Spaces, cfg: &RdConfig) -> PhaseTimes {
+    let order = cfg.order;
+    let info = if order == ElementOrder::Q2 { &s.q2 } else { &s.q1 };
+    let cells = s.cells as f64;
+    let start = r.v.clock();
+
+    // Assembly (ii): operator, history term, source, Dirichlet.
+    r.v.compute(profile::assembly_matrix_work(order, order, 2) * cells);
+    r.ship(info, 24.0 * order.nodes_per_element() as f64);
+    r.axpy(2.0 * info.n_owned); // history combination
+    r.spmv(info); // mass * history
+    r.v.compute(profile::assembly_vector_work(order) * cells);
+    r.ship(info, 16.0);
+    r.axpy(info.n_owned); // b += source
+    r.v.compute(Work::new(2.0 * info.nnz, 40.0 * info.nnz)); // constrain
+    let t_assembly = r.v.clock();
+
+    // Preconditioner (iiia): ILU(0) factorization (the paper-scenario
+    // default) — see `App::paper_rd`.
+    r.v.compute(Work::new(5.0 * info.nnz + info.n_owned, 24.0 * info.nnz));
+    let t_precond = r.v.clock();
+
+    // Solve (iiib): CG.
+    let iters = profile::rd_cg_iters(s.n_axis);
+    // Initial residual: spmv + norm + precond + dot.
+    r.spmv(info);
+    r.allreduce(1);
+    r.sweep(info.nnz);
+    r.allreduce(1);
+    for _ in 0..iters {
+        r.spmv(info);
+        r.allreduce(1); // dot(p, q)
+        r.axpy(2.0 * info.n_owned);
+        r.allreduce(1); // norm(r)
+        r.sweep(info.nnz); // precond apply
+        r.allreduce(1); // dot(r, z)
+        r.axpy(info.n_owned);
+    }
+    let t_solve = r.v.clock();
+
+    // History rotation ghosts.
+    r.halo(info);
+    let end = r.v.clock();
+
+    PhaseTimes {
+        assembly: t_assembly - start,
+        precond: t_precond - t_assembly,
+        solve: t_solve - t_precond,
+        total: end - start,
+    }
+}
+
+/// Replays one NS time step.
+fn ns_step(r: &mut Replay, s: &Spaces, _cfg: &NsConfig) -> PhaseTimes {
+    let v_info = &s.q2;
+    let p_info = &s.q1;
+    let cells = s.cells as f64;
+    // Velocity-row x pressure-column gradient blocks: ~12 stored pressure
+    // couplings per velocity row.
+    let nnz_grad = v_info.n_owned * 12.0;
+    let start = r.v.clock();
+
+    // Assembly: extrapolation, momentum operator (mass+stiffness+convection),
+    // pressure Laplacian, three right-hand sides, multi-component Dirichlet.
+    r.axpy(3.0 * v_info.n_owned); // w extrapolation (3 components)
+    // 8 operator terms: the monolithic vector-system assembly cost charged
+    // by `hetero_fem::ns` (must stay in lockstep with it).
+    r.v.compute(profile::assembly_matrix_work(ElementOrder::Q2, ElementOrder::Q2, 8) * cells);
+    r.ship(v_info, 24.0 * 27.0);
+    r.v.compute(profile::assembly_matrix_work(ElementOrder::Q1, ElementOrder::Q1, 1) * cells);
+    r.ship(p_info, 24.0 * 8.0);
+    for _ in 0..3 {
+        r.axpy(2.0 * v_info.n_owned); // history combination
+        r.spmv(v_info); // mass * history
+        // grad * pressure: pressure-space halo + rectangular spmv.
+        r.halo(p_info);
+        r.v.compute(Work::new(2.0 * nnz_grad, 20.0 * nnz_grad));
+        r.axpy(v_info.n_owned);
+    }
+    r.v.compute(Work::new(4.0 * v_info.nnz, 80.0 * v_info.nnz)); // constrain x3
+    let t_assembly = r.v.clock();
+
+    // Preconditioners: Jacobi on the momentum block, ILU(0) on the
+    // pressure Poisson.
+    r.v.compute(Work::new(v_info.n_owned, 16.0 * v_info.n_owned));
+    r.v.compute(Work::new(5.0 * p_info.nnz + p_info.n_owned, 24.0 * p_info.nnz));
+    let t_precond = r.v.clock();
+
+    // Solve: 3 x BiCGStab (2 SpMV per iteration) + pressure CG + projection.
+    let vel_iters = profile::ns_velocity_iters(s.n_axis);
+    for _ in 0..3 {
+        r.spmv(v_info); // initial residual
+        r.allreduce(1);
+        for _ in 0..vel_iters {
+            for _ in 0..2 {
+                r.spmv(v_info);
+                r.axpy(v_info.n_owned); // Jacobi apply
+            }
+            for _ in 0..4 {
+                r.allreduce(1);
+            }
+            r.axpy(6.0 * v_info.n_owned);
+        }
+    }
+    // Pressure right-hand side: 3 divergence SpMVs over the velocity halo.
+    for _ in 0..3 {
+        r.halo(v_info);
+        r.v.compute(Work::new(2.0 * nnz_grad, 20.0 * nnz_grad));
+        r.axpy(p_info.n_owned);
+    }
+    let p_iters = profile::ns_pressure_iters(s.n_axis);
+    r.spmv(p_info);
+    r.allreduce(1);
+    for _ in 0..p_iters {
+        r.spmv(p_info);
+        r.allreduce(1);
+        r.axpy(2.0 * p_info.n_owned);
+        r.allreduce(1);
+        r.sweep(p_info.nnz);
+        r.allreduce(1);
+        r.axpy(p_info.n_owned);
+    }
+    // Correction: 3 gradient SpMVs + lumped update; ghost refreshes.
+    for _ in 0..3 {
+        r.halo(p_info);
+        r.v.compute(Work::new(2.0 * nnz_grad, 20.0 * nnz_grad));
+        r.axpy(3.0 * v_info.n_owned);
+        r.halo(v_info);
+    }
+    r.halo(p_info);
+    let t_solve = r.v.clock();
+    let end = r.v.clock();
+
+    PhaseTimes {
+        assembly: t_assembly - start,
+        precond: t_precond - t_assembly,
+        solve: t_solve - t_precond,
+        total: end - start,
+    }
+}
+
+/// Runs the modeled engine under the paper's weak-scaling sizing:
+/// `per_rank_axis` is the paper's `m` (20), so the global mesh has
+/// `m^3 * ranks` cells arranged by near-cubic factorization.
+pub fn run_modeled(
+    app: &App,
+    ranks: usize,
+    per_rank_axis: usize,
+    topo: &ClusterTopology,
+    net: &NetworkModel,
+    compute: ComputeModel,
+    seed: u64,
+) -> ModeledRun {
+    assert!(per_rank_axis > 0);
+    let factors = hetero_partition::block::near_cubic_factors(ranks);
+    let cells = (
+        factors.0 * per_rank_axis,
+        factors.1 * per_rank_axis,
+        factors.2 * per_rank_axis,
+    );
+    run_modeled_sized(app, ranks, cells, topo, net, compute, seed)
+}
+
+/// Runs the modeled engine on an explicit global mesh — used for strong
+/// scaling, where the mesh stays fixed while ranks grow.
+///
+/// `topo` must have block placement compatible with `ranks`.
+pub fn run_modeled_sized(
+    app: &App,
+    ranks: usize,
+    cells: (usize, usize, usize),
+    topo: &ClusterTopology,
+    net: &NetworkModel,
+    compute: ComputeModel,
+    seed: u64,
+) -> ModeledRun {
+    assert!(ranks > 0);
+    let factors = hetero_partition::block::near_cubic_factors(ranks);
+    assert!(
+        factors.0 <= cells.0 && factors.1 <= cells.1 && factors.2 <= cells.2,
+        "more ranks than the mesh can host"
+    );
+    let layout = BlockLayout::new(cells, factors);
+    let order = app.primary_order();
+    let rank = critical_rank(&layout, order.q());
+
+    let spaces = Spaces {
+        cells: layout.cells_in_rank(rank),
+        q1: space_info(&layout, rank, ElementOrder::Q1, ranks),
+        q2: space_info(&layout, rank, ElementOrder::Q2, ranks),
+        n_axis: cells.0.max(cells.1).max(cells.2),
+    };
+
+    let env = VirtualEnv {
+        net: net.clone(),
+        compute,
+        nic_sharers: topo.cores_per_node().min(ranks),
+        nodes_active: topo.nodes_for_ranks(ranks),
+        size: ranks,
+        rank,
+        seed,
+    };
+    let mut replay = Replay {
+        v: VirtualRank::new(env),
+        topo: topo.clone(),
+        rank,
+        size: ranks,
+        recv_bytes: 0.0,
+    };
+
+    let steps = app.steps();
+    let mut iterations = Vec::with_capacity(steps);
+    let mut bytes_first_iter = 0.0;
+    for i in 0..steps {
+        let before = replay.recv_bytes;
+        let times = match app {
+            App::Rd(cfg) => rd_step(&mut replay, &spaces, cfg),
+            App::Ns(cfg) => ns_step(&mut replay, &spaces, cfg),
+        };
+        if i == 0 {
+            bytes_first_iter = replay.recv_bytes - before;
+        }
+        iterations.push(times);
+    }
+
+    let krylov_iters = match app {
+        App::Rd(_) => profile::rd_cg_iters(spaces.n_axis),
+        App::Ns(_) => {
+            3 * profile::ns_velocity_iters(spaces.n_axis) + profile::ns_pressure_iters(spaces.n_axis)
+        }
+    };
+
+    ModeledRun {
+        iterations,
+        // The critical rank's received bytes scaled to all ranks.
+        bytes_per_iteration: bytes_first_iter * ranks as f64,
+        krylov_iters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetero_platform::catalog;
+
+    fn run_on(platform: &hetero_platform::PlatformSpec, app: &App, ranks: usize) -> ModeledRun {
+        let topo = platform.topology(ranks);
+        run_modeled(app, ranks, 20, &topo, &platform.network, platform.compute, 42)
+    }
+
+    #[test]
+    fn phases_are_positive() {
+        let r = run_on(&catalog::ec2(), &App::paper_rd(3), 64);
+        assert_eq!(r.iterations.len(), 3);
+        for it in &r.iterations {
+            assert!(it.assembly > 0.0 && it.precond > 0.0 && it.solve > 0.0);
+            assert!(it.total >= it.assembly + it.precond + it.solve - 1e-12);
+        }
+        assert!(r.bytes_per_iteration > 0.0);
+    }
+
+    #[test]
+    fn ns_costs_more_than_rd() {
+        let rd = run_on(&catalog::ec2(), &App::paper_rd(1), 27);
+        let ns = run_on(&catalog::ec2(), &App::paper_ns(1), 27);
+        assert!(ns.iterations[0].total > 2.0 * rd.iterations[0].total);
+    }
+
+    #[test]
+    fn infiniband_scales_better_than_ethernet() {
+        let t = |p: &hetero_platform::PlatformSpec, ranks: usize| {
+            run_on(p, &App::paper_rd(1), ranks).iterations[0].total
+        };
+        let puma_growth = t(&catalog::puma(), 125) / t(&catalog::puma(), 8);
+        let lagrange_growth = t(&catalog::lagrange(), 125) / t(&catalog::lagrange(), 8);
+        assert!(
+            lagrange_growth < puma_growth,
+            "lagrange {lagrange_growth} vs puma {puma_growth}"
+        );
+    }
+
+    #[test]
+    fn single_rank_has_no_communication() {
+        let r = run_on(&catalog::ec2(), &App::paper_rd(2), 1);
+        assert_eq!(r.bytes_per_iteration, 0.0);
+        assert!(r.iterations[0].total > 0.0);
+    }
+
+    #[test]
+    fn thousand_ranks_run_fast_in_model() {
+        // The whole point of the modeled engine: paper-scale in milliseconds.
+        let r = run_on(&catalog::ec2(), &App::paper_rd(2), 1000);
+        assert!(r.iterations[0].total > 0.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run_on(&catalog::ec2(), &App::paper_rd(2), 64);
+        let b = run_on(&catalog::ec2(), &App::paper_rd(2), 64);
+        assert_eq!(a.iterations[1], b.iterations[1]);
+    }
+}

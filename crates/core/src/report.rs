@@ -1,0 +1,299 @@
+//! Text/CSV/JSON renderers for the reproduced tables and figures.
+
+use crate::scenarios::{CostCurve, Table1, Table2Row, WeakScalingTable};
+use hetero_platform::catalog;
+use hetero_platform::cost::Billing;
+
+fn fmt_time(t: f64) -> String {
+    if t >= 100.0 {
+        format!("{t:8.1}")
+    } else if t >= 1.0 {
+        format!("{t:8.2}")
+    } else {
+        format!("{:8.4}", t)
+    }
+}
+
+/// Renders a weak-scaling figure as a per-phase text table (the data behind
+/// Figure 4 / Figure 5).
+pub fn render_weak_scaling(table: &WeakScalingTable) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Weak scaling, {} application (per-iteration seconds; assembly/precond/solve/total)\n",
+        table.app
+    ));
+    out.push_str(&format!("{:>6} |", "ranks"));
+    for (key, _) in &table.rows[0].cells {
+        out.push_str(&format!(" {key:^37} |"));
+    }
+    out.push('\n');
+    for row in &table.rows {
+        out.push_str(&format!("{:>6} |", row.ranks));
+        for (_, cell) in &row.cells {
+            match cell {
+                Ok(o) => out.push_str(&format!(
+                    "{}{}{}{} |",
+                    fmt_time(o.phases.assembly),
+                    fmt_time(o.phases.precond),
+                    fmt_time(o.phases.solve),
+                    fmt_time(o.phases.total),
+                )),
+                Err(e) => {
+                    let reason = match e {
+                        hetero_platform::limits::LimitViolation::InsufficientCapacity { .. } => {
+                            "— (capacity)"
+                        }
+                        hetero_platform::limits::LimitViolation::LauncherFailure { .. } => {
+                            "— (mpiexec launch failed)"
+                        }
+                        hetero_platform::limits::LimitViolation::AdapterVolumeExceeded {
+                            ..
+                        } => "— (IB volume limit)",
+                    };
+                    out.push_str(&format!(" {reason:^37} |"));
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a weak-scaling figure as CSV
+/// (`app,ranks,platform,assembly,precond,solve,total,cost,status`).
+pub fn weak_scaling_csv(table: &WeakScalingTable) -> String {
+    let mut out = String::from("app,ranks,platform,assembly_s,precond_s,solve_s,total_s,cost_usd,status\n");
+    for row in &table.rows {
+        for (key, cell) in &row.cells {
+            match cell {
+                Ok(o) => out.push_str(&format!(
+                    "{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},ok\n",
+                    table.app,
+                    row.ranks,
+                    key,
+                    o.phases.assembly,
+                    o.phases.precond,
+                    o.phases.solve,
+                    o.phases.total,
+                    o.cost_per_iteration
+                )),
+                Err(_) => out.push_str(&format!(
+                    "{},{},{},,,,,,infeasible\n",
+                    table.app, row.ranks, key
+                )),
+            }
+        }
+    }
+    out
+}
+
+/// Renders Table II in the paper's layout.
+pub fn render_table2(rows: &[Table2Row]) -> String {
+    let mut out = String::new();
+    out.push_str("Table II: EC2 cc2.8xlarge assemblies, full (single placement group, on-demand)\n");
+    out.push_str("vs mix (spot requests over 4 placement groups + on-demand top-up)\n\n");
+    out.push_str("  #mpi    #  |  full: time[s]  real cost[$] |  mix: time[s]  est. cost[$]  (spot nodes)\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{:>6} {:>4}  | {:>14.2} {:>13.4} | {:>13.2} {:>13.4}  ({})\n",
+            r.ranks, r.nodes, r.full_time, r.full_cost, r.mix_time, r.mix_est_cost, r.mix_spot_nodes
+        ));
+    }
+    out
+}
+
+/// Renders a cost figure (Figure 6 / 7) as a text table.
+pub fn render_cost_curves(app: &str, curves: &[CostCurve]) -> String {
+    let mut out = format!("Per-iteration cost, {app} application [$ per iteration]\n");
+    out.push_str(&format!("{:>6} |", "ranks"));
+    for c in curves {
+        out.push_str(&format!(" {:^12} |", c.label));
+    }
+    out.push('\n');
+    // Collect the union of rank counts.
+    let mut all_ranks: Vec<usize> =
+        curves.iter().flat_map(|c| c.points.iter().map(|&(r, _)| r)).collect();
+    all_ranks.sort_unstable();
+    all_ranks.dedup();
+    for ranks in all_ranks {
+        out.push_str(&format!("{ranks:>6} |"));
+        for c in curves {
+            match c.points.iter().find(|&&(r, _)| r == ranks) {
+                Some(&(_, cost)) => out.push_str(&format!(" {cost:>12.4} |")),
+                None => out.push_str(&format!(" {:^12} |", "—")),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders Table I: the platform capability matrix with the remediation
+/// annotations, followed by the Section VI effort summary.
+pub fn render_table1(t: &Table1) -> String {
+    let mut out = String::new();
+    let keys: Vec<&str> = t.platforms.iter().map(|p| p.key.as_str()).collect();
+    out.push_str("Table I: specification of the test architectures\n\n");
+    let row = |label: &str, values: Vec<String>| -> String {
+        let mut line = format!("{label:<16}");
+        for v in values {
+            line.push_str(&format!(" | {v:<24}"));
+        }
+        line.push('\n');
+        line
+    };
+    out.push_str(&row("", keys.iter().map(|k| k.to_string()).collect()));
+    out.push_str(&row(
+        "cpu arch.",
+        t.platforms.iter().map(|p| p.cpu_model.clone()).collect(),
+    ));
+    out.push_str(&row(
+        "cores/node",
+        t.platforms.iter().map(|p| p.cores_per_node.to_string()).collect(),
+    ));
+    out.push_str(&row(
+        "RAM/core",
+        t.platforms.iter().map(|p| format!("{} GiB", p.ram_per_core_gib)).collect(),
+    ));
+    out.push_str(&row(
+        "network",
+        t.platforms.iter().map(|p| p.network.name.clone()).collect(),
+    ));
+    out.push_str(&row(
+        "access",
+        t.platforms
+            .iter()
+            .map(|p| match p.access {
+                hetero_platform::AccessKind::UserSpace => "user space".to_string(),
+                hetero_platform::AccessKind::Root => "root".to_string(),
+            })
+            .collect(),
+    ));
+    out.push_str(&row(
+        "support",
+        t.platforms
+            .iter()
+            .map(|p| {
+                hetero_platform::provision::environment_of(&p.key)
+                    .map(|e| e.support)
+                    .unwrap_or_default()
+            })
+            .collect(),
+    ));
+    out.push_str(&row(
+        "execution",
+        t.platforms.iter().map(|p| p.scheduler.name().to_string()).collect(),
+    ));
+    out.push_str(&row(
+        "cost",
+        t.platforms
+            .iter()
+            .map(|p| match p.cost.billing {
+                Billing::PerCoreHour(r) | Billing::EstimatedPerCoreHour(r) => {
+                    format!("{:.2} c/core-h", r * 100.0)
+                }
+                Billing::PerNodeHour { rate, .. } => format!("${rate:.2}/node-h"),
+            })
+            .collect(),
+    ));
+    out.push('\n');
+    out.push_str("Section VI: provisioning plans and effort\n\n");
+    for plan in &t.plans {
+        out.push_str(&plan.render());
+        out.push('\n');
+    }
+    out.push_str("Effort totals (man-hours): ");
+    for plan in &t.plans {
+        out.push_str(&format!("{} = {:.1}  ", plan.platform, plan.total_hours()));
+    }
+    out.push('\n');
+    out
+}
+
+/// Serializes a weak-scaling table to JSON (for EXPERIMENTS.md artifacts).
+pub fn weak_scaling_json(table: &WeakScalingTable) -> serde_json::Value {
+    let platforms: Vec<String> =
+        catalog::all_platforms().into_iter().map(|p| p.key).collect();
+    serde_json::json!({
+        "app": table.app,
+        "platforms": platforms,
+        "rows": table.rows.iter().map(|row| {
+            serde_json::json!({
+                "ranks": row.ranks,
+                "cells": row.cells.iter().map(|(key, cell)| match cell {
+                    Ok(o) => serde_json::json!({
+                        "platform": key,
+                        "assembly": o.phases.assembly,
+                        "precond": o.phases.precond,
+                        "solve": o.phases.solve,
+                        "total": o.phases.total,
+                        "cost": o.cost_per_iteration,
+                    }),
+                    Err(e) => serde_json::json!({
+                        "platform": key,
+                        "infeasible": e.to_string(),
+                    }),
+                }).collect::<Vec<_>>(),
+            })
+        }).collect::<Vec<_>>(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::{fig4, table1, table2, ScenarioOptions};
+
+    fn tiny_opts() -> ScenarioOptions {
+        ScenarioOptions {
+            max_k: 2,
+            steps: 2,
+            discard: 0,
+            fidelity: crate::run::Fidelity::Modeled,
+            ..ScenarioOptions::paper()
+        }
+    }
+
+    #[test]
+    fn weak_scaling_render_contains_platforms_and_ranks() {
+        let t = fig4(&tiny_opts());
+        let text = render_weak_scaling(&t);
+        for key in ["puma", "ellipse", "lagrange", "ec2"] {
+            assert!(text.contains(key), "missing {key}");
+        }
+        assert!(text.contains("     8 |"));
+    }
+
+    #[test]
+    fn csv_has_a_row_per_cell() {
+        let t = fig4(&tiny_opts());
+        let csv = weak_scaling_csv(&t);
+        // Header + 2 rank rows x 4 platforms.
+        assert_eq!(csv.lines().count(), 1 + 8);
+        assert!(csv.starts_with("app,ranks,platform"));
+    }
+
+    #[test]
+    fn table2_render_matches_shape() {
+        let rows = table2(&tiny_opts());
+        let text = render_table2(&rows);
+        assert!(text.contains("est. cost"));
+        assert!(text.lines().count() >= rows.len() + 3);
+    }
+
+    #[test]
+    fn table1_render_includes_effort_totals() {
+        let text = render_table1(&table1());
+        assert!(text.contains("cpu arch."));
+        assert!(text.contains("Effort totals"));
+        assert!(text.contains("puma = 0.0"));
+    }
+
+    #[test]
+    fn json_roundtrip_has_rows() {
+        let t = fig4(&tiny_opts());
+        let v = weak_scaling_json(&t);
+        assert_eq!(v["rows"].as_array().unwrap().len(), 2);
+        assert_eq!(v["app"], "RD");
+    }
+}

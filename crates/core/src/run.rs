@@ -1,0 +1,349 @@
+//! The unified run executor: one request, either engine, one outcome shape.
+
+use crate::apps::App;
+use crate::modeled::run_modeled;
+use hetero_fem::ns::solve_ns;
+use hetero_fem::phase::{summarize, PhaseTimes};
+use hetero_fem::rd::solve_rd;
+use hetero_mesh::{DistributedMesh, StructuredHexMesh};
+use hetero_partition::block::near_cubic_factors;
+use hetero_partition::BlockLayout;
+use hetero_platform::limits::LimitViolation;
+use hetero_platform::{CostModel, PlatformSpec};
+use hetero_simmpi::{run_spmd, ClusterTopology, SpmdConfig};
+use std::sync::Arc;
+
+/// Which engine to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fidelity {
+    /// Real distributed numerics on OS threads (verifiable, small scale).
+    Numerical,
+    /// Analytic replay (paper scale).
+    Modeled,
+    /// Numerical when affordable, modeled otherwise.
+    Auto,
+}
+
+/// Auto switches to the modeled engine above this rank count...
+pub const AUTO_MAX_NUMERICAL_RANKS: usize = 27;
+/// ...or above this per-rank mesh edge.
+pub const AUTO_MAX_NUMERICAL_AXIS: usize = 5;
+
+/// A run request: application x platform x size.
+#[derive(Debug, Clone)]
+pub struct RunRequest {
+    /// Target platform.
+    pub platform: PlatformSpec,
+    /// Application and configuration.
+    pub app: App,
+    /// MPI ranks.
+    pub ranks: usize,
+    /// Cells per axis owned by each rank (the paper uses 20).
+    pub per_rank_axis: usize,
+    /// Experiment seed.
+    pub seed: u64,
+    /// Warm-up iterations discarded from averages (the paper discards 5).
+    pub discard: usize,
+    /// Engine selection.
+    pub fidelity: Fidelity,
+    /// Replaces the platform's default topology (placement-group fleets).
+    pub topology_override: Option<ClusterTopology>,
+    /// Replaces the platform's cost model (spot pricing).
+    pub cost_override: Option<CostModel>,
+}
+
+impl RunRequest {
+    /// A request with platform defaults and `Auto` fidelity.
+    pub fn new(platform: PlatformSpec, app: App, ranks: usize, per_rank_axis: usize) -> Self {
+        RunRequest {
+            platform,
+            app,
+            ranks,
+            per_rank_axis,
+            seed: 2012,
+            discard: 0,
+            fidelity: Fidelity::Auto,
+            topology_override: None,
+            cost_override: None,
+        }
+    }
+}
+
+/// Numerical verification against the exact solution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Verification {
+    /// Nodal max error.
+    pub linf: f64,
+    /// Discrete L2 error.
+    pub l2: f64,
+}
+
+/// The outcome of one run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Platform key.
+    pub platform: String,
+    /// Application name ("RD"/"NS").
+    pub app: &'static str,
+    /// Ranks used.
+    pub ranks: usize,
+    /// Nodes occupied.
+    pub nodes: usize,
+    /// Engine actually used.
+    pub fidelity: Fidelity,
+    /// Per-iteration phase times (max over ranks, averaged after discard).
+    pub phases: PhaseTimes,
+    /// Dollars per iteration at the platform's (or overridden) rates.
+    pub cost_per_iteration: f64,
+    /// Simulated queue wait before the job starts.
+    pub queue_wait_seconds: f64,
+    /// Krylov iterations per time step (RD: CG; NS: momentum + pressure).
+    pub krylov_iters: f64,
+    /// Exact-solution errors (numerical engine only).
+    pub verification: Option<Verification>,
+    /// Aggregate fabric traffic per iteration (bytes, all ranks).
+    pub bytes_per_iteration: f64,
+}
+
+fn resolve_fidelity(req: &RunRequest) -> Fidelity {
+    match req.fidelity {
+        Fidelity::Auto => {
+            if req.ranks <= AUTO_MAX_NUMERICAL_RANKS && req.per_rank_axis <= AUTO_MAX_NUMERICAL_AXIS
+            {
+                Fidelity::Numerical
+            } else {
+                Fidelity::Modeled
+            }
+        }
+        f => f,
+    }
+}
+
+/// Executes a run, enforcing the platform's limits first.
+///
+/// # Errors
+/// Returns the paper's observed failure modes: capacity exhaustion (puma
+/// above 125 of the ladder), launcher failure (ellipse above 512), adapter
+/// volume cap (lagrange above 343).
+pub fn execute(req: &RunRequest) -> Result<RunOutcome, LimitViolation> {
+    // Capacity and launcher limits are independent of traffic: check them
+    // before even building the topology (an oversubscribed topology cannot
+    // be constructed).
+    req.platform.check_limits(req.ranks, 0.0)?;
+    let topo = req
+        .topology_override
+        .clone()
+        .unwrap_or_else(|| req.platform.topology(req.ranks));
+    assert!(topo.total_cores() >= req.ranks, "override topology too small");
+
+    // Traffic estimate from a one-step modeled probe (cheap, closed form).
+    let probe = run_modeled(
+        &req.app.with_steps(1),
+        req.ranks,
+        req.per_rank_axis,
+        &topo,
+        &req.platform.network,
+        req.platform.compute,
+        req.seed,
+    );
+    req.platform.check_limits(req.ranks, probe.bytes_per_iteration)?;
+
+    let fidelity = resolve_fidelity(req);
+    let cost_model = req.cost_override.clone().unwrap_or_else(|| req.platform.cost.clone());
+    let nodes = topo.nodes_for_ranks(req.ranks);
+    let queue_wait_seconds = req.platform.queue_wait(req.ranks, req.seed);
+
+    let (phases, krylov_iters, verification, bytes_per_iteration) = match fidelity {
+        Fidelity::Numerical => run_numerical(req, topo)?,
+        Fidelity::Modeled | Fidelity::Auto => {
+            let m = run_modeled(
+                &req.app,
+                req.ranks,
+                req.per_rank_axis,
+                &topo,
+                &req.platform.network,
+                req.platform.compute,
+                req.seed,
+            );
+            let phases = summarize(&m.iterations, req.discard)
+                .expect("modeled run produced no measurable iterations");
+            (phases, m.krylov_iters as f64, None, m.bytes_per_iteration)
+        }
+    };
+
+    Ok(RunOutcome {
+        platform: req.platform.key.clone(),
+        app: match &req.app {
+            App::Rd(_) => "RD",
+            App::Ns(_) => "NS",
+        },
+        ranks: req.ranks,
+        nodes,
+        fidelity,
+        phases,
+        cost_per_iteration: cost_model.cost(req.ranks, phases.total),
+        queue_wait_seconds,
+        krylov_iters,
+        verification,
+        bytes_per_iteration,
+    })
+}
+
+type NumericalResult = (PhaseTimes, f64, Option<Verification>, f64);
+
+fn run_numerical(req: &RunRequest, topo: ClusterTopology) -> Result<NumericalResult, LimitViolation> {
+    let factors = near_cubic_factors(req.ranks);
+    let cells = (
+        factors.0 * req.per_rank_axis,
+        factors.1 * req.per_rank_axis,
+        factors.2 * req.per_rank_axis,
+    );
+    let mesh = StructuredHexMesh::new(
+        cells.0,
+        cells.1,
+        cells.2,
+        hetero_mesh::Point3::ZERO,
+        hetero_mesh::Point3::splat(1.0),
+    );
+    let layout = BlockLayout::new(cells, factors);
+    let assignment = Arc::new(layout.assignment());
+    let ranks = req.ranks;
+    let app = req.app.clone();
+    let cfg = SpmdConfig {
+        size: ranks,
+        topo,
+        net: req.platform.network.clone(),
+        compute: req.platform.compute,
+        seed: req.seed,
+    };
+
+    struct RankOut {
+        iterations: Vec<PhaseTimes>,
+        kiters: f64,
+        linf: f64,
+        l2: f64,
+        bytes: f64,
+    }
+
+    let results = run_spmd(cfg, move |comm| {
+        let dmesh = DistributedMesh::new(mesh.clone(), Arc::clone(&assignment), comm.rank(), ranks);
+        match &app {
+            App::Rd(c) => {
+                let r = solve_rd(&dmesh, c, comm);
+                RankOut {
+                    iterations: r.iterations,
+                    kiters: r.krylov_iters.iter().sum::<usize>() as f64
+                        / r.krylov_iters.len() as f64,
+                    linf: r.linf_error,
+                    l2: r.l2_error,
+                    bytes: comm.stats().bytes_received,
+                }
+            }
+            App::Ns(c) => {
+                let r = solve_ns(&dmesh, c, comm);
+                let total_k: usize =
+                    r.vel_iters.iter().sum::<usize>() + r.p_iters.iter().sum::<usize>();
+                RankOut {
+                    iterations: r.iterations,
+                    kiters: total_k as f64 / r.vel_iters.len() as f64,
+                    linf: r.vel_linf_error,
+                    l2: r.vel_l2_error,
+                    bytes: comm.stats().bytes_received,
+                }
+            }
+        }
+    });
+
+    // Critical-rank reduction: per-iteration max across ranks.
+    let steps = results[0].value.iterations.len();
+    let mut per_iter = vec![PhaseTimes::default(); steps];
+    for r in &results {
+        for (acc, &t) in per_iter.iter_mut().zip(&r.value.iterations) {
+            *acc = acc.max(t);
+        }
+    }
+    let phases = summarize(&per_iter, req.discard).expect("no measurable iterations");
+    let kiters = results[0].value.kiters;
+    let verification =
+        Some(Verification { linf: results[0].value.linf, l2: results[0].value.l2 });
+    let bytes: f64 = results.iter().map(|r| r.value.bytes).sum::<f64>() / steps as f64;
+    Ok((phases, kiters, verification, bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetero_platform::catalog;
+
+    #[test]
+    fn numerical_run_verifies_against_exact_solution() {
+        let req = RunRequest {
+            discard: 1,
+            ..RunRequest::new(catalog::puma(), App::paper_rd(3), 8, 3)
+        };
+        let out = execute(&req).unwrap();
+        assert_eq!(out.fidelity, Fidelity::Numerical);
+        let v = out.verification.unwrap();
+        assert!(v.linf < 5e-6, "linf = {}", v.linf);
+        assert!(out.phases.total > 0.0);
+        assert!(out.cost_per_iteration > 0.0);
+        assert_eq!(out.nodes, 2);
+    }
+
+    #[test]
+    fn auto_switches_to_modeled_at_scale() {
+        let req = RunRequest::new(catalog::ec2(), App::paper_rd(2), 216, 20);
+        let out = execute(&req).unwrap();
+        assert_eq!(out.fidelity, Fidelity::Modeled);
+        assert!(out.verification.is_none());
+        assert_eq!(out.nodes, 14); // Table II's instance count for 216 ranks
+    }
+
+    #[test]
+    fn puma_cannot_run_216_ranks() {
+        let req = RunRequest::new(catalog::puma(), App::paper_rd(2), 216, 20);
+        assert!(matches!(
+            execute(&req),
+            Err(LimitViolation::InsufficientCapacity { .. })
+        ));
+    }
+
+    #[test]
+    fn ellipse_cannot_launch_729_ranks() {
+        let req = RunRequest::new(catalog::ellipse(), App::paper_rd(2), 729, 20);
+        assert!(matches!(execute(&req), Err(LimitViolation::LauncherFailure { .. })));
+    }
+
+    #[test]
+    fn lagrange_hits_the_ib_volume_cap_beyond_343() {
+        let ok = RunRequest::new(catalog::lagrange(), App::paper_rd(2), 343, 20);
+        assert!(execute(&ok).is_ok());
+        let too_big = RunRequest::new(catalog::lagrange(), App::paper_rd(2), 512, 20);
+        assert!(matches!(
+            execute(&too_big),
+            Err(LimitViolation::AdapterVolumeExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn cost_override_changes_price_not_time() {
+        let base = RunRequest::new(catalog::ec2(), App::paper_rd(2), 64, 20);
+        let spot = RunRequest {
+            cost_override: Some(catalog::ec2_spot_cost()),
+            ..base.clone()
+        };
+        let a = execute(&base).unwrap();
+        let b = execute(&spot).unwrap();
+        assert_eq!(a.phases.total, b.phases.total);
+        assert!(b.cost_per_iteration < a.cost_per_iteration / 3.0);
+    }
+
+    #[test]
+    fn deterministic_outcomes() {
+        let req = RunRequest::new(catalog::ellipse(), App::paper_rd(2), 64, 20);
+        let a = execute(&req).unwrap();
+        let b = execute(&req).unwrap();
+        assert_eq!(a.phases.total, b.phases.total);
+        assert_eq!(a.cost_per_iteration, b.cost_per_iteration);
+    }
+}

@@ -1,0 +1,437 @@
+//! Canned reproductions of every table and figure in the paper's
+//! evaluation.
+
+use crate::apps::App;
+use crate::run::{execute, Fidelity, RunOutcome, RunRequest};
+use hetero_platform::limits::LimitViolation;
+use hetero_platform::provision::{environment_of, plan, ProvisionPlan};
+use hetero_platform::spot::{acquire_fleet, FleetAllocation, FleetStrategy};
+use hetero_platform::{catalog, PlatformSpec};
+
+/// Shared knobs for the scenario sweeps.
+#[derive(Debug, Clone)]
+pub struct ScenarioOptions {
+    /// Cells per axis per rank (the paper's 20).
+    pub per_rank_axis: usize,
+    /// Largest `k` of the `k^3`-rank ladder (the paper's 10).
+    pub max_k: usize,
+    /// Time steps simulated per run.
+    pub steps: usize,
+    /// Warm-up iterations discarded (the paper's 5).
+    pub discard: usize,
+    /// Engine selection.
+    pub fidelity: Fidelity,
+    /// Experiment seed.
+    pub seed: u64,
+}
+
+impl ScenarioOptions {
+    /// The paper's configuration: `20^3` cells/rank, ranks `1..=1000`,
+    /// 5 discarded + 3 measured iterations, modeled engine.
+    pub fn paper() -> Self {
+        ScenarioOptions {
+            per_rank_axis: 20,
+            max_k: 10,
+            steps: 8,
+            discard: 5,
+            fidelity: Fidelity::Modeled,
+            seed: 2012,
+        }
+    }
+
+    /// A cheap configuration for tests: tiny meshes, numerical engine where
+    /// affordable.
+    pub fn smoke() -> Self {
+        ScenarioOptions {
+            per_rank_axis: 3,
+            max_k: 2,
+            steps: 3,
+            discard: 1,
+            fidelity: Fidelity::Auto,
+            seed: 2012,
+        }
+    }
+
+    /// The rank ladder `k^3`.
+    pub fn ladder(&self) -> Vec<usize> {
+        (1..=self.max_k).map(|k| k * k * k).collect()
+    }
+}
+
+/// One platform's cell in a weak-scaling table: an outcome or the limit
+/// that prevented the run (the paper's truncated curves).
+pub type Cell = Result<RunOutcome, LimitViolation>;
+
+/// One rung of a weak-scaling figure.
+#[derive(Debug)]
+pub struct WeakScalingRow {
+    /// Rank count.
+    pub ranks: usize,
+    /// Per-platform outcome, ordered as [`catalog::all_platforms`].
+    pub cells: Vec<(String, Cell)>,
+}
+
+/// A full weak-scaling figure (Figure 4 or 5).
+#[derive(Debug)]
+pub struct WeakScalingTable {
+    /// "RD" or "NS".
+    pub app: &'static str,
+    /// One row per rank count.
+    pub rows: Vec<WeakScalingRow>,
+}
+
+impl WeakScalingTable {
+    /// The outcome for (ranks, platform), if the run was feasible.
+    pub fn outcome(&self, ranks: usize, platform: &str) -> Option<&RunOutcome> {
+        self.rows
+            .iter()
+            .find(|r| r.ranks == ranks)?
+            .cells
+            .iter()
+            .find(|(p, _)| p == platform)?
+            .1
+            .as_ref()
+            .ok()
+    }
+
+    /// Largest feasible rank count for a platform.
+    pub fn max_feasible_ranks(&self, platform: &str) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| {
+                r.cells.iter().any(|(p, c)| p == platform && c.is_ok())
+            })
+            .map(|r| r.ranks)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+fn weak_scaling(app_for: impl Fn(usize) -> App, opts: &ScenarioOptions) -> WeakScalingTable {
+    let platforms = catalog::all_platforms();
+    let mut rows = Vec::new();
+    let mut app_name = "RD";
+    for ranks in opts.ladder() {
+        let mut cells = Vec::new();
+        for platform in &platforms {
+            let app = app_for(opts.steps);
+            app_name = match &app {
+                App::Rd(_) => "RD",
+                App::Ns(_) => "NS",
+            };
+            let req = RunRequest {
+                platform: platform.clone(),
+                app,
+                ranks,
+                per_rank_axis: opts.per_rank_axis,
+                seed: opts.seed,
+                discard: opts.discard,
+                fidelity: opts.fidelity,
+                topology_override: None,
+                cost_override: None,
+            };
+            cells.push((platform.key.clone(), execute(&req)));
+        }
+        rows.push(WeakScalingRow { ranks, cells });
+    }
+    WeakScalingTable { app: app_name, rows }
+}
+
+/// **Figure 4**: weak scaling of the RD application on the four platforms.
+pub fn fig4(opts: &ScenarioOptions) -> WeakScalingTable {
+    weak_scaling(App::paper_rd, opts)
+}
+
+/// **Figure 5**: weak scaling of the Navier–Stokes application.
+pub fn fig5(opts: &ScenarioOptions) -> WeakScalingTable {
+    weak_scaling(App::paper_ns, opts)
+}
+
+/// One row of Table II.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// MPI ranks.
+    pub ranks: usize,
+    /// cc2.8xlarge instances.
+    pub nodes: usize,
+    /// Per-iteration time, full-price single placement group.
+    pub full_time: f64,
+    /// Real cost per iteration of the full configuration.
+    pub full_cost: f64,
+    /// Per-iteration time, spot/on-demand mix over four placement groups.
+    pub mix_time: f64,
+    /// Estimated (all-spot-rate) cost per iteration of the mix.
+    pub mix_est_cost: f64,
+    /// Spot instances actually obtained for the mix fleet.
+    pub mix_spot_nodes: usize,
+}
+
+/// **Table II**: EC2 full vs mix assemblies for the RD application.
+pub fn table2(opts: &ScenarioOptions) -> Vec<Table2Row> {
+    let ec2 = catalog::ec2();
+    let mut rows = Vec::new();
+    for ranks in opts.ladder() {
+        let nodes = ec2.nodes_for(ranks);
+        let base = RunRequest {
+            platform: ec2.clone(),
+            app: App::paper_rd(opts.steps),
+            ranks,
+            per_rank_axis: opts.per_rank_axis,
+            seed: opts.seed,
+            discard: opts.discard,
+            fidelity: opts.fidelity,
+            topology_override: None,
+            cost_override: None,
+        };
+        let full = execute(&base).expect("EC2 runs the whole ladder");
+
+        let fleet = acquire_fleet(
+            nodes,
+            FleetStrategy::SpotMix { groups: 4, max_bid: 1.0 },
+            2.40,
+            opts.seed,
+        );
+        let mix_req = RunRequest {
+            topology_override: Some(fleet.topology(16)),
+            cost_override: Some(catalog::ec2_spot_cost()),
+            ..base
+        };
+        let mix = execute(&mix_req).expect("EC2 mix runs the whole ladder");
+
+        rows.push(Table2Row {
+            ranks,
+            nodes,
+            full_time: full.phases.total,
+            full_cost: full.cost_per_iteration,
+            mix_time: mix.phases.total,
+            mix_est_cost: mix.cost_per_iteration,
+            mix_spot_nodes: fleet.spot_count(),
+        });
+    }
+    rows
+}
+
+/// One platform's cost curve for Figures 6/7.
+#[derive(Debug, Clone)]
+pub struct CostCurve {
+    /// Curve label ("puma", ..., "ec2 mix").
+    pub label: String,
+    /// `(ranks, dollars per iteration)`; infeasible sizes omitted.
+    pub points: Vec<(usize, f64)>,
+}
+
+/// Builds the per-iteration cost figures from a weak-scaling table,
+/// appending the "ec2 mix" cost-aware curve (real mixed-fleet prices, which
+/// converge toward the full-price curve once spot capacity runs out — the
+/// paper's observation).
+pub fn cost_curves(table: &WeakScalingTable, opts: &ScenarioOptions) -> Vec<CostCurve> {
+    let mut curves: Vec<CostCurve> = Vec::new();
+    for platform in catalog::all_platforms() {
+        let mut points = Vec::new();
+        for row in &table.rows {
+            if let Some(out) = table.outcome(row.ranks, &platform.key) {
+                points.push((row.ranks, out.cost_per_iteration));
+            }
+        }
+        curves.push(CostCurve { label: platform.key.clone(), points });
+    }
+    // ec2 mix: the same times priced at the actually-acquired fleet mix.
+    let ec2 = catalog::ec2();
+    let mut points = Vec::new();
+    for row in &table.rows {
+        if let Some(out) = table.outcome(row.ranks, "ec2") {
+            let fleet: FleetAllocation = acquire_fleet(
+                ec2.nodes_for(row.ranks),
+                FleetStrategy::SpotMix { groups: 4, max_bid: 1.0 },
+                2.40,
+                opts.seed,
+            );
+            points.push((row.ranks, fleet.cost(out.phases.total)));
+        }
+    }
+    curves.push(CostCurve { label: "ec2 mix".into(), points });
+    curves
+}
+
+/// **Figure 6**: per-iteration cost of the RD weak-scaling runs.
+pub fn fig6(opts: &ScenarioOptions) -> (WeakScalingTable, Vec<CostCurve>) {
+    let table = fig4(opts);
+    let curves = cost_curves(&table, opts);
+    (table, curves)
+}
+
+/// **Figure 7**: per-iteration cost of the NS weak-scaling runs.
+pub fn fig7(opts: &ScenarioOptions) -> (WeakScalingTable, Vec<CostCurve>) {
+    let table = fig5(opts);
+    let curves = cost_curves(&table, opts);
+    (table, curves)
+}
+
+/// One rung of a strong-scaling study (an *extension* beyond the paper's
+/// weak-scaling-only evaluation).
+#[derive(Debug, Clone)]
+pub struct StrongScalingPoint {
+    /// Rank count.
+    pub ranks: usize,
+    /// Per-iteration phase times.
+    pub phases: hetero_fem::phase::PhaseTimes,
+    /// `t(1) / t(p)`.
+    pub speedup: f64,
+    /// `speedup / p`.
+    pub efficiency: f64,
+}
+
+/// Strong scaling: a **fixed** `global_axis^3`-cell mesh solved with growing
+/// rank counts on one platform (modeled engine). The paper only studies
+/// weak scaling; this extension answers the complementary question its
+/// Section VIII raises — how far extra cloud cores can push time-to-solution
+/// for a fixed problem.
+pub fn strong_scaling(
+    platform: &PlatformSpec,
+    app_for: impl Fn(usize) -> App,
+    global_axis: usize,
+    opts: &ScenarioOptions,
+) -> Vec<StrongScalingPoint> {
+    let mut out = Vec::new();
+    let mut t1 = None;
+    for ranks in opts.ladder() {
+        if platform.check_limits(ranks, 0.0).is_err() {
+            break; // capacity or launcher limit
+        }
+        let factors = hetero_partition::block::near_cubic_factors(ranks);
+        if factors.2 > global_axis {
+            break; // more rank columns than cells along an axis
+        }
+        let topo = platform.topology(ranks);
+        let app = app_for(opts.steps);
+        let run = crate::modeled::run_modeled_sized(
+            &app,
+            ranks,
+            (global_axis, global_axis, global_axis),
+            &topo,
+            &platform.network,
+            platform.compute,
+            opts.seed,
+        );
+        if platform.check_limits(ranks, run.bytes_per_iteration).is_err() {
+            break; // adapter volume limit
+        }
+        let phases = hetero_fem::phase::summarize(&run.iterations, opts.discard)
+            .expect("strong-scaling run produced iterations");
+        let t1 = *t1.get_or_insert(phases.total);
+        let speedup = t1 / phases.total;
+        out.push(StrongScalingPoint {
+            ranks,
+            phases,
+            speedup,
+            efficiency: speedup / ranks as f64,
+        });
+    }
+    out
+}
+
+/// **Table I** + Section VI: the capability matrix and per-platform
+/// provisioning plans with effort totals.
+pub struct Table1 {
+    /// The four platform specs.
+    pub platforms: Vec<PlatformSpec>,
+    /// Provisioning plans, one per platform.
+    pub plans: Vec<ProvisionPlan>,
+}
+
+/// Builds Table I's data.
+pub fn table1() -> Table1 {
+    let platforms = catalog::all_platforms();
+    let plans = platforms
+        .iter()
+        .map(|p| plan(&environment_of(&p.key).expect("catalog platform")).expect("satisfiable"))
+        .collect();
+    Table1 { platforms, plans }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_fig4_truncates_where_the_paper_does() {
+        // With max_k = 2 nothing truncates; use a modeled paper ladder.
+        let opts = ScenarioOptions { steps: 2, discard: 0, ..ScenarioOptions::paper() };
+        let t = fig4(&opts);
+        assert_eq!(t.max_feasible_ranks("puma"), 125);
+        assert_eq!(t.max_feasible_ranks("ellipse"), 512);
+        assert_eq!(t.max_feasible_ranks("lagrange"), 343);
+        assert_eq!(t.max_feasible_ranks("ec2"), 1000);
+    }
+
+    #[test]
+    fn table2_shape_matches_the_paper() {
+        let opts = ScenarioOptions { steps: 2, discard: 0, ..ScenarioOptions::paper() };
+        let rows = table2(&opts);
+        assert_eq!(rows.len(), 10);
+        let nodes: Vec<usize> = rows.iter().map(|r| r.nodes).collect();
+        assert_eq!(nodes, vec![1, 1, 2, 4, 8, 14, 22, 32, 46, 63]);
+        for r in &rows {
+            // Times statistically equal; est cost ~4.4x cheaper.
+            let rel = (r.mix_time - r.full_time).abs() / r.full_time;
+            assert!(rel < 0.25, "ranks {}: {} vs {}", r.ranks, r.full_time, r.mix_time);
+            let ratio = r.full_cost / r.mix_est_cost * (r.mix_time / r.full_time);
+            assert!((3.5..=5.5).contains(&ratio), "ranks {}: cost ratio {ratio}", r.ranks);
+        }
+        // Large mixes never fill from spot alone.
+        assert!(rows.last().unwrap().mix_spot_nodes < 63);
+    }
+
+    #[test]
+    fn cost_curves_include_ec2_mix() {
+        let opts = ScenarioOptions { steps: 2, discard: 0, max_k: 3, ..ScenarioOptions::paper() };
+        let (_, curves) = fig6(&opts);
+        let labels: Vec<&str> = curves.iter().map(|c| c.label.as_str()).collect();
+        assert_eq!(labels, vec!["puma", "ellipse", "lagrange", "ec2", "ec2 mix"]);
+        // Mix is never pricier than full ec2.
+        let ec2 = &curves[3];
+        let mix = &curves[4];
+        for ((r1, full), (r2, m)) in ec2.points.iter().zip(&mix.points) {
+            assert_eq!(r1, r2);
+            assert!(m <= full, "ranks {r1}: mix {m} vs full {full}");
+        }
+    }
+
+    #[test]
+    fn strong_scaling_speeds_up_then_saturates() {
+        use hetero_platform::catalog;
+        let opts = ScenarioOptions { steps: 2, discard: 0, max_k: 8, ..ScenarioOptions::paper() };
+        let points = strong_scaling(&catalog::lagrange(), App::paper_rd, 64, &opts);
+        assert!(points.len() >= 4);
+        assert_eq!(points[0].ranks, 1);
+        assert!((points[0].efficiency - 1.0).abs() < 1e-12);
+        // Speedup is real at small scale...
+        assert!(points[1].speedup > 2.0, "speedup at 8 ranks: {}", points[1].speedup);
+        // ...but efficiency decays monotonically-ish with rank count.
+        assert!(points.last().unwrap().efficiency < points[1].efficiency);
+        // On InfiniBand the mid-range stays efficient.
+        let p64 = points.iter().find(|p| p.ranks == 64).unwrap();
+        assert!(p64.efficiency > 0.5, "efficiency at 64: {}", p64.efficiency);
+    }
+
+    #[test]
+    fn strong_scaling_is_worse_on_slow_fabrics() {
+        use hetero_platform::catalog;
+        let opts = ScenarioOptions { steps: 2, discard: 0, max_k: 5, ..ScenarioOptions::paper() };
+        let ib = strong_scaling(&catalog::lagrange(), App::paper_rd, 40, &opts);
+        let eth = strong_scaling(&catalog::ellipse(), App::paper_rd, 40, &opts);
+        let eff = |pts: &[StrongScalingPoint], r: usize| {
+            pts.iter().find(|p| p.ranks == r).unwrap().efficiency
+        };
+        assert!(eff(&ib, 64) > eff(&eth, 64), "ib {} vs eth {}", eff(&ib, 64), eff(&eth, 64));
+    }
+
+    #[test]
+    fn table1_covers_all_platforms() {
+        let t = table1();
+        assert_eq!(t.platforms.len(), 4);
+        assert_eq!(t.plans.len(), 4);
+        assert_eq!(t.plans[0].total_hours(), 0.0); // puma
+        assert!(t.plans[3].total_hours() > t.plans[1].total_hours()); // ec2 > ellipse
+    }
+}

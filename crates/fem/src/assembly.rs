@@ -1,0 +1,561 @@
+//! Distributed FEM assembly — the paper's step (ii).
+//!
+//! Each rank integrates over **its own cells only** and ships contributions
+//! to rows owned by other ranks to their owners (Trilinos'
+//! `GlobalAssemble`). This makes the assembly phase the most
+//! communication-heavy of the three measured phases, matching the paper's
+//! observation that "the assembly phase needs more data than preconditioning
+//! which needs more data than the solver".
+//!
+//! Because the meshes are uniform bricks, the reference element matrices
+//! are identical for every cell; [`ElementKernels`] precomputes them once.
+//! The simulator is nevertheless charged the full per-cell quadrature cost
+//! (see [`crate::profile`]), because a general-geometry code — like the
+//! paper's — recomputes them per cell.
+
+use crate::dofmap::DofMap;
+use crate::element::ElementOrder;
+use crate::profile;
+use crate::quadrature::GaussRule3d;
+use hetero_linalg::csr::TripletBuilder;
+use hetero_linalg::{DistMatrix, DistVector};
+use hetero_mesh::Point3;
+use hetero_simmpi::{Payload, SimComm};
+use std::collections::BTreeMap;
+
+const TAG_MAT_IDX: u64 = 9_600;
+const TAG_MAT_VAL: u64 = 9_601;
+const TAG_VEC_IDX: u64 = 9_602;
+const TAG_VEC_VAL: u64 = 9_603;
+
+/// Precomputed element matrices for a uniform brick cell of size
+/// `(hx, hy, hz)`, stored row-major `npe x npe` (or `npe_row x npe_col` for
+/// mixed-space kernels).
+#[derive(Debug, Clone)]
+pub struct ElementKernels {
+    /// `int phi_a phi_b` over one cell.
+    pub mass: Vec<f64>,
+    /// `int grad(phi_a) . grad(phi_b)`.
+    pub stiffness: Vec<f64>,
+    /// `int phi_a` (constant-forcing load vector).
+    pub load: Vec<f64>,
+    /// Nodes per element.
+    pub npe: usize,
+}
+
+/// Builds the scalar kernels for `order` on a cell of size `h`.
+pub fn scalar_kernels(order: ElementOrder, h: Point3) -> ElementKernels {
+    let npe = order.nodes_per_element();
+    let rule = GaussRule3d::new(order.quadrature_points_per_axis());
+    let vol = h.x * h.y * h.z;
+    let mut mass = vec![0.0; npe * npe];
+    let mut stiffness = vec![0.0; npe * npe];
+    let mut load = vec![0.0; npe];
+    for (qp, &w) in rule.points.iter().zip(&rule.weights) {
+        // Cache shapes and physical gradients at this point.
+        let shapes: Vec<f64> = (0..npe).map(|i| order.shape(i, qp[0], qp[1], qp[2])).collect();
+        let grads: Vec<[f64; 3]> = (0..npe)
+            .map(|i| {
+                let g = order.grad_shape(i, qp[0], qp[1], qp[2]);
+                [g[0] / h.x, g[1] / h.y, g[2] / h.z]
+            })
+            .collect();
+        for a in 0..npe {
+            load[a] += w * vol * shapes[a];
+            for b in 0..npe {
+                mass[a * npe + b] += w * vol * shapes[a] * shapes[b];
+                stiffness[a * npe + b] += w
+                    * vol
+                    * (grads[a][0] * grads[b][0]
+                        + grads[a][1] * grads[b][1]
+                        + grads[a][2] * grads[b][2]);
+            }
+        }
+    }
+    ElementKernels { mass, stiffness, load, npe }
+}
+
+/// Builds the mixed gradient kernel `G_d[a][b] = int phi^row_a
+/// d(phi^col_b)/dx_d` for direction `d`, `npe_row x npe_col` row-major.
+/// Used for the pressure-gradient (row = velocity space, col = pressure
+/// space) and divergence (transposed roles) operators.
+pub fn gradient_kernel(
+    row_order: ElementOrder,
+    col_order: ElementOrder,
+    dir: usize,
+    h: Point3,
+) -> Vec<f64> {
+    assert!(dir < 3);
+    let nr = row_order.nodes_per_element();
+    let nc = col_order.nodes_per_element();
+    let npts = row_order
+        .quadrature_points_per_axis()
+        .max(col_order.quadrature_points_per_axis());
+    let rule = GaussRule3d::new(npts);
+    let vol = h.x * h.y * h.z;
+    let hd = h.coord(dir);
+    let mut out = vec![0.0; nr * nc];
+    for (qp, &w) in rule.points.iter().zip(&rule.weights) {
+        for a in 0..nr {
+            let na = row_order.shape(a, qp[0], qp[1], qp[2]);
+            for b in 0..nc {
+                let gb = col_order.grad_shape(b, qp[0], qp[1], qp[2]);
+                out[a * nc + b] += w * vol * na * gb[dir] / hd;
+            }
+        }
+    }
+    out
+}
+
+/// Assembles a distributed matrix: `cell_matrix(i, out)` fills the
+/// `npe_row x npe_col` local matrix of the `i`-th owned cell (row-major).
+///
+/// Collective: all ranks must call with consistent closures. Off-rank row
+/// contributions are shipped to their owners. The simulated cost charged is
+/// the full per-cell quadrature work for the operator class given by
+/// `charged_ops` (see [`profile::assembly_matrix_work`]).
+pub fn assemble_matrix<F>(
+    row_map: &DofMap,
+    col_map: &DofMap,
+    comm: &mut SimComm,
+    charged_ops: usize,
+    mut cell_matrix: F,
+) -> DistMatrix
+where
+    F: FnMut(usize, &mut [f64]),
+{
+    let rank = comm.rank();
+    let nr = row_map.order().nodes_per_element();
+    let nc = col_map.order().nodes_per_element();
+    assert_eq!(row_map.num_cells(), col_map.num_cells(), "maps must share the mesh partition");
+
+    let mut local = vec![0.0; nr * nc];
+    let ncells = row_map.num_cells();
+    let mut triplets =
+        TripletBuilder::with_capacity(row_map.n_owned(), col_map.n_local(), ncells * nr * nc);
+    let mut remote: BTreeMap<usize, (Vec<usize>, Vec<f64>)> = BTreeMap::new();
+
+    for i in 0..ncells {
+        local.fill(0.0);
+        cell_matrix(i, &mut local);
+        let rows = row_map.cell_dofs(i);
+        let cols = col_map.cell_dofs(i);
+        for (a, &r_loc) in rows.iter().enumerate() {
+            let owner = row_map.owner(r_loc);
+            if owner == rank {
+                debug_assert!(r_loc < row_map.n_owned());
+                for (b, &c_loc) in cols.iter().enumerate() {
+                    triplets.add(r_loc, c_loc, local[a * nc + b]);
+                }
+            } else {
+                let (idx, vals) = remote.entry(owner).or_default();
+                let gr = row_map.global_id(r_loc);
+                for (b, &c_loc) in cols.iter().enumerate() {
+                    idx.push(gr);
+                    idx.push(col_map.global_id(c_loc));
+                    vals.push(local[a * nc + b]);
+                }
+            }
+        }
+    }
+
+    // Charge quadrature + scatter cost for the cells integrated.
+    comm.compute(profile::assembly_matrix_work(row_map.order(), col_map.order(), charged_ops) * ncells as f64);
+
+    // Ship remote contributions: one (possibly empty) batch per plan
+    // neighbour, both directions.
+    for &nb in &row_map.plan().neighbors {
+        let (idx, vals) = remote.remove(&nb).unwrap_or_default();
+        comm.send(nb, TAG_MAT_IDX, Payload::Usize(idx));
+        comm.send(nb, TAG_MAT_VAL, Payload::F64(vals));
+    }
+    assert!(remote.is_empty(), "contribution shipped to a non-neighbour rank");
+    for &nb in &row_map.plan().neighbors {
+        let idx = comm.recv_usize(nb, TAG_MAT_IDX);
+        let vals = comm.recv_f64(nb, TAG_MAT_VAL);
+        assert_eq!(idx.len(), 2 * vals.len());
+        for (pair, &v) in idx.chunks_exact(2).zip(&vals) {
+            let r_loc = row_map
+                .local_id(pair[0])
+                .expect("shipped row must be locally known");
+            debug_assert!(r_loc < row_map.n_owned(), "shipped row must be owned here");
+            let c_loc = col_map
+                .local_id(pair[1])
+                .expect("shipped column must be in the local stencil");
+            triplets.add(r_loc, c_loc, v);
+        }
+    }
+
+    DistMatrix::rectangular(triplets.build(), col_map.plan().clone(), col_map.n_owned())
+}
+
+/// Assembles a distributed vector: `cell_vector(i, out)` fills the `npe`
+/// local load vector of the `i`-th owned cell. Collective, like
+/// [`assemble_matrix`].
+pub fn assemble_vector<F>(dm: &DofMap, comm: &mut SimComm, mut cell_vector: F) -> DistVector
+where
+    F: FnMut(usize, &mut [f64]),
+{
+    let rank = comm.rank();
+    let npe = dm.order().nodes_per_element();
+    let mut local = vec![0.0; npe];
+    let mut out = dm.new_vector();
+    let mut remote: BTreeMap<usize, (Vec<usize>, Vec<f64>)> = BTreeMap::new();
+
+    for i in 0..dm.num_cells() {
+        local.fill(0.0);
+        cell_vector(i, &mut local);
+        for (a, &r_loc) in dm.cell_dofs(i).iter().enumerate() {
+            let owner = dm.owner(r_loc);
+            if owner == rank {
+                out.owned_mut()[r_loc] += local[a];
+            } else {
+                let (idx, vals) = remote.entry(owner).or_default();
+                idx.push(dm.global_id(r_loc));
+                vals.push(local[a]);
+            }
+        }
+    }
+    comm.compute(profile::assembly_vector_work(dm.order()) * dm.num_cells() as f64);
+
+    for &nb in &dm.plan().neighbors {
+        let (idx, vals) = remote.remove(&nb).unwrap_or_default();
+        comm.send(nb, TAG_VEC_IDX, Payload::Usize(idx));
+        comm.send(nb, TAG_VEC_VAL, Payload::F64(vals));
+    }
+    assert!(remote.is_empty(), "contribution shipped to a non-neighbour rank");
+    for &nb in &dm.plan().neighbors {
+        let idx = comm.recv_usize(nb, TAG_VEC_IDX);
+        let vals = comm.recv_f64(nb, TAG_VEC_VAL);
+        for (&g, &v) in idx.iter().zip(&vals) {
+            let r_loc = dm.local_id(g).expect("shipped row must be local");
+            debug_assert!(r_loc < dm.n_owned());
+            out.owned_mut()[r_loc] += v;
+        }
+    }
+    out
+}
+
+/// Symmetrically imposes constrained values (Dirichlet conditions or a
+/// pinned pressure dof): moves known values to the right-hand side, zeroes
+/// the constrained rows *and columns*, places 1 on constrained diagonals,
+/// and sets the right-hand side to the constrained value — preserving
+/// symmetry for CG.
+///
+/// `mask`/`values` cover all local dofs (owned + ghost), so each rank can
+/// eliminate ghost columns without communication.
+pub fn constrain_system(
+    a: &mut DistMatrix,
+    b: &mut DistVector,
+    mask: &[bool],
+    values: &[f64],
+    comm: &mut SimComm,
+) {
+    constrain_system_multi(a, &mut [(b, values)], mask, comm);
+}
+
+/// Imposes Dirichlet data on one matrix shared by several right-hand sides
+/// (e.g. the three velocity components of a momentum solve, each with its
+/// own boundary trace). All right-hand-side lifts are computed against the
+/// *original* matrix before its constrained rows/columns are zeroed —
+/// constraining the matrix first and fixing the other right-hand sides
+/// afterwards would silently drop their boundary contributions.
+pub fn constrain_system_multi(
+    a: &mut DistMatrix,
+    systems: &mut [(&mut DistVector, &[f64])],
+    mask: &[bool],
+    comm: &mut SimComm,
+) {
+    let n_owned = a.n_owned();
+    let n_local = a.n_local();
+    assert_eq!(mask.len(), n_local);
+    for (b, values) in systems.iter() {
+        assert_eq!(values.len(), n_local);
+        assert_eq!(b.n_owned(), n_owned);
+    }
+
+    // Lift every right-hand side against the unmodified matrix.
+    {
+        let local = a.local();
+        for (b, values) in systems.iter_mut() {
+            for r in 0..n_owned {
+                if mask[r] {
+                    continue;
+                }
+                let (cols, vals) = local.row(r);
+                let mut shift = 0.0;
+                for (&c, &v) in cols.iter().zip(vals) {
+                    if mask[c] {
+                        shift += v * values[c];
+                    }
+                }
+                b.owned_mut()[r] -= shift;
+            }
+        }
+    }
+    // Zero constrained rows/columns once; pin the right-hand sides.
+    let nnz = a.nnz();
+    let local = a.local_mut();
+    for r in 0..n_owned {
+        if mask[r] {
+            local.set_dirichlet_row(r, 1.0);
+            for (b, values) in systems.iter_mut() {
+                b.owned_mut()[r] = values[r];
+            }
+        } else {
+            let (cols, vals) = local.row_values_mut(r);
+            for (i, &c) in cols.iter().enumerate() {
+                if mask[c] {
+                    vals[i] = 0.0;
+                }
+            }
+        }
+    }
+    comm.compute(hetero_simmpi::Work::new(
+        (systems.len() + 1) as f64 * nnz as f64,
+        (systems.len() + 1) as f64 * 20.0 * nnz as f64,
+    ));
+}
+
+/// Builds the Dirichlet mask/values for the whole domain boundary from `g`
+/// and applies [`constrain_system`].
+pub fn apply_dirichlet(
+    a: &mut DistMatrix,
+    b: &mut DistVector,
+    dm: &DofMap,
+    g: impl Fn(Point3) -> f64,
+    comm: &mut SimComm,
+) {
+    let n_local = dm.n_local();
+    let mut mask = vec![false; n_local];
+    let mut values = vec![0.0; n_local];
+    for l in 0..n_local {
+        if dm.on_boundary(l) {
+            mask[l] = true;
+            values[l] = g(dm.coord(l));
+        }
+    }
+    constrain_system(a, b, &mask, &values, comm);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetero_linalg::precond::Identity;
+    use hetero_linalg::solver::{cg, SolveOptions};
+    use hetero_mesh::{DistributedMesh, StructuredHexMesh};
+    use hetero_partition::{BlockPartitioner, Partitioner};
+    use hetero_simmpi::{run_spmd, ClusterTopology, ComputeModel, NetworkModel, SpmdConfig};
+    use std::sync::Arc;
+
+    fn cfg(size: usize) -> SpmdConfig {
+        SpmdConfig {
+            size,
+            topo: ClusterTopology::uniform(size, 1),
+            net: NetworkModel::ideal(),
+            compute: ComputeModel::new(1e9, 4e9),
+            seed: 0,
+        }
+    }
+
+    fn run_fem<T: Send + 'static>(
+        n: usize,
+        p: usize,
+        order: ElementOrder,
+        f: impl Fn(&DofMap, &mut SimComm) -> T + Send + Sync,
+    ) -> Vec<T> {
+        let mesh = StructuredHexMesh::unit_cube(n);
+        let assignment = Arc::new(BlockPartitioner.partition(&mesh, p));
+        run_spmd(cfg(p), move |comm| {
+            let dmesh =
+                DistributedMesh::new(mesh.clone(), Arc::clone(&assignment), comm.rank(), p);
+            let dm = DofMap::build(&dmesh, order, comm);
+            f(&dm, comm)
+        })
+        .into_iter()
+        .map(|r| r.value)
+        .collect()
+    }
+
+    #[test]
+    fn element_mass_kernel_integrates_volume() {
+        for order in [ElementOrder::Q1, ElementOrder::Q2] {
+            let h = Point3::new(0.5, 0.25, 0.2);
+            let k = scalar_kernels(order, h);
+            // Sum of all mass entries = int 1*1 = cell volume.
+            let total: f64 = k.mass.iter().sum();
+            assert!((total - 0.025).abs() < 1e-14, "{order:?}: {total}");
+            // Load vector sums to the volume too.
+            let load: f64 = k.load.iter().sum();
+            assert!((load - 0.025).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn element_stiffness_annihilates_constants() {
+        for order in [ElementOrder::Q1, ElementOrder::Q2] {
+            let k = scalar_kernels(order, Point3::splat(0.5));
+            let npe = k.npe;
+            for a in 0..npe {
+                let row_sum: f64 = (0..npe).map(|b| k.stiffness[a * npe + b]).sum();
+                assert!(row_sum.abs() < 1e-13, "{order:?} row {a}: {row_sum}");
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_kernel_exact_on_linear_pressure() {
+        // For p = x, int phi_a dp/dx = int phi_a = load vector.
+        let h = Point3::splat(0.5);
+        let g0 = gradient_kernel(ElementOrder::Q2, ElementOrder::Q1, 0, h);
+        let kern = scalar_kernels(ElementOrder::Q2, h);
+        let nc = 8;
+        // p nodal values for p = x on the reference cell corners.
+        let p_vals: Vec<f64> = (0..nc)
+            .map(|b| ElementOrder::Q1.node_point(b)[0] * h.x)
+            .collect();
+        for a in 0..27 {
+            let v: f64 = (0..nc).map(|b| g0[a * nc + b] * p_vals[b]).sum();
+            assert!((v - kern.load[a]).abs() < 1e-14, "row {a}: {v} vs {}", kern.load[a]);
+        }
+    }
+
+    #[test]
+    fn assembled_mass_matrix_row_sums_to_volume() {
+        // Global mass matrix rows sum (over all columns) to int phi_a; the
+        // grand total over all ranks is the domain volume 1.
+        for order in [ElementOrder::Q1, ElementOrder::Q2] {
+            for p in [1usize, 4] {
+                let r = run_fem(3, p, order, move |dm, comm| {
+                    let mesh_h = Point3::splat(1.0 / 3.0);
+                    let kern = scalar_kernels(order, mesh_h);
+                    let m = assemble_matrix(dm, dm, comm, 1, |_i, out| {
+                        out.copy_from_slice(&kern.mass);
+                    });
+                    let local_total: f64 = m.local().iter().map(|(_, _, v)| v).sum();
+                    comm.allreduce_scalar(hetero_simmpi::collectives::ReduceOp::Sum, local_total)
+                });
+                for &total in &r {
+                    assert!((total - 1.0).abs() < 1e-12, "order {order:?} p = {p}: {total}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_assembly_matches_serial() {
+        // Assemble the stiffness matrix on 1 and 8 ranks and compare the
+        // action A*v on a deterministic vector via gather.
+        let order = ElementOrder::Q1;
+        let n = 4;
+        let action = |p: usize| -> Vec<f64> {
+            let mesh = StructuredHexMesh::unit_cube(n);
+            let assignment = Arc::new(BlockPartitioner.partition(&mesh, p));
+            let results = run_spmd(cfg(p), move |comm| {
+                let dmesh =
+                    DistributedMesh::new(mesh.clone(), Arc::clone(&assignment), comm.rank(), p);
+                let dm = DofMap::build(&dmesh, order, comm);
+                let kern = scalar_kernels(order, mesh.cell_size());
+                let a = assemble_matrix(&dm, &dm, comm, 1, |_i, out| {
+                    out.copy_from_slice(&kern.stiffness);
+                });
+                let mut x = dm.interpolate(|pt| (3.1 * pt.x).sin() + pt.y * pt.z);
+                let mut y = a.new_vector();
+                a.spmv(&mut x, &mut y, comm);
+                // Return (global_id, value) pairs for owned dofs.
+                let pairs: Vec<f64> = (0..dm.n_owned())
+                    .flat_map(|l| [dm.global_id(l) as f64, y.owned()[l]])
+                    .collect();
+                pairs
+            });
+            let mut global = vec![0.0; (n + 1) * (n + 1) * (n + 1)];
+            for r in results {
+                for pair in r.value.chunks_exact(2) {
+                    global[pair[0] as usize] = pair[1];
+                }
+            }
+            global
+        };
+        let serial = action(1);
+        let dist = action(8);
+        for (i, (s, d)) in serial.iter().zip(&dist).enumerate() {
+            assert!((s - d).abs() < 1e-12, "dof {i}: serial {s} vs dist {d}");
+        }
+    }
+
+    #[test]
+    fn assembled_vector_matches_serial() {
+        let order = ElementOrder::Q2;
+        let n = 2;
+        let build = |p: usize| -> Vec<f64> {
+            let mesh = StructuredHexMesh::unit_cube(n);
+            let assignment = Arc::new(BlockPartitioner.partition(&mesh, p));
+            let results = run_spmd(cfg(p), move |comm| {
+                let dmesh =
+                    DistributedMesh::new(mesh.clone(), Arc::clone(&assignment), comm.rank(), p);
+                let dm = DofMap::build(&dmesh, order, comm);
+                let kern = scalar_kernels(order, mesh.cell_size());
+                let v = assemble_vector(&dm, comm, |_i, out| out.copy_from_slice(&kern.load));
+                (0..dm.n_owned())
+                    .flat_map(|l| [dm.global_id(l) as f64, v.owned()[l]])
+                    .collect::<Vec<f64>>()
+            });
+            let mut global = vec![0.0; (2 * n + 1usize).pow(3)];
+            for r in results {
+                for pair in r.value.chunks_exact(2) {
+                    global[pair[0] as usize] = pair[1];
+                }
+            }
+            global
+        };
+        let serial = build(1);
+        let dist = build(8);
+        for (s, d) in serial.iter().zip(&dist) {
+            assert!((s - d).abs() < 1e-13);
+        }
+        // Total load = volume.
+        let total: f64 = serial.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn poisson_with_dirichlet_reproduces_linear_solution() {
+        // -lap(u) = 0 with u = x on the boundary has exact solution u = x,
+        // representable in Q1: the solve must reproduce it to tolerance.
+        for p in [1usize, 8] {
+            let r = run_fem(3, p, ElementOrder::Q1, move |dm, comm| {
+                let h = Point3::splat(1.0 / 3.0);
+                let kern = scalar_kernels(ElementOrder::Q1, h);
+                let mut a = assemble_matrix(dm, dm, comm, 1, |_i, out| {
+                    out.copy_from_slice(&kern.stiffness);
+                });
+                let mut b = dm.new_vector();
+                apply_dirichlet(&mut a, &mut b, dm, |pt| pt.x, comm);
+                let mut x = a.new_vector();
+                let stats = cg(&a, &b, &mut x, &Identity, SolveOptions::default(), comm);
+                assert!(stats.converged, "{stats:?}");
+                dm.nodal_linf_error(&x, |pt| pt.x, comm)
+            });
+            for &err in &r {
+                assert!(err < 1e-7, "p = {p}: err = {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn constrain_preserves_symmetry() {
+        run_fem(2, 1, ElementOrder::Q1, |dm, comm| {
+            let kern = scalar_kernels(ElementOrder::Q1, Point3::splat(0.5));
+            let mut a = assemble_matrix(dm, dm, comm, 1, |_i, out| {
+                out.copy_from_slice(&kern.stiffness);
+            });
+            let mut b = dm.new_vector();
+            apply_dirichlet(&mut a, &mut b, dm, |p| p.norm_sq(), comm);
+            // Check symmetry of the local (serial) matrix.
+            let local = a.local();
+            for (r, c, v) in local.iter() {
+                assert!((local.get(c, r) - v).abs() < 1e-13, "asymmetry at ({r}, {c})");
+            }
+        });
+    }
+}

@@ -1,0 +1,113 @@
+//! Backward Difference Formula (BDF) time integrators.
+//!
+//! The paper discretizes the time derivative of both test cases with "a
+//! second order Backward Difference Formula". For `du/dt ~ (alpha u^n -
+//! sum_j c_j u^{n-j}) / dt`:
+//!
+//! * BDF1: `alpha = 1`, history `c = [1]`;
+//! * BDF2: `alpha = 3/2`, history `c = [2, -1/2]`.
+//!
+//! Semi-implicit treatment of the Navier–Stokes convection uses the matching
+//! extrapolation `u* = sum_j e_j u^{n-j}` (BDF2: `e = [2, -1]`), second-order
+//! accurate.
+
+/// Order of the BDF scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BdfOrder {
+    /// Backward Euler.
+    One,
+    /// Second-order BDF — the paper's choice.
+    Two,
+}
+
+impl BdfOrder {
+    /// Leading coefficient `alpha`.
+    #[inline]
+    pub fn alpha(self) -> f64 {
+        match self {
+            BdfOrder::One => 1.0,
+            BdfOrder::Two => 1.5,
+        }
+    }
+
+    /// History coefficients `c_j` for `u^{n-1}, u^{n-2}, ...`.
+    #[inline]
+    pub fn history(self) -> &'static [f64] {
+        match self {
+            BdfOrder::One => &[1.0],
+            BdfOrder::Two => &[2.0, -0.5],
+        }
+    }
+
+    /// Extrapolation coefficients `e_j` predicting `u^n` from the history.
+    #[inline]
+    pub fn extrapolation(self) -> &'static [f64] {
+        match self {
+            BdfOrder::One => &[1.0],
+            BdfOrder::Two => &[2.0, -1.0],
+        }
+    }
+
+    /// Number of history states required.
+    #[inline]
+    pub fn steps(self) -> usize {
+        self.history().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// BDF applied to u(t) must reproduce u'(t_n) exactly for polynomials up
+    /// to the scheme's order.
+    fn bdf_derivative(order: BdfOrder, u: impl Fn(f64) -> f64, t: f64, dt: f64) -> f64 {
+        let mut v = order.alpha() * u(t);
+        for (j, c) in order.history().iter().enumerate() {
+            v -= c * u(t - (j as f64 + 1.0) * dt);
+        }
+        v / dt
+    }
+
+    #[test]
+    fn bdf1_exact_for_linear() {
+        let d = bdf_derivative(BdfOrder::One, |t| 3.0 * t + 1.0, 2.0, 0.1);
+        assert!((d - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bdf2_exact_for_quadratic() {
+        // This is what makes the paper's RD test (u ~ t^2) integrate exactly.
+        let d = bdf_derivative(BdfOrder::Two, |t| t * t, 2.0, 0.1);
+        assert!((d - 4.0).abs() < 1e-11);
+        let d = bdf_derivative(BdfOrder::Two, |t| 5.0 * t * t - t + 3.0, 1.0, 0.05);
+        assert!((d - 9.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bdf2_not_exact_for_cubic() {
+        let d = bdf_derivative(BdfOrder::Two, |t| t * t * t, 1.0, 0.1);
+        assert!((d - 3.0).abs() > 1e-4);
+    }
+
+    #[test]
+    fn coefficients_are_consistent() {
+        // alpha - sum(history) = 0 (derivative of a constant is 0).
+        for order in [BdfOrder::One, BdfOrder::Two] {
+            let s: f64 = order.history().iter().sum();
+            assert!((order.alpha() - s).abs() < 1e-14);
+            // Extrapolation reproduces constants.
+            let e: f64 = order.extrapolation().iter().sum();
+            assert!((e - 1.0).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn extrapolation_exact_for_linear() {
+        let u = |t: f64| 2.0 * t - 1.0;
+        let (t, dt) = (3.0, 0.2);
+        let e = BdfOrder::Two.extrapolation();
+        let pred = e[0] * u(t - dt) + e[1] * u(t - 2.0 * dt);
+        assert!((pred - u(t)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,232 @@
+//! Exact solutions used to verify the two applications — "exact solution is
+//! used for checking the mathematical correctness of the code execution".
+
+use hetero_mesh::Point3;
+
+/// Exact solution of the paper's reaction–diffusion test (equation (1)):
+///
+/// `du/dt - (1/t^2) lap(u) - (2/t) u = -6`, with
+/// `u(x, t) = t^2 (x1^2 + x2^2 + x3^2)`.
+///
+/// Boundary and initial conditions are read off the exact solution, as in
+/// the paper (see Formaggia–Saleri–Veneziani, Chap. 5).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RdExact;
+
+impl RdExact {
+    /// The exact solution `u(x, t)`.
+    #[inline]
+    pub fn u(&self, p: Point3, t: f64) -> f64 {
+        t * t * p.norm_sq()
+    }
+
+    /// The constant source term (right-hand side) of the PDE.
+    #[inline]
+    pub fn source(&self) -> f64 {
+        -6.0
+    }
+
+    /// Diffusion coefficient `1 / t^2` at time `t`.
+    #[inline]
+    pub fn diffusion(&self, t: f64) -> f64 {
+        1.0 / (t * t)
+    }
+
+    /// Reaction coefficient `-2 / t` at time `t` (the `- (2/t) u` term).
+    #[inline]
+    pub fn reaction(&self, t: f64) -> f64 {
+        -2.0 / t
+    }
+}
+
+/// The Ethier–Steinman exact fully-3D Navier–Stokes solution
+/// (Int. J. Numer. Meth. Fluids 19:369–375, 1994) — "a popular non-trivial
+/// benchmark for CFD solvers", the paper's second test case.
+///
+/// With `nu = mu / rho` the kinematic viscosity, the divergence-free
+/// velocity field and the pressure decay as `exp(-nu d^2 t)` and
+/// `exp(-2 nu d^2 t)` respectively, and satisfy the incompressible NSE with
+/// zero forcing.
+#[derive(Debug, Clone, Copy)]
+pub struct EthierSteinman {
+    /// Spatial frequency parameter (classically `pi / 4`).
+    pub a: f64,
+    /// Second frequency parameter (classically `pi / 2`).
+    pub d: f64,
+    /// Kinematic viscosity `nu = mu / rho`.
+    pub nu: f64,
+}
+
+impl EthierSteinman {
+    /// The classical parameter choice `a = pi/4`, `d = pi/2`.
+    pub fn classical(nu: f64) -> Self {
+        EthierSteinman { a: std::f64::consts::FRAC_PI_4, d: std::f64::consts::FRAC_PI_2, nu }
+    }
+
+    /// Exact velocity `[u1, u2, u3]` at `(p, t)`.
+    pub fn velocity(&self, p: Point3, t: f64) -> [f64; 3] {
+        let (a, d) = (self.a, self.d);
+        let e = (-self.nu * d * d * t).exp();
+        let (x, y, z) = (p.x, p.y, p.z);
+        [
+            -a * ((a * x).exp() * (a * y + d * z).sin() + (a * z).exp() * (a * x + d * y).cos())
+                * e,
+            -a * ((a * y).exp() * (a * z + d * x).sin() + (a * x).exp() * (a * y + d * z).cos())
+                * e,
+            -a * ((a * z).exp() * (a * x + d * y).sin() + (a * y).exp() * (a * z + d * x).cos())
+                * e,
+        ]
+    }
+
+    /// Exact pressure at `(p, t)` (zero-mean gauge constant included as in
+    /// the original paper's formula).
+    pub fn pressure(&self, p: Point3, t: f64) -> f64 {
+        let (a, d) = (self.a, self.d);
+        let e2 = (-2.0 * self.nu * d * d * t).exp();
+        let (x, y, z) = (p.x, p.y, p.z);
+        -0.5 * a
+            * a
+            * ((2.0 * a * x).exp()
+                + (2.0 * a * y).exp()
+                + (2.0 * a * z).exp()
+                + 2.0 * (a * x + d * y).sin() * (a * z + d * x).cos() * (a * (y + z)).exp()
+                + 2.0 * (a * y + d * z).sin() * (a * x + d * y).cos() * (a * (z + x)).exp()
+                + 2.0 * (a * z + d * x).sin() * (a * y + d * z).cos() * (a * (x + y)).exp())
+            * e2
+    }
+
+    /// One velocity component (0, 1, or 2).
+    pub fn velocity_component(&self, i: usize, p: Point3, t: f64) -> f64 {
+        self.velocity(p, t)[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rd_satisfies_its_pde() {
+        // du/dt - (1/t^2) lap(u) - (2/t) u must equal -6 identically:
+        // check by finite differences at a few points.
+        let ex = RdExact;
+        let eps = 1e-5;
+        for &(p, t) in &[
+            (Point3::new(0.3, 0.7, 0.2), 1.5),
+            (Point3::new(1.0, 0.0, 0.5), 2.0),
+            (Point3::new(0.1, 0.1, 0.9), 0.7),
+        ] {
+            let dudt = (ex.u(p, t + eps) - ex.u(p, t - eps)) / (2.0 * eps);
+            let lap = {
+                let mut s = 0.0;
+                for d in 0..3 {
+                    let mut hi = p;
+                    let mut lo = p;
+                    match d {
+                        0 => {
+                            hi.x += eps;
+                            lo.x -= eps;
+                        }
+                        1 => {
+                            hi.y += eps;
+                            lo.y -= eps;
+                        }
+                        _ => {
+                            hi.z += eps;
+                            lo.z -= eps;
+                        }
+                    }
+                    s += (ex.u(hi, t) - 2.0 * ex.u(p, t) + ex.u(lo, t)) / (eps * eps);
+                }
+                s
+            };
+            let residual = dudt - ex.diffusion(t) * lap + ex.reaction(t) * ex.u(p, t);
+            assert!((residual - ex.source()).abs() < 1e-4, "residual = {residual}");
+        }
+    }
+
+    #[test]
+    fn ethier_steinman_is_divergence_free() {
+        let es = EthierSteinman::classical(0.1);
+        let eps = 1e-6;
+        for &(p, t) in &[
+            (Point3::new(0.25, 0.5, 0.75), 0.0),
+            (Point3::new(0.1, 0.9, 0.3), 0.01),
+            (Point3::new(0.6, 0.2, 0.8), 0.05),
+        ] {
+            let mut div = 0.0;
+            for i in 0..3 {
+                let mut hi = p;
+                let mut lo = p;
+                match i {
+                    0 => {
+                        hi.x += eps;
+                        lo.x -= eps;
+                    }
+                    1 => {
+                        hi.y += eps;
+                        lo.y -= eps;
+                    }
+                    _ => {
+                        hi.z += eps;
+                        lo.z -= eps;
+                    }
+                }
+                div += (es.velocity(hi, t)[i] - es.velocity(lo, t)[i]) / (2.0 * eps);
+            }
+            assert!(div.abs() < 1e-7, "div = {div} at {p:?}");
+        }
+    }
+
+    #[test]
+    fn ethier_steinman_satisfies_momentum() {
+        // Check the i-th momentum residual du/dt + (u.grad)u + grad(p)/rho
+        // - nu lap(u) = 0 by finite differences (rho = 1).
+        let nu = 0.3;
+        let es = EthierSteinman::classical(nu);
+        let eps = 1e-5;
+        let p0 = Point3::new(0.4, 0.3, 0.6);
+        let t0 = 0.02;
+        let vel = |p: Point3, t: f64, i: usize| es.velocity(p, t)[i];
+        let shift = |p: Point3, d: usize, s: f64| -> Point3 {
+            let mut q = p;
+            match d {
+                0 => q.x += s,
+                1 => q.y += s,
+                _ => q.z += s,
+            }
+            q
+        };
+        for i in 0..3 {
+            let dudt = (vel(p0, t0 + eps, i) - vel(p0, t0 - eps, i)) / (2.0 * eps);
+            let u = es.velocity(p0, t0);
+            let mut conv = 0.0;
+            let mut lap = 0.0;
+            #[allow(clippy::needless_range_loop)] // d is a spatial axis, not just an index
+            for d in 0..3 {
+                let grad =
+                    (vel(shift(p0, d, eps), t0, i) - vel(shift(p0, d, -eps), t0, i)) / (2.0 * eps);
+                conv += u[d] * grad;
+                lap += (vel(shift(p0, d, eps), t0, i) - 2.0 * vel(p0, t0, i)
+                    + vel(shift(p0, d, -eps), t0, i))
+                    / (eps * eps);
+            }
+            let gradp =
+                (es.pressure(shift(p0, i, eps), t0) - es.pressure(shift(p0, i, -eps), t0))
+                    / (2.0 * eps);
+            let residual = dudt + conv + gradp - nu * lap;
+            assert!(residual.abs() < 1e-4, "component {i}: residual = {residual}");
+        }
+    }
+
+    #[test]
+    fn velocity_decays_in_time() {
+        let es = EthierSteinman::classical(1.0);
+        let p = Point3::new(0.5, 0.5, 0.5);
+        let v0 = es.velocity(p, 0.0);
+        let v1 = es.velocity(p, 1.0);
+        let n0 = (v0[0] * v0[0] + v0[1] * v0[1] + v0[2] * v0[2]).sqrt();
+        let n1 = (v1[0] * v1[0] + v1[1] * v1[1] + v1[2] * v1[2]).sqrt();
+        assert!(n1 < n0 * 0.2);
+    }
+}

@@ -1,0 +1,161 @@
+//! Tensor-product Gauss–Legendre quadrature on the unit cube.
+
+/// Gauss–Legendre nodes and weights on `[0, 1]`.
+///
+/// Supports 1–4 points (exact for polynomials of degree `2n - 1`), enough
+/// for Q2 mass matrices (degree-4 integrands per axis need 3 points).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaussRule1d {
+    /// Abscissae in `[0, 1]`.
+    pub points: Vec<f64>,
+    /// Weights summing to 1.
+    pub weights: Vec<f64>,
+}
+
+impl GaussRule1d {
+    /// The `n`-point rule.
+    ///
+    /// # Panics
+    /// Panics unless `1 <= n <= 4`.
+    pub fn new(n: usize) -> Self {
+        // Standard [-1, 1] data, mapped to [0, 1]: x -> (x + 1) / 2, w -> w / 2.
+        let (pts, wts): (Vec<f64>, Vec<f64>) = match n {
+            1 => (vec![0.0], vec![2.0]),
+            2 => {
+                let a = 1.0 / 3.0f64.sqrt();
+                (vec![-a, a], vec![1.0, 1.0])
+            }
+            3 => {
+                let a = (3.0f64 / 5.0).sqrt();
+                (vec![-a, 0.0, a], vec![5.0 / 9.0, 8.0 / 9.0, 5.0 / 9.0])
+            }
+            4 => {
+                let a = (3.0 / 7.0 - 2.0 / 7.0 * (6.0f64 / 5.0).sqrt()).sqrt();
+                let b = (3.0 / 7.0 + 2.0 / 7.0 * (6.0f64 / 5.0).sqrt()).sqrt();
+                let wa = (18.0 + 30.0f64.sqrt()) / 36.0;
+                let wb = (18.0 - 30.0f64.sqrt()) / 36.0;
+                (vec![-b, -a, a, b], vec![wb, wa, wa, wb])
+            }
+            _ => panic!("unsupported Gauss rule size: {n}"),
+        };
+        GaussRule1d {
+            points: pts.iter().map(|x| 0.5 * (x + 1.0)).collect(),
+            weights: wts.iter().map(|w| 0.5 * w).collect(),
+        }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the rule is empty (never true for constructed rules).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+/// A tensor-product rule on `[0,1]^3`: `n^3` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaussRule3d {
+    /// Quadrature points `(x, y, z)`.
+    pub points: Vec<[f64; 3]>,
+    /// Weights summing to 1 (the reference volume).
+    pub weights: Vec<f64>,
+}
+
+impl GaussRule3d {
+    /// The `n^3`-point tensor rule.
+    pub fn new(n: usize) -> Self {
+        let r = GaussRule1d::new(n);
+        let mut points = Vec::with_capacity(n * n * n);
+        let mut weights = Vec::with_capacity(n * n * n);
+        for k in 0..n {
+            for j in 0..n {
+                for i in 0..n {
+                    points.push([r.points[i], r.points[j], r.points[k]]);
+                    weights.push(r.weights[i] * r.weights[j] * r.weights[k]);
+                }
+            }
+        }
+        GaussRule3d { points, weights }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the rule is empty (never true for constructed rules).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Integrates `f` over the unit cube.
+    pub fn integrate<F: FnMut([f64; 3]) -> f64>(&self, mut f: F) -> f64 {
+        self.points.iter().zip(&self.weights).map(|(&p, &w)| w * f(p)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_sum_to_volume() {
+        for n in 1..=4 {
+            let r1 = GaussRule1d::new(n);
+            let s: f64 = r1.weights.iter().sum();
+            assert!((s - 1.0).abs() < 1e-14, "n = {n}");
+            let r3 = GaussRule3d::new(n);
+            let s3: f64 = r3.weights.iter().sum();
+            assert!((s3 - 1.0).abs() < 1e-13, "n = {n}");
+            assert_eq!(r3.len(), n * n * n);
+        }
+    }
+
+    #[test]
+    fn exactness_degree_2n_minus_1() {
+        // The n-point rule must integrate x^d exactly for d <= 2n - 1
+        // (integral of x^d over [0,1] is 1/(d+1)) and fail for d = 2n.
+        for n in 1..=4usize {
+            let r = GaussRule1d::new(n);
+            for d in 0..=(2 * n - 1) {
+                let val: f64 = r
+                    .points
+                    .iter()
+                    .zip(&r.weights)
+                    .map(|(&x, &w)| w * x.powi(d as i32))
+                    .sum();
+                assert!(
+                    (val - 1.0 / (d as f64 + 1.0)).abs() < 1e-13,
+                    "n = {n}, degree {d}: {val}"
+                );
+            }
+            let d = 2 * n;
+            let val: f64 =
+                r.points.iter().zip(&r.weights).map(|(&x, &w)| w * x.powi(d as i32)).sum();
+            assert!((val - 1.0 / (d as f64 + 1.0)).abs() > 1e-6, "n = {n} unexpectedly exact");
+        }
+    }
+
+    #[test]
+    fn tensor_rule_integrates_separable_polynomial() {
+        let r = GaussRule3d::new(3);
+        // f = x^2 y^3 z^4: integral = (1/3)(1/4)(1/5).
+        let v = r.integrate(|[x, y, z]| x * x * y * y * y * z * z * z * z);
+        assert!((v - 1.0 / 60.0).abs() < 1e-13, "{v}");
+    }
+
+    #[test]
+    fn tensor_rule_integrates_constants() {
+        let r = GaussRule3d::new(2);
+        assert!((r.integrate(|_| 7.5) - 7.5).abs() < 1e-13);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported Gauss rule")]
+    fn oversized_rule_rejected() {
+        GaussRule1d::new(5);
+    }
+}

@@ -1,0 +1,321 @@
+//! Local compressed-sparse-row matrices and the triplet assembler.
+
+/// A local sparse matrix in CSR format. Rows are this rank's owned rows;
+/// columns address the rank's local vector space (owned entries followed by
+/// ghosts).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    num_rows: usize,
+    num_cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+/// Accumulates `(row, col, value)` triplets, summing duplicates — the
+/// natural output of FEM element-loop assembly.
+#[derive(Debug, Clone, Default)]
+pub struct TripletBuilder {
+    num_rows: usize,
+    num_cols: usize,
+    entries: Vec<(usize, usize, f64)>,
+}
+
+impl TripletBuilder {
+    /// Creates a builder for a `num_rows x num_cols` matrix.
+    pub fn new(num_rows: usize, num_cols: usize) -> Self {
+        TripletBuilder { num_rows, num_cols, entries: Vec::new() }
+    }
+
+    /// Creates a builder with reserved capacity for `cap` triplets.
+    pub fn with_capacity(num_rows: usize, num_cols: usize, cap: usize) -> Self {
+        TripletBuilder { num_rows, num_cols, entries: Vec::with_capacity(cap) }
+    }
+
+    /// Adds `value` at `(row, col)`.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the coordinates are out of range.
+    #[inline]
+    pub fn add(&mut self, row: usize, col: usize, value: f64) {
+        debug_assert!(row < self.num_rows && col < self.num_cols, "({row}, {col}) out of range");
+        self.entries.push((row, col, value));
+    }
+
+    /// Number of raw (pre-merge) triplets.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no triplets have been added.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Builds the CSR matrix, summing duplicate coordinates.
+    pub fn build(mut self) -> CsrMatrix {
+        self.entries.sort_unstable_by_key(|a| (a.0, a.1));
+        let mut row_ptr = Vec::with_capacity(self.num_rows + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        let mut current_row = 0usize;
+        for (r, c, v) in self.entries {
+            while current_row < r {
+                row_ptr.push(col_idx.len());
+                current_row += 1;
+            }
+            if let (Some(&last_c), true) = (col_idx.last(), row_ptr.len() == r + 1) {
+                if last_c == c && col_idx.len() > *row_ptr.last().unwrap() {
+                    *values.last_mut().unwrap() += v;
+                    continue;
+                }
+            }
+            col_idx.push(c);
+            values.push(v);
+        }
+        while current_row < self.num_rows {
+            row_ptr.push(col_idx.len());
+            current_row += 1;
+        }
+        CsrMatrix { num_rows: self.num_rows, num_cols: self.num_cols, row_ptr, col_idx, values }
+    }
+}
+
+impl CsrMatrix {
+    /// An all-zero matrix with no stored entries.
+    pub fn zero(num_rows: usize, num_cols: usize) -> Self {
+        CsrMatrix {
+            num_rows,
+            num_cols,
+            row_ptr: vec![0; num_rows + 1],
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn num_cols(&self) -> usize {
+        self.num_cols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The `(columns, values)` of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> (&[usize], &[f64]) {
+        let lo = self.row_ptr[r];
+        let hi = self.row_ptr[r + 1];
+        (&self.col_idx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Mutable values of row `r` (column structure is fixed).
+    #[inline]
+    pub fn row_values_mut(&mut self, r: usize) -> (&[usize], &mut [f64]) {
+        let lo = self.row_ptr[r];
+        let hi = self.row_ptr[r + 1];
+        (&self.col_idx[lo..hi], &mut self.values[lo..hi])
+    }
+
+    /// Entry `(r, c)`, or 0 if not stored.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        let (cols, vals) = self.row(r);
+        match cols.binary_search(&c) {
+            Ok(i) => vals[i],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// `y = A * x`. `x` must have `num_cols` entries, `y` gets `num_rows`.
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.num_cols);
+        assert_eq!(y.len(), self.num_rows);
+        for (r, out) in y.iter_mut().enumerate() {
+            let (cols, vals) = self.row(r);
+            let mut acc = 0.0;
+            for (&c, &v) in cols.iter().zip(vals) {
+                acc += v * x[c];
+            }
+            *out = acc;
+        }
+    }
+
+    /// The diagonal entries (0 where absent). Meaningful for square local
+    /// blocks (`num_rows` leading columns are the owned ones).
+    pub fn diagonal(&self) -> Vec<f64> {
+        (0..self.num_rows).map(|r| self.get(r, r)).collect()
+    }
+
+    /// Scales every stored value by `s`.
+    pub fn scale(&mut self, s: f64) {
+        for v in &mut self.values {
+            *v *= s;
+        }
+    }
+
+    /// Zeroes a row and sets its diagonal to `diag` — the standard strong
+    /// Dirichlet row replacement.
+    ///
+    /// # Panics
+    /// Panics if the row has no stored diagonal entry.
+    pub fn set_dirichlet_row(&mut self, r: usize, diag: f64) {
+        let lo = self.row_ptr[r];
+        let hi = self.row_ptr[r + 1];
+        let mut found = false;
+        for i in lo..hi {
+            if self.col_idx[i] == r {
+                self.values[i] = diag;
+                found = true;
+            } else {
+                self.values[i] = 0.0;
+            }
+        }
+        assert!(found, "row {r} has no stored diagonal");
+    }
+
+    /// Iterates over all stored `(row, col, value)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.num_rows).flat_map(move |r| {
+            let (cols, vals) = self.row(r);
+            cols.iter().zip(vals).map(move |(&c, &v)| (r, c, v))
+        })
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.values.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CsrMatrix {
+        // [ 2 -1  0 ]
+        // [-1  2 -1 ]
+        // [ 0 -1  2 ]
+        let mut b = TripletBuilder::new(3, 3);
+        for i in 0..3usize {
+            b.add(i, i, 2.0);
+            if i > 0 {
+                b.add(i, i - 1, -1.0);
+            }
+            if i < 2 {
+                b.add(i, i + 1, -1.0);
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn build_and_query() {
+        let a = small();
+        assert_eq!(a.num_rows(), 3);
+        assert_eq!(a.nnz(), 7);
+        assert_eq!(a.get(0, 0), 2.0);
+        assert_eq!(a.get(0, 1), -1.0);
+        assert_eq!(a.get(0, 2), 0.0);
+        assert_eq!(a.diagonal(), vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut b = TripletBuilder::new(2, 2);
+        b.add(0, 0, 1.0);
+        b.add(0, 0, 2.5);
+        b.add(1, 1, 1.0);
+        b.add(0, 1, -1.0);
+        b.add(0, 1, -1.0);
+        let a = b.build();
+        assert_eq!(a.get(0, 0), 3.5);
+        assert_eq!(a.get(0, 1), -2.0);
+        assert_eq!(a.nnz(), 3);
+    }
+
+    #[test]
+    fn empty_rows_are_fine() {
+        let mut b = TripletBuilder::new(4, 4);
+        b.add(0, 0, 1.0);
+        b.add(3, 3, 1.0);
+        let a = b.build();
+        assert_eq!(a.row(1).0.len(), 0);
+        assert_eq!(a.row(2).0.len(), 0);
+        assert_eq!(a.nnz(), 2);
+    }
+
+    #[test]
+    fn spmv_tridiagonal() {
+        let a = small();
+        let x = vec![1.0, 2.0, 3.0];
+        let mut y = vec![0.0; 3];
+        a.spmv(&x, &mut y);
+        assert_eq!(y, vec![0.0, 0.0, 4.0]);
+    }
+
+    #[test]
+    fn spmv_rectangular() {
+        // 2x3: rows over owned+ghost columns.
+        let mut b = TripletBuilder::new(2, 3);
+        b.add(0, 0, 1.0);
+        b.add(0, 2, 2.0);
+        b.add(1, 1, 3.0);
+        let a = b.build();
+        let mut y = vec![0.0; 2];
+        a.spmv(&[1.0, 1.0, 1.0], &mut y);
+        assert_eq!(y, vec![3.0, 3.0]);
+    }
+
+    #[test]
+    fn dirichlet_row_replacement() {
+        let mut a = small();
+        a.set_dirichlet_row(1, 1.0);
+        assert_eq!(a.get(1, 0), 0.0);
+        assert_eq!(a.get(1, 1), 1.0);
+        assert_eq!(a.get(1, 2), 0.0);
+        // Other rows untouched.
+        assert_eq!(a.get(0, 0), 2.0);
+    }
+
+    #[test]
+    fn iter_visits_all_entries() {
+        let a = small();
+        let sum: f64 = a.iter().map(|(_, _, v)| v).sum();
+        assert_eq!(sum, 2.0); // 3*2 - 4*1
+        assert_eq!(a.iter().count(), 7);
+    }
+
+    #[test]
+    fn frobenius() {
+        let a = small();
+        assert!((a.frobenius_norm() - (3.0 * 4.0 + 4.0 * 1.0f64).sqrt()).abs() < 1e-14);
+    }
+
+    #[test]
+    fn zero_matrix() {
+        let a = CsrMatrix::zero(3, 3);
+        assert_eq!(a.nnz(), 0);
+        let mut y = vec![1.0; 3];
+        a.spmv(&[1.0; 3], &mut y);
+        assert_eq!(y, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn scale_matrix() {
+        let mut a = small();
+        a.scale(2.0);
+        assert_eq!(a.get(0, 0), 4.0);
+        assert_eq!(a.get(1, 0), -2.0);
+    }
+}

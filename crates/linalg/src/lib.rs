@@ -1,0 +1,38 @@
+//! # hetero-linalg
+//!
+//! Distributed sparse linear algebra for the `hetero-hpc` reproduction — the
+//! stand-in for Trilinos (Epetra distributed data structures, AztecOO Krylov
+//! solvers, Ifpack preconditioners) in the paper's software stack:
+//! "matrices and vectors are distributed and need to be updated via a message
+//! passing interface … we use iterative preconditioned methods".
+//!
+//! * [`CsrMatrix`] — local compressed-sparse-row storage with a
+//!   duplicate-summing triplet builder (FEM assembly produces triplets);
+//! * [`DistVector`] / [`ExchangePlan`] — row-distributed vectors with ghost
+//!   entries refreshed by neighbour halo exchange over
+//!   [`hetero_simmpi::SimComm`];
+//! * [`DistMatrix`] — row-distributed sparse matrices whose SpMV performs
+//!   the ghost update and charges roofline work;
+//! * [`solver`] — preconditioned CG, BiCGStab, and restarted GMRES;
+//! * [`precond`] — Jacobi, symmetric Gauss–Seidel (SSOR), and local ILU(0)
+//!   (additive Schwarz across ranks).
+//!
+//! Every operation charges its analytic operation count to the simulator, so
+//! solver phases acquire platform-dependent simulated durations while
+//! computing real, verifiable numbers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csr;
+pub mod distmat;
+pub mod precond;
+pub mod solver;
+pub mod vector;
+pub mod work_costs;
+
+pub use csr::CsrMatrix;
+pub use distmat::DistMatrix;
+pub use precond::{IluZero, Jacobi, Preconditioner, Ssor};
+pub use solver::{bicgstab, cg, gmres, SolveOptions, SolveStats};
+pub use vector::{DistVector, ExchangePlan};

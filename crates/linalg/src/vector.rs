@@ -1,0 +1,318 @@
+//! Row-distributed vectors with ghost entries.
+
+use crate::work_costs;
+use hetero_simmpi::{Payload, SimComm};
+
+/// Tag space used by halo exchanges (below the collective range).
+const HALO_TAG: u64 = 9_000;
+
+/// A symmetric halo-exchange plan between a rank and its neighbours.
+///
+/// Local vector layout is `[owned entries | ghost entries]`. For neighbour
+/// `i`, `send_indices[i]` lists owned local slots whose values the neighbour
+/// needs, and `recv_indices[i]` lists the ghost slots filled by its reply.
+/// Plans are built by the FEM DoF map; both sides must list each other and
+/// agree on the interface ordering (guaranteed there by sorting on global
+/// ids).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExchangePlan {
+    /// Neighbour ranks, ascending.
+    pub neighbors: Vec<usize>,
+    /// Per neighbour: owned local indices to send.
+    pub send_indices: Vec<Vec<usize>>,
+    /// Per neighbour: local slots (>= n_owned) to receive into.
+    pub recv_indices: Vec<Vec<usize>>,
+}
+
+impl ExchangePlan {
+    /// A plan with no neighbours (serial runs).
+    pub fn empty() -> Self {
+        ExchangePlan::default()
+    }
+
+    /// Total values sent per exchange.
+    pub fn send_volume(&self) -> usize {
+        self.send_indices.iter().map(Vec::len).sum()
+    }
+
+    /// Total values received per exchange.
+    pub fn recv_volume(&self) -> usize {
+        self.recv_indices.iter().map(Vec::len).sum()
+    }
+
+    /// Validates internal consistency against a vector layout.
+    ///
+    /// # Panics
+    /// Panics if the plan's shape is inconsistent.
+    pub fn validate(&self, n_owned: usize, n_local: usize) {
+        assert_eq!(self.neighbors.len(), self.send_indices.len());
+        assert_eq!(self.neighbors.len(), self.recv_indices.len());
+        assert!(self.neighbors.windows(2).all(|w| w[0] < w[1]), "neighbors must be sorted");
+        for s in &self.send_indices {
+            assert!(s.iter().all(|&i| i < n_owned), "send indices must be owned");
+        }
+        for r in &self.recv_indices {
+            assert!(r.iter().all(|&i| (n_owned..n_local).contains(&i)), "recv indices must be ghosts");
+        }
+    }
+}
+
+/// A distributed vector: `n_owned` owned entries followed by ghost copies of
+/// remote entries. Reductions (dot, norms) run over owned entries only and
+/// combine with an all-reduce.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistVector {
+    values: Vec<f64>,
+    n_owned: usize,
+}
+
+impl DistVector {
+    /// A zero vector with `n_owned` owned and `n_ghost` ghost entries.
+    pub fn zeros(n_owned: usize, n_ghost: usize) -> Self {
+        DistVector { values: vec![0.0; n_owned + n_ghost], n_owned }
+    }
+
+    /// Wraps existing local values (owned followed by ghosts).
+    ///
+    /// # Panics
+    /// Panics if `n_owned` exceeds the value count.
+    pub fn from_values(values: Vec<f64>, n_owned: usize) -> Self {
+        assert!(n_owned <= values.len());
+        DistVector { values, n_owned }
+    }
+
+    /// Owned entry count.
+    #[inline]
+    pub fn n_owned(&self) -> usize {
+        self.n_owned
+    }
+
+    /// Owned + ghost entry count.
+    #[inline]
+    pub fn n_local(&self) -> usize {
+        self.values.len()
+    }
+
+    /// All local values (owned then ghosts).
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable local values.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// The owned prefix.
+    #[inline]
+    pub fn owned(&self) -> &[f64] {
+        &self.values[..self.n_owned]
+    }
+
+    /// Mutable owned prefix.
+    #[inline]
+    pub fn owned_mut(&mut self) -> &mut [f64] {
+        &mut self.values[..self.n_owned]
+    }
+
+    /// Sets every entry (owned and ghost) to `v`.
+    pub fn fill(&mut self, v: f64) {
+        self.values.fill(v);
+    }
+
+    /// Copies owned and ghost values from `other` (same layout).
+    pub fn copy_from(&mut self, other: &DistVector, comm: &mut SimComm) {
+        assert_eq!(self.values.len(), other.values.len());
+        self.values.copy_from_slice(&other.values);
+        comm.compute(work_costs::copy(self.values.len()));
+    }
+
+    /// `self += alpha * x` over owned entries (ghosts are refreshed lazily
+    /// by the next exchange).
+    pub fn axpy(&mut self, alpha: f64, x: &DistVector, comm: &mut SimComm) {
+        assert_eq!(self.n_owned, x.n_owned);
+        for (a, b) in self.values[..self.n_owned].iter_mut().zip(&x.values[..x.n_owned]) {
+            *a += alpha * b;
+        }
+        comm.compute(work_costs::axpy(self.n_owned));
+    }
+
+    /// `self = x + beta * self` over owned entries (the CG direction
+    /// update).
+    pub fn xpby(&mut self, x: &DistVector, beta: f64, comm: &mut SimComm) {
+        assert_eq!(self.n_owned, x.n_owned);
+        for (a, b) in self.values[..self.n_owned].iter_mut().zip(&x.values[..x.n_owned]) {
+            *a = b + beta * *a;
+        }
+        comm.compute(work_costs::axpy(self.n_owned));
+    }
+
+    /// Scales owned entries by `alpha`.
+    pub fn scale(&mut self, alpha: f64, comm: &mut SimComm) {
+        for a in &mut self.values[..self.n_owned] {
+            *a *= alpha;
+        }
+        comm.compute(work_costs::scale(self.n_owned));
+    }
+
+    /// Global dot product (owned entries + all-reduce).
+    pub fn dot(&self, other: &DistVector, comm: &mut SimComm) -> f64 {
+        assert_eq!(self.n_owned, other.n_owned);
+        let local: f64 = self.values[..self.n_owned]
+            .iter()
+            .zip(&other.values[..other.n_owned])
+            .map(|(a, b)| a * b)
+            .sum();
+        comm.compute(work_costs::dot(self.n_owned));
+        comm.allreduce_scalar(hetero_simmpi::collectives::ReduceOp::Sum, local)
+    }
+
+    /// Global Euclidean norm.
+    pub fn norm2(&self, comm: &mut SimComm) -> f64 {
+        self.dot(self, comm).sqrt()
+    }
+
+    /// Refreshes ghost entries from their owners according to `plan`.
+    ///
+    /// All ranks sharing an interface must call this collectively with
+    /// mutually consistent plans.
+    pub fn update_ghosts(&mut self, plan: &ExchangePlan, comm: &mut SimComm) {
+        // Post all sends first (buffered), then drain receives: the pattern
+        // priced by the network model's overlap assumption.
+        for (i, &nb) in plan.neighbors.iter().enumerate() {
+            let buf: Vec<f64> = plan.send_indices[i].iter().map(|&j| self.values[j]).collect();
+            comm.compute(work_costs::copy(buf.len()));
+            comm.send(nb, HALO_TAG, Payload::F64(buf));
+        }
+        for (i, &nb) in plan.neighbors.iter().enumerate() {
+            let buf = comm.recv_f64(nb, HALO_TAG);
+            assert_eq!(buf.len(), plan.recv_indices[i].len(), "halo size mismatch with rank {nb}");
+            for (&slot, &v) in plan.recv_indices[i].iter().zip(&buf) {
+                self.values[slot] = v;
+            }
+            comm.compute(work_costs::copy(buf.len()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetero_simmpi::{run_spmd, ClusterTopology, ComputeModel, NetworkModel, SpmdConfig};
+
+    fn cfg(size: usize) -> SpmdConfig {
+        SpmdConfig {
+            size,
+            topo: ClusterTopology::uniform(size, 1),
+            net: NetworkModel::gigabit_ethernet(),
+            compute: ComputeModel::new(1e9, 4e9),
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn local_ops() {
+        run_spmd(cfg(1), |comm| {
+            let mut a = DistVector::from_values(vec![1.0, 2.0, 3.0], 3);
+            let b = DistVector::from_values(vec![1.0, 1.0, 1.0], 3);
+            a.axpy(2.0, &b, comm);
+            assert_eq!(a.owned(), &[3.0, 4.0, 5.0]);
+            a.scale(0.5, comm);
+            assert_eq!(a.owned(), &[1.5, 2.0, 2.5]);
+            a.xpby(&b, 2.0, comm);
+            assert_eq!(a.owned(), &[4.0, 5.0, 6.0]);
+            assert_eq!(a.dot(&b, comm), 15.0);
+        });
+    }
+
+    #[test]
+    fn distributed_dot_and_norm() {
+        let r = run_spmd(cfg(4), |comm| {
+            // Each rank owns [rank+1] as a single entry.
+            let v = DistVector::from_values(vec![(comm.rank() + 1) as f64], 1);
+            (v.dot(&v, comm), v.norm2(comm))
+        });
+        for res in &r {
+            assert_eq!(res.value.0, 30.0); // 1 + 4 + 9 + 16
+            assert!((res.value.1 - 30.0f64.sqrt()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ghost_update_moves_owner_values() {
+        // Two ranks, each owns 2 entries and ghosts the neighbor's first.
+        let r = run_spmd(cfg(2), |comm| {
+            let rank = comm.rank();
+            let other = 1 - rank;
+            let mut v = DistVector::zeros(2, 1);
+            v.owned_mut()[0] = 10.0 * (rank + 1) as f64;
+            v.owned_mut()[1] = -1.0;
+            let plan = ExchangePlan {
+                neighbors: vec![other],
+                send_indices: vec![vec![0]],
+                recv_indices: vec![vec![2]],
+            };
+            plan.validate(2, 3);
+            v.update_ghosts(&plan, comm);
+            v.as_slice().to_vec()
+        });
+        assert_eq!(r[0].value, vec![10.0, -1.0, 20.0]);
+        assert_eq!(r[1].value, vec![20.0, -1.0, 10.0]);
+    }
+
+    #[test]
+    fn repeated_exchanges_track_changes() {
+        let r = run_spmd(cfg(2), |comm| {
+            let rank = comm.rank();
+            let other = 1 - rank;
+            let plan = ExchangePlan {
+                neighbors: vec![other],
+                send_indices: vec![vec![0]],
+                recv_indices: vec![vec![1]],
+            };
+            let mut v = DistVector::zeros(1, 1);
+            let mut seen = Vec::new();
+            for it in 0..3 {
+                v.owned_mut()[0] = (10 * rank + it) as f64;
+                v.update_ghosts(&plan, comm);
+                seen.push(v.as_slice()[1]);
+            }
+            seen
+        });
+        assert_eq!(r[0].value, vec![10.0, 11.0, 12.0]);
+        assert_eq!(r[1].value, vec![0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "send indices must be owned")]
+    fn plan_validation_catches_bad_send() {
+        let plan = ExchangePlan {
+            neighbors: vec![1],
+            send_indices: vec![vec![5]],
+            recv_indices: vec![vec![]],
+        };
+        plan.validate(2, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "recv indices must be ghosts")]
+    fn plan_validation_catches_bad_recv() {
+        let plan = ExchangePlan {
+            neighbors: vec![1],
+            send_indices: vec![vec![0]],
+            recv_indices: vec![vec![0]],
+        };
+        plan.validate(2, 3);
+    }
+
+    #[test]
+    fn empty_plan_is_noop() {
+        run_spmd(cfg(1), |comm| {
+            let mut v = DistVector::from_values(vec![1.0], 1);
+            v.update_ghosts(&ExchangePlan::empty(), comm);
+            assert_eq!(v.owned(), &[1.0]);
+        });
+    }
+}

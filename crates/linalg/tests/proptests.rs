@@ -1,0 +1,201 @@
+//! Property-based tests of the linear-algebra contracts: CSR assembly vs a
+//! dense oracle, SpMV linearity, solver correctness on random SPD systems.
+
+use hetero_linalg::csr::TripletBuilder;
+use hetero_linalg::precond::{Identity, IluZero, Jacobi, Ssor};
+use hetero_linalg::solver::{bicgstab, cg, gmres, SolveOptions};
+use hetero_linalg::{DistMatrix, DistVector, ExchangePlan};
+use hetero_simmpi::{run_spmd, ClusterTopology, ComputeModel, NetworkModel, SpmdConfig};
+use proptest::prelude::*;
+
+fn serial_cfg() -> SpmdConfig {
+    SpmdConfig {
+        size: 1,
+        topo: ClusterTopology::uniform(1, 1),
+        net: NetworkModel::ideal(),
+        compute: ComputeModel::new(1e9, 4e9),
+        seed: 0,
+    }
+}
+
+/// Random triplets over a small matrix.
+fn triplets(n: usize) -> impl Strategy<Value = Vec<(usize, usize, f64)>> {
+    prop::collection::vec(
+        (0..n, 0..n, -5.0f64..5.0),
+        0..40,
+    )
+}
+
+/// A random diagonally dominant SPD matrix via its lower entries.
+fn spd_system(n: usize) -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<f64>)> {
+    let lower = prop::collection::vec(-1.0f64..1.0, n * n);
+    let sol = prop::collection::vec(-3.0f64..3.0, n);
+    (lower, sol).prop_map(move |(l, sol)| {
+        let mut a = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in 0..i {
+                let v = l[i * n + j];
+                a[i][j] = v;
+                a[j][i] = v;
+            }
+        }
+        for (i, row) in a.iter_mut().enumerate() {
+            let off: f64 = row.iter().map(|v| v.abs()).sum();
+            row[i] = off + 1.0; // strict diagonal dominance => SPD
+        }
+        (a, sol)
+    })
+}
+
+fn dense_to_dist(a: &[Vec<f64>]) -> DistMatrix {
+    let n = a.len();
+    let mut b = TripletBuilder::new(n, n);
+    for (i, row) in a.iter().enumerate() {
+        for (j, &v) in row.iter().enumerate() {
+            if v != 0.0 || i == j {
+                b.add(i, j, v);
+            }
+        }
+    }
+    DistMatrix::new(b.build(), ExchangePlan::empty())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csr_matches_dense_oracle(ts in triplets(6)) {
+        let mut dense = vec![vec![0.0f64; 6]; 6];
+        for &(r, c, v) in &ts {
+            dense[r][c] += v;
+        }
+        let mut b = TripletBuilder::new(6, 6);
+        for &(r, c, v) in &ts {
+            b.add(r, c, v);
+        }
+        let csr = b.build();
+        for (r, row) in dense.iter().enumerate() {
+            for (c, &want) in row.iter().enumerate() {
+                prop_assert!((csr.get(r, c) - want).abs() < 1e-12);
+            }
+        }
+        // nnz never exceeds distinct coordinates.
+        let mut coords: Vec<(usize, usize)> = ts.iter().map(|&(r, c, _)| (r, c)).collect();
+        coords.sort_unstable();
+        coords.dedup();
+        prop_assert!(csr.nnz() <= coords.len());
+    }
+
+    #[test]
+    fn spmv_is_linear(ts in triplets(5), x in prop::collection::vec(-2.0f64..2.0, 5), alpha in -3.0f64..3.0) {
+        let mut b = TripletBuilder::new(5, 5);
+        for &(r, c, v) in &ts {
+            b.add(r, c, v);
+        }
+        let a = b.build();
+        let mut y1 = vec![0.0; 5];
+        a.spmv(&x, &mut y1);
+        let ax: Vec<f64> = x.iter().map(|v| alpha * v).collect();
+        let mut y2 = vec![0.0; 5];
+        a.spmv(&ax, &mut y2);
+        for (u, v) in y1.iter().zip(&y2) {
+            prop_assert!((alpha * u - v).abs() < 1e-9, "{u} {v}");
+        }
+    }
+
+    #[test]
+    fn cg_solves_random_spd_with_any_preconditioner((a, sol) in spd_system(6), pick in 0usize..4) {
+        run_spmd(serial_cfg(), move |comm| {
+            let m = dense_to_dist(&a);
+            // b = A * sol
+            let mut xs = DistVector::from_values(sol.clone(), sol.len());
+            let mut b = m.new_vector();
+            m.spmv(&mut xs, &mut b, comm);
+            let mut x = m.new_vector();
+            let opts = SolveOptions { rel_tol: 1e-10, max_iters: 500, ..Default::default() };
+            let stats = match pick {
+                0 => cg(&m, &b, &mut x, &Identity, opts, comm),
+                1 => {
+                    let p = Jacobi::new(&m, comm);
+                    cg(&m, &b, &mut x, &p, opts, comm)
+                }
+                2 => {
+                    let p = Ssor::new(&m, comm);
+                    cg(&m, &b, &mut x, &p, opts, comm)
+                }
+                _ => {
+                    let p = IluZero::new(&m, comm);
+                    cg(&m, &b, &mut x, &p, opts, comm)
+                }
+            };
+            assert!(stats.converged, "{stats:?}");
+            for (xi, si) in x.owned().iter().zip(&sol) {
+                assert!((xi - si).abs() < 1e-5, "{xi} vs {si}");
+            }
+        });
+    }
+
+    #[test]
+    fn bicgstab_and_gmres_solve_random_dominant_systems(
+        (mut a, sol) in spd_system(6),
+        skew in prop::collection::vec(-0.3f64..0.3, 36),
+    ) {
+        // Perturb the SPD matrix into a nonsymmetric diagonally dominant one.
+        for i in 0..6 {
+            for j in 0..6 {
+                if i != j {
+                    a[i][j] += skew[i * 6 + j];
+                }
+            }
+            let off: f64 = (0..6).filter(|&j| j != i).map(|j| a[i][j].abs()).sum();
+            a[i][i] = off + 1.0;
+        }
+        run_spmd(serial_cfg(), move |comm| {
+            let m = dense_to_dist(&a);
+            let mut xs = DistVector::from_values(sol.clone(), sol.len());
+            let mut b = m.new_vector();
+            m.spmv(&mut xs, &mut b, comm);
+            let opts = SolveOptions { rel_tol: 1e-10, max_iters: 600, ..Default::default() };
+
+            let mut x1 = m.new_vector();
+            let s1 = bicgstab(&m, &b, &mut x1, &Identity, opts, comm);
+            assert!(s1.converged, "bicgstab {s1:?}");
+            let mut x2 = m.new_vector();
+            let s2 = gmres(&m, &b, &mut x2, &Identity, 6, opts, comm);
+            assert!(s2.converged, "gmres {s2:?}");
+            for ((u, v), s) in x1.owned().iter().zip(x2.owned()).zip(&sol) {
+                assert!((u - s).abs() < 1e-5);
+                assert!((v - s).abs() < 1e-5);
+            }
+        });
+    }
+
+    #[test]
+    fn dirichlet_row_is_idempotent(ts in triplets(5), row in 0usize..5) {
+        let mut b = TripletBuilder::new(5, 5);
+        b.add(row, row, 1.0); // ensure a stored diagonal
+        for &(r, c, v) in &ts {
+            b.add(r, c, v);
+        }
+        let mut a = b.build();
+        a.set_dirichlet_row(row, 1.0);
+        let (cols, vals) = a.row(row);
+        for (&c, &v) in cols.iter().zip(vals) {
+            prop_assert_eq!(v, if c == row { 1.0 } else { 0.0 });
+        }
+    }
+
+    #[test]
+    fn vector_reductions_match_serial_folds(
+        data in prop::collection::vec(-2.0f64..2.0, 1..20),
+    ) {
+        let expect_dot: f64 = data.iter().map(|v| v * v).sum();
+        let n = data.len();
+        run_spmd(serial_cfg(), move |comm| {
+            let v = DistVector::from_values(data.clone(), n);
+            let dot = v.dot(&v, comm);
+            assert!((dot - expect_dot).abs() < 1e-10);
+            assert!((v.norm2(comm) - expect_dot.sqrt()).abs() < 1e-10);
+        });
+    }
+}

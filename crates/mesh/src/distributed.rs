@@ -1,0 +1,312 @@
+//! The per-rank view of a partitioned mesh.
+//!
+//! In the paper's applications the global mesh is split by ParMETIS so that
+//! "each process takes care only of a subset of the global mesh"; matrix rows
+//! for interface nodes receive contributions from several processes and are
+//! combined over MPI. [`DistributedMesh`] captures exactly the information a
+//! rank needs for that: its owned cells, the ranks it shares interface nodes
+//! with, and a deterministic ownership rule for shared lattice nodes.
+
+use crate::hex::StructuredHexMesh;
+use crate::point::Index3;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// Returns the cells of a structured mesh that contain the node `node` of the
+/// order-`q` tensor lattice (`q = 1`: cell corners; `q = 2`: Q2 nodes, i.e.
+/// corners, edge/face midpoints and cell centers).
+///
+/// The lattice has `q * n + 1` nodes per axis for `n` cells. A node whose
+/// lattice coordinate along an axis is a multiple of `q` sits on a cell
+/// interface along that axis and belongs to up to two cell columns; otherwise
+/// it is interior to one column. The result has 1, 2, 4, or 8 cells.
+pub fn cells_touching_node(
+    cell_dims: (usize, usize, usize),
+    q: usize,
+    node: Index3,
+) -> Vec<Index3> {
+    assert!(q >= 1, "lattice order must be at least 1");
+    let span = |a: usize, n: usize| -> (usize, usize) {
+        // Inclusive cell-index range [first, last] along one axis.
+        if a.is_multiple_of(q) {
+            let c = a / q;
+            (c.saturating_sub(1), if c < n { c } else { c - 1 })
+        } else {
+            (a / q, a / q)
+        }
+    };
+    let (nx, ny, nz) = cell_dims;
+    let (i0, i1) = span(node.i, nx);
+    let (j0, j1) = span(node.j, ny);
+    let (k0, k1) = span(node.k, nz);
+    let mut out = Vec::with_capacity(8);
+    for k in k0..=k1 {
+        for j in j0..=j1 {
+            for i in i0..=i1 {
+                out.push(Index3::new(i, j, k));
+            }
+        }
+    }
+    out
+}
+
+/// A single rank's view of a partitioned [`StructuredHexMesh`].
+///
+/// The partition is an assignment of every cell to a rank. Interface lattice
+/// nodes (touched by cells of several ranks) are *owned* by the rank of the
+/// touching cell with the smallest linear cell id — a deterministic rule both
+/// sides of an interface can evaluate without communication.
+#[derive(Debug, Clone)]
+pub struct DistributedMesh {
+    mesh: StructuredHexMesh,
+    assignment: Arc<Vec<usize>>,
+    rank: usize,
+    num_parts: usize,
+    owned_cells: Vec<usize>,
+    /// For each neighbouring rank (sorted ascending), the corner-lattice
+    /// nodes shared with it (sorted ascending linear corner ids).
+    interface_corners: BTreeMap<usize, Vec<usize>>,
+}
+
+impl DistributedMesh {
+    /// Builds the view of `rank` under the given cell-to-rank `assignment`.
+    ///
+    /// # Panics
+    /// Panics if `assignment.len() != mesh.num_cells()`, if `rank >=
+    /// num_parts`, or if any assigned part id is out of range.
+    pub fn new(
+        mesh: StructuredHexMesh,
+        assignment: Arc<Vec<usize>>,
+        rank: usize,
+        num_parts: usize,
+    ) -> Self {
+        assert_eq!(
+            assignment.len(),
+            mesh.num_cells(),
+            "assignment length must equal cell count"
+        );
+        assert!(rank < num_parts, "rank out of range");
+        assert!(
+            assignment.iter().all(|&p| p < num_parts),
+            "assignment contains out-of-range part id"
+        );
+
+        let owned_cells: Vec<usize> =
+            (0..mesh.num_cells()).filter(|&c| assignment[c] == rank).collect();
+
+        // Every corner of an owned cell that is also touched by a foreign
+        // cell is an interface corner shared with that foreign rank.
+        let mut interface: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
+        let cell_dims = mesh.cell_dims();
+        for &cell in &owned_cells {
+            let ci = mesh.cell_index(cell);
+            for corner_id in mesh.cell_corners(ci) {
+                let corner = mesh.corner_index(corner_id);
+                for touching in cells_touching_node(cell_dims, 1, corner) {
+                    let part = assignment[mesh.cell_id(touching)];
+                    if part != rank {
+                        interface.entry(part).or_default().insert(corner_id);
+                    }
+                }
+            }
+        }
+        let interface_corners = interface
+            .into_iter()
+            .map(|(r, set)| (r, set.into_iter().collect()))
+            .collect();
+
+        DistributedMesh { mesh, assignment, rank, num_parts, owned_cells, interface_corners }
+    }
+
+    /// The underlying global mesh.
+    #[inline]
+    pub fn mesh(&self) -> &StructuredHexMesh {
+        &self.mesh
+    }
+
+    /// This rank.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total number of parts in the partition.
+    #[inline]
+    pub fn num_parts(&self) -> usize {
+        self.num_parts
+    }
+
+    /// Linear ids of the cells owned by this rank, ascending.
+    #[inline]
+    pub fn owned_cells(&self) -> &[usize] {
+        &self.owned_cells
+    }
+
+    /// Rank owning a given cell.
+    #[inline]
+    pub fn cell_owner(&self, cell: usize) -> usize {
+        self.assignment[cell]
+    }
+
+    /// The full cell-to-rank assignment (shared across ranks).
+    #[inline]
+    pub fn assignment(&self) -> &Arc<Vec<usize>> {
+        &self.assignment
+    }
+
+    /// Ranks this rank shares interface corners with, ascending.
+    pub fn neighbors(&self) -> impl Iterator<Item = usize> + '_ {
+        self.interface_corners.keys().copied()
+    }
+
+    /// Number of neighbouring ranks.
+    #[inline]
+    pub fn num_neighbors(&self) -> usize {
+        self.interface_corners.len()
+    }
+
+    /// Corner-lattice nodes shared with `neighbor` (sorted). Empty slice if
+    /// `neighbor` is not adjacent.
+    pub fn shared_corners(&self, neighbor: usize) -> &[usize] {
+        self.interface_corners.get(&neighbor).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Owner rank of a lattice node of order `q`, under the smallest-cell-id
+    /// rule. Consistent across ranks by construction.
+    pub fn node_owner(&self, q: usize, node: Index3) -> usize {
+        let touching = cells_touching_node(self.mesh.cell_dims(), q, node);
+        let min_cell = touching
+            .into_iter()
+            .map(|c| self.mesh.cell_id(c))
+            .min()
+            .expect("every lattice node touches at least one cell");
+        self.assignment[min_cell]
+    }
+
+    /// Whether this rank owns the given lattice node of order `q`.
+    #[inline]
+    pub fn owns_node(&self, q: usize, node: Index3) -> bool {
+        self.node_owner(q, node) == self.rank
+    }
+
+    /// Total number of interface corners (counted once per neighbour,
+    /// i.e. a proxy for this rank's halo-exchange volume).
+    pub fn interface_corner_count(&self) -> usize {
+        self.interface_corners.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::Point3;
+
+    fn two_slab_partition(n: usize) -> (StructuredHexMesh, Arc<Vec<usize>>) {
+        // Split the cube into x < n/2 (rank 0) and x >= n/2 (rank 1).
+        let mesh = StructuredHexMesh::unit_cube(n);
+        let assignment: Vec<usize> =
+            mesh.cells().map(|c| if c.i < n / 2 { 0 } else { 1 }).collect();
+        (mesh, Arc::new(assignment))
+    }
+
+    #[test]
+    fn cells_touching_corner_counts() {
+        let dims = (2, 2, 2);
+        // Center corner of a 2^3 mesh touches all 8 cells.
+        assert_eq!(cells_touching_node(dims, 1, Index3::new(1, 1, 1)).len(), 8);
+        // Domain corner touches exactly 1.
+        assert_eq!(cells_touching_node(dims, 1, Index3::new(0, 0, 0)).len(), 1);
+        // Edge-interior corner touches 4? (1,0,0): x interface, y lo, z lo -> 2 cells.
+        assert_eq!(cells_touching_node(dims, 1, Index3::new(1, 0, 0)).len(), 2);
+        assert_eq!(cells_touching_node(dims, 1, Index3::new(1, 1, 0)).len(), 4);
+    }
+
+    #[test]
+    fn cells_touching_q2_nodes() {
+        let dims = (2, 2, 2);
+        // Q2 lattice has 5 nodes per axis. Node (1,1,1) is a cell interior
+        // node of cell (0,0,0): touches 1 cell.
+        assert_eq!(cells_touching_node(dims, 2, Index3::new(1, 1, 1)).len(), 1);
+        // Node (2,1,1) is a face midpoint between cells (0,0,0) and (1,0,0).
+        let t = cells_touching_node(dims, 2, Index3::new(2, 1, 1));
+        assert_eq!(t.len(), 2);
+        assert!(t.contains(&Index3::new(0, 0, 0)));
+        assert!(t.contains(&Index3::new(1, 0, 0)));
+        // Node (2,2,2) is the center corner: 8 cells.
+        assert_eq!(cells_touching_node(dims, 2, Index3::new(2, 2, 2)).len(), 8);
+    }
+
+    #[test]
+    fn slab_partition_views() {
+        let (mesh, asg) = two_slab_partition(4);
+        let d0 = DistributedMesh::new(mesh.clone(), Arc::clone(&asg), 0, 2);
+        let d1 = DistributedMesh::new(mesh, asg, 1, 2);
+        assert_eq!(d0.owned_cells().len(), 32);
+        assert_eq!(d1.owned_cells().len(), 32);
+        assert_eq!(d0.neighbors().collect::<Vec<_>>(), vec![1]);
+        assert_eq!(d1.neighbors().collect::<Vec<_>>(), vec![0]);
+        // Interface = the x = 1/2 corner plane: 5*5 = 25 corners.
+        assert_eq!(d0.shared_corners(1).len(), 25);
+        assert_eq!(d0.shared_corners(1), d1.shared_corners(0));
+    }
+
+    #[test]
+    fn node_ownership_is_consistent_across_ranks() {
+        let (mesh, asg) = two_slab_partition(4);
+        let d0 = DistributedMesh::new(mesh.clone(), Arc::clone(&asg), 0, 2);
+        let d1 = DistributedMesh::new(mesh.clone(), asg, 1, 2);
+        for q in [1usize, 2] {
+            let (nx, ny, nz) = mesh.cell_dims();
+            let dims = (q * nx + 1, q * ny + 1, q * nz + 1);
+            for lin in 0..(dims.0 * dims.1 * dims.2) {
+                let node = Index3::from_linear(lin, dims);
+                assert_eq!(d0.node_owner(q, node), d1.node_owner(q, node));
+            }
+        }
+    }
+
+    #[test]
+    fn interface_nodes_owned_by_lower_slab() {
+        let (mesh, asg) = two_slab_partition(4);
+        let d0 = DistributedMesh::new(mesh, asg, 0, 2);
+        // Corner (2, j, k) lies on the interface plane; the smallest touching
+        // cell id has i = 1, which belongs to rank 0.
+        assert_eq!(d0.node_owner(1, Index3::new(2, 1, 1)), 0);
+        assert!(d0.owns_node(1, Index3::new(2, 1, 1)));
+        // Node strictly inside the upper slab is owned by rank 1.
+        assert_eq!(d0.node_owner(1, Index3::new(3, 1, 1)), 1);
+    }
+
+    #[test]
+    fn single_rank_has_no_neighbors() {
+        let mesh = StructuredHexMesh::unit_cube(3);
+        let asg = Arc::new(vec![0usize; mesh.num_cells()]);
+        let d = DistributedMesh::new(mesh, asg, 0, 1);
+        assert_eq!(d.num_neighbors(), 0);
+        assert_eq!(d.interface_corner_count(), 0);
+        assert_eq!(d.owned_cells().len(), 27);
+    }
+
+    #[test]
+    fn owned_cells_partition_the_mesh() {
+        let mesh = StructuredHexMesh::new(3, 3, 3, Point3::ZERO, Point3::splat(1.0));
+        // Assign cells round-robin to 4 parts.
+        let asg = Arc::new((0..mesh.num_cells()).map(|c| c % 4).collect::<Vec<_>>());
+        let mut seen = vec![false; mesh.num_cells()];
+        for r in 0..4 {
+            let d = DistributedMesh::new(mesh.clone(), Arc::clone(&asg), r, 4);
+            for &c in d.owned_cells() {
+                assert!(!seen[c]);
+                seen[c] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "assignment length")]
+    fn wrong_assignment_length_rejected() {
+        let mesh = StructuredHexMesh::unit_cube(2);
+        DistributedMesh::new(mesh, Arc::new(vec![0; 3]), 0, 1);
+    }
+}

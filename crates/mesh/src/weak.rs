@@ -1,0 +1,92 @@
+//! Sizing helpers for the paper's weak-scaling ladder.
+//!
+//! The paper "started from a single process loaded with the input mesh of
+//! size `20^3` elements and incremented the number of processes (as well as
+//! the input mesh size) as cubic powers": `p = k^3` ranks hold a global mesh
+//! of `(m k)^3` cells where `m` is the per-rank edge (20 in the paper), so
+//! every rank always owns `m^3` cells.
+
+use crate::hex::StructuredHexMesh;
+
+/// One rung of the weak-scaling ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WeakScalingPoint {
+    /// Cube root of the rank count (`k`).
+    pub k: usize,
+    /// Number of MPI ranks (`k^3`).
+    pub ranks: usize,
+    /// Cells per axis of the global mesh (`m * k`).
+    pub cells_per_axis: usize,
+    /// Cells per axis owned by each rank (`m`).
+    pub per_rank_axis: usize,
+}
+
+impl WeakScalingPoint {
+    /// Total cells in the global mesh.
+    #[inline]
+    pub fn total_cells(&self) -> usize {
+        self.cells_per_axis.pow(3)
+    }
+
+    /// Cells owned by each rank.
+    #[inline]
+    pub fn cells_per_rank(&self) -> usize {
+        self.per_rank_axis.pow(3)
+    }
+
+    /// Builds the global unit-cube mesh for this rung.
+    pub fn global_mesh(&self) -> StructuredHexMesh {
+        StructuredHexMesh::unit_cube(self.cells_per_axis)
+    }
+}
+
+/// The ladder `k = 1..=max_k` with `per_rank_axis^3` cells per rank.
+///
+/// With `per_rank_axis = 20` and `max_k = 10` this is exactly the paper's
+/// sweep: 1, 8, 27, 64, 125, 216, 343, 512, 729, 1000 processes on meshes
+/// `20^3 … 200^3`.
+pub fn ladder(per_rank_axis: usize, max_k: usize) -> Vec<WeakScalingPoint> {
+    assert!(per_rank_axis > 0 && max_k > 0);
+    (1..=max_k)
+        .map(|k| WeakScalingPoint {
+            k,
+            ranks: k * k * k,
+            cells_per_axis: per_rank_axis * k,
+            per_rank_axis,
+        })
+        .collect()
+}
+
+/// The paper's exact configuration: `20^3` cells per rank, up to 1000 ranks.
+pub fn paper_ladder() -> Vec<WeakScalingPoint> {
+    ladder(20, 10)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_ladder_matches_table_ii() {
+        let l = paper_ladder();
+        let ranks: Vec<usize> = l.iter().map(|p| p.ranks).collect();
+        assert_eq!(ranks, vec![1, 8, 27, 64, 125, 216, 343, 512, 729, 1000]);
+        assert_eq!(l.last().unwrap().cells_per_axis, 200);
+        assert!(l.iter().all(|p| p.cells_per_rank() == 8000));
+    }
+
+    #[test]
+    fn per_rank_load_is_constant() {
+        for p in ladder(5, 6) {
+            assert_eq!(p.total_cells(), p.cells_per_rank() * p.ranks);
+        }
+    }
+
+    #[test]
+    fn global_mesh_dims() {
+        let p = ladder(4, 3)[2];
+        assert_eq!(p.ranks, 27);
+        let m = p.global_mesh();
+        assert_eq!(m.cell_dims(), (12, 12, 12));
+    }
+}

@@ -1,0 +1,164 @@
+//! The dual graph of a structured hex mesh, in CSR form.
+
+use hetero_mesh::StructuredHexMesh;
+
+/// Compressed sparse row adjacency of mesh cells under face adjacency
+/// (the graph ParMETIS partitions).
+#[derive(Debug, Clone)]
+pub struct DualGraph {
+    xadj: Vec<usize>,
+    adjncy: Vec<usize>,
+}
+
+impl DualGraph {
+    /// Builds the face-adjacency dual graph of `mesh`.
+    pub fn from_mesh(mesh: &StructuredHexMesh) -> Self {
+        let dims = mesh.cell_dims();
+        let n = mesh.num_cells();
+        let mut xadj = Vec::with_capacity(n + 1);
+        let mut adjncy = Vec::with_capacity(6 * n);
+        xadj.push(0);
+        for cell in mesh.cells() {
+            for nb in cell.face_neighbors(dims) {
+                adjncy.push(mesh.cell_id(nb));
+            }
+            xadj.push(adjncy.len());
+        }
+        DualGraph { xadj, adjncy }
+    }
+
+    /// Builds a graph directly from CSR arrays.
+    ///
+    /// # Panics
+    /// Panics if the CSR structure is inconsistent.
+    pub fn from_csr(xadj: Vec<usize>, adjncy: Vec<usize>) -> Self {
+        assert!(!xadj.is_empty() && xadj[0] == 0);
+        assert_eq!(*xadj.last().unwrap(), adjncy.len());
+        assert!(xadj.windows(2).all(|w| w[0] <= w[1]), "xadj must be non-decreasing");
+        let n = xadj.len() - 1;
+        assert!(adjncy.iter().all(|&v| v < n), "neighbor id out of range");
+        DualGraph { xadj, adjncy }
+    }
+
+    /// Number of vertices (cells).
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.xadj.len() - 1
+    }
+
+    /// Number of directed adjacency entries (2x the undirected edge count).
+    #[inline]
+    pub fn num_adjacency_entries(&self) -> usize {
+        self.adjncy.len()
+    }
+
+    /// Neighbours of vertex `v`.
+    #[inline]
+    pub fn neighbors(&self, v: usize) -> &[usize] {
+        &self.adjncy[self.xadj[v]..self.xadj[v + 1]]
+    }
+
+    /// Degree of vertex `v`.
+    #[inline]
+    pub fn degree(&self, v: usize) -> usize {
+        self.xadj[v + 1] - self.xadj[v]
+    }
+
+    /// Edge cut of an assignment: number of undirected edges whose endpoints
+    /// lie in different parts.
+    pub fn edge_cut(&self, assignment: &[usize]) -> usize {
+        assert_eq!(assignment.len(), self.num_vertices());
+        let mut cut = 0;
+        for v in 0..self.num_vertices() {
+            for &w in self.neighbors(v) {
+                if w > v && assignment[w] != assignment[v] {
+                    cut += 1;
+                }
+            }
+        }
+        cut
+    }
+
+    /// Breadth-first order from `seed`, visiting only vertices for which
+    /// `admit` returns true. Used by greedy growing and peripheral-vertex
+    /// searches.
+    pub fn bfs_order<F: FnMut(usize) -> bool>(&self, seed: usize, mut admit: F) -> Vec<usize> {
+        let mut visited = vec![false; self.num_vertices()];
+        let mut queue = std::collections::VecDeque::new();
+        let mut order = Vec::new();
+        if admit(seed) {
+            visited[seed] = true;
+            queue.push_back(seed);
+        }
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            for &w in self.neighbors(v) {
+                if !visited[w] && admit(w) {
+                    visited[w] = true;
+                    queue.push_back(w);
+                }
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dual_graph_of_2x2x2() {
+        let mesh = StructuredHexMesh::unit_cube(2);
+        let g = DualGraph::from_mesh(&mesh);
+        assert_eq!(g.num_vertices(), 8);
+        // Every cell of a 2^3 grid has exactly 3 face neighbours.
+        for v in 0..8 {
+            assert_eq!(g.degree(v), 3);
+        }
+        assert_eq!(g.num_adjacency_entries(), 24);
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let mesh = StructuredHexMesh::unit_cube(3);
+        let g = DualGraph::from_mesh(&mesh);
+        for v in 0..g.num_vertices() {
+            for &w in g.neighbors(v) {
+                assert!(g.neighbors(w).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn edge_cut_of_slabs() {
+        let mesh = StructuredHexMesh::unit_cube(4);
+        let g = DualGraph::from_mesh(&mesh);
+        let asg: Vec<usize> = mesh.cells().map(|c| usize::from(c.i >= 2)).collect();
+        assert_eq!(g.edge_cut(&asg), 16);
+    }
+
+    #[test]
+    fn bfs_covers_connected_graph() {
+        let mesh = StructuredHexMesh::unit_cube(3);
+        let g = DualGraph::from_mesh(&mesh);
+        let order = g.bfs_order(0, |_| true);
+        assert_eq!(order.len(), 27);
+        assert_eq!(order[0], 0);
+    }
+
+    #[test]
+    fn bfs_respects_admit() {
+        let mesh = StructuredHexMesh::unit_cube(3);
+        let g = DualGraph::from_mesh(&mesh);
+        // Admit only the k = 0 layer (first 9 cells).
+        let order = g.bfs_order(0, |v| v < 9);
+        assert_eq!(order.len(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "xadj must be non-decreasing")]
+    fn bad_csr_rejected() {
+        DualGraph::from_csr(vec![0, 2, 1, 2], vec![1, 0]);
+    }
+}

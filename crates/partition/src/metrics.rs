@@ -1,0 +1,98 @@
+//! Partition quality summary used by reports and the experiment harness.
+
+use crate::graph::DualGraph;
+use hetero_mesh::quality::load_imbalance;
+use hetero_mesh::StructuredHexMesh;
+
+/// Quality summary of a cell-to-part assignment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionQuality {
+    /// Number of parts.
+    pub num_parts: usize,
+    /// Edge cut of the dual graph.
+    pub edge_cut: usize,
+    /// `max_load / mean_load` (1.0 is perfect).
+    pub imbalance: f64,
+    /// Total communication volume: for each part, the number of its cells
+    /// with at least one foreign face neighbour, summed over parts.
+    pub comm_volume: usize,
+    /// Maximum number of neighbouring parts any part has.
+    pub max_neighbors: usize,
+}
+
+/// Computes the full quality summary for `assignment` on `mesh`.
+pub fn assess(mesh: &StructuredHexMesh, assignment: &[usize], num_parts: usize) -> PartitionQuality {
+    let graph = DualGraph::from_mesh(mesh);
+    assess_graph(&graph, assignment, num_parts)
+}
+
+/// Computes the quality summary against an explicit dual graph.
+pub fn assess_graph(
+    graph: &DualGraph,
+    assignment: &[usize],
+    num_parts: usize,
+) -> PartitionQuality {
+    assert_eq!(assignment.len(), graph.num_vertices());
+    let edge_cut = graph.edge_cut(assignment);
+    let imbalance = load_imbalance(assignment, num_parts);
+
+    let mut comm_volume = 0usize;
+    let mut neighbor_sets: Vec<std::collections::BTreeSet<usize>> =
+        vec![std::collections::BTreeSet::new(); num_parts];
+    for v in 0..graph.num_vertices() {
+        let me = assignment[v];
+        let mut boundary = false;
+        for &w in graph.neighbors(v) {
+            let other = assignment[w];
+            if other != me {
+                boundary = true;
+                neighbor_sets[me].insert(other);
+            }
+        }
+        if boundary {
+            comm_volume += 1;
+        }
+    }
+    let max_neighbors = neighbor_sets.iter().map(|s| s.len()).max().unwrap_or(0);
+
+    PartitionQuality { num_parts, edge_cut, imbalance, comm_volume, max_neighbors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BlockPartitioner, Partitioner};
+
+    #[test]
+    fn block_partition_quality() {
+        let mesh = StructuredHexMesh::unit_cube(4);
+        let asg = BlockPartitioner.partition(&mesh, 8);
+        let q = assess(&mesh, &asg, 8);
+        assert_eq!(q.imbalance, 1.0);
+        assert_eq!(q.edge_cut, hetero_mesh::quality::ideal_block_cut(4, 2));
+        // In a 2x2x2 block layout every part has 3 face neighbours.
+        assert_eq!(q.max_neighbors, 3);
+        // In each 2^3-cell block only the domain-corner cell has no foreign
+        // face neighbour: 7 boundary cells per block, 8 blocks.
+        assert_eq!(q.comm_volume, 56);
+    }
+
+    #[test]
+    fn single_part_has_no_cut() {
+        let mesh = StructuredHexMesh::unit_cube(3);
+        let q = assess(&mesh, &vec![0; 27], 1);
+        assert_eq!(q.edge_cut, 0);
+        assert_eq!(q.comm_volume, 0);
+        assert_eq!(q.max_neighbors, 0);
+    }
+
+    #[test]
+    fn comm_volume_counts_boundary_cells_once() {
+        let mesh = StructuredHexMesh::unit_cube(4);
+        // Two slabs: each has a 16-cell boundary layer.
+        let asg: Vec<usize> = mesh.cells().map(|c| usize::from(c.i >= 2)).collect();
+        let q = assess(&mesh, &asg, 2);
+        assert_eq!(q.comm_volume, 32);
+        assert_eq!(q.max_neighbors, 1);
+    }
+}

@@ -1,0 +1,133 @@
+//! Recursive coordinate bisection (RCB).
+
+use crate::Partitioner;
+use hetero_mesh::{Point3, StructuredHexMesh};
+
+/// Recursive coordinate bisection over cell centroids.
+///
+/// At each level the current cell set is split along the longest axis of its
+/// centroid bounding box; the two halves receive `floor(p/2)` and `ceil(p/2)`
+/// of the remaining parts and proportionally many cells. Fully deterministic:
+/// ties in the coordinate sort are broken by cell id.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RcbPartitioner;
+
+fn bisect(
+    centers: &[Point3],
+    cells: &mut [usize],
+    parts: std::ops::Range<usize>,
+    assignment: &mut [usize],
+) {
+    let num_parts = parts.end - parts.start;
+    if num_parts == 1 {
+        for &c in cells.iter() {
+            assignment[c] = parts.start;
+        }
+        return;
+    }
+    // Longest axis of the bounding box of the centroids.
+    let mut lo = Point3::splat(f64::INFINITY);
+    let mut hi = Point3::splat(f64::NEG_INFINITY);
+    for &c in cells.iter() {
+        lo = lo.min(centers[c]);
+        hi = hi.max(centers[c]);
+    }
+    let ext = hi - lo;
+    let axis = if ext.x >= ext.y && ext.x >= ext.z {
+        0
+    } else if ext.y >= ext.z {
+        1
+    } else {
+        2
+    };
+    cells.sort_unstable_by(|&a, &b| {
+        centers[a]
+            .coord(axis)
+            .partial_cmp(&centers[b].coord(axis))
+            .unwrap()
+            .then(a.cmp(&b))
+    });
+    let left_parts = num_parts / 2;
+    // Proportional split: left half gets left_parts/num_parts of the cells.
+    let split = cells.len() * left_parts / num_parts;
+    let (left, right) = cells.split_at_mut(split);
+    let mid = parts.start + left_parts;
+    bisect(centers, left, parts.start..mid, assignment);
+    bisect(centers, right, mid..parts.end, assignment);
+}
+
+impl Partitioner for RcbPartitioner {
+    fn partition(&self, mesh: &StructuredHexMesh, num_parts: usize) -> Vec<usize> {
+        assert!(num_parts > 0);
+        assert!(num_parts <= mesh.num_cells(), "more parts than cells");
+        let centers: Vec<Point3> = mesh.cells().map(|c| mesh.cell_center(c)).collect();
+        let mut cells: Vec<usize> = (0..mesh.num_cells()).collect();
+        let mut assignment = vec![usize::MAX; mesh.num_cells()];
+        bisect(&centers, &mut cells, 0..num_parts, &mut assignment);
+        debug_assert!(assignment.iter().all(|&p| p < num_parts));
+        assignment
+    }
+
+    fn name(&self) -> &'static str {
+        "rcb"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetero_mesh::quality::load_imbalance;
+
+    #[test]
+    fn covers_all_cells() {
+        let mesh = StructuredHexMesh::unit_cube(4);
+        let asg = RcbPartitioner.partition(&mesh, 5);
+        assert_eq!(asg.len(), 64);
+        assert!(asg.iter().all(|&p| p < 5));
+        // Every part is non-empty.
+        for p in 0..5 {
+            assert!(asg.contains(&p), "part {p} empty");
+        }
+    }
+
+    #[test]
+    fn power_of_two_on_cube_is_blocky() {
+        let mesh = StructuredHexMesh::unit_cube(4);
+        let asg = RcbPartitioner.partition(&mesh, 8);
+        assert_eq!(load_imbalance(&asg, 8), 1.0);
+        // First bisection is along x (ties broken to x): cells with i < 2
+        // all land in parts 0..4.
+        for c in mesh.cells() {
+            let p = asg[mesh.cell_id(c)];
+            if c.i < 2 {
+                assert!(p < 4, "cell {c:?} in part {p}");
+            } else {
+                assert!(p >= 4, "cell {c:?} in part {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn balance_for_awkward_part_counts() {
+        let mesh = StructuredHexMesh::unit_cube(6); // 216 cells
+        for p in [3usize, 5, 7, 9, 13] {
+            let asg = RcbPartitioner.partition(&mesh, p);
+            assert!(load_imbalance(&asg, p) < 1.2, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let mesh = StructuredHexMesh::unit_cube(5);
+        let a = RcbPartitioner.partition(&mesh, 6);
+        let b = RcbPartitioner.partition(&mesh, 6);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_part_is_trivial() {
+        let mesh = StructuredHexMesh::unit_cube(3);
+        let asg = RcbPartitioner.partition(&mesh, 1);
+        assert!(asg.iter().all(|&p| p == 0));
+    }
+}

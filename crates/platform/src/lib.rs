@@ -1,0 +1,40 @@
+//! # hetero-platform
+//!
+//! Models of the four heterogeneous target platforms of the `hetero-hpc`
+//! reproduction — the paper's Section V ("Four heterogeneous target
+//! platforms") and Table I turned into executable artifacts:
+//!
+//! * [`spec`] / [`catalog`] — hardware and environment specifications of
+//!   `puma` (in-house 32-node 1 GbE cluster), `ellipse` (university 256-node
+//!   1 GbE cluster), `lagrange` (CILEA InfiniBand supercomputer), and `ec2`
+//!   (Amazon cc2.8xlarge instances);
+//! * [`cost`] — per-core-hour vs whole-node billing, spot pricing, and the
+//!   paper's exact rates (2.3 c, 5 c, 19.19 c per core-hour; $2.40 / $0.54
+//!   per instance-hour);
+//! * [`scheduler`] — queue-wait/availability models for PBS, the
+//!   serial-only SGE, PBS Professional, and direct shell execution on IaaS;
+//! * [`spot`] — the EC2 spot-market and placement-group model behind
+//!   Table II ("we never succeeded in establishing a full 63-host
+//!   configuration of spot request instances");
+//! * [`provision`] — the capability/package dependency planner that
+//!   regenerates Table I's gap analysis and Section VI's provisioning
+//!   effort estimates (~8 man-hours on ellipse/lagrange, about a day on
+//!   EC2);
+//! * [`limits`] — the execution limits the paper ran into (ellipse's >512
+//!   process launch failure, lagrange's InfiniBand data-volume cap).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod cost;
+pub mod limits;
+pub mod provision;
+pub mod scheduler;
+pub mod spec;
+pub mod spot;
+
+pub use catalog::{ec2, ellipse, lagrange, puma, all_platforms};
+pub use cost::{Billing, CostModel};
+pub use limits::{ExecutionLimits, LimitViolation};
+pub use spec::{AccessKind, PlatformSpec};

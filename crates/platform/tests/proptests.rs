@@ -1,0 +1,142 @@
+//! Property-based tests of the platform models' invariants.
+
+use hetero_platform::catalog;
+use hetero_platform::cost::{Billing, CostModel};
+use hetero_platform::limits::ExecutionLimits;
+use hetero_platform::provision::{environment_of, plan};
+use hetero_platform::scheduler::QueueModel;
+use hetero_platform::spot::{acquire_fleet, FleetStrategy};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn costs_scale_linearly_in_time(
+        rate in 0.001f64..5.0,
+        ranks in 1usize..2000,
+        t in 1.0f64..1e5,
+        k in 1.0f64..10.0,
+    ) {
+        for billing in [
+            Billing::PerCoreHour(rate),
+            Billing::EstimatedPerCoreHour(rate),
+            Billing::PerNodeHour { rate, cores_per_node: 16 },
+        ] {
+            let m = CostModel { billing, note: String::new() };
+            let c1 = m.cost(ranks, t);
+            let ck = m.cost(ranks, k * t);
+            prop_assert!((ck - k * c1).abs() < 1e-9 * ck.max(1.0));
+        }
+    }
+
+    #[test]
+    fn whole_node_billing_dominates_per_core(
+        ranks in 1usize..2000,
+        t in 1.0f64..1e4,
+    ) {
+        // Charging whole 16-core nodes at 16x the core rate never costs
+        // less than charging exactly the cores used.
+        let core = CostModel { billing: Billing::PerCoreHour(0.15), note: String::new() };
+        let node = CostModel {
+            billing: Billing::PerNodeHour { rate: 16.0 * 0.15, cores_per_node: 16 },
+            note: String::new(),
+        };
+        prop_assert!(node.cost(ranks, t) >= core.cost(ranks, t) - 1e-9);
+        // And they agree exactly on full nodes.
+        let full = (ranks.div_ceil(16)) * 16;
+        prop_assert!((node.cost(full, t) - core.cost(full, t)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cost_is_monotone_in_ranks(ranks in 1usize..999, t in 1.0f64..1e4) {
+        for p in catalog::all_platforms() {
+            prop_assert!(p.cost_of(ranks + 1, t) >= p.cost_of(ranks, t) - 1e-12, "{}", p.key);
+        }
+    }
+
+    #[test]
+    fn limits_are_monotone_in_ranks(
+        max_cores in 1usize..2000,
+        launch in 1usize..2000,
+        ranks in 1usize..2000,
+    ) {
+        let l = ExecutionLimits {
+            max_cores,
+            max_launchable_ranks: Some(launch),
+            adapter_volume_cap: None,
+        };
+        // If a size is rejected, every larger size is rejected too.
+        if l.check(ranks, 0.0).is_err() {
+            prop_assert!(l.check(ranks + 1, 0.0).is_err());
+        }
+    }
+
+    #[test]
+    fn queue_wait_is_deterministic_positive_and_monotone_in_nodes(
+        base in 0.0f64..1e4,
+        per_node in 0.0f64..100.0,
+        spread in 0.0f64..2.0,
+        nodes in 1usize..128,
+        seed in 0u64..100,
+    ) {
+        let q = QueueModel { base, per_node, spread, size_exponent: 1.1 };
+        let w = q.wait_seconds(nodes, seed);
+        prop_assert!(w >= 0.0);
+        prop_assert_eq!(w, q.wait_seconds(nodes, seed));
+        // With spread 0 the model is strictly monotone in node count.
+        let q0 = QueueModel { spread: 0.0, ..q };
+        prop_assert!(q0.wait_seconds(nodes + 1, seed) >= q0.wait_seconds(nodes, seed));
+    }
+
+    #[test]
+    fn fleets_have_exact_size_and_priced_nodes(
+        nodes in 1usize..100,
+        groups in 1usize..8,
+        seed in 0u64..50,
+    ) {
+        let f = acquire_fleet(nodes, FleetStrategy::SpotMix { groups, max_bid: 1.0 }, 2.40, seed);
+        prop_assert_eq!(f.len(), nodes);
+        for n in &f.nodes {
+            prop_assert!(n.group < groups);
+            let expect = if n.spot { 0.54 } else { 2.40 };
+            prop_assert_eq!(n.price_per_hour, expect);
+        }
+        // Hourly cost is between all-spot and all-on-demand.
+        prop_assert!(f.hourly_cost() >= 0.54 * nodes as f64 - 1e-9);
+        prop_assert!(f.hourly_cost() <= 2.40 * nodes as f64 + 1e-9);
+        // Topology round-trips the group structure.
+        let topo = f.topology(16);
+        prop_assert_eq!(topo.num_nodes(), nodes);
+    }
+
+    #[test]
+    fn spot_never_fills_beyond_capacity(nodes in 61usize..100, seed in 0u64..50) {
+        let f = acquire_fleet(nodes, FleetStrategy::SpotMix { groups: 4, max_bid: 1.0 }, 2.40, seed);
+        prop_assert!(f.spot_count() <= 60, "spot {} of {nodes}", f.spot_count());
+        prop_assert!(f.spot_count() >= 40);
+    }
+
+    #[test]
+    fn provisioning_plans_are_stable_and_nonnegative(key_pick in 0usize..4) {
+        let key = ["puma", "ellipse", "lagrange", "ec2"][key_pick];
+        let env = environment_of(key).unwrap();
+        let a = plan(&env).unwrap();
+        let b = plan(&env).unwrap();
+        prop_assert_eq!(a.total_hours(), b.total_hours());
+        prop_assert!(a.total_hours() >= 0.0);
+        for s in &a.steps {
+            prop_assert!(s.hours >= 0.0);
+        }
+    }
+
+    #[test]
+    fn topologies_respect_node_limits(ranks in 1usize..1009) {
+        for p in catalog::all_platforms() {
+            if ranks <= p.total_cores() {
+                let topo = p.topology(ranks);
+                prop_assert!(topo.num_nodes() <= p.max_nodes);
+                prop_assert!(topo.total_cores() >= ranks);
+                prop_assert_eq!(topo.cores_per_node(), p.cores_per_node);
+            }
+        }
+    }
+}

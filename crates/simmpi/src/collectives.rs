@@ -1,0 +1,361 @@
+//! Collective operations built from modeled point-to-point messages.
+//!
+//! The algorithms are the classic binomial-tree / dissemination schemes, so
+//! collective cost *emerges* from the network model: on a high-latency
+//! fabric an allreduce over `p` ranks costs ~`2 ceil(log2 p)` latencies —
+//! exactly the term that hurts the Krylov solve phase on EC2 in the paper.
+//!
+//! Every collective consumes one *epoch* of the reserved tag space; all
+//! ranks must call collectives in the same order (standard MPI semantics).
+
+use crate::comm::{Payload, SimComm};
+
+/// Tags at or above this value are reserved for collectives.
+pub const COLLECTIVE_TAG_BASE: u64 = 1 << 40;
+const SLOTS_PER_EPOCH: u64 = 8;
+const SLOT_REDUCE: u64 = 0;
+const SLOT_BCAST: u64 = 1;
+const SLOT_BARRIER: u64 = 2;
+const SLOT_GATHER: u64 = 3;
+const SLOT_ALLGATHER: u64 = 4;
+
+/// Element-wise reduction operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Element-wise sum.
+    Sum,
+    /// Element-wise maximum.
+    Max,
+    /// Element-wise minimum.
+    Min,
+}
+
+impl ReduceOp {
+    #[inline]
+    fn apply(self, acc: &mut [f64], other: &[f64]) {
+        debug_assert_eq!(acc.len(), other.len());
+        match self {
+            ReduceOp::Sum => {
+                for (a, b) in acc.iter_mut().zip(other) {
+                    *a += b;
+                }
+            }
+            ReduceOp::Max => {
+                for (a, b) in acc.iter_mut().zip(other) {
+                    *a = a.max(*b);
+                }
+            }
+            ReduceOp::Min => {
+                for (a, b) in acc.iter_mut().zip(other) {
+                    *a = a.min(*b);
+                }
+            }
+        }
+    }
+}
+
+impl SimComm {
+    /// Synchronizes all ranks (dissemination barrier, `ceil(log2 p)`
+    /// rounds). On return every rank's clock is at least the maximum clock
+    /// any rank had on entry.
+    pub fn barrier(&mut self) {
+        let size = self.size();
+        if size == 1 {
+            return;
+        }
+        let tag = COLLECTIVE_TAG_BASE + self.next_collective_epoch() * SLOTS_PER_EPOCH + SLOT_BARRIER;
+        let rank = self.rank();
+        let mut step = 1usize;
+        while step < size {
+            let to = (rank + step) % size;
+            let from = (rank + size - step) % size;
+            self.send(to, tag, Payload::Empty);
+            let _ = self.recv(from, tag);
+            step <<= 1;
+        }
+    }
+
+    /// Reduces `data` element-wise onto the root (binomial tree). Returns
+    /// `Some(result)` on the root, `None` elsewhere.
+    pub fn reduce(&mut self, root: usize, op: ReduceOp, data: &[f64]) -> Option<Vec<f64>> {
+        let size = self.size();
+        assert!(root < size);
+        let tag = COLLECTIVE_TAG_BASE + self.next_collective_epoch() * SLOTS_PER_EPOCH + SLOT_REDUCE;
+        let rel = (self.rank() + size - root) % size;
+        let mut acc = data.to_vec();
+        let mut mask = 1usize;
+        while mask < size {
+            if rel & mask == 0 {
+                let partner_rel = rel | mask;
+                if partner_rel < size {
+                    let partner = (partner_rel + root) % size;
+                    let other = self.recv_f64(partner, tag);
+                    op.apply(&mut acc, &other);
+                    // Combining costs real flops.
+                    self.compute(crate::work::Work::new(acc.len() as f64, 16.0 * acc.len() as f64));
+                }
+            } else {
+                let partner = ((rel & !mask) + root) % size;
+                self.send(partner, tag, Payload::F64(acc.clone()));
+                return None;
+            }
+            mask <<= 1;
+        }
+        Some(acc)
+    }
+
+    /// Broadcasts `data` from the root (binomial tree). Every rank returns
+    /// the root's vector; non-root inputs are ignored.
+    pub fn bcast(&mut self, root: usize, data: Vec<f64>) -> Vec<f64> {
+        let size = self.size();
+        assert!(root < size);
+        let tag = COLLECTIVE_TAG_BASE + self.next_collective_epoch() * SLOTS_PER_EPOCH + SLOT_BCAST;
+        let rel = (self.rank() + size - root) % size;
+        let mut buf = data;
+        let mut mask = 1usize;
+        // Receive from parent (the rank that differs in my lowest set bit).
+        if rel != 0 {
+            while mask < size {
+                if rel & mask != 0 {
+                    let parent = ((rel & !mask) + root) % size;
+                    buf = self.recv_f64(parent, tag);
+                    break;
+                }
+                mask <<= 1;
+            }
+        } else {
+            while mask < size {
+                mask <<= 1;
+            }
+        }
+        // Forward to children at lower bit positions. `mask` is the bit at
+        // which this rank received (or >= size for the root), so every lower
+        // bit of `rel` is clear and `rel + m` addresses a distinct subtree.
+        mask >>= 1;
+        while mask > 0 {
+            if rel + mask < size {
+                let child = ((rel + mask) + root) % size;
+                self.send(child, tag, Payload::F64(buf.clone()));
+            }
+            mask >>= 1;
+        }
+        buf
+    }
+
+    /// All-reduce: every rank returns the element-wise reduction over all
+    /// ranks' `data` (reduce-to-0 + broadcast).
+    pub fn allreduce(&mut self, op: ReduceOp, data: &[f64]) -> Vec<f64> {
+        let reduced = self.reduce(0, op, data);
+        self.bcast(0, reduced.unwrap_or_default())
+    }
+
+    /// Scalar all-reduce, the hot operation of Krylov dot products.
+    pub fn allreduce_scalar(&mut self, op: ReduceOp, x: f64) -> f64 {
+        self.allreduce(op, &[x])[0]
+    }
+
+    /// Gathers every rank's vector on the root (direct sends). Returns
+    /// `Some(per-rank vectors)` on the root, `None` elsewhere.
+    pub fn gather(&mut self, root: usize, data: &[f64]) -> Option<Vec<Vec<f64>>> {
+        let size = self.size();
+        assert!(root < size);
+        let tag = COLLECTIVE_TAG_BASE + self.next_collective_epoch() * SLOTS_PER_EPOCH + SLOT_GATHER;
+        if self.rank() == root {
+            let mut out = vec![Vec::new(); size];
+            out[root] = data.to_vec();
+            #[allow(clippy::needless_range_loop)] // src is also the peer rank
+            for src in 0..size {
+                if src != root {
+                    out[src] = self.recv_f64(src, tag);
+                }
+            }
+            Some(out)
+        } else {
+            self.send(root, tag, Payload::F64(data.to_vec()));
+            None
+        }
+    }
+
+    /// All-gather (ring algorithm): every rank returns all ranks' vectors,
+    /// indexed by rank.
+    pub fn allgather(&mut self, data: &[f64]) -> Vec<Vec<f64>> {
+        let size = self.size();
+        let rank = self.rank();
+        let tag =
+            COLLECTIVE_TAG_BASE + self.next_collective_epoch() * SLOTS_PER_EPOCH + SLOT_ALLGATHER;
+        let mut out = vec![Vec::new(); size];
+        out[rank] = data.to_vec();
+        if size == 1 {
+            return out;
+        }
+        let right = (rank + 1) % size;
+        let left = (rank + size - 1) % size;
+        // At step s, forward the block that originated at rank - s.
+        let mut carry = data.to_vec();
+        for s in 0..size - 1 {
+            self.send(right, tag, Payload::F64(carry));
+            carry = self.recv_f64(left, tag);
+            let origin = (rank + size - s - 1) % size;
+            out[origin] = carry.clone();
+        }
+        out
+    }
+
+    /// All-gather of index vectors (used for DoF-map setup).
+    pub fn allgather_usize(&mut self, data: &[usize]) -> Vec<Vec<usize>> {
+        let as_f64: Vec<f64> = data.iter().map(|&x| x as f64).collect();
+        self.allgather(&as_f64)
+            .into_iter()
+            .map(|v| v.into_iter().map(|x| x as usize).collect())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{run_spmd, SpmdConfig};
+    use crate::network::NetworkModel;
+    use crate::topology::ClusterTopology;
+    use crate::work::ComputeModel;
+
+    fn cfg(size: usize) -> SpmdConfig {
+        SpmdConfig {
+            size,
+            topo: ClusterTopology::uniform(size.div_ceil(4).max(1), 4),
+            net: NetworkModel::gigabit_ethernet(),
+            compute: ComputeModel::new(1e9, 4e9),
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn allreduce_sum_matches_serial() {
+        for p in [1usize, 2, 3, 5, 8, 13, 16] {
+            let r = run_spmd(cfg(p), |comm| {
+                let mine = vec![comm.rank() as f64, 1.0];
+                comm.allreduce(ReduceOp::Sum, &mine)
+            });
+            let expected = vec![(p * (p - 1) / 2) as f64, p as f64];
+            for res in &r {
+                assert_eq!(res.value, expected, "p = {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_max_min() {
+        let r = run_spmd(cfg(7), |comm| {
+            let x = comm.rank() as f64;
+            (
+                comm.allreduce_scalar(ReduceOp::Max, x),
+                comm.allreduce_scalar(ReduceOp::Min, x),
+            )
+        });
+        for res in &r {
+            assert_eq!(res.value, (6.0, 0.0));
+        }
+    }
+
+    #[test]
+    fn reduce_only_root_gets_result() {
+        let r = run_spmd(cfg(6), |comm| comm.reduce(2, ReduceOp::Sum, &[1.0]));
+        for res in &r {
+            if res.rank == 2 {
+                assert_eq!(res.value, Some(vec![6.0]));
+            } else {
+                assert_eq!(res.value, None);
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_from_each_root() {
+        for root in 0..5 {
+            let r = run_spmd(cfg(5), move |comm| {
+                let data = if comm.rank() == root { vec![42.0, root as f64] } else { vec![] };
+                comm.bcast(root, data)
+            });
+            for res in &r {
+                assert_eq!(res.value, vec![42.0, root as f64], "root = {root}");
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_aligns_clocks() {
+        let r = run_spmd(cfg(4), |comm| {
+            // Rank 3 does heavy compute before the barrier.
+            if comm.rank() == 3 {
+                comm.compute(crate::work::Work::new(5e9, 0.0));
+            }
+            comm.barrier();
+            comm.clock()
+        });
+        // Everyone's post-barrier clock is at least rank 3's compute time.
+        for res in &r {
+            assert!(res.value >= 5.0, "rank {} clock {}", res.rank, res.value);
+        }
+    }
+
+    #[test]
+    fn gather_collects_per_rank_data() {
+        let r = run_spmd(cfg(5), |comm| comm.gather(0, &[comm.rank() as f64 * 2.0]));
+        let root = r[0].value.as_ref().unwrap();
+        for (i, v) in root.iter().enumerate() {
+            assert_eq!(v, &vec![i as f64 * 2.0]);
+        }
+        assert!(r[1].value.is_none());
+    }
+
+    #[test]
+    fn allgather_returns_everyones_data() {
+        for p in [1usize, 2, 4, 7] {
+            let r = run_spmd(cfg(p), |comm| comm.allgather(&[comm.rank() as f64]));
+            for res in &r {
+                for (i, v) in res.value.iter().enumerate() {
+                    assert_eq!(v, &vec![i as f64], "p = {p}, rank {}", res.rank);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_usize_roundtrip() {
+        let r = run_spmd(cfg(3), |comm| comm.allgather_usize(&[comm.rank() + 100]));
+        for res in &r {
+            assert_eq!(res.value, vec![vec![100], vec![101], vec![102]]);
+        }
+    }
+
+    #[test]
+    fn consecutive_collectives_do_not_interfere() {
+        let r = run_spmd(cfg(4), |comm| {
+            let a = comm.allreduce_scalar(ReduceOp::Sum, 1.0);
+            comm.barrier();
+            let b = comm.allreduce_scalar(ReduceOp::Sum, 2.0);
+            let c = comm.allgather(&[comm.rank() as f64]);
+            (a, b, c.len())
+        });
+        for res in &r {
+            assert_eq!(res.value, (4.0, 8.0, 4));
+        }
+    }
+
+    #[test]
+    fn allreduce_cost_grows_with_ranks() {
+        let time_for = |p: usize| {
+            let mut c = cfg(p);
+            c.topo = ClusterTopology::uniform(p, 1);
+            c.net.jitter_sigma = 0.0;
+            let r = run_spmd(c, |comm| {
+                let _ = comm.allreduce_scalar(ReduceOp::Sum, 1.0);
+                comm.clock()
+            });
+            r.iter().map(|x| x.value).fold(0.0f64, f64::max)
+        };
+        let t2 = time_for(2);
+        let t16 = time_for(16);
+        assert!(t16 > 2.0 * t2, "t2 = {t2}, t16 = {t16}");
+    }
+}

@@ -1,0 +1,197 @@
+//! The SPMD execution engine: one OS thread per simulated rank.
+
+use crate::comm::{SharedComm, SimComm};
+use crate::network::NetworkModel;
+use crate::stats::CommStats;
+use crate::topology::ClusterTopology;
+use crate::work::ComputeModel;
+use std::panic::AssertUnwindSafe;
+
+/// Upper bound on real threads; beyond this, use the analytic engine in
+/// [`crate::modeled`] instead.
+pub const MAX_REAL_RANKS: usize = 4096;
+
+/// Configuration of one simulated SPMD job.
+#[derive(Debug, Clone)]
+pub struct SpmdConfig {
+    /// Number of MPI ranks.
+    pub size: usize,
+    /// Node/core/placement-group layout.
+    pub topo: ClusterTopology,
+    /// Interconnect model.
+    pub net: NetworkModel,
+    /// Per-core compute model.
+    pub compute: ComputeModel,
+    /// Experiment seed (drives message jitter only).
+    pub seed: u64,
+}
+
+/// What one rank produced: its return value, final virtual clock, and
+/// counters.
+#[derive(Debug, Clone)]
+pub struct RankResult<T> {
+    /// The rank id.
+    pub rank: usize,
+    /// The closure's return value.
+    pub value: T,
+    /// The rank's virtual clock at exit, in seconds.
+    pub clock: f64,
+    /// Accumulated communication/compute counters.
+    pub stats: CommStats,
+}
+
+/// Runs `f` as an SPMD program on `config.size` simulated ranks, each on its
+/// own OS thread, and returns the per-rank results ordered by rank.
+///
+/// The closure receives the rank's [`SimComm`]; ranks coordinate only
+/// through it. Virtual time is deterministic for a fixed `config`.
+///
+/// # Panics
+/// Panics if any rank panics (the first panic is propagated; blocked peers
+/// are woken and unwound), or if `config.size` exceeds [`MAX_REAL_RANKS`] or
+/// the topology's core capacity.
+pub fn run_spmd<T, F>(config: SpmdConfig, f: F) -> Vec<RankResult<T>>
+where
+    T: Send,
+    F: Fn(&mut SimComm) -> T + Send + Sync,
+{
+    assert!(
+        config.size <= MAX_REAL_RANKS,
+        "{} ranks exceed the real-thread engine limit ({MAX_REAL_RANKS}); use hetero_simmpi::modeled",
+        config.size
+    );
+    let shared = SharedComm::new(config.size, config.topo, config.net, config.compute, config.seed);
+
+    let mut slots: Vec<Option<Result<RankResult<T>, String>>> =
+        (0..config.size).map(|_| None).collect();
+
+    std::thread::scope(|scope| {
+        let shared = &shared;
+        let f = &f;
+        let handles: Vec<_> = (0..config.size)
+            .map(|rank| {
+                scope.spawn(move || {
+                    let mut comm = SimComm::new(rank, shared.clone());
+                    let out = std::panic::catch_unwind(AssertUnwindSafe(|| f(&mut comm)));
+                    match out {
+                        Ok(value) => Ok(RankResult {
+                            rank,
+                            value,
+                            clock: comm.clock(),
+                            stats: *comm.stats(),
+                        }),
+                        Err(payload) => {
+                            // Wake peers blocked in recv so the job unwinds
+                            // instead of deadlocking.
+                            shared.poison();
+                            let msg = payload
+                                .downcast_ref::<&str>()
+                                .map(|s| s.to_string())
+                                .or_else(|| payload.downcast_ref::<String>().cloned())
+                                .unwrap_or_else(|| "<non-string panic>".into());
+                            Err(msg)
+                        }
+                    }
+                })
+            })
+            .collect();
+        for (rank, h) in handles.into_iter().enumerate() {
+            slots[rank] = Some(h.join().unwrap_or_else(|_| Err("rank thread crashed".into())));
+        }
+    });
+
+    let mut results = Vec::with_capacity(config.size);
+    let mut first_err: Option<(usize, String)> = None;
+    for (rank, slot) in slots.into_iter().enumerate() {
+        match slot.expect("every rank produces a result") {
+            Ok(r) => results.push(r),
+            Err(e) => {
+                if first_err.is_none() {
+                    first_err = Some((rank, e));
+                }
+            }
+        }
+    }
+    if let Some((rank, e)) = first_err {
+        panic!("rank {rank} panicked: {e}");
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::Payload;
+
+    fn cfg(size: usize) -> SpmdConfig {
+        SpmdConfig {
+            size,
+            topo: ClusterTopology::uniform(size, 1),
+            net: NetworkModel::ideal(),
+            compute: ComputeModel::new(1e9, 1e9),
+            seed: 0,
+        }
+    }
+
+    #[test]
+    fn results_are_ordered_by_rank() {
+        let r = run_spmd(cfg(8), |comm| comm.rank() * 10);
+        for (i, res) in r.iter().enumerate() {
+            assert_eq!(res.rank, i);
+            assert_eq!(res.value, i * 10);
+        }
+    }
+
+    #[test]
+    fn single_rank_job() {
+        let r = run_spmd(cfg(1), |comm| comm.size());
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].value, 1);
+        assert_eq!(r[0].clock, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 2 panicked")]
+    fn rank_panic_propagates() {
+        run_spmd(cfg(4), |comm| {
+            if comm.rank() == 2 {
+                panic!("boom at rank 2");
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "panicked")]
+    fn panic_unblocks_waiting_peers() {
+        // Rank 0 waits for a message that will never come because rank 1
+        // panics; the job must unwind, not deadlock.
+        run_spmd(cfg(2), |comm| {
+            if comm.rank() == 0 {
+                let _ = comm.recv(1, 9);
+            } else {
+                panic!("sender died");
+            }
+        });
+    }
+
+    #[test]
+    fn many_ranks_work() {
+        let r = run_spmd(cfg(64), |comm| {
+            let next = (comm.rank() + 1) % comm.size();
+            let prev = (comm.rank() + comm.size() - 1) % comm.size();
+            comm.send(next, 0, Payload::Usize(vec![comm.rank()]));
+            comm.recv_usize(prev, 0)[0]
+        });
+        for (i, res) in r.iter().enumerate() {
+            assert_eq!(res.value, (i + 64 - 1) % 64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds cluster capacity")]
+    fn oversubscribed_topology_rejected() {
+        let mut c = cfg(4);
+        c.topo = ClusterTopology::uniform(1, 2);
+        run_spmd(c, |_| ());
+    }
+}

@@ -1,0 +1,51 @@
+//! # hetero-simmpi
+//!
+//! A virtual-time SPMD message-passing runtime — the substitute for "MPI on
+//! hardware we do not have" in the `hetero-hpc` reproduction.
+//!
+//! The paper benchmarks identical MPI applications on four platforms whose
+//! *secondary* characteristics differ: interconnect (1 GbE, 10 GbE,
+//! InfiniBand 4X DDR), cores per node (4/12/16), CPU generation, and cloud
+//! virtualization artifacts. This crate reproduces that setting in
+//! simulation:
+//!
+//! * Each MPI rank runs as a real OS thread executing the *actual*
+//!   application code on real data ([`engine::run_spmd`]).
+//! * Each rank carries a **virtual clock** (seconds of simulated platform
+//!   time). Computation advances it through a roofline model
+//!   ([`work::ComputeModel`]); messages advance it through a latency /
+//!   bandwidth / NIC-sharing / fabric-contention / jitter model
+//!   ([`network::NetworkModel`]).
+//! * Collectives ([`collectives`]) are built from modeled point-to-point
+//!   messages (binomial trees, dissemination barrier), so their cost emerges
+//!   from the same network parameters the paper varies.
+//!
+//! Simulated time is **deterministic**: it depends only on the program's
+//! communication structure, the platform parameters, and an experiment seed
+//! (jitter is hash-derived per message) — never on host scheduling or
+//! wall-clock. Running the same experiment twice gives bitwise-identical
+//! timings, which the test suite exploits.
+//!
+//! For configurations too large to execute numerically (the paper's
+//! 1000-rank runs) the same cost formulas are evaluated analytically; see
+//! [`modeled`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collectives;
+pub mod comm;
+pub mod engine;
+pub mod modeled;
+pub mod network;
+pub mod rng;
+pub mod stats;
+pub mod topology;
+pub mod work;
+
+pub use comm::{Payload, SimComm};
+pub use engine::{run_spmd, SpmdConfig};
+pub use network::{MsgContext, NetworkModel};
+pub use stats::CommStats;
+pub use topology::ClusterTopology;
+pub use work::{ComputeModel, Work};

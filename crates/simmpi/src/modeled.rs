@@ -1,0 +1,256 @@
+//! The analytic ("modeled") execution engine.
+//!
+//! For configurations too large to execute numerically on one host — the
+//! paper's 1000-rank, 200^3-element runs — a [`VirtualRank`] replays the
+//! *cost* of the communication/computation sequence a real rank would
+//! execute, using the same [`NetworkModel`]/[`ComputeModel`] and the same
+//! per-message overhead constants as the threaded engine. The integration
+//! test `model_validation` checks the two engines agree at small scale.
+//!
+//! The virtual rank represents the *critical* rank of a bulk-synchronous
+//! application: peers are assumed to reach each phase at the same virtual
+//! time (exact under perfect weak scaling, slightly pessimistic otherwise).
+
+use crate::comm::{HEADER_BYTES, RECV_OVERHEAD, SEND_OVERHEAD};
+use crate::network::{MsgContext, NetworkModel};
+use crate::work::{ComputeModel, Work};
+
+/// Smallest `d` with `2^d >= n`.
+#[inline]
+pub fn ceil_log2(n: usize) -> u32 {
+    assert!(n > 0);
+    (n as u64).next_power_of_two().trailing_zeros()
+}
+
+/// One modeled halo-exchange message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VirtualMsg {
+    /// Peer rank id (keys the jitter hash only).
+    pub peer: usize,
+    /// Payload bytes.
+    pub bytes: f64,
+    /// Peer lives on the same node.
+    pub same_node: bool,
+    /// Peer's node shares this rank's placement group.
+    pub same_group: bool,
+}
+
+/// The environment a virtual rank runs in.
+#[derive(Debug, Clone)]
+pub struct VirtualEnv {
+    /// Interconnect model.
+    pub net: NetworkModel,
+    /// Per-core compute model.
+    pub compute: ComputeModel,
+    /// Ranks sharing this rank's NIC.
+    pub nic_sharers: usize,
+    /// Nodes in the job.
+    pub nodes_active: usize,
+    /// Total ranks in the job.
+    pub size: usize,
+    /// This rank's id (keys the jitter hash).
+    pub rank: usize,
+    /// Experiment seed.
+    pub seed: u64,
+}
+
+/// Cost-only replay of one rank's execution.
+#[derive(Debug, Clone)]
+pub struct VirtualRank {
+    env: VirtualEnv,
+    clock: f64,
+    seq: u64,
+}
+
+impl VirtualRank {
+    /// Creates a virtual rank at clock zero.
+    pub fn new(env: VirtualEnv) -> Self {
+        assert!(env.size > 0 && env.rank < env.size);
+        VirtualRank { env, clock: 0.0, seq: 0 }
+    }
+
+    /// Current virtual time in seconds.
+    #[inline]
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// Charges computation, as [`crate::SimComm::compute`] does.
+    pub fn compute(&mut self, work: Work) {
+        self.clock += self.env.compute.time(work);
+    }
+
+    fn transfer(&mut self, bytes: f64, same_node: bool, same_group: bool, peer: usize) -> (f64, f64) {
+        let ctx = MsgContext {
+            bytes: bytes + HEADER_BYTES,
+            same_node,
+            same_group,
+            nic_sharers: self.env.nic_sharers,
+            nodes_active: self.env.nodes_active,
+            jitter_key: (self.env.seed, peer as u64, self.env.rank as u64, self.seq),
+        };
+        self.seq += 1;
+        self.env.net.transfer_cost(ctx)
+    }
+
+    /// Charges a neighbour halo exchange: post all sends, then drain all
+    /// receives (the overlap pattern the FEM ghost update uses). Peers are
+    /// assumed to start the exchange at the same virtual time.
+    pub fn halo_exchange(&mut self, msgs: &[VirtualMsg]) {
+        if msgs.is_empty() {
+            return;
+        }
+        // Sends: fixed overhead + packing, serialized on the CPU.
+        for m in msgs {
+            self.clock += SEND_OVERHEAD + (m.bytes + HEADER_BYTES) / self.env.net.intra_bw;
+        }
+        let depart = self.clock;
+        // Receives, mirroring `SimComm::recv`: each message becomes
+        // available after its latency (peers posted at ~the same time, so
+        // latencies overlap), then drains serially through this rank's NIC.
+        for m in msgs {
+            let (latency, drain) = self.transfer(m.bytes, m.same_node, m.same_group, m.peer);
+            self.clock = self.clock.max(depart + latency) + drain + RECV_OVERHEAD;
+        }
+    }
+
+    /// Charges a binomial-tree reduce + broadcast all-reduce of `n` doubles,
+    /// mirroring [`crate::SimComm::allreduce`]. The modeled rank pays the
+    /// worst-case tree depth on both phases. Tree edges at level `k`
+    /// connect ranks `2^k` apart; under block placement those stay on one
+    /// node while `2^k` is below the ranks-per-node count, which is why
+    /// small jobs on many-core nodes see cheap collectives.
+    pub fn allreduce(&mut self, n: usize) {
+        let depth = ceil_log2(self.env.size);
+        if depth == 0 {
+            return;
+        }
+        let bytes = 8.0 * n as f64;
+        for phase_level in 0..2 * depth {
+            let level = phase_level % depth;
+            let same_node = (1usize << level) < self.env.nic_sharers;
+            let (lat, drain) = self.transfer(bytes, same_node, true, self.env.rank ^ 1);
+            self.clock +=
+                SEND_OVERHEAD + (bytes + HEADER_BYTES) / self.env.net.intra_bw + lat + drain + RECV_OVERHEAD;
+        }
+        // Combine flops on the reduce path.
+        self.compute(Work::new(depth as f64 * n as f64, depth as f64 * 16.0 * n as f64));
+    }
+
+    /// Charges a dissemination barrier (`ceil(log2 p)` rounds of empty
+    /// messages), with the same per-level node locality as [`Self::allreduce`].
+    pub fn barrier(&mut self) {
+        let rounds = ceil_log2(self.env.size);
+        for level in 0..rounds {
+            let same_node = (1usize << level) < self.env.nic_sharers;
+            let (lat, drain) = self.transfer(0.0, same_node, true, self.env.rank ^ 1);
+            self.clock += SEND_OVERHEAD + HEADER_BYTES / self.env.net.intra_bw + lat + drain + RECV_OVERHEAD;
+        }
+    }
+
+    /// Advances the clock without attributing work.
+    pub fn advance(&mut self, seconds: f64) {
+        assert!(seconds >= 0.0);
+        self.clock += seconds;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::ClusterTopology;
+
+    fn env(size: usize, net: NetworkModel) -> VirtualEnv {
+        let topo = ClusterTopology::uniform(size.div_ceil(4).max(1), 4);
+        VirtualEnv {
+            net,
+            compute: ComputeModel::new(1e9, 4e9),
+            nic_sharers: topo.ranks_on_node(0, size),
+            nodes_active: topo.nodes_for_ranks(size),
+            size,
+            rank: 0,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(8), 3);
+        assert_eq!(ceil_log2(1000), 10);
+    }
+
+    #[test]
+    fn compute_matches_roofline() {
+        let mut v = VirtualRank::new(env(1, NetworkModel::ideal()));
+        v.compute(Work::new(3e9, 0.0));
+        assert!((v.clock() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn halo_exchange_costs_at_least_one_transfer() {
+        let mut v = VirtualRank::new(env(8, NetworkModel::gigabit_ethernet()));
+        let msgs = vec![VirtualMsg { peer: 1, bytes: 1e6, same_node: false, same_group: true }];
+        v.halo_exchange(&msgs);
+        // >= latency + bytes / (bw / sharers).
+        assert!(v.clock() > 45e-6 + 1e6 / (117e6 / 4.0) * 0.9, "clock = {}", v.clock());
+    }
+
+    #[test]
+    fn more_neighbors_cost_more() {
+        let one = {
+            let mut v = VirtualRank::new(env(27, NetworkModel::gigabit_ethernet()));
+            v.halo_exchange(&[VirtualMsg { peer: 1, bytes: 1e5, same_node: false, same_group: true }]);
+            v.clock()
+        };
+        let many = {
+            let mut v = VirtualRank::new(env(27, NetworkModel::gigabit_ethernet()));
+            let msgs: Vec<_> = (0..26)
+                .map(|p| VirtualMsg { peer: p, bytes: 1e5, same_node: false, same_group: true })
+                .collect();
+            v.halo_exchange(&msgs);
+            v.clock()
+        };
+        assert!(many > one);
+    }
+
+    #[test]
+    fn allreduce_scales_logarithmically() {
+        let cost = |p: usize| {
+            let mut e = env(p, NetworkModel::infiniband_ddr());
+            e.nic_sharers = 1;
+            let mut v = VirtualRank::new(e);
+            v.allreduce(1);
+            v.clock()
+        };
+        let t8 = cost(8);
+        let t64 = cost(64);
+        let t512 = cost(512);
+        // Depth grows 3 -> 6 -> 9: roughly linear in log p.
+        assert!(t64 / t8 > 1.5 && t64 / t8 < 2.5, "ratio {}", t64 / t8);
+        assert!(t512 / t64 > 1.2 && t512 / t64 < 1.8, "ratio {}", t512 / t64);
+    }
+
+    #[test]
+    fn single_rank_collectives_are_free() {
+        let mut v = VirtualRank::new(env(1, NetworkModel::gigabit_ethernet()));
+        v.allreduce(10);
+        v.barrier();
+        assert_eq!(v.clock(), 0.0);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = || {
+            let mut v = VirtualRank::new(env(64, NetworkModel::ten_gig_ethernet_ec2()));
+            for _ in 0..10 {
+                v.halo_exchange(&[VirtualMsg { peer: 3, bytes: 5e4, same_node: false, same_group: true }]);
+                v.allreduce(1);
+            }
+            v.clock()
+        };
+        assert_eq!(run(), run());
+    }
+}

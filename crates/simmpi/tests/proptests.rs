@@ -1,0 +1,183 @@
+//! Property-based tests of the simulator's semantic guarantees.
+
+use hetero_simmpi::collectives::ReduceOp;
+use hetero_simmpi::modeled::{VirtualEnv, VirtualMsg, VirtualRank};
+use hetero_simmpi::rng::{jitter_factor, to_unit};
+use hetero_simmpi::{
+    run_spmd, ClusterTopology, ComputeModel, MsgContext, NetworkModel, Payload, SpmdConfig, Work,
+};
+use proptest::prelude::*;
+
+fn cfg(size: usize, seed: u64) -> SpmdConfig {
+    SpmdConfig {
+        size,
+        topo: ClusterTopology::uniform(size.div_ceil(4).max(1), 4),
+        net: NetworkModel::gigabit_ethernet(),
+        compute: ComputeModel::new(1e9, 4e9),
+        seed,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn allreduce_equals_serial_fold(
+        size in 1usize..10,
+        values in prop::collection::vec(-10.0f64..10.0, 1..5),
+        op_pick in 0usize..3,
+    ) {
+        let op = [ReduceOp::Sum, ReduceOp::Max, ReduceOp::Min][op_pick];
+        let vals = values.clone();
+        let results = run_spmd(cfg(size, 1), move |comm| {
+            // Rank r contributes values scaled by (r+1).
+            let mine: Vec<f64> =
+                vals.iter().map(|v| v * (comm.rank() + 1) as f64).collect();
+            comm.allreduce(op, &mine)
+        });
+        // Serial oracle.
+        for (slot, &v) in values.iter().enumerate() {
+            let contributions: Vec<f64> =
+                (0..size).map(|r| v * (r + 1) as f64).collect();
+            let expect = match op {
+                ReduceOp::Sum => contributions.iter().sum::<f64>(),
+                ReduceOp::Max => contributions.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+                ReduceOp::Min => contributions.iter().cloned().fold(f64::INFINITY, f64::min),
+            };
+            for r in &results {
+                prop_assert!((r.value[slot] - expect).abs() < 1e-9,
+                    "slot {slot}: {} vs {expect}", r.value[slot]);
+            }
+        }
+    }
+
+    #[test]
+    fn clocks_are_monotone_and_nonnegative(size in 2usize..8, rounds in 1usize..6) {
+        let results = run_spmd(cfg(size, 2), move |comm| {
+            let mut last = comm.clock();
+            let mut ok = last >= 0.0;
+            for _ in 0..rounds {
+                comm.compute(Work::new(1e6, 1e6));
+                ok &= comm.clock() >= last;
+                last = comm.clock();
+                let next = (comm.rank() + 1) % comm.size();
+                let prev = (comm.rank() + comm.size() - 1) % comm.size();
+                comm.send(next, 0, Payload::F64(vec![1.0; 16]));
+                let _ = comm.recv_f64(prev, 0);
+                ok &= comm.clock() >= last;
+                last = comm.clock();
+            }
+            ok
+        });
+        for r in &results {
+            prop_assert!(r.value);
+            prop_assert!(r.clock > 0.0);
+        }
+    }
+
+    #[test]
+    fn virtual_time_is_scheduling_independent(size in 2usize..8, seed in 0u64..50) {
+        let body = move |comm: &mut hetero_simmpi::SimComm| {
+            for _ in 0..3 {
+                let _ = comm.allreduce_scalar(ReduceOp::Sum, comm.rank() as f64);
+                comm.barrier();
+            }
+            comm.clock()
+        };
+        let a = run_spmd(cfg(size, seed), body);
+        let b = run_spmd(cfg(size, seed), body);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.value, y.value);
+        }
+    }
+
+    #[test]
+    fn transfer_cost_is_monotone_in_bytes(
+        b1 in 0.0f64..1e6,
+        extra in 1.0f64..1e6,
+        sharers in 1usize..16,
+        nodes in 1usize..64,
+    ) {
+        let net = NetworkModel::gigabit_ethernet();
+        let ctx = |bytes: f64| MsgContext {
+            bytes,
+            same_node: false,
+            same_group: true,
+            nic_sharers: sharers,
+            nodes_active: nodes,
+            jitter_key: (1, 2, 3, 4),
+        };
+        prop_assert!(net.transfer_time(ctx(b1 + extra)) > net.transfer_time(ctx(b1)));
+    }
+
+    #[test]
+    fn contention_is_monotone_in_nodes(n1 in 1usize..100, n2 in 1usize..100) {
+        let net = NetworkModel::ten_gig_ethernet_ec2();
+        let (lo, hi) = if n1 <= n2 { (n1, n2) } else { (n2, n1) };
+        prop_assert!(net.fabric_contention(lo) <= net.fabric_contention(hi));
+        prop_assert!(net.fabric_contention(lo) >= 1.0);
+    }
+
+    #[test]
+    fn jitter_is_positive_and_mean_preserving(seed in 0u64..100, sigma in 0.0f64..0.6) {
+        let n = 4000u64;
+        let mut sum = 0.0;
+        for s in 0..n {
+            let j = jitter_factor(seed, 1, 2, s, sigma);
+            prop_assert!(j > 0.0);
+            sum += j;
+        }
+        let mean = sum / n as f64;
+        prop_assert!((mean - 1.0).abs() < 0.08, "mean = {mean}");
+    }
+
+    #[test]
+    fn unit_samples_stay_in_range(h in any::<u64>()) {
+        let u = to_unit(h);
+        prop_assert!((0.0..1.0).contains(&u));
+    }
+
+    #[test]
+    fn virtual_rank_halo_cost_is_monotone_in_message_count(
+        peers in 1usize..20,
+        bytes in 1.0f64..1e5,
+    ) {
+        let env = VirtualEnv {
+            net: NetworkModel::gigabit_ethernet(),
+            compute: ComputeModel::new(1e9, 4e9),
+            nic_sharers: 4,
+            nodes_active: 8,
+            size: 32,
+            rank: 0,
+            seed: 9,
+        };
+        let cost = |k: usize| {
+            let mut v = VirtualRank::new(env.clone());
+            let msgs: Vec<VirtualMsg> = (0..k)
+                .map(|p| VirtualMsg { peer: p + 1, bytes, same_node: false, same_group: true })
+                .collect();
+            v.halo_exchange(&msgs);
+            v.clock()
+        };
+        prop_assert!(cost(peers + 1) > cost(peers));
+    }
+
+    #[test]
+    fn gather_roundtrips_any_payload(
+        size in 1usize..8,
+        payload in prop::collection::vec(-5.0f64..5.0, 0..6),
+    ) {
+        let p2 = payload.clone();
+        let results = run_spmd(cfg(size, 3), move |comm| {
+            let mut mine = p2.clone();
+            mine.push(comm.rank() as f64);
+            comm.gather(0, &mine)
+        });
+        let root = results[0].value.as_ref().unwrap();
+        for (r, v) in root.iter().enumerate() {
+            let mut expect = payload.clone();
+            expect.push(r as f64);
+            prop_assert_eq!(v, &expect);
+        }
+    }
+}

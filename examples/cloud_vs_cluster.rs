@@ -1,0 +1,45 @@
+//! Cloud vs cluster: reproduce the paper's headline comparison (Figures 4
+//! and 6) at full paper scale — the RD weak-scaling ladder `1..=1000` ranks
+//! with `20^3` elements per rank on all four platforms, with per-iteration
+//! dollar costs.
+//!
+//! ```sh
+//! cargo run --release --example cloud_vs_cluster
+//! ```
+
+use hetero_hpc::report::{render_cost_curves, render_weak_scaling};
+use hetero_hpc::scenarios::{fig6, ScenarioOptions};
+
+fn main() {
+    let opts = ScenarioOptions::paper();
+    println!(
+        "RD weak scaling, {}^3 elements/rank, ranks 1..{}, {} iterations ({} discarded)\n",
+        opts.per_rank_axis,
+        opts.max_k.pow(3),
+        opts.steps,
+        opts.discard
+    );
+    let (table, curves) = fig6(&opts);
+    println!("{}", render_weak_scaling(&table));
+    println!("{}", render_cost_curves("RD", &curves));
+
+    // The paper's qualitative findings, restated from the data:
+    let ec2_small = table.outcome(8, "ec2").unwrap().phases.total;
+    let puma_small = table.outcome(8, "puma").unwrap().phases.total;
+    println!("at 8 ranks, ec2 is {:.1}x faster than puma (newer CPUs)", puma_small / ec2_small);
+
+    let lagrange_flat = table.outcome(343, "lagrange").unwrap().phases.total
+        / table.outcome(1, "lagrange").unwrap().phases.total;
+    let ec2_flat = table.outcome(343, "ec2").unwrap().phases.total
+        / table.outcome(1, "ec2").unwrap().phases.total;
+    println!(
+        "weak-scaling degradation 1 -> 343 ranks: lagrange {lagrange_flat:.1}x, ec2 {ec2_flat:.1}x"
+    );
+    println!(
+        "only ec2 reaches 1000 ranks: max feasible = puma {}, ellipse {}, lagrange {}, ec2 {}",
+        table.max_feasible_ranks("puma"),
+        table.max_feasible_ranks("ellipse"),
+        table.max_feasible_ranks("lagrange"),
+        table.max_feasible_ranks("ec2"),
+    );
+}

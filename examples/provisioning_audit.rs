@@ -1,0 +1,47 @@
+//! Provisioning audit: regenerate Table I (the platform capability matrix)
+//! and the Section VI provisioning plans/effort totals, then characterize
+//! each platform's "expense factor" for a realistic campaign.
+//!
+//! ```sh
+//! cargo run --release --example provisioning_audit
+//! ```
+
+use hetero_hpc::apps::App;
+use hetero_hpc::expense::{characterize, DEFAULT_ENGINEER_RATE_PER_HOUR};
+use hetero_hpc::report::render_table1;
+use hetero_hpc::scenarios::table1;
+use hetero_platform::catalog;
+
+fn main() {
+    println!("{}", render_table1(&table1()));
+
+    // Expense factors: what does a 64-rank NS campaign really cost on each
+    // platform once provisioning effort and queue waits are counted?
+    println!("\nExpense factors: NS at 64 ranks, 20^3 elements/rank");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>12} {:>16} {:>16}",
+        "platform", "s/iter", "$/iter", "effort h", "wait s", "$ (100 iters)", "$ (100k iters)"
+    );
+    for platform in catalog::all_platforms() {
+        match characterize(&platform, App::paper_ns(3), 64, 20, 2012) {
+            Ok(f) => {
+                let r = DEFAULT_ENGINEER_RATE_PER_HOUR;
+                println!(
+                    "{:<10} {:>12.3} {:>12.4} {:>12.1} {:>12.0} {:>16.2} {:>16.2}",
+                    f.platform,
+                    f.seconds_per_iteration,
+                    f.dollars_per_iteration,
+                    f.provisioning_hours,
+                    f.wait_seconds,
+                    f.index(100, r),
+                    f.index(100_000, r),
+                );
+            }
+            Err(e) => println!("{:<10} infeasible: {e}", platform.key),
+        }
+    }
+    println!(
+        "\n(The home cluster wins short campaigns; the cloud's one-time day of\n\
+         provisioning amortizes away on long ones — the paper's Section VIII tradeoff.)"
+    );
+}

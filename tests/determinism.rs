@@ -1,0 +1,70 @@
+//! Reproducibility guarantees: same seed -> bitwise identical results, in
+//! both engines, despite real multithreading in the numerical one.
+
+use hetero_hpc::apps::App;
+use hetero_hpc::run::{execute, Fidelity, RunRequest};
+use hetero_hpc::scenarios::{table2, ScenarioOptions};
+use hetero_platform::catalog;
+
+#[test]
+fn numerical_engine_is_deterministic_across_runs() {
+    // 27 OS threads race on real mailboxes, but virtual time and numerics
+    // are scheduling-independent.
+    let req = RunRequest {
+        fidelity: Fidelity::Numerical,
+        ..RunRequest::new(catalog::ec2(), App::paper_rd(3), 27, 3)
+    };
+    let a = execute(&req).unwrap();
+    let b = execute(&req).unwrap();
+    assert_eq!(a.phases, b.phases);
+    assert_eq!(a.cost_per_iteration, b.cost_per_iteration);
+    assert_eq!(a.verification.unwrap().l2, b.verification.unwrap().l2);
+    assert_eq!(a.bytes_per_iteration, b.bytes_per_iteration);
+}
+
+#[test]
+fn modeled_engine_is_deterministic() {
+    let req = RunRequest::new(catalog::ec2(), App::paper_rd(4), 729, 20);
+    let a = execute(&req).unwrap();
+    let b = execute(&req).unwrap();
+    assert_eq!(a.phases, b.phases);
+}
+
+#[test]
+fn seed_changes_jittered_platforms_only_slightly() {
+    // Different seeds resample EC2's virtualization jitter: times move, but
+    // by noise, not by regime.
+    let mk = |seed: u64| RunRequest {
+        seed,
+        ..RunRequest::new(catalog::ec2(), App::paper_rd(4), 216, 20)
+    };
+    let a = execute(&mk(1)).unwrap().phases.total;
+    let b = execute(&mk(2)).unwrap().phases.total;
+    assert_ne!(a, b);
+    assert!((a - b).abs() / a < 0.25, "{a} vs {b}");
+}
+
+#[test]
+fn ideal_deterministic_platform_ignores_the_seed() {
+    // lagrange's jitter is ~0; the seed shouldn't move its modeled times
+    // meaningfully.
+    let mk = |seed: u64| RunRequest {
+        seed,
+        ..RunRequest::new(catalog::lagrange(), App::paper_rd(3), 216, 20)
+    };
+    let a = execute(&mk(1)).unwrap().phases.total;
+    let b = execute(&mk(2)).unwrap().phases.total;
+    assert!((a - b).abs() / a < 0.02, "{a} vs {b}");
+}
+
+#[test]
+fn whole_scenarios_reproduce_bitwise() {
+    let opts = ScenarioOptions { steps: 2, discard: 0, max_k: 4, ..ScenarioOptions::paper() };
+    let a = table2(&opts);
+    let b = table2(&opts);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.full_time, y.full_time);
+        assert_eq!(x.mix_time, y.mix_time);
+        assert_eq!(x.mix_spot_nodes, y.mix_spot_nodes);
+    }
+}

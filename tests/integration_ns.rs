@@ -1,0 +1,95 @@
+//! End-to-end tests of the Navier-Stokes application across the stack.
+
+use hetero_hpc::apps::App;
+use hetero_hpc::run::{execute, Fidelity, RunRequest};
+use hetero_platform::catalog;
+
+fn ns_req(platform: hetero_platform::PlatformSpec, ranks: usize) -> RunRequest {
+    RunRequest {
+        fidelity: Fidelity::Numerical,
+        ..RunRequest::new(platform, App::paper_ns(3), ranks, 3)
+    }
+}
+
+#[test]
+fn ns_tracks_ethier_steinman_on_every_platform() {
+    for platform in catalog::all_platforms() {
+        let out = execute(&ns_req(platform, 8)).expect("8 ranks fit everywhere");
+        let v = out.verification.unwrap();
+        assert!(v.linf < 0.06, "{}: linf = {}", out.platform, v.linf);
+        assert!(out.phases.solve > 0.0);
+        assert!(out.phases.assembly > 0.0);
+    }
+}
+
+#[test]
+fn ns_is_heavier_than_rd_everywhere() {
+    // "The Navier-Stokes test is more computationally demanding than the
+    // simple RD test" — per iteration, on every platform.
+    for platform in catalog::all_platforms() {
+        let rd = execute(&RunRequest {
+            fidelity: Fidelity::Numerical,
+            ..RunRequest::new(platform.clone(), App::paper_rd(2), 8, 3)
+        })
+        .unwrap();
+        let ns = execute(&RunRequest {
+            fidelity: Fidelity::Numerical,
+            ..RunRequest::new(platform.clone(), App::paper_ns(2), 8, 3)
+        })
+        .unwrap();
+        assert!(
+            ns.phases.total > 2.0 * rd.phases.total,
+            "{}: ns {} vs rd {}",
+            platform.key,
+            ns.phases.total,
+            rd.phases.total
+        );
+    }
+}
+
+#[test]
+fn ns_moves_more_data_than_rd() {
+    // "The data volume exchanged among the MPI processes during the
+    // computation increases as this problem involves two variables."
+    let platform = catalog::ellipse();
+    let rd = execute(&RunRequest {
+        fidelity: Fidelity::Numerical,
+        ..RunRequest::new(platform.clone(), App::paper_rd(2), 8, 3)
+    })
+    .unwrap();
+    let ns = execute(&RunRequest {
+        fidelity: Fidelity::Numerical,
+        ..RunRequest::new(platform, App::paper_ns(2), 8, 3)
+    })
+    .unwrap();
+    assert!(
+        ns.bytes_per_iteration > 2.0 * rd.bytes_per_iteration,
+        "ns {} vs rd {}",
+        ns.bytes_per_iteration,
+        rd.bytes_per_iteration
+    );
+}
+
+#[test]
+fn ns_distributed_equals_serial_numerics() {
+    // Weak-scaling requests grow the mesh with the rank count, so to compare
+    // engines on the SAME global mesh: 1 rank x 6^3 cells vs 8 ranks x 3^3
+    // cells each (both a 6^3 global mesh).
+    let serial = execute(&RunRequest {
+        fidelity: Fidelity::Numerical,
+        ..RunRequest::new(catalog::puma(), App::paper_ns(3), 1, 6)
+    })
+    .unwrap();
+    let dist = execute(&ns_req(catalog::puma(), 8)).unwrap();
+    let (s, d) = (serial.verification.unwrap().l2, dist.verification.unwrap().l2);
+    assert!((s - d).abs() / s < 1e-4, "serial {s} vs distributed {d}");
+}
+
+#[test]
+fn ns_assembly_phase_dominates_at_small_scale() {
+    // With the convection-dependent operator rebuilt every step, assembly
+    // is the biggest phase at small rank counts (compute-dominated regime).
+    let out = execute(&ns_req(catalog::ec2(), 8)).unwrap();
+    assert!(out.phases.assembly > out.phases.solve);
+    assert!(out.phases.assembly > out.phases.precond);
+}
