@@ -14,7 +14,15 @@ fn modeled_total(
     net: &hetero_simmpi::NetworkModel,
     ranks: usize,
 ) -> f64 {
-    let run = run_modeled(&App::paper_rd(3), ranks, 20, topo, net, platform.compute, 2012);
+    let run = run_modeled(
+        &App::paper_rd(3),
+        ranks,
+        20,
+        topo,
+        net,
+        platform.compute,
+        2012,
+    );
     run.iterations.last().unwrap().total
 }
 
@@ -33,7 +41,10 @@ fn ablate_nic_sharing() {
     let private = modeled_total(&ec2, &topo, &fat_net, 1000);
     println!("  one 10GbE port per node (real)       : {shared:>8.2} s/iter");
     println!("  one 10GbE port per rank (hypothetical): {private:>8.2} s/iter");
-    println!("  sharing penalty                       : {:>8.2}x\n", shared / private);
+    println!(
+        "  sharing penalty                       : {:>8.2}x\n",
+        shared / private
+    );
     assert!(shared > private);
 }
 
@@ -63,9 +74,20 @@ fn ablate_placement_spread() {
 /// dot products); Jacobi does the opposite. This is the phase trade-off
 /// behind the paper's per-phase plots.
 fn ablate_preconditioner() {
-    println!("--- ablation: RD preconditioner (numerical engine, 8 ranks x 5^3 cells, ellipse) ---");
-    for pk in [PrecondKind::None, PrecondKind::Jacobi, PrecondKind::Ssor, PrecondKind::Ilu0] {
-        let app = App::Rd(RdConfig { precond: pk, steps: 3, ..RdConfig::default() });
+    println!(
+        "--- ablation: RD preconditioner (numerical engine, 8 ranks x 5^3 cells, ellipse) ---"
+    );
+    for pk in [
+        PrecondKind::None,
+        PrecondKind::Jacobi,
+        PrecondKind::Ssor,
+        PrecondKind::Ilu0,
+    ] {
+        let app = App::Rd(RdConfig {
+            precond: pk,
+            steps: 3,
+            ..RdConfig::default()
+        });
         let req = RunRequest {
             fidelity: Fidelity::Numerical,
             discard: 1,
@@ -93,8 +115,12 @@ fn ablate_contention() {
     let ec2 = catalog::ec2();
     let topo = ClusterTopology::uniform(63, 16);
     let lagrange = catalog::lagrange();
-    let lagrange_343 =
-        modeled_total(&lagrange, &ClusterTopology::uniform(29, 12), &lagrange.network, 343);
+    let lagrange_343 = modeled_total(
+        &lagrange,
+        &ClusterTopology::uniform(29, 12),
+        &lagrange.network,
+        343,
+    );
     for exp in [0.0f64, 0.75, 1.35, 1.7, 2.2] {
         let mut net = ec2.network.clone();
         net.oversubscription = exp;
@@ -110,12 +136,21 @@ fn ablate_contention() {
 fn extension_strong_scaling() {
     use hetero_hpc::scenarios::{strong_scaling, ScenarioOptions};
     println!("--- extension: strong scaling (RD, fixed 64^3 mesh) ---");
-    let opts = ScenarioOptions { steps: 3, discard: 1, ..ScenarioOptions::paper() };
+    let opts = ScenarioOptions {
+        steps: 3,
+        discard: 1,
+        ..ScenarioOptions::paper()
+    };
     for platform in catalog::all_platforms() {
         let pts = strong_scaling(&platform, App::paper_rd, 64, &opts);
         print!("  {:<9}", platform.key);
         for p in &pts {
-            print!(" {:>4}r: {:>5.2}x (eff {:>4.0}%) |", p.ranks, p.speedup, p.efficiency * 100.0);
+            print!(
+                " {:>4}r: {:>5.2}x (eff {:>4.0}%) |",
+                p.ranks,
+                p.speedup,
+                p.efficiency * 100.0
+            );
         }
         println!();
     }

@@ -71,20 +71,24 @@ fn bench_modeled_replay(c: &mut Criterion) {
     let mut g = c.benchmark_group("modeled_replay_rd");
     g.sample_size(10);
     for ranks in [64usize, 1000] {
-        g.bench_with_input(BenchmarkId::from_parameter(ranks), &ranks, |bench, &ranks| {
-            let topo = ec2.topology(ranks);
-            bench.iter(|| {
-                black_box(run_modeled(
-                    &App::paper_rd(8),
-                    ranks,
-                    20,
-                    &topo,
-                    &ec2.network,
-                    ec2.compute,
-                    7,
-                ))
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(ranks),
+            &ranks,
+            |bench, &ranks| {
+                let topo = ec2.topology(ranks);
+                bench.iter(|| {
+                    black_box(run_modeled(
+                        &App::paper_rd(8),
+                        ranks,
+                        20,
+                        &topo,
+                        &ec2.network,
+                        ec2.compute,
+                        7,
+                    ))
+                });
+            },
+        );
     }
     g.finish();
 }

@@ -3,48 +3,81 @@
 //! integration, ILU(0), CG), independent of the virtual-time simulation.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use hetero_fem::assembly::scalar_kernels;
+use hetero_fem::assembly::{assemble_matrix, scalar_kernels, MatrixAssembly};
+use hetero_fem::dofmap::DofMap;
 use hetero_fem::element::ElementOrder;
 use hetero_linalg::csr::TripletBuilder;
 use hetero_linalg::precond::{IluZero, Jacobi, Preconditioner};
 use hetero_linalg::solver::{cg, SolveOptions};
 use hetero_linalg::{DistMatrix, DistVector, ExchangePlan};
-use hetero_mesh::Point3;
-use hetero_simmpi::{run_spmd, ClusterTopology, ComputeModel, NetworkModel, SpmdConfig};
+use hetero_mesh::{DistributedMesh, Point3, StructuredHexMesh};
+use hetero_partition::{BlockPartitioner, Partitioner};
+use hetero_simmpi::{run_spmd, ClusterTopology, ComputeModel, NetworkModel, SimComm, SpmdConfig};
 use std::hint::black_box;
+use std::sync::Arc;
 
-fn laplacian_3d(n: usize) -> DistMatrix {
-    // 7-point stencil on an n^3 grid.
+/// Triplet stream of the 7-point stencil on an `n^3` grid, plus its values
+/// in insertion order (the input `SparsityPattern::numeric` consumes).
+fn laplacian_triplets(n: usize) -> (TripletBuilder, Vec<f64>) {
     let total = n * n * n;
     let id = |i: usize, j: usize, k: usize| i + n * (j + n * k);
     let mut b = TripletBuilder::with_capacity(total, total, 7 * total);
+    let mut vals = Vec::with_capacity(7 * total);
+    let add = |b: &mut TripletBuilder, vals: &mut Vec<f64>, r: usize, c: usize, v: f64| {
+        b.add(r, c, v);
+        vals.push(v);
+    };
     for k in 0..n {
         for j in 0..n {
             for i in 0..n {
                 let r = id(i, j, k);
-                b.add(r, r, 6.0);
+                add(&mut b, &mut vals, r, r, 6.0);
                 if i > 0 {
-                    b.add(r, id(i - 1, j, k), -1.0);
+                    add(&mut b, &mut vals, r, id(i - 1, j, k), -1.0);
                 }
                 if i + 1 < n {
-                    b.add(r, id(i + 1, j, k), -1.0);
+                    add(&mut b, &mut vals, r, id(i + 1, j, k), -1.0);
                 }
                 if j > 0 {
-                    b.add(r, id(i, j - 1, k), -1.0);
+                    add(&mut b, &mut vals, r, id(i, j - 1, k), -1.0);
                 }
                 if j + 1 < n {
-                    b.add(r, id(i, j + 1, k), -1.0);
+                    add(&mut b, &mut vals, r, id(i, j + 1, k), -1.0);
                 }
                 if k > 0 {
-                    b.add(r, id(i, j, k - 1), -1.0);
+                    add(&mut b, &mut vals, r, id(i, j, k - 1), -1.0);
                 }
                 if k + 1 < n {
-                    b.add(r, id(i, j, k + 1), -1.0);
+                    add(&mut b, &mut vals, r, id(i, j, k + 1), -1.0);
                 }
             }
         }
     }
+    (b, vals)
+}
+
+fn laplacian_3d(n: usize) -> DistMatrix {
+    // 7-point stencil on an n^3 grid.
+    let (b, _) = laplacian_triplets(n);
     DistMatrix::new(b.build(), ExchangePlan::empty())
+}
+
+/// Runs `f` on a single simulated rank with a Q2 `DofMap` over an
+/// `n^3`-cell unit cube, returning the rank's result.
+fn run_rank<T: Send + 'static>(
+    n: usize,
+    f: impl Fn(&DofMap, &mut SimComm) -> T + Send + Sync,
+) -> T {
+    let mesh = StructuredHexMesh::unit_cube(n);
+    let assignment = Arc::new(BlockPartitioner.partition(&mesh, 1));
+    run_spmd(serial_cfg(), move |comm| {
+        let dmesh = DistributedMesh::new(mesh.clone(), Arc::clone(&assignment), 0, 1);
+        let dm = DofMap::build(&dmesh, ElementOrder::Q2, comm);
+        f(&dm, comm)
+    })
+    .pop()
+    .expect("one rank was launched")
+    .value
 }
 
 fn serial_cfg() -> SpmdConfig {
@@ -112,6 +145,100 @@ fn bench_cg_solve(c: &mut Criterion) {
     });
 }
 
+fn bench_assembly_modes(c: &mut Criterion) {
+    // Per-step system assembly the way the BDF2 time loops drive it: eight
+    // matrix assemblies per iteration, all paying the same DofMap setup
+    // inside `run_spmd`, so the spread between variants is per-step cost.
+    // "from_scratch" re-sorts the full triplet stream on every call;
+    // "symbolic_reuse" sorts once and then only scatters values through the
+    // cached pattern; the 4-thread variant additionally integrates cells in
+    // fixed 32-cell chunks on an explicit rayon pool.
+    const STEPS: usize = 8;
+    let n = 5;
+    let kern = scalar_kernels(ElementOrder::Q2, Point3::splat(1.0 / n as f64));
+    let mut g = c.benchmark_group("assembly_q2_125cells");
+    g.bench_function("8_steps_from_scratch", |bench| {
+        bench.iter(|| {
+            run_rank(n, |dm, comm| {
+                for _ in 0..STEPS {
+                    black_box(assemble_matrix(dm, dm, comm, 2, |_i, out| {
+                        out.copy_from_slice(&kern.stiffness);
+                    }));
+                }
+            })
+        });
+    });
+    g.bench_function("8_steps_symbolic_reuse", |bench| {
+        bench.iter(|| {
+            run_rank(n, |dm, comm| {
+                let mut asm = MatrixAssembly::new(2);
+                for _ in 0..STEPS {
+                    black_box(asm.assemble(dm, dm, comm, |_i, out| {
+                        out.copy_from_slice(&kern.stiffness);
+                    }));
+                }
+            })
+        });
+    });
+    g.bench_function("8_steps_symbolic_reuse_4threads", |bench| {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .expect("the vendored pool builder cannot fail");
+        bench.iter(|| {
+            run_rank(n, |dm, comm| {
+                pool.install(|| {
+                    let mut asm = MatrixAssembly::new(2);
+                    for _ in 0..STEPS {
+                        black_box(asm.assemble(dm, dm, comm, |_i, out| {
+                            out.copy_from_slice(&kern.stiffness);
+                        }));
+                    }
+                })
+            })
+        });
+    });
+    g.finish();
+}
+
+fn bench_matrix_rebuild(c: &mut Criterion) {
+    // The symbolic/numeric split: rebuilding a 4096-row matrix from the
+    // cached pattern vs. a from-scratch build (which must clone the triplet
+    // stream, since `build` consumes the builder, and re-sort it).
+    let (builder, vals) = laplacian_triplets(16);
+    let pattern = builder.symbolic();
+    let mut g = c.benchmark_group("matrix_rebuild_4096");
+    g.bench_function("triplet_build", |bench| {
+        bench.iter(|| black_box(builder.clone().build()));
+    });
+    g.bench_function("symbolic_numeric", |bench| {
+        bench.iter(|| black_box(pattern.numeric(black_box(&vals))));
+    });
+    g.finish();
+}
+
+fn bench_spmv_threads(c: &mut Criterion) {
+    // 32^3 rows is far above the parallel-SpMV cutoff, so the installed
+    // pool size is the only difference between the variants.
+    let a = laplacian_3d(32);
+    let x = vec![1.0f64; a.n_local()];
+    let mut g = c.benchmark_group("spmv_32768_threads");
+    for threads in [1usize, 4] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("the vendored pool builder cannot fail");
+        g.bench_function(format!("{threads}_threads"), |bench| {
+            let mut y = vec![0.0f64; a.n_owned()];
+            bench.iter(|| {
+                pool.install(|| a.local().spmv(black_box(&x), &mut y));
+                black_box(y[0])
+            });
+        });
+    }
+    g.finish();
+}
+
 fn bench_precond_apply(c: &mut Criterion) {
     let a = laplacian_3d(16);
     let mut g = c.benchmark_group("precond_apply_4096");
@@ -134,6 +261,7 @@ fn bench_precond_apply(c: &mut Criterion) {
 criterion_group!(
     name = kernels;
     config = Criterion::default().sample_size(10);
-    targets = bench_spmv, bench_element_integration, bench_ilu0_factorization, bench_cg_solve, bench_precond_apply
+    targets = bench_spmv, bench_element_integration, bench_assembly_modes, bench_matrix_rebuild,
+        bench_spmv_threads, bench_ilu0_factorization, bench_cg_solve, bench_precond_apply
 );
 criterion_main!(kernels);

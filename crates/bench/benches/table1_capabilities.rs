@@ -21,7 +21,11 @@ fn main() {
             "ec2" => "\"provisioning of a machine took about a day\"",
             _ => "",
         };
-        println!("  {:<9} {:>5.1} h  — {expect}", plan.platform, plan.total_hours());
+        println!(
+            "  {:<9} {:>5.1} h  — {expect}",
+            plan.platform,
+            plan.total_hours()
+        );
     }
     println!("\nartifact: target/paper-artifacts/table1.txt");
 }

@@ -13,12 +13,19 @@ fn main() {
     println!("{text}");
     write_artifact("table2.txt", &text);
 
-    let mut csv =
-        String::from("ranks,nodes,full_time_s,full_cost_usd,mix_time_s,mix_est_cost_usd,mix_spot_nodes\n");
+    let mut csv = String::from(
+        "ranks,nodes,full_time_s,full_cost_usd,mix_time_s,mix_est_cost_usd,mix_spot_nodes\n",
+    );
     for r in &rows {
         csv.push_str(&format!(
             "{},{},{:.4},{:.6},{:.4},{:.6},{}\n",
-            r.ranks, r.nodes, r.full_time, r.full_cost, r.mix_time, r.mix_est_cost, r.mix_spot_nodes
+            r.ranks,
+            r.nodes,
+            r.full_time,
+            r.full_cost,
+            r.mix_time,
+            r.mix_est_cost,
+            r.mix_spot_nodes
         ));
     }
     write_artifact("table2.csv", &csv);

@@ -1,0 +1,210 @@
+//! Emits `BENCH_kernels.json`: median host-time ns/op for the hot kernels
+//! the PR-2 optimisations target — per-step matrix assembly (from-scratch
+//! vs. symbolic-reuse, 1 vs. 4 threads), the symbolic/numeric matrix
+//! rebuild split, and SpMV at explicit pool sizes.
+//!
+//! Run from the repo root so the snapshot lands next to the other artifacts:
+//!
+//! ```text
+//! cargo run --release --example bench_snapshot
+//! ```
+//!
+//! The `host_cores` field records how much hardware parallelism the machine
+//! that produced the snapshot actually had: on a 1-core container the
+//! 4-thread numbers cannot beat the serial ones, and the snapshot says so
+//! rather than hiding it.
+
+use hetero_fem::assembly::{assemble_matrix, scalar_kernels, MatrixAssembly};
+use hetero_fem::dofmap::DofMap;
+use hetero_fem::element::ElementOrder;
+use hetero_linalg::csr::TripletBuilder;
+use hetero_linalg::{DistMatrix, ExchangePlan};
+use hetero_mesh::{DistributedMesh, StructuredHexMesh};
+use hetero_partition::{BlockPartitioner, Partitioner};
+use hetero_simmpi::{run_spmd, ClusterTopology, ComputeModel, NetworkModel, SpmdConfig};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Median of `samples` timings of `iters` calls each, in ns per call. One
+/// untimed warm-up call populates caches (and, for cached assembly, the
+/// symbolic structure).
+fn median_ns(samples: usize, iters: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut xs: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+/// Triplet stream of the 7-point stencil on an `n^3` grid plus its values
+/// in insertion order.
+fn laplacian_triplets(n: usize) -> (TripletBuilder, Vec<f64>) {
+    let total = n * n * n;
+    let id = |i: usize, j: usize, k: usize| i + n * (j + n * k);
+    let mut b = TripletBuilder::with_capacity(total, total, 7 * total);
+    let mut vals = Vec::with_capacity(7 * total);
+    for k in 0..n {
+        for j in 0..n {
+            for i in 0..n {
+                let r = id(i, j, k);
+                let mut add = |c: usize, v: f64| {
+                    b.add(r, c, v);
+                    vals.push(v);
+                };
+                add(r, 6.0);
+                if i > 0 {
+                    add(id(i - 1, j, k), -1.0);
+                }
+                if i + 1 < n {
+                    add(id(i + 1, j, k), -1.0);
+                }
+                if j > 0 {
+                    add(id(i, j - 1, k), -1.0);
+                }
+                if j + 1 < n {
+                    add(id(i, j + 1, k), -1.0);
+                }
+                if k > 0 {
+                    add(id(i, j, k - 1), -1.0);
+                }
+                if k + 1 < n {
+                    add(id(i, j, k + 1), -1.0);
+                }
+            }
+        }
+    }
+    (b, vals)
+}
+
+struct AssemblyTimes {
+    from_scratch: f64,
+    reuse_1t: f64,
+    reuse_4t: f64,
+}
+
+/// Times Q2 system assembly on an `n^3`-cell mesh inside one simulated
+/// rank, the way the BDF2 loops drive it every time step.
+fn time_assembly(n: usize) -> AssemblyTimes {
+    let cfg = SpmdConfig {
+        size: 1,
+        topo: ClusterTopology::uniform(1, 1),
+        net: NetworkModel::ideal(),
+        compute: ComputeModel::new(1e9, 4e9),
+        seed: 0,
+    };
+    let mesh = StructuredHexMesh::unit_cube(n);
+    let assignment = Arc::new(BlockPartitioner.partition(&mesh, 1));
+    run_spmd(cfg, move |comm| {
+        let dmesh = DistributedMesh::new(mesh.clone(), Arc::clone(&assignment), 0, 1);
+        let dm = DofMap::build(&dmesh, ElementOrder::Q2, comm);
+        let kern = scalar_kernels(ElementOrder::Q2, mesh.cell_size());
+        let cell = |_i: usize, out: &mut [f64]| out.copy_from_slice(&kern.stiffness);
+
+        let from_scratch = median_ns(9, 2, || {
+            black_box(assemble_matrix(&dm, &dm, comm, 2, cell));
+        });
+
+        let mut asm = MatrixAssembly::new(2);
+        let reuse_1t = median_ns(9, 2, || {
+            black_box(asm.assemble(&dm, &dm, comm, cell));
+        });
+
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .expect("the vendored pool builder cannot fail");
+        let mut asm4 = MatrixAssembly::new(2);
+        let reuse_4t = pool.install(|| {
+            median_ns(9, 2, || {
+                black_box(asm4.assemble(&dm, &dm, comm, cell));
+            })
+        });
+
+        AssemblyTimes {
+            from_scratch,
+            reuse_1t,
+            reuse_4t,
+        }
+    })
+    .pop()
+    .expect("one rank was launched")
+    .value
+}
+
+fn main() {
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    // Per-time-step system assembly, Q2 on 6^3 = 216 cells.
+    let asm = time_assembly(6);
+
+    // Symbolic/numeric rebuild split on an 8000-row stencil matrix. `build`
+    // consumes the builder, so the from-scratch path must clone the triplet
+    // stream first; the clone is timed separately and subtracted.
+    let (builder, vals) = laplacian_triplets(20);
+    let pattern = builder.symbolic();
+    let clone_ns = median_ns(9, 4, || {
+        black_box(builder.clone());
+    });
+    let build_incl_clone_ns = median_ns(9, 4, || {
+        black_box(builder.clone().build());
+    });
+    let numeric_ns = median_ns(9, 4, || {
+        black_box(pattern.numeric(black_box(&vals)));
+    });
+    let build_ns = (build_incl_clone_ns - clone_ns).max(1.0);
+
+    // SpMV at explicit pool sizes, 32^3 rows.
+    let (b32, _) = laplacian_triplets(32);
+    let a = DistMatrix::new(b32.build(), ExchangePlan::empty());
+    let x = vec![1.0f64; a.n_local()];
+    let mut y = vec![0.0f64; a.n_owned()];
+    let mut spmv_at = |threads: usize| {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("the vendored pool builder cannot fail");
+        pool.install(|| {
+            median_ns(9, 8, || {
+                a.local().spmv(black_box(&x), &mut y);
+            })
+        })
+    };
+    let spmv_1t = spmv_at(1);
+    let spmv_4t = spmv_at(4);
+
+    let report = serde_json::json!({
+        "schema": "hetero-hpc/bench-kernels/v1",
+        "host_cores": host_cores,
+        "note": "median ns/op; thread-scaling entries can only show a speedup when host_cores > 1",
+        "assembly_q2_216cells": serde_json::json!({
+            "from_scratch_ns": asm.from_scratch,
+            "symbolic_reuse_1thread_ns": asm.reuse_1t,
+            "symbolic_reuse_4threads_ns": asm.reuse_4t,
+            "per_step_speedup_4threads": asm.from_scratch / asm.reuse_4t,
+            "thread_scaling_4_over_1": asm.reuse_1t / asm.reuse_4t,
+        }),
+        "matrix_rebuild_8000rows": serde_json::json!({
+            "triplet_build_ns": build_ns,
+            "symbolic_numeric_ns": numeric_ns,
+            "rebuild_speedup": build_ns / numeric_ns,
+        }),
+        "spmv_32768rows": serde_json::json!({
+            "pool_1thread_ns": spmv_1t,
+            "pool_4threads_ns": spmv_4t,
+            "thread_scaling_4_over_1": spmv_1t / spmv_4t,
+        }),
+    });
+    let text = serde_json::to_string_pretty(&report).expect("the report is a finite JSON tree");
+    std::fs::write("BENCH_kernels.json", &text).expect("writing BENCH_kernels.json");
+    println!("{text}");
+}

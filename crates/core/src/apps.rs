@@ -37,7 +37,11 @@ impl App {
 
     /// A cheap configuration for tests: order-1 RD.
     pub fn smoke_rd(steps: usize) -> App {
-        App::Rd(RdConfig { order: ElementOrder::Q1, steps, ..RdConfig::default() })
+        App::Rd(RdConfig {
+            order: ElementOrder::Q1,
+            steps,
+            ..RdConfig::default()
+        })
     }
 
     /// Display name ("RD" / "NS").

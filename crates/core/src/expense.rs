@@ -40,8 +40,7 @@ impl ExpenseFactor {
     /// Total dollars to run a campaign of `iterations` iterations,
     /// amortizing provisioning effort at `rate_per_hour`.
     pub fn campaign_dollars(&self, iterations: usize, rate_per_hour: f64) -> f64 {
-        self.provisioning_hours * rate_per_hour
-            + self.dollars_per_iteration * iterations as f64
+        self.provisioning_hours * rate_per_hour + self.dollars_per_iteration * iterations as f64
     }
 
     /// Total seconds from deciding to run to having `iterations` results
@@ -72,7 +71,10 @@ pub fn characterize(
     per_rank_axis: usize,
     seed: u64,
 ) -> Result<ExpenseFactor, LimitViolation> {
-    let req = RunRequest { seed, ..RunRequest::new(platform.clone(), app, ranks, per_rank_axis) };
+    let req = RunRequest {
+        seed,
+        ..RunRequest::new(platform.clone(), app, ranks, per_rank_axis)
+    };
     let outcome = execute(&req)?;
     let provisioning_hours = environment_of(&platform.key)
         .and_then(|env| plan(&env).ok())

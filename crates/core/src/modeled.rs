@@ -62,7 +62,11 @@ fn space_info(layout: &BlockLayout, rank: usize, order: ElementOrder, ranks: usi
     let global = ((q * nx + 1) * (q * ny + 1) * (q * nz + 1)) as f64;
     let n_owned = global / ranks as f64;
     let nnz = n_owned * profile::stencil_nnz_per_row(order);
-    SpaceInfo { neighbors, n_owned, nnz }
+    SpaceInfo {
+        neighbors,
+        n_owned,
+        nnz,
+    }
 }
 
 /// The rank whose halo footprint is largest (ties to the lowest id).
@@ -116,7 +120,11 @@ impl Replay {
             .iter()
             .map(|&(peer, shared)| VirtualMsg {
                 peer,
-                bytes: if peer > self.rank { shared as f64 * entry_bytes } else { 64.0 },
+                bytes: if peer > self.rank {
+                    shared as f64 * entry_bytes
+                } else {
+                    64.0
+                },
                 same_node: self.topo.same_node(peer, self.rank),
                 same_group: self.topo.same_group(peer, self.rank),
             })
@@ -149,7 +157,11 @@ impl Replay {
 /// Replays one RD time step; returns its phase times.
 fn rd_step(r: &mut Replay, s: &Spaces, cfg: &RdConfig) -> PhaseTimes {
     let order = cfg.order;
-    let info = if order == ElementOrder::Q2 { &s.q2 } else { &s.q1 };
+    let info = if order == ElementOrder::Q2 {
+        &s.q2
+    } else {
+        &s.q1
+    };
     let cells = s.cells as f64;
     let start = r.v.clock();
 
@@ -212,8 +224,8 @@ fn ns_step(r: &mut Replay, s: &Spaces, _cfg: &NsConfig) -> PhaseTimes {
     // Assembly: extrapolation, momentum operator (mass+stiffness+convection),
     // pressure Laplacian, three right-hand sides, multi-component Dirichlet.
     r.axpy(3.0 * v_info.n_owned); // w extrapolation (3 components)
-    // 8 operator terms: the monolithic vector-system assembly cost charged
-    // by `hetero_fem::ns` (must stay in lockstep with it).
+                                  // 8 operator terms: the monolithic vector-system assembly cost charged
+                                  // by `hetero_fem::ns` (must stay in lockstep with it).
     r.v.compute(profile::assembly_matrix_work(ElementOrder::Q2, ElementOrder::Q2, 8) * cells);
     r.ship(v_info, 24.0 * 27.0);
     r.v.compute(profile::assembly_matrix_work(ElementOrder::Q1, ElementOrder::Q1, 1) * cells);
@@ -221,7 +233,7 @@ fn ns_step(r: &mut Replay, s: &Spaces, _cfg: &NsConfig) -> PhaseTimes {
     for _ in 0..3 {
         r.axpy(2.0 * v_info.n_owned); // history combination
         r.spmv(v_info); // mass * history
-        // grad * pressure: pressure-space halo + rectangular spmv.
+                        // grad * pressure: pressure-space halo + rectangular spmv.
         r.halo(p_info);
         r.v.compute(Work::new(2.0 * nnz_grad, 20.0 * nnz_grad));
         r.axpy(v_info.n_owned);
@@ -232,7 +244,10 @@ fn ns_step(r: &mut Replay, s: &Spaces, _cfg: &NsConfig) -> PhaseTimes {
     // Preconditioners: Jacobi on the momentum block, ILU(0) on the
     // pressure Poisson.
     r.v.compute(Work::new(v_info.n_owned, 16.0 * v_info.n_owned));
-    r.v.compute(Work::new(5.0 * p_info.nnz + p_info.n_owned, 24.0 * p_info.nnz));
+    r.v.compute(Work::new(
+        5.0 * p_info.nnz + p_info.n_owned,
+        24.0 * p_info.nnz,
+    ));
     let t_precond = r.v.clock();
 
     // Solve: 3 x BiCGStab (2 SpMV per iteration) + pressure CG + projection.
@@ -375,7 +390,8 @@ pub fn run_modeled_sized(
     let krylov_iters = match app {
         App::Rd(_) => profile::rd_cg_iters(spaces.n_axis),
         App::Ns(_) => {
-            3 * profile::ns_velocity_iters(spaces.n_axis) + profile::ns_pressure_iters(spaces.n_axis)
+            3 * profile::ns_velocity_iters(spaces.n_axis)
+                + profile::ns_pressure_iters(spaces.n_axis)
         }
     };
 
@@ -394,7 +410,15 @@ mod tests {
 
     fn run_on(platform: &hetero_platform::PlatformSpec, app: &App, ranks: usize) -> ModeledRun {
         let topo = platform.topology(ranks);
-        run_modeled(app, ranks, 20, &topo, &platform.network, platform.compute, 42)
+        run_modeled(
+            app,
+            ranks,
+            20,
+            &topo,
+            &platform.network,
+            platform.compute,
+            42,
+        )
     }
 
     #[test]

@@ -40,9 +40,9 @@ pub fn render_weak_scaling(table: &WeakScalingTable) -> String {
                 )),
                 Err(e) => {
                     let reason = match e {
-                        hetero_platform::limits::LimitViolation::InsufficientCapacity { .. } => {
-                            "— (capacity)"
-                        }
+                        hetero_platform::limits::LimitViolation::InsufficientCapacity {
+                            ..
+                        } => "— (capacity)",
                         hetero_platform::limits::LimitViolation::LauncherFailure { .. } => {
                             "— (mpiexec launch failed)"
                         }
@@ -62,7 +62,8 @@ pub fn render_weak_scaling(table: &WeakScalingTable) -> String {
 /// Renders a weak-scaling figure as CSV
 /// (`app,ranks,platform,assembly,precond,solve,total,cost,status`).
 pub fn weak_scaling_csv(table: &WeakScalingTable) -> String {
-    let mut out = String::from("app,ranks,platform,assembly_s,precond_s,solve_s,total_s,cost_usd,status\n");
+    let mut out =
+        String::from("app,ranks,platform,assembly_s,precond_s,solve_s,total_s,cost_usd,status\n");
     for row in &table.rows {
         for (key, cell) in &row.cells {
             match cell {
@@ -90,13 +91,23 @@ pub fn weak_scaling_csv(table: &WeakScalingTable) -> String {
 /// Renders Table II in the paper's layout.
 pub fn render_table2(rows: &[Table2Row]) -> String {
     let mut out = String::new();
-    out.push_str("Table II: EC2 cc2.8xlarge assemblies, full (single placement group, on-demand)\n");
+    out.push_str(
+        "Table II: EC2 cc2.8xlarge assemblies, full (single placement group, on-demand)\n",
+    );
     out.push_str("vs mix (spot requests over 4 placement groups + on-demand top-up)\n\n");
-    out.push_str("  #mpi    #  |  full: time[s]  real cost[$] |  mix: time[s]  est. cost[$]  (spot nodes)\n");
+    out.push_str(
+        "  #mpi    #  |  full: time[s]  real cost[$] |  mix: time[s]  est. cost[$]  (spot nodes)\n",
+    );
     for r in rows {
         out.push_str(&format!(
             "{:>6} {:>4}  | {:>14.2} {:>13.4} | {:>13.2} {:>13.4}  ({})\n",
-            r.ranks, r.nodes, r.full_time, r.full_cost, r.mix_time, r.mix_est_cost, r.mix_spot_nodes
+            r.ranks,
+            r.nodes,
+            r.full_time,
+            r.full_cost,
+            r.mix_time,
+            r.mix_est_cost,
+            r.mix_spot_nodes
         ));
     }
     out
@@ -111,8 +122,10 @@ pub fn render_cost_curves(app: &str, curves: &[CostCurve]) -> String {
     }
     out.push('\n');
     // Collect the union of rank counts.
-    let mut all_ranks: Vec<usize> =
-        curves.iter().flat_map(|c| c.points.iter().map(|&(r, _)| r)).collect();
+    let mut all_ranks: Vec<usize> = curves
+        .iter()
+        .flat_map(|c| c.points.iter().map(|&(r, _)| r))
+        .collect();
     all_ranks.sort_unstable();
     all_ranks.dedup();
     for ranks in all_ranks {
@@ -149,11 +162,17 @@ pub fn render_table1(t: &Table1) -> String {
     ));
     out.push_str(&row(
         "cores/node",
-        t.platforms.iter().map(|p| p.cores_per_node.to_string()).collect(),
+        t.platforms
+            .iter()
+            .map(|p| p.cores_per_node.to_string())
+            .collect(),
     ));
     out.push_str(&row(
         "RAM/core",
-        t.platforms.iter().map(|p| format!("{} GiB", p.ram_per_core_gib)).collect(),
+        t.platforms
+            .iter()
+            .map(|p| format!("{} GiB", p.ram_per_core_gib))
+            .collect(),
     ));
     out.push_str(&row(
         "network",
@@ -182,7 +201,10 @@ pub fn render_table1(t: &Table1) -> String {
     ));
     out.push_str(&row(
         "execution",
-        t.platforms.iter().map(|p| p.scheduler.name().to_string()).collect(),
+        t.platforms
+            .iter()
+            .map(|p| p.scheduler.name().to_string())
+            .collect(),
     ));
     out.push_str(&row(
         "cost",
@@ -212,8 +234,10 @@ pub fn render_table1(t: &Table1) -> String {
 
 /// Serializes a weak-scaling table to JSON (for EXPERIMENTS.md artifacts).
 pub fn weak_scaling_json(table: &WeakScalingTable) -> serde_json::Value {
-    let platforms: Vec<String> =
-        catalog::all_platforms().into_iter().map(|p| p.key).collect();
+    let platforms: Vec<String> = catalog::all_platforms()
+        .into_iter()
+        .map(|p| p.key)
+        .collect();
     serde_json::json!({
         "app": table.app,
         "platforms": platforms,

@@ -44,6 +44,11 @@ pub struct RunRequest {
     pub seed: u64,
     /// Warm-up iterations discarded from averages (the paper discards 5).
     pub discard: usize,
+    /// Intra-rank threads for the numerical engine's kernels (assembly,
+    /// SpMV, reductions, preconditioner sweeps). The fixed-chunk
+    /// parallelism is bitwise deterministic, so the computed report is
+    /// identical at any value; only host wall time changes.
+    pub threads_per_rank: usize,
     /// Engine selection.
     pub fidelity: Fidelity,
     /// Replaces the platform's default topology (placement-group fleets).
@@ -62,6 +67,7 @@ impl RunRequest {
             per_rank_axis,
             seed: 2012,
             discard: 0,
+            threads_per_rank: 1,
             fidelity: Fidelity::Auto,
             topology_override: None,
             cost_override: None,
@@ -134,7 +140,10 @@ pub fn execute(req: &RunRequest) -> Result<RunOutcome, LimitViolation> {
         .topology_override
         .clone()
         .unwrap_or_else(|| req.platform.topology(req.ranks));
-    assert!(topo.total_cores() >= req.ranks, "override topology too small");
+    assert!(
+        topo.total_cores() >= req.ranks,
+        "override topology too small"
+    );
 
     // Traffic estimate from a one-step modeled probe (cheap, closed form).
     let probe = run_modeled(
@@ -146,10 +155,14 @@ pub fn execute(req: &RunRequest) -> Result<RunOutcome, LimitViolation> {
         req.platform.compute,
         req.seed,
     );
-    req.platform.check_limits(req.ranks, probe.bytes_per_iteration)?;
+    req.platform
+        .check_limits(req.ranks, probe.bytes_per_iteration)?;
 
     let fidelity = resolve_fidelity(req);
-    let cost_model = req.cost_override.clone().unwrap_or_else(|| req.platform.cost.clone());
+    let cost_model = req
+        .cost_override
+        .clone()
+        .unwrap_or_else(|| req.platform.cost.clone());
     let nodes = topo.nodes_for_ranks(req.ranks);
     let queue_wait_seconds = req.platform.queue_wait(req.ranks, req.seed);
 
@@ -191,7 +204,10 @@ pub fn execute(req: &RunRequest) -> Result<RunOutcome, LimitViolation> {
 
 type NumericalResult = (PhaseTimes, f64, Option<Verification>, f64);
 
-fn run_numerical(req: &RunRequest, topo: ClusterTopology) -> Result<NumericalResult, LimitViolation> {
+fn run_numerical(
+    req: &RunRequest,
+    topo: ClusterTopology,
+) -> Result<NumericalResult, LimitViolation> {
     let factors = near_cubic_factors(req.ranks);
     let cells = (
         factors.0 * req.per_rank_axis,
@@ -225,33 +241,46 @@ fn run_numerical(req: &RunRequest, topo: ClusterTopology) -> Result<NumericalRes
         bytes: f64,
     }
 
+    // One logical pool shared by all ranks; `install` binds the thread
+    // count on each rank's own OS thread, so it must run inside the rank
+    // closure.
+    let pool = Arc::new(
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(req.threads_per_rank.max(1))
+            .build()
+            .expect("the vendored pool builder cannot fail"),
+    );
+
     let results = run_spmd(cfg, move |comm| {
-        let dmesh = DistributedMesh::new(mesh.clone(), Arc::clone(&assignment), comm.rank(), ranks);
-        match &app {
-            App::Rd(c) => {
-                let r = solve_rd(&dmesh, c, comm);
-                RankOut {
-                    iterations: r.iterations,
-                    kiters: r.krylov_iters.iter().sum::<usize>() as f64
-                        / r.krylov_iters.len() as f64,
-                    linf: r.linf_error,
-                    l2: r.l2_error,
-                    bytes: comm.stats().bytes_received,
+        pool.install(|| {
+            let dmesh =
+                DistributedMesh::new(mesh.clone(), Arc::clone(&assignment), comm.rank(), ranks);
+            match &app {
+                App::Rd(c) => {
+                    let r = solve_rd(&dmesh, c, comm);
+                    RankOut {
+                        iterations: r.iterations,
+                        kiters: r.krylov_iters.iter().sum::<usize>() as f64
+                            / r.krylov_iters.len() as f64,
+                        linf: r.linf_error,
+                        l2: r.l2_error,
+                        bytes: comm.stats().bytes_received,
+                    }
+                }
+                App::Ns(c) => {
+                    let r = solve_ns(&dmesh, c, comm);
+                    let total_k: usize =
+                        r.vel_iters.iter().sum::<usize>() + r.p_iters.iter().sum::<usize>();
+                    RankOut {
+                        iterations: r.iterations,
+                        kiters: total_k as f64 / r.vel_iters.len() as f64,
+                        linf: r.vel_linf_error,
+                        l2: r.vel_l2_error,
+                        bytes: comm.stats().bytes_received,
+                    }
                 }
             }
-            App::Ns(c) => {
-                let r = solve_ns(&dmesh, c, comm);
-                let total_k: usize =
-                    r.vel_iters.iter().sum::<usize>() + r.p_iters.iter().sum::<usize>();
-                RankOut {
-                    iterations: r.iterations,
-                    kiters: total_k as f64 / r.vel_iters.len() as f64,
-                    linf: r.vel_linf_error,
-                    l2: r.vel_l2_error,
-                    bytes: comm.stats().bytes_received,
-                }
-            }
-        }
+        })
     });
 
     // Critical-rank reduction: per-iteration max across ranks.
@@ -264,8 +293,10 @@ fn run_numerical(req: &RunRequest, topo: ClusterTopology) -> Result<NumericalRes
     }
     let phases = summarize(&per_iter, req.discard).expect("no measurable iterations");
     let kiters = results[0].value.kiters;
-    let verification =
-        Some(Verification { linf: results[0].value.linf, l2: results[0].value.l2 });
+    let verification = Some(Verification {
+        linf: results[0].value.linf,
+        l2: results[0].value.l2,
+    });
     let bytes: f64 = results.iter().map(|r| r.value.bytes).sum::<f64>() / steps as f64;
     Ok((phases, kiters, verification, bytes))
 }
@@ -311,7 +342,10 @@ mod tests {
     #[test]
     fn ellipse_cannot_launch_729_ranks() {
         let req = RunRequest::new(catalog::ellipse(), App::paper_rd(2), 729, 20);
-        assert!(matches!(execute(&req), Err(LimitViolation::LauncherFailure { .. })));
+        assert!(matches!(
+            execute(&req),
+            Err(LimitViolation::LauncherFailure { .. })
+        ));
     }
 
     #[test]

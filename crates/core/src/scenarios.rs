@@ -98,9 +98,7 @@ impl WeakScalingTable {
     pub fn max_feasible_ranks(&self, platform: &str) -> usize {
         self.rows
             .iter()
-            .filter(|r| {
-                r.cells.iter().any(|(p, c)| p == platform && c.is_ok())
-            })
+            .filter(|r| r.cells.iter().any(|(p, c)| p == platform && c.is_ok()))
             .map(|r| r.ranks)
             .max()
             .unwrap_or(0)
@@ -126,6 +124,7 @@ fn weak_scaling(app_for: impl Fn(usize) -> App, opts: &ScenarioOptions) -> WeakS
                 per_rank_axis: opts.per_rank_axis,
                 seed: opts.seed,
                 discard: opts.discard,
+                threads_per_rank: 1,
                 fidelity: opts.fidelity,
                 topology_override: None,
                 cost_override: None,
@@ -134,7 +133,10 @@ fn weak_scaling(app_for: impl Fn(usize) -> App, opts: &ScenarioOptions) -> WeakS
         }
         rows.push(WeakScalingRow { ranks, cells });
     }
-    WeakScalingTable { app: app_name, rows }
+    WeakScalingTable {
+        app: app_name,
+        rows,
+    }
 }
 
 /// **Figure 4**: weak scaling of the RD application on the four platforms.
@@ -179,6 +181,7 @@ pub fn table2(opts: &ScenarioOptions) -> Vec<Table2Row> {
             per_rank_axis: opts.per_rank_axis,
             seed: opts.seed,
             discard: opts.discard,
+            threads_per_rank: 1,
             fidelity: opts.fidelity,
             topology_override: None,
             cost_override: None,
@@ -187,7 +190,10 @@ pub fn table2(opts: &ScenarioOptions) -> Vec<Table2Row> {
 
         let fleet = acquire_fleet(
             nodes,
-            FleetStrategy::SpotMix { groups: 4, max_bid: 1.0 },
+            FleetStrategy::SpotMix {
+                groups: 4,
+                max_bid: 1.0,
+            },
             2.40,
             opts.seed,
         );
@@ -233,7 +239,10 @@ pub fn cost_curves(table: &WeakScalingTable, opts: &ScenarioOptions) -> Vec<Cost
                 points.push((row.ranks, out.cost_per_iteration));
             }
         }
-        curves.push(CostCurve { label: platform.key.clone(), points });
+        curves.push(CostCurve {
+            label: platform.key.clone(),
+            points,
+        });
     }
     // ec2 mix: the same times priced at the actually-acquired fleet mix.
     let ec2 = catalog::ec2();
@@ -242,14 +251,20 @@ pub fn cost_curves(table: &WeakScalingTable, opts: &ScenarioOptions) -> Vec<Cost
         if let Some(out) = table.outcome(row.ranks, "ec2") {
             let fleet: FleetAllocation = acquire_fleet(
                 ec2.nodes_for(row.ranks),
-                FleetStrategy::SpotMix { groups: 4, max_bid: 1.0 },
+                FleetStrategy::SpotMix {
+                    groups: 4,
+                    max_bid: 1.0,
+                },
                 2.40,
                 opts.seed,
             );
             points.push((row.ranks, fleet.cost(out.phases.total)));
         }
     }
-    curves.push(CostCurve { label: "ec2 mix".into(), points });
+    curves.push(CostCurve {
+        label: "ec2 mix".into(),
+        points,
+    });
     curves
 }
 
@@ -313,7 +328,10 @@ pub fn strong_scaling(
             platform.compute,
             opts.seed,
         );
-        if platform.check_limits(ranks, run.bytes_per_iteration).is_err() {
+        if platform
+            .check_limits(ranks, run.bytes_per_iteration)
+            .is_err()
+        {
             break; // adapter volume limit
         }
         let phases = hetero_fem::phase::summarize(&run.iterations, opts.discard)
@@ -356,7 +374,11 @@ mod tests {
     #[test]
     fn smoke_fig4_truncates_where_the_paper_does() {
         // With max_k = 2 nothing truncates; use a modeled paper ladder.
-        let opts = ScenarioOptions { steps: 2, discard: 0, ..ScenarioOptions::paper() };
+        let opts = ScenarioOptions {
+            steps: 2,
+            discard: 0,
+            ..ScenarioOptions::paper()
+        };
         let t = fig4(&opts);
         assert_eq!(t.max_feasible_ranks("puma"), 125);
         assert_eq!(t.max_feasible_ranks("ellipse"), 512);
@@ -366,7 +388,11 @@ mod tests {
 
     #[test]
     fn table2_shape_matches_the_paper() {
-        let opts = ScenarioOptions { steps: 2, discard: 0, ..ScenarioOptions::paper() };
+        let opts = ScenarioOptions {
+            steps: 2,
+            discard: 0,
+            ..ScenarioOptions::paper()
+        };
         let rows = table2(&opts);
         assert_eq!(rows.len(), 10);
         let nodes: Vec<usize> = rows.iter().map(|r| r.nodes).collect();
@@ -374,9 +400,19 @@ mod tests {
         for r in &rows {
             // Times statistically equal; est cost ~4.4x cheaper.
             let rel = (r.mix_time - r.full_time).abs() / r.full_time;
-            assert!(rel < 0.25, "ranks {}: {} vs {}", r.ranks, r.full_time, r.mix_time);
+            assert!(
+                rel < 0.25,
+                "ranks {}: {} vs {}",
+                r.ranks,
+                r.full_time,
+                r.mix_time
+            );
             let ratio = r.full_cost / r.mix_est_cost * (r.mix_time / r.full_time);
-            assert!((3.5..=5.5).contains(&ratio), "ranks {}: cost ratio {ratio}", r.ranks);
+            assert!(
+                (3.5..=5.5).contains(&ratio),
+                "ranks {}: cost ratio {ratio}",
+                r.ranks
+            );
         }
         // Large mixes never fill from spot alone.
         assert!(rows.last().unwrap().mix_spot_nodes < 63);
@@ -384,10 +420,18 @@ mod tests {
 
     #[test]
     fn cost_curves_include_ec2_mix() {
-        let opts = ScenarioOptions { steps: 2, discard: 0, max_k: 3, ..ScenarioOptions::paper() };
+        let opts = ScenarioOptions {
+            steps: 2,
+            discard: 0,
+            max_k: 3,
+            ..ScenarioOptions::paper()
+        };
         let (_, curves) = fig6(&opts);
         let labels: Vec<&str> = curves.iter().map(|c| c.label.as_str()).collect();
-        assert_eq!(labels, vec!["puma", "ellipse", "lagrange", "ec2", "ec2 mix"]);
+        assert_eq!(
+            labels,
+            vec!["puma", "ellipse", "lagrange", "ec2", "ec2 mix"]
+        );
         // Mix is never pricier than full ec2.
         let ec2 = &curves[3];
         let mix = &curves[4];
@@ -400,13 +444,22 @@ mod tests {
     #[test]
     fn strong_scaling_speeds_up_then_saturates() {
         use hetero_platform::catalog;
-        let opts = ScenarioOptions { steps: 2, discard: 0, max_k: 8, ..ScenarioOptions::paper() };
+        let opts = ScenarioOptions {
+            steps: 2,
+            discard: 0,
+            max_k: 8,
+            ..ScenarioOptions::paper()
+        };
         let points = strong_scaling(&catalog::lagrange(), App::paper_rd, 64, &opts);
         assert!(points.len() >= 4);
         assert_eq!(points[0].ranks, 1);
         assert!((points[0].efficiency - 1.0).abs() < 1e-12);
         // Speedup is real at small scale...
-        assert!(points[1].speedup > 2.0, "speedup at 8 ranks: {}", points[1].speedup);
+        assert!(
+            points[1].speedup > 2.0,
+            "speedup at 8 ranks: {}",
+            points[1].speedup
+        );
         // ...but efficiency decays monotonically-ish with rank count.
         assert!(points.last().unwrap().efficiency < points[1].efficiency);
         // On InfiniBand the mid-range stays efficient.
@@ -417,13 +470,23 @@ mod tests {
     #[test]
     fn strong_scaling_is_worse_on_slow_fabrics() {
         use hetero_platform::catalog;
-        let opts = ScenarioOptions { steps: 2, discard: 0, max_k: 5, ..ScenarioOptions::paper() };
+        let opts = ScenarioOptions {
+            steps: 2,
+            discard: 0,
+            max_k: 5,
+            ..ScenarioOptions::paper()
+        };
         let ib = strong_scaling(&catalog::lagrange(), App::paper_rd, 40, &opts);
         let eth = strong_scaling(&catalog::ellipse(), App::paper_rd, 40, &opts);
         let eff = |pts: &[StrongScalingPoint], r: usize| {
             pts.iter().find(|p| p.ranks == r).unwrap().efficiency
         };
-        assert!(eff(&ib, 64) > eff(&eth, 64), "ib {} vs eth {}", eff(&ib, 64), eff(&eth, 64));
+        assert!(
+            eff(&ib, 64) > eff(&eth, 64),
+            "ib {} vs eth {}",
+            eff(&ib, 64),
+            eff(&eth, 64)
+        );
     }
 
     #[test]

@@ -39,19 +39,18 @@ pub struct Snapshot {
 impl Snapshot {
     /// Creates an empty snapshot header.
     pub fn new(app: &str, time: f64, step: usize) -> Self {
-        Snapshot { app: app.into(), time, step, fields: Vec::new() }
+        Snapshot {
+            app: app.into(),
+            time,
+            step,
+            fields: Vec::new(),
+        }
     }
 
     /// Gathers a distributed field onto rank 0 and appends it (collective;
     /// non-root ranks append nothing). The transfer is charged to the
     /// simulated clock like any other communication.
-    pub fn capture(
-        &mut self,
-        name: &str,
-        dm: &DofMap,
-        v: &DistVector,
-        comm: &mut SimComm,
-    ) {
+    pub fn capture(&mut self, name: &str, dm: &DofMap, v: &DistVector, comm: &mut SimComm) {
         // Interleave (global id, value) pairs; rank 0 scatters them into a
         // dense array.
         let pairs: Vec<f64> = (0..dm.n_owned())
@@ -172,7 +171,11 @@ mod tests {
     fn snapshot_header_and_lookup() {
         let mut s = Snapshot::new("NS", 0.5, 3);
         assert_eq!(s.app, "NS");
-        s.fields.push(FieldSnapshot { name: "p".into(), n_global: 8, values: vec![0.0; 8] });
+        s.fields.push(FieldSnapshot {
+            name: "p".into(),
+            n_global: 8,
+            values: vec![0.0; 8],
+        });
         assert!(s.field("p").is_some());
         assert!(s.field("q").is_none());
     }

@@ -13,10 +13,10 @@
 //!   import/export structures.
 
 use crate::element::ElementOrder;
+use hetero_linalg::{DistVector, ExchangePlan};
 use hetero_mesh::distributed::cells_touching_node;
 use hetero_mesh::{DistributedMesh, Index3, Point3};
 use hetero_simmpi::{Payload, SimComm, Work};
-use hetero_linalg::{DistVector, ExchangePlan};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Tag used by the one-time ghost-request protocol.
@@ -100,8 +100,11 @@ impl DofMap {
         let mut global_ids: Vec<usize> = owned.iter().copied().collect();
         let n_owned = global_ids.len();
         global_ids.extend(ghosts.iter().copied());
-        let global_to_local: HashMap<usize, usize> =
-            global_ids.iter().enumerate().map(|(l, &g)| (g, l)).collect();
+        let global_to_local: HashMap<usize, usize> = global_ids
+            .iter()
+            .enumerate()
+            .map(|(l, &g)| (g, l))
+            .collect();
 
         // 4. Per-dof metadata.
         let mut owners = Vec::with_capacity(global_ids.len());
@@ -127,8 +130,7 @@ impl DofMap {
             ));
         }
 
-        let cell_dofs: Vec<usize> =
-            cell_global.iter().map(|g| global_to_local[g]).collect();
+        let cell_dofs: Vec<usize> = cell_global.iter().map(|g| global_to_local[g]).collect();
 
         // 5. Exchange plan via the request protocol.
         let mut requests: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
@@ -368,8 +370,7 @@ mod tests {
         let mesh = StructuredHexMesh::unit_cube(n);
         let assignment = Arc::new(BlockPartitioner.partition(&mesh, p));
         let results = run_spmd(cfg(p), move |comm| {
-            let dmesh =
-                DistributedMesh::new(mesh.clone(), Arc::clone(&assignment), comm.rank(), p);
+            let dmesh = DistributedMesh::new(mesh.clone(), Arc::clone(&assignment), comm.rank(), p);
             let dm = DofMap::build(&dmesh, order, comm);
             f(&dm, comm)
         });
@@ -381,7 +382,13 @@ mod tests {
         for order in [ElementOrder::Q1, ElementOrder::Q2] {
             for p in [1usize, 2, 4, 8] {
                 let owned = with_dofmaps(4, p, order, |dm, _| {
-                    (dm.n_owned(), dm.n_global(), (0..dm.n_owned()).map(|l| dm.global_id(l)).collect::<Vec<_>>())
+                    (
+                        dm.n_owned(),
+                        dm.n_global(),
+                        (0..dm.n_owned())
+                            .map(|l| dm.global_id(l))
+                            .collect::<Vec<_>>(),
+                    )
                 });
                 let total: usize = owned.iter().map(|(n, _, _)| n).sum();
                 assert_eq!(total, owned[0].1, "order {order:?} p = {p}");
@@ -489,7 +496,13 @@ mod tests {
                 .neighbors
                 .iter()
                 .enumerate()
-                .map(|(i, &nb)| (nb, dm.plan().send_indices[i].len(), dm.plan().recv_indices[i].len()))
+                .map(|(i, &nb)| {
+                    (
+                        nb,
+                        dm.plan().send_indices[i].len(),
+                        dm.plan().recv_indices[i].len(),
+                    )
+                })
                 .collect::<Vec<_>>()
         });
         // For every (a -> b, send s), the matching (b -> a) entry has recv s.

@@ -98,7 +98,11 @@ impl ElementOrder {
     /// Reference-space gradient of shape function `local` at `(x, y, z)`.
     pub fn grad_shape(self, local: usize, x: f64, y: f64, z: f64) -> [f64; 3] {
         let (a, b, c) = self.node_abc(local);
-        let (na, nb, nc) = (self.shape_1d(a, x), self.shape_1d(b, y), self.shape_1d(c, z));
+        let (na, nb, nc) = (
+            self.shape_1d(a, x),
+            self.shape_1d(b, y),
+            self.shape_1d(c, z),
+        );
         [
             self.dshape_1d(a, x) * nb * nc,
             na * self.dshape_1d(b, y) * nc,
@@ -135,7 +139,10 @@ mod tests {
                     let [x, y, z] = order.node_point(j);
                     let v = order.shape(i, x, y, z);
                     let expect = if i == j { 1.0 } else { 0.0 };
-                    assert!((v - expect).abs() < 1e-14, "{order:?} N_{i} at node {j}: {v}");
+                    assert!(
+                        (v - expect).abs() < 1e-14,
+                        "{order:?} N_{i} at node {j}: {v}"
+                    );
                 }
             }
         }
@@ -145,9 +152,13 @@ mod tests {
     fn partition_of_unity() {
         for order in ORDERS {
             for &(x, y, z) in &[(0.3, 0.7, 0.1), (0.0, 0.5, 1.0), (0.25, 0.25, 0.25)] {
-                let sum: f64 =
-                    (0..order.nodes_per_element()).map(|i| order.shape(i, x, y, z)).sum();
-                assert!((sum - 1.0).abs() < 1e-13, "{order:?} at ({x},{y},{z}): {sum}");
+                let sum: f64 = (0..order.nodes_per_element())
+                    .map(|i| order.shape(i, x, y, z))
+                    .sum();
+                assert!(
+                    (sum - 1.0).abs() < 1e-13,
+                    "{order:?} at ({x},{y},{z}): {sum}"
+                );
                 // Gradients of a constant sum to zero.
                 let mut g = [0.0; 3];
                 for i in 0..order.nodes_per_element() {

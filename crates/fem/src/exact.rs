@@ -60,7 +60,11 @@ pub struct EthierSteinman {
 impl EthierSteinman {
     /// The classical parameter choice `a = pi/4`, `d = pi/2`.
     pub fn classical(nu: f64) -> Self {
-        EthierSteinman { a: std::f64::consts::FRAC_PI_4, d: std::f64::consts::FRAC_PI_2, nu }
+        EthierSteinman {
+            a: std::f64::consts::FRAC_PI_4,
+            d: std::f64::consts::FRAC_PI_2,
+            nu,
+        }
     }
 
     /// Exact velocity `[u1, u2, u3]` at `(p, t)`.
@@ -141,7 +145,10 @@ mod tests {
                 s
             };
             let residual = dudt - ex.diffusion(t) * lap + ex.reaction(t) * ex.u(p, t);
-            assert!((residual - ex.source()).abs() < 1e-4, "residual = {residual}");
+            assert!(
+                (residual - ex.source()).abs() < 1e-4,
+                "residual = {residual}"
+            );
         }
     }
 
@@ -211,11 +218,13 @@ mod tests {
                     + vel(shift(p0, d, -eps), t0, i))
                     / (eps * eps);
             }
-            let gradp =
-                (es.pressure(shift(p0, i, eps), t0) - es.pressure(shift(p0, i, -eps), t0))
-                    / (2.0 * eps);
+            let gradp = (es.pressure(shift(p0, i, eps), t0) - es.pressure(shift(p0, i, -eps), t0))
+                / (2.0 * eps);
             let residual = dudt + conv + gradp - nu * lap;
-            assert!(residual.abs() < 1e-4, "component {i}: residual = {residual}");
+            assert!(
+                residual.abs() < 1e-4,
+                "component {i}: residual = {residual}"
+            );
         }
     }
 

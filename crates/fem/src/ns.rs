@@ -22,15 +22,15 @@
 //! platform.
 
 use crate::assembly::{
-    assemble_matrix, assemble_vector, constrain_system, constrain_system_multi,
-    gradient_kernel, scalar_kernels,
+    assemble_matrix, assemble_vector, constrain_system, constrain_system_multi, gradient_kernel,
+    scalar_kernels, MatrixAssembly,
 };
 use crate::bdf::BdfOrder;
 use crate::dofmap::DofMap;
 use crate::element::ElementOrder;
 use crate::exact::EthierSteinman;
 use crate::phase::{PhaseRecorder, PhaseTimes};
-use crate::quadrature::GaussRule3d;
+use crate::quadrature::{GaussRule3d, ShapeTable};
 use crate::rd::PrecondKind;
 use hetero_linalg::solver::{bicgstab, cg, gmres, SolveOptions};
 use hetero_linalg::DistVector;
@@ -96,8 +96,16 @@ impl Default for NsConfig {
             momentum_solver: MomentumSolver::BiCgStab,
             precond_vel: PrecondKind::Jacobi,
             precond_p: PrecondKind::Ssor,
-            solve_vel: SolveOptions { rel_tol: 1e-9, abs_tol: 1e-13, max_iters: 400 },
-            solve_p: SolveOptions { rel_tol: 1e-9, abs_tol: 1e-13, max_iters: 800 },
+            solve_vel: SolveOptions {
+                rel_tol: 1e-9,
+                abs_tol: 1e-13,
+                max_iters: 400,
+            },
+            solve_p: SolveOptions {
+                rel_tol: 1e-9,
+                abs_tol: 1e-13,
+                max_iters: 800,
+            },
         }
     }
 }
@@ -141,8 +149,9 @@ pub fn solve_ns(dmesh: &DistributedMesh, cfg: &NsConfig, comm: &mut SimComm) -> 
     let _npe_p = cfg.p_order.nodes_per_element();
 
     // Constant operators, assembled once.
-    let mass_v =
-        assemble_matrix(&vmap, &vmap, comm, 1, |_i, out| out.copy_from_slice(&kern_v.mass));
+    let mass_v = assemble_matrix(&vmap, &vmap, comm, 1, |_i, out| {
+        out.copy_from_slice(&kern_v.mass)
+    });
     let grad: Vec<_> = (0..3)
         .map(|d| {
             let gk = gradient_kernel(cfg.vel_order, cfg.p_order, d, h);
@@ -161,15 +170,7 @@ pub fn solve_ns(dmesh: &DistributedMesh, cfg: &NsConfig, comm: &mut SimComm) -> 
     // Quadrature tables for the convection kernel.
     let rule = GaussRule3d::new(cfg.vel_order.quadrature_points_per_axis());
     let nq = rule.len();
-    let mut shapes = vec![0.0; nq * npe_v];
-    let mut grads = vec![[0.0f64; 3]; nq * npe_v];
-    for (qi, qp) in rule.points.iter().enumerate() {
-        for a in 0..npe_v {
-            shapes[qi * npe_v + a] = cfg.vel_order.shape(a, qp[0], qp[1], qp[2]);
-            let g = cfg.vel_order.grad_shape(a, qp[0], qp[1], qp[2]);
-            grads[qi * npe_v + a] = [g[0] / h.x, g[1] / h.y, g[2] / h.z];
-        }
-    }
+    let tab_v = ShapeTable::new(cfg.vel_order, &rule, h);
     let vol = h.x * h.y * h.z;
 
     // Velocity history [newest, older], each 3 components; pressure state.
@@ -196,6 +197,10 @@ pub fn solve_ns(dmesh: &DistributedMesh, cfg: &NsConfig, comm: &mut SimComm) -> 
     let mut iterations = Vec::with_capacity(cfg.steps);
     let mut vel_iters = Vec::with_capacity(cfg.steps);
     let mut p_iters = Vec::with_capacity(cfg.steps);
+    // Both per-step operators keep a fixed sparsity structure: cache the
+    // symbolic phase and only re-scatter values each step.
+    let mut momentum_asm = MatrixAssembly::new(8);
+    let mut pressure_asm = MatrixAssembly::new(1);
 
     for step in 1..=cfg.steps {
         let t = cfg.t0 + step as f64 * cfg.dt;
@@ -224,8 +229,11 @@ pub fn solve_ns(dmesh: &DistributedMesh, cfg: &NsConfig, comm: &mut SimComm) -> 
         // plus the gradient/divergence coupling — even though the projection
         // scheme shares one scalar block across components.
         let m_coeff = cfg.rho * alpha / cfg.dt;
-        let mut a_v = assemble_matrix(&vmap, &vmap, comm, 8, |i, out| {
-            for (o, (m, k)) in out.iter_mut().zip(kern_v.mass.iter().zip(&kern_v.stiffness)) {
+        let mut a_v = momentum_asm.assemble(&vmap, &vmap, comm, |i, out| {
+            for (o, (m, k)) in out
+                .iter_mut()
+                .zip(kern_v.mass.iter().zip(&kern_v.stiffness))
+            {
                 *o = m_coeff * m + cfg.mu * k;
             }
             // Convection: C[a][b] += rho * int (w . grad phi_b) phi_a.
@@ -235,16 +243,16 @@ pub fn solve_ns(dmesh: &DistributedMesh, cfg: &NsConfig, comm: &mut SimComm) -> 
                 // w at this quadrature point.
                 let mut wvec = [0.0f64; 3];
                 for (a, &dof) in dofs.iter().enumerate() {
-                    let s = shapes[qi * npe_v + a];
+                    let s = tab_v.shape(qi, a);
                     wvec[0] += w[0][dof] * s;
                     wvec[1] += w[1][dof] * s;
                     wvec[2] += w[2][dof] * s;
                 }
                 for a in 0..npe_v {
-                    let sa = shapes[qi * npe_v + a];
+                    let sa = tab_v.shape(qi, a);
                     let coeff = cfg.rho * wq * sa;
                     for b in 0..npe_v {
-                        let gb = grads[qi * npe_v + b];
+                        let gb = tab_v.grad(qi, b);
                         out[a * npe_v + b] +=
                             coeff * (wvec[0] * gb[0] + wvec[1] * gb[1] + wvec[2] * gb[2]);
                     }
@@ -254,7 +262,7 @@ pub fn solve_ns(dmesh: &DistributedMesh, cfg: &NsConfig, comm: &mut SimComm) -> 
 
         // Pressure Laplacian (assembled per step, as a general-coefficient
         // code would; values are constant here).
-        let mut l_p = assemble_matrix(&pmap, &pmap, comm, 1, |_i, out| {
+        let mut l_p = pressure_asm.assemble(&pmap, &pmap, comm, |_i, out| {
             out.copy_from_slice(&kern_p.stiffness);
         });
 
@@ -318,11 +326,20 @@ pub fn solve_ns(dmesh: &DistributedMesh, cfg: &NsConfig, comm: &mut SimComm) -> 
                 MomentumSolver::BiCgStab => {
                     bicgstab(&a_v, rhs_i, &mut x, pre_v.as_ref(), cfg.solve_vel, comm)
                 }
-                MomentumSolver::Gmres { restart } => {
-                    gmres(&a_v, rhs_i, &mut x, pre_v.as_ref(), restart, cfg.solve_vel, comm)
-                }
+                MomentumSolver::Gmres { restart } => gmres(
+                    &a_v,
+                    rhs_i,
+                    &mut x,
+                    pre_v.as_ref(),
+                    restart,
+                    cfg.solve_vel,
+                    comm,
+                ),
             };
-            assert!(stats.converged, "NS momentum solve {i} failed at step {step}: {stats:?}");
+            assert!(
+                stats.converged,
+                "NS momentum solve {i} failed at step {step}: {stats:?}"
+            );
             vits += stats.iterations;
             ustar.push(x);
         }
@@ -349,7 +366,10 @@ pub fn solve_ns(dmesh: &DistributedMesh, cfg: &NsConfig, comm: &mut SimComm) -> 
         let pre_p = cfg.precond_p.build(&l_p, comm);
         let mut phi = pmap.new_vector();
         let stats_p = cg(&l_p, &rhs_p, &mut phi, pre_p.as_ref(), cfg.solve_p, comm);
-        assert!(stats_p.converged, "NS pressure solve failed at step {step}: {stats_p:?}");
+        assert!(
+            stats_p.converged,
+            "NS pressure solve failed at step {step}: {stats_p:?}"
+        );
 
         // Correction: u^n = u* - dt/(rho alpha) Ml^{-1} G phi; p += phi.
         let corr = cfg.dt / (cfg.rho * alpha);
@@ -436,8 +456,7 @@ mod tests {
         let mesh = StructuredHexMesh::unit_cube(n);
         let assignment = Arc::new(BlockPartitioner.partition(&mesh, p));
         run_spmd(cfg(p), move |comm| {
-            let dmesh =
-                DistributedMesh::new(mesh.clone(), Arc::clone(&assignment), comm.rank(), p);
+            let dmesh = DistributedMesh::new(mesh.clone(), Arc::clone(&assignment), comm.rank(), p);
             solve_ns(&dmesh, &ns_cfg, comm)
         })
         .into_iter()
@@ -449,18 +468,44 @@ mod tests {
     fn ns_tracks_the_exact_solution() {
         // Short run on a coarse mesh: the velocity error must stay small
         // relative to the O(1) velocity magnitudes.
-        let r = run_ns(3, 1, NsConfig { steps: 4, ..NsConfig::default() });
+        let r = run_ns(
+            3,
+            1,
+            NsConfig {
+                steps: 4,
+                ..NsConfig::default()
+            },
+        );
         assert!(r[0].vel_linf_error < 0.05, "linf = {}", r[0].vel_linf_error);
         assert_eq!(r[0].iterations.len(), 4);
     }
 
     #[test]
     fn distributed_matches_serial() {
-        let serial = run_ns(3, 1, NsConfig { steps: 3, ..NsConfig::default() });
-        let dist = run_ns(3, 8, NsConfig { steps: 3, ..NsConfig::default() });
+        let serial = run_ns(
+            3,
+            1,
+            NsConfig {
+                steps: 3,
+                ..NsConfig::default()
+            },
+        );
+        let dist = run_ns(
+            3,
+            8,
+            NsConfig {
+                steps: 3,
+                ..NsConfig::default()
+            },
+        );
         let rel = (serial[0].vel_l2_error - dist[0].vel_l2_error).abs()
             / serial[0].vel_l2_error.max(1e-30);
-        assert!(rel < 1e-5, "serial {} vs dist {}", serial[0].vel_l2_error, dist[0].vel_l2_error);
+        assert!(
+            rel < 1e-5,
+            "serial {} vs dist {}",
+            serial[0].vel_l2_error,
+            dist[0].vel_l2_error
+        );
         for r in &dist {
             assert!((r.vel_l2_error - dist[0].vel_l2_error).abs() < 1e-14);
         }
@@ -472,7 +517,12 @@ mod tests {
         // so the temporal error dominates the coarse mesh's spatial floor;
         // same final time, quartered step.
         let e = |dt: f64, steps: usize| -> f64 {
-            let cfg = NsConfig { dt, steps, mu: 1.5, ..NsConfig::default() };
+            let cfg = NsConfig {
+                dt,
+                steps,
+                mu: 1.5,
+                ..NsConfig::default()
+            };
             run_ns(2, 1, cfg)[0].vel_l2_error
         };
         let coarse = e(0.2, 2);
@@ -486,10 +536,23 @@ mod tests {
         let mesh = StructuredHexMesh::unit_cube(3);
         let assignment = Arc::new(BlockPartitioner.partition(&mesh, 2));
         let r = run_spmd(cfg(2), move |comm| {
-            let dmesh =
-                DistributedMesh::new(mesh.clone(), Arc::clone(&assignment), comm.rank(), 2);
-            let rd = solve_rd(&dmesh, &RdConfig { steps: 2, ..RdConfig::default() }, comm);
-            let ns = solve_ns(&dmesh, &NsConfig { steps: 2, ..NsConfig::default() }, comm);
+            let dmesh = DistributedMesh::new(mesh.clone(), Arc::clone(&assignment), comm.rank(), 2);
+            let rd = solve_rd(
+                &dmesh,
+                &RdConfig {
+                    steps: 2,
+                    ..RdConfig::default()
+                },
+                comm,
+            );
+            let ns = solve_ns(
+                &dmesh,
+                &NsConfig {
+                    steps: 2,
+                    ..NsConfig::default()
+                },
+                comm,
+            );
             (rd.iterations[1].total, ns.iterations[1].total)
         });
         for res in &r {
@@ -501,7 +564,14 @@ mod tests {
     #[test]
     fn gmres_momentum_solver_matches_bicgstab() {
         // Both Krylov choices converge to the same velocity field.
-        let bi = run_ns(2, 1, NsConfig { steps: 2, ..NsConfig::default() });
+        let bi = run_ns(
+            2,
+            1,
+            NsConfig {
+                steps: 2,
+                ..NsConfig::default()
+            },
+        );
         let gm = run_ns(
             2,
             1,
@@ -511,15 +581,26 @@ mod tests {
                 ..NsConfig::default()
             },
         );
-        let rel = (bi[0].vel_l2_error - gm[0].vel_l2_error).abs()
-            / bi[0].vel_l2_error.max(1e-30);
-        assert!(rel < 1e-4, "bicgstab {} vs gmres {}", bi[0].vel_l2_error, gm[0].vel_l2_error);
+        let rel = (bi[0].vel_l2_error - gm[0].vel_l2_error).abs() / bi[0].vel_l2_error.max(1e-30);
+        assert!(
+            rel < 1e-4,
+            "bicgstab {} vs gmres {}",
+            bi[0].vel_l2_error,
+            gm[0].vel_l2_error
+        );
     }
 
     #[test]
     fn pressure_solve_iterations_grow_with_resolution() {
         let its = |n: usize| -> usize {
-            let r = run_ns(n, 1, NsConfig { steps: 1, ..NsConfig::default() });
+            let r = run_ns(
+                n,
+                1,
+                NsConfig {
+                    steps: 1,
+                    ..NsConfig::default()
+                },
+            );
             r[0].p_iters[0]
         };
         assert!(its(4) > its(2));

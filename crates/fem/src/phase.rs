@@ -67,7 +67,11 @@ pub struct PhaseRecorder {
 impl PhaseRecorder {
     /// Starts recording at virtual time `clock`.
     pub fn start(clock: f64) -> Self {
-        PhaseRecorder { start: clock, last: clock, times: PhaseTimes::default() }
+        PhaseRecorder {
+            start: clock,
+            last: clock,
+            times: PhaseTimes::default(),
+        }
     }
 
     /// Marks the end of the assembly phase.
@@ -102,7 +106,9 @@ pub fn summarize(iterations: &[PhaseTimes], discard: usize) -> Option<PhaseTimes
     if kept.is_empty() {
         return None;
     }
-    let sum = kept.iter().fold(PhaseTimes::default(), |acc, &t| acc.add(t));
+    let sum = kept
+        .iter()
+        .fold(PhaseTimes::default(), |acc, &t| acc.add(t));
     Some(sum.scale(1.0 / kept.len() as f64))
 }
 
@@ -111,7 +117,12 @@ mod tests {
     use super::*;
 
     fn pt(a: f64, p: f64, s: f64, t: f64) -> PhaseTimes {
-        PhaseTimes { assembly: a, precond: p, solve: s, total: t }
+        PhaseTimes {
+            assembly: a,
+            precond: p,
+            solve: s,
+            total: t,
+        }
     }
 
     #[test]

@@ -1,4 +1,9 @@
-//! Tensor-product Gauss–Legendre quadrature on the unit cube.
+//! Tensor-product Gauss–Legendre quadrature on the unit cube, plus
+//! precomputed shape-function tabulations ([`ShapeTable`]) that let the
+//! assembly hot loops run allocation-free.
+
+use crate::element::ElementOrder;
+use hetero_mesh::Point3;
 
 /// Gauss–Legendre nodes and weights on `[0, 1]`.
 ///
@@ -93,7 +98,85 @@ impl GaussRule3d {
 
     /// Integrates `f` over the unit cube.
     pub fn integrate<F: FnMut([f64; 3]) -> f64>(&self, mut f: F) -> f64 {
-        self.points.iter().zip(&self.weights).map(|(&p, &w)| w * f(p)).sum()
+        self.points
+            .iter()
+            .zip(&self.weights)
+            .map(|(&p, &w)| w * f(p))
+            .sum()
+    }
+}
+
+/// Shape functions and *physical* gradients of every basis function of one
+/// element order, tabulated at every point of a quadrature rule on a
+/// uniform brick cell of size `h`.
+///
+/// The assembly kernels used to evaluate `ElementOrder::shape` /
+/// `grad_shape` (and allocate fresh `Vec`s) at every quadrature point of
+/// every call; tabulating once hoists both the evaluations and the
+/// allocations out of the hot loops. The tabulated values are produced by
+/// the exact same pure functions in the exact same order, so kernels built
+/// from a table are bitwise identical to the untabulated ones.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShapeTable {
+    /// Nodes per element.
+    pub npe: usize,
+    /// Quadrature points.
+    pub nqp: usize,
+    /// Quadrature weights (length `nqp`).
+    pub weights: Vec<f64>,
+    /// `shapes[q * npe + a]` = shape function `a` at point `q`.
+    shapes: Vec<f64>,
+    /// `grads[q * npe + a]` = physical gradient (reference gradient scaled
+    /// by `1/h` per axis) of shape function `a` at point `q`.
+    grads: Vec<[f64; 3]>,
+}
+
+impl ShapeTable {
+    /// Tabulates `order`'s basis at every point of `rule` on a cell of
+    /// size `h`.
+    pub fn new(order: ElementOrder, rule: &GaussRule3d, h: Point3) -> Self {
+        let npe = order.nodes_per_element();
+        let nqp = rule.len();
+        let mut shapes = Vec::with_capacity(nqp * npe);
+        let mut grads = Vec::with_capacity(nqp * npe);
+        for qp in &rule.points {
+            for a in 0..npe {
+                shapes.push(order.shape(a, qp[0], qp[1], qp[2]));
+                let g = order.grad_shape(a, qp[0], qp[1], qp[2]);
+                grads.push([g[0] / h.x, g[1] / h.y, g[2] / h.z]);
+            }
+        }
+        ShapeTable {
+            npe,
+            nqp,
+            weights: rule.weights.clone(),
+            shapes,
+            grads,
+        }
+    }
+
+    /// Shape function `a` at quadrature point `q`.
+    #[inline]
+    pub fn shape(&self, q: usize, a: usize) -> f64 {
+        self.shapes[q * self.npe + a]
+    }
+
+    /// Physical gradient of shape function `a` at quadrature point `q`.
+    #[inline]
+    pub fn grad(&self, q: usize, a: usize) -> [f64; 3] {
+        self.grads[q * self.npe + a]
+    }
+
+    /// All shape values at point `q` (length `npe`).
+    #[inline]
+    pub fn shapes_at(&self, q: usize) -> &[f64] {
+        &self.shapes[q * self.npe..(q + 1) * self.npe]
+    }
+
+    /// All physical gradients at point `q` (length `npe`).
+    #[inline]
+    pub fn grads_at(&self, q: usize) -> &[[f64; 3]] {
+        &self.grads[q * self.npe..(q + 1) * self.npe]
     }
 }
 
@@ -133,9 +216,16 @@ mod tests {
                 );
             }
             let d = 2 * n;
-            let val: f64 =
-                r.points.iter().zip(&r.weights).map(|(&x, &w)| w * x.powi(d as i32)).sum();
-            assert!((val - 1.0 / (d as f64 + 1.0)).abs() > 1e-6, "n = {n} unexpectedly exact");
+            let val: f64 = r
+                .points
+                .iter()
+                .zip(&r.weights)
+                .map(|(&x, &w)| w * x.powi(d as i32))
+                .sum();
+            assert!(
+                (val - 1.0 / (d as f64 + 1.0)).abs() > 1e-6,
+                "n = {n} unexpectedly exact"
+            );
         }
     }
 
@@ -157,5 +247,29 @@ mod tests {
     #[should_panic(expected = "unsupported Gauss rule")]
     fn oversized_rule_rejected() {
         GaussRule1d::new(5);
+    }
+
+    #[test]
+    fn shape_table_matches_direct_evaluation_bitwise() {
+        let h = Point3::new(0.5, 0.25, 0.125);
+        for order in [ElementOrder::Q1, ElementOrder::Q2] {
+            let rule = GaussRule3d::new(order.quadrature_points_per_axis());
+            let tab = ShapeTable::new(order, &rule, h);
+            assert_eq!(tab.nqp, rule.len());
+            assert_eq!(tab.npe, order.nodes_per_element());
+            for (q, qp) in rule.points.iter().enumerate() {
+                for a in 0..tab.npe {
+                    let s = order.shape(a, qp[0], qp[1], qp[2]);
+                    assert_eq!(tab.shape(q, a).to_bits(), s.to_bits());
+                    let g = order.grad_shape(a, qp[0], qp[1], qp[2]);
+                    let expect = [g[0] / h.x, g[1] / h.y, g[2] / h.z];
+                    for (got, want) in tab.grad(q, a).iter().zip(&expect) {
+                        assert_eq!(got.to_bits(), want.to_bits());
+                    }
+                }
+                assert_eq!(tab.shapes_at(q).len(), tab.npe);
+                assert_eq!(tab.grads_at(q).len(), tab.npe);
+            }
+        }
     }
 }

@@ -11,7 +11,9 @@
 //! match the exact solution to solver tolerance — the strongest possible
 //! end-to-end verification of the distributed pipeline.
 
-use crate::assembly::{apply_dirichlet, assemble_matrix, assemble_vector, scalar_kernels};
+use crate::assembly::{
+    apply_dirichlet, assemble_matrix, assemble_vector, scalar_kernels, MatrixAssembly,
+};
 use crate::bdf::BdfOrder;
 use crate::dofmap::DofMap;
 use crate::element::ElementOrder;
@@ -125,6 +127,9 @@ pub fn solve_rd(dmesh: &DistributedMesh, cfg: &RdConfig, comm: &mut SimComm) -> 
     let mut iterations = Vec::with_capacity(cfg.steps);
     let mut krylov_iters = Vec::with_capacity(cfg.steps);
     let mut u = dm.new_vector();
+    // The system matrix changes values every step but never structure:
+    // cache the sparsity pattern + scatter permutation across steps.
+    let mut system_asm = MatrixAssembly::new(2);
 
     for step in 1..=cfg.steps {
         let t = cfg.t0 + step as f64 * cfg.dt;
@@ -133,7 +138,7 @@ pub fn solve_rd(dmesh: &DistributedMesh, cfg: &RdConfig, comm: &mut SimComm) -> 
         // -- Assembly (ii): system matrix, history term, source, BCs.
         let m_coeff = alpha / cfg.dt + ex.reaction(t);
         let k_coeff = ex.diffusion(t);
-        let mut a = assemble_matrix(&dm, &dm, comm, 2, |_i, out| {
+        let mut a = system_asm.assemble(&dm, &dm, comm, |_i, out| {
             for (o, (m, k)) in out.iter_mut().zip(kern.mass.iter().zip(&kern.stiffness)) {
                 *o = m_coeff * m + k_coeff * k;
             }
@@ -217,8 +222,7 @@ mod tests {
         let mesh = StructuredHexMesh::unit_cube(n);
         let assignment = Arc::new(BlockPartitioner.partition(&mesh, p));
         run_spmd(cfg(p), move |comm| {
-            let dmesh =
-                DistributedMesh::new(mesh.clone(), Arc::clone(&assignment), comm.rank(), p);
+            let dmesh = DistributedMesh::new(mesh.clone(), Arc::clone(&assignment), comm.rank(), p);
             solve_rd(&dmesh, &rd_cfg, comm)
         })
         .into_iter()
@@ -231,13 +235,31 @@ mod tests {
         // The paper's discretization choices make the discrete solution
         // coincide with the exact one: the whole distributed pipeline must
         // reproduce it to (tight) solver tolerance.
-        let reports = run_rd(3, 1, RdConfig { steps: 4, ..RdConfig::default() });
-        assert!(reports[0].linf_error < 5e-6, "linf = {}", reports[0].linf_error);
+        let reports = run_rd(
+            3,
+            1,
+            RdConfig {
+                steps: 4,
+                ..RdConfig::default()
+            },
+        );
+        assert!(
+            reports[0].linf_error < 5e-6,
+            "linf = {}",
+            reports[0].linf_error
+        );
     }
 
     #[test]
     fn distributed_run_matches_exactness_too() {
-        let reports = run_rd(4, 8, RdConfig { steps: 3, ..RdConfig::default() });
+        let reports = run_rd(
+            4,
+            8,
+            RdConfig {
+                steps: 3,
+                ..RdConfig::default()
+            },
+        );
         for r in &reports {
             assert!(r.linf_error < 5e-6, "linf = {}", r.linf_error);
             assert_eq!(r.iterations.len(), 3);
@@ -255,14 +277,26 @@ mod tests {
         // nodal values to solver tolerance. (A genuine convergence study
         // with a manufactured non-polynomial solution lives in
         // tests/integration_rd.rs.)
-        let cfg = RdConfig { order: ElementOrder::Q1, steps: 2, dt: 0.02, ..RdConfig::default() };
+        let cfg = RdConfig {
+            order: ElementOrder::Q1,
+            steps: 2,
+            dt: 0.02,
+            ..RdConfig::default()
+        };
         let r = run_rd(3, 1, cfg);
         assert!(r[0].l2_error < 1e-6, "l2 = {}", r[0].l2_error);
     }
 
     #[test]
     fn phase_times_are_positive_and_ordered() {
-        let reports = run_rd(3, 2, RdConfig { steps: 3, ..RdConfig::default() });
+        let reports = run_rd(
+            3,
+            2,
+            RdConfig {
+                steps: 3,
+                ..RdConfig::default()
+            },
+        );
         for r in &reports {
             for it in &r.iterations {
                 assert!(it.assembly > 0.0);
@@ -276,7 +310,11 @@ mod tests {
     #[test]
     fn stronger_preconditioner_fewer_iterations() {
         let iters = |pk: PrecondKind| -> usize {
-            let cfg = RdConfig { precond: pk, steps: 2, ..RdConfig::default() };
+            let cfg = RdConfig {
+                precond: pk,
+                steps: 2,
+                ..RdConfig::default()
+            };
             run_rd(3, 1, cfg)[0].krylov_iters.iter().sum()
         };
         let none = iters(PrecondKind::None);
@@ -288,8 +326,16 @@ mod tests {
 
     #[test]
     fn bdf1_is_less_accurate_than_bdf2() {
-        let cfg1 = RdConfig { bdf: BdfOrder::One, steps: 4, ..RdConfig::default() };
-        let cfg2 = RdConfig { bdf: BdfOrder::Two, steps: 4, ..RdConfig::default() };
+        let cfg1 = RdConfig {
+            bdf: BdfOrder::One,
+            steps: 4,
+            ..RdConfig::default()
+        };
+        let cfg2 = RdConfig {
+            bdf: BdfOrder::Two,
+            steps: 4,
+            ..RdConfig::default()
+        };
         let e1 = run_rd(2, 1, cfg1)[0].linf_error;
         let e2 = run_rd(2, 1, cfg2)[0].linf_error;
         assert!(e1 > 100.0 * e2, "bdf1 {e1} vs bdf2 {e2}");
@@ -298,7 +344,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "history times must stay positive")]
     fn t0_too_small_rejected() {
-        let cfg = RdConfig { t0: 0.05, dt: 0.05, ..RdConfig::default() };
+        let cfg = RdConfig {
+            t0: 0.05,
+            dt: 0.05,
+            ..RdConfig::default()
+        };
         run_rd(2, 1, cfg);
     }
 }

@@ -6,8 +6,43 @@ use hetero_fem::bdf::BdfOrder;
 use hetero_fem::element::ElementOrder;
 use hetero_fem::exact::{EthierSteinman, RdExact};
 use hetero_fem::quadrature::{GaussRule1d, GaussRule3d};
+use hetero_linalg::csr::TripletBuilder;
 use hetero_mesh::Point3;
 use proptest::prelude::*;
+
+/// Assembles the triplet stream of `c1 M + c2 K` on an `n^3`-cell
+/// structured mesh (serial, no communication), returning the builder and
+/// the values in insertion order.
+fn mesh_triplets(n: usize, o: ElementOrder, c1: f64, c2: f64) -> (TripletBuilder, Vec<f64>) {
+    let q = o.q();
+    let nn = q * n + 1;
+    let total = nn * nn * nn;
+    let kern = scalar_kernels(o, Point3::splat(1.0 / n as f64));
+    let npe = o.nodes_per_element();
+    let node = |i: usize, j: usize, k: usize| i + nn * (j + nn * k);
+    let mut builder = TripletBuilder::with_capacity(total, total, n * n * n * npe * npe);
+    let mut vals = Vec::with_capacity(n * n * n * npe * npe);
+    for ck in 0..n {
+        for cj in 0..n {
+            for ci in 0..n {
+                let dofs: Vec<usize> = (0..npe)
+                    .map(|l| {
+                        let (a, b, c) = o.node_abc(l);
+                        node(q * ci + a, q * cj + b, q * ck + c)
+                    })
+                    .collect();
+                for a in 0..npe {
+                    for b in 0..npe {
+                        let v = c1 * kern.mass[a * npe + b] + c2 * kern.stiffness[a * npe + b];
+                        builder.add(dofs[a], dofs[b], v);
+                        vals.push(v);
+                    }
+                }
+            }
+        }
+    }
+    (builder, vals)
+}
 
 fn unit_point() -> impl Strategy<Value = (f64, f64, f64)> {
     (0.0f64..=1.0, 0.0f64..=1.0, 0.0f64..=1.0)
@@ -117,6 +152,32 @@ proptest! {
             }
         }
         prop_assert!(quad > -1e-10, "v'Kv = {quad}");
+    }
+
+    #[test]
+    fn symbolic_numeric_rebuild_equals_build_on_random_meshes(
+        n in 1usize..=3,
+        o in order(),
+        c1 in 0.1f64..5.0,
+        c2 in -2.0f64..2.0,
+        scale in 0.25f64..4.0,
+    ) {
+        // The symbolic pattern + numeric scatter must reproduce a
+        // from-scratch build exactly (same sparsity, same duplicate-merge
+        // order, bitwise-equal values) — this is what lets the BDF2 time
+        // loops reuse one pattern across steps.
+        let (builder, vals) = mesh_triplets(n, o, c1, c2);
+        let pattern = builder.symbolic();
+        let rebuilt = pattern.numeric(&vals);
+        let built = builder.build();
+        prop_assert_eq!(&rebuilt, &built);
+        // Fresh values through the same pattern keep the structure intact.
+        let scaled: Vec<f64> = vals.iter().map(|v| scale * v).collect();
+        let rescaled = pattern.numeric(&scaled);
+        prop_assert_eq!(rescaled.nnz(), built.nnz());
+        for r in 0..rescaled.num_rows() {
+            prop_assert_eq!(rescaled.row(r).0, built.row(r).0);
+        }
     }
 
     #[test]

@@ -40,7 +40,11 @@ impl DistMatrix {
     /// Panics if the plan is inconsistent with the column space layout.
     pub fn rectangular(local: CsrMatrix, plan: ExchangePlan, col_n_owned: usize) -> Self {
         plan.validate(col_n_owned, local.num_cols());
-        DistMatrix { local, plan, col_n_owned }
+        DistMatrix {
+            local,
+            plan,
+            col_n_owned,
+        }
     }
 
     /// The local CSR block.
@@ -82,10 +86,15 @@ impl DistMatrix {
     /// `y = A x`. Refreshes `x`'s ghosts first (collective across ranks).
     pub fn spmv(&self, x: &mut DistVector, y: &mut DistVector, comm: &mut SimComm) {
         assert_eq!(x.n_local(), self.n_local());
-        assert_eq!(x.n_owned(), self.col_n_owned, "x must live in the column space");
+        assert_eq!(
+            x.n_owned(),
+            self.col_n_owned,
+            "x must live in the column space"
+        );
         assert_eq!(y.n_owned(), self.n_owned());
         x.update_ghosts(&self.plan, comm);
-        self.local.spmv(x.as_slice(), &mut y.as_mut_slice()[..self.local.num_rows()]);
+        self.local
+            .spmv(x.as_slice(), &mut y.as_mut_slice()[..self.local.num_rows()]);
         comm.compute(work_costs::spmv(self.local.nnz()));
     }
 
@@ -176,7 +185,11 @@ mod tests {
             // Assemble the global result.
             let global: Vec<f64> = results.iter().flat_map(|r| r.value.clone()).collect();
             for (i, &v) in global.iter().enumerate() {
-                let expected = if i == 0 || i == n_global - 1 { 1.0 } else { 0.0 };
+                let expected = if i == 0 || i == n_global - 1 {
+                    1.0
+                } else {
+                    0.0
+                };
                 assert!((v - expected).abs() < 1e-14, "p = {p}, row {i}: {v}");
             }
         }

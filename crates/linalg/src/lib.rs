@@ -31,7 +31,7 @@ pub mod solver;
 pub mod vector;
 pub mod work_costs;
 
-pub use csr::CsrMatrix;
+pub use csr::{CsrMatrix, SparsityPattern, TripletBuilder};
 pub use distmat::DistMatrix;
 pub use precond::{IluZero, Jacobi, Preconditioner, Ssor};
 pub use solver::{bicgstab, cg, gmres, SolveOptions, SolveStats};

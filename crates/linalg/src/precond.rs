@@ -13,6 +13,99 @@ use crate::vector::DistVector;
 use crate::work_costs;
 use hetero_simmpi::SimComm;
 
+/// Minimum rows in one dependency level before a triangular sweep fans the
+/// level out across the intra-rank pool. Rows within a level never read
+/// each other, and each row's update reproduces the serial sweep's
+/// arithmetic exactly, so the threshold affects speed only, never values.
+const PAR_LEVEL_MIN: usize = 128;
+
+/// Minimum length before the Jacobi apply parallelizes (element-wise, so
+/// also value-neutral).
+const PAR_JACOBI_MIN: usize = 4096;
+
+/// Rows of a triangular sweep grouped into dependency levels: every row
+/// depends only on rows in strictly earlier groups, so a level can be
+/// computed in parallel from a snapshot taken before the level starts.
+#[derive(Debug, Clone)]
+struct SweepLevels {
+    levels: Vec<Vec<usize>>,
+}
+
+impl SweepLevels {
+    /// Levels of the lower-triangular (forward) sweep: row `i` depends on
+    /// stored columns `c < i`.
+    fn forward(m: &CsrMatrix) -> Self {
+        let n = m.num_rows();
+        let mut level_of = vec![0usize; n];
+        let mut max_level = 0usize;
+        for i in 0..n {
+            let (cols, _) = m.row(i);
+            let mut lv = 0;
+            for &c in cols {
+                if c < i {
+                    lv = lv.max(level_of[c] + 1);
+                }
+            }
+            level_of[i] = lv;
+            max_level = max_level.max(lv);
+        }
+        Self::group(&level_of, max_level)
+    }
+
+    /// Levels of the upper-triangular (backward) sweep: row `i` depends on
+    /// stored columns `c > i`.
+    fn backward(m: &CsrMatrix) -> Self {
+        let n = m.num_rows();
+        let mut level_of = vec![0usize; n];
+        let mut max_level = 0usize;
+        for i in (0..n).rev() {
+            let (cols, _) = m.row(i);
+            let mut lv = 0;
+            for &c in cols {
+                if c > i {
+                    lv = lv.max(level_of[c] + 1);
+                }
+            }
+            level_of[i] = lv;
+            max_level = max_level.max(lv);
+        }
+        Self::group(&level_of, max_level)
+    }
+
+    fn group(level_of: &[usize], max_level: usize) -> Self {
+        let mut levels = vec![Vec::new(); max_level + 1];
+        for (i, &lv) in level_of.iter().enumerate() {
+            levels[lv].push(i);
+        }
+        SweepLevels { levels }
+    }
+
+    /// Runs the sweep: for each level in dependency order, replaces `z[i]`
+    /// with `row_value(i, z)` for every row `i` in the level. `row_value`
+    /// must not read same-level rows (guaranteed by construction), so the
+    /// parallel and serial paths produce bitwise identical results.
+    fn run<F>(&self, z: &mut [f64], row_value: F)
+    where
+        F: Fn(usize, &[f64]) -> f64 + Sync,
+    {
+        for level in &self.levels {
+            if level.len() >= PAR_LEVEL_MIN && rayon::current_num_threads() > 1 {
+                let computed = {
+                    let snapshot: &[f64] = z;
+                    rayon::fixed::map_tasks(level.len(), |t| row_value(level[t], snapshot))
+                };
+                for (&i, v) in level.iter().zip(computed) {
+                    z[i] = v;
+                }
+            } else {
+                for &i in level {
+                    z[i] = row_value(i, z);
+                }
+            }
+        }
+    }
+}
+
 /// Applies `z = M^{-1} r` over owned entries (ghosts of `z` unspecified).
 pub trait Preconditioner {
     /// Applies the preconditioner.
@@ -65,10 +158,20 @@ impl Jacobi {
 
 impl Preconditioner for Jacobi {
     fn apply(&self, r: &DistVector, z: &mut DistVector, comm: &mut SimComm) {
-        for ((zi, ri), di) in z.owned_mut().iter_mut().zip(r.owned()).zip(&self.inv_diag) {
-            *zi = ri * di;
+        let n = self.inv_diag.len();
+        let rs = r.owned();
+        if n >= PAR_JACOBI_MIN && rayon::current_num_threads() > 1 {
+            rayon::fixed::for_each_chunk_mut(&mut z.owned_mut()[..n], 1024, |_chunk, start, zs| {
+                for (j, zi) in zs.iter_mut().enumerate() {
+                    *zi = rs[start + j] * self.inv_diag[start + j];
+                }
+            });
+        } else {
+            for ((zi, ri), di) in z.owned_mut().iter_mut().zip(rs).zip(&self.inv_diag) {
+                *zi = ri * di;
+            }
         }
-        comm.compute(work_costs::scale(self.inv_diag.len()));
+        comm.compute(work_costs::scale(n));
     }
 
     fn name(&self) -> &'static str {
@@ -81,10 +184,13 @@ impl Preconditioner for Jacobi {
 pub struct Ssor {
     local: CsrMatrix,
     diag: Vec<f64>,
+    forward: SweepLevels,
+    backward: SweepLevels,
 }
 
 impl Ssor {
-    /// Builds from the owned block of `a` (ghost couplings dropped).
+    /// Builds from the owned block of `a` (ghost couplings dropped) and
+    /// precomputes the sweep's dependency levels.
     ///
     /// # Panics
     /// Panics if any diagonal entry is zero.
@@ -93,42 +199,48 @@ impl Ssor {
         let diag = local.diagonal();
         assert!(diag.iter().all(|&d| d != 0.0), "zero diagonal entry");
         comm.compute(work_costs::copy(local.nnz()));
-        Ssor { local, diag }
+        let forward = SweepLevels::forward(&local);
+        let backward = SweepLevels::backward(&local);
+        Ssor {
+            local,
+            diag,
+            forward,
+            backward,
+        }
     }
 }
 
 impl Preconditioner for Ssor {
-    #[allow(clippy::needless_range_loop)] // i is simultaneously a row id and a solution index
     fn apply(&self, r: &DistVector, z: &mut DistVector, comm: &mut SimComm) {
         let n = self.diag.len();
         let zs = z.owned_mut();
         let rs = r.owned();
         // Forward sweep: (D + L) y = r.
-        for i in 0..n {
+        self.forward.run(&mut zs[..n], |i, zv| {
             let (cols, vals) = self.local.row(i);
             let mut acc = rs[i];
             for (&c, &v) in cols.iter().zip(vals) {
                 if c < i {
-                    acc -= v * zs[c];
+                    acc -= v * zv[c];
                 }
             }
-            zs[i] = acc / self.diag[i];
-        }
+            acc / self.diag[i]
+        });
         // Scale by D.
-        for i in 0..n {
-            zs[i] *= self.diag[i];
+        for (zi, di) in zs[..n].iter_mut().zip(&self.diag) {
+            *zi *= di;
         }
         // Backward sweep: (D + U) z = D y.
-        for i in (0..n).rev() {
+        self.backward.run(&mut zs[..n], |i, zv| {
             let (cols, vals) = self.local.row(i);
-            let mut acc = zs[i];
+            let mut acc = zv[i];
             for (&c, &v) in cols.iter().zip(vals) {
                 if c > i {
-                    acc -= v * zs[c];
+                    acc -= v * zv[c];
                 }
             }
-            zs[i] = acc / self.diag[i];
-        }
+            acc / self.diag[i]
+        });
         comm.compute(work_costs::sweep(2 * self.local.nnz()));
     }
 
@@ -143,6 +255,8 @@ pub struct IluZero {
     /// Combined LU factors in the original sparsity (unit lower diagonal
     /// implicit).
     factors: CsrMatrix,
+    forward: SweepLevels,
+    backward: SweepLevels,
 }
 
 impl IluZero {
@@ -167,7 +281,11 @@ impl IluZero {
                 // Update a_ij -= l_ik * a_kj for j > k present in both rows.
                 let row_k: Vec<(usize, f64)> = {
                     let (ck, vk) = f.row(k);
-                    ck.iter().zip(vk).filter(|(&c, _)| c > k).map(|(&c, &v)| (c, v)).collect()
+                    ck.iter()
+                        .zip(vk)
+                        .filter(|(&c, _)| c > k)
+                        .map(|(&c, &v)| (c, v))
+                        .collect()
                 };
                 for (j, akj) in row_k {
                     if cols_i.binary_search(&j).is_ok() {
@@ -178,7 +296,13 @@ impl IluZero {
             }
         }
         comm.compute(work_costs::ilu_factor(f.nnz(), n));
-        IluZero { factors: f }
+        let forward = SweepLevels::forward(&f);
+        let backward = SweepLevels::backward(&f);
+        IluZero {
+            factors: f,
+            forward,
+            backward,
+        }
     }
 }
 
@@ -207,30 +331,30 @@ impl Preconditioner for IluZero {
         let zs = z.owned_mut();
         let rs = r.owned();
         // Forward: L y = r (unit diagonal).
-        for i in 0..n {
+        self.forward.run(&mut zs[..n], |i, zv| {
             let (cols, vals) = self.factors.row(i);
             let mut acc = rs[i];
             for (&c, &v) in cols.iter().zip(vals) {
                 if c < i {
-                    acc -= v * zs[c];
+                    acc -= v * zv[c];
                 }
             }
-            zs[i] = acc;
-        }
+            acc
+        });
         // Backward: U z = y.
-        for i in (0..n).rev() {
+        self.backward.run(&mut zs[..n], |i, zv| {
             let (cols, vals) = self.factors.row(i);
-            let mut acc = zs[i];
+            let mut acc = zv[i];
             let mut diag = 1.0;
             for (&c, &v) in cols.iter().zip(vals) {
                 if c > i {
-                    acc -= v * zs[c];
+                    acc -= v * zv[c];
                 } else if c == i {
                     diag = v;
                 }
             }
-            zs[i] = acc / diag;
-        }
+            acc / diag
+        });
         comm.compute(work_costs::sweep(self.factors.nnz()));
     }
 
@@ -320,9 +444,18 @@ mod tests {
             let mut z_jac = a.new_vector();
             jac.apply(&r, &mut z_jac, comm);
             let err = |z: &DistVector| -> f64 {
-                z.owned().iter().map(|v| (v - 1.0).powi(2)).sum::<f64>().sqrt()
+                z.owned()
+                    .iter()
+                    .map(|v| (v - 1.0).powi(2))
+                    .sum::<f64>()
+                    .sqrt()
             };
-            assert!(err(&z_ssor) < err(&z_jac), "{} vs {}", err(&z_ssor), err(&z_jac));
+            assert!(
+                err(&z_ssor) < err(&z_jac),
+                "{} vs {}",
+                err(&z_ssor),
+                err(&z_jac)
+            );
         });
     }
 
@@ -345,7 +478,7 @@ mod tests {
             b.add(0, 0, 4.0);
             b.add(1, 1, 4.0);
             b.add(0, 2, -1.0); // ghost coupling
-            // Plan is empty because this is a single-rank test of structure.
+                               // Plan is empty because this is a single-rank test of structure.
             let a = DistMatrix::new(b.build(), ExchangePlan::empty());
             let m = IluZero::new(&a, comm);
             let r = DistVector::from_values(vec![4.0, 8.0, 0.0], 2);

@@ -24,7 +24,11 @@ pub struct SolveOptions {
 
 impl Default for SolveOptions {
     fn default() -> Self {
-        SolveOptions { rel_tol: 1e-8, abs_tol: 1e-14, max_iters: 500 }
+        SolveOptions {
+            rel_tol: 1e-8,
+            abs_tol: 1e-14,
+            max_iters: 500,
+        }
     }
 }
 
@@ -68,7 +72,12 @@ pub fn cg(
     r.axpy(-1.0, &q, comm);
     let initial_residual = r.norm2(comm);
     if initial_residual <= target {
-        return SolveStats { iterations: 0, converged: true, initial_residual, final_residual: initial_residual };
+        return SolveStats {
+            iterations: 0,
+            converged: true,
+            initial_residual,
+            final_residual: initial_residual,
+        };
     }
 
     let mut z = a.new_vector();
@@ -82,14 +91,24 @@ pub fn cg(
         a.spmv(&mut p, &mut q, comm);
         let pq = p.dot(&q, comm);
         if pq == 0.0 {
-            return SolveStats { iterations: it, converged: false, initial_residual, final_residual: res };
+            return SolveStats {
+                iterations: it,
+                converged: false,
+                initial_residual,
+                final_residual: res,
+            };
         }
         let alpha = rz / pq;
         x.axpy(alpha, &p, comm);
         r.axpy(-alpha, &q, comm);
         res = r.norm2(comm);
         if res <= target {
-            return SolveStats { iterations: it, converged: true, initial_residual, final_residual: res };
+            return SolveStats {
+                iterations: it,
+                converged: true,
+                initial_residual,
+                final_residual: res,
+            };
         }
         m.apply(&r, &mut z, comm);
         let rz_new = r.dot(&z, comm);
@@ -97,7 +116,12 @@ pub fn cg(
         rz = rz_new;
         p.xpby(&z, beta, comm);
     }
-    SolveStats { iterations: opts.max_iters, converged: false, initial_residual, final_residual: res }
+    SolveStats {
+        iterations: opts.max_iters,
+        converged: false,
+        initial_residual,
+        final_residual: res,
+    }
 }
 
 /// Preconditioned BiCGStab for general (non-symmetric) systems.
@@ -119,7 +143,12 @@ pub fn bicgstab(
     r.axpy(-1.0, &t, comm);
     let initial_residual = r.norm2(comm);
     if initial_residual <= target {
-        return SolveStats { iterations: 0, converged: true, initial_residual, final_residual: initial_residual };
+        return SolveStats {
+            iterations: 0,
+            converged: true,
+            initial_residual,
+            final_residual: initial_residual,
+        };
     }
 
     let mut r_hat = a.new_vector();
@@ -135,7 +164,12 @@ pub fn bicgstab(
     for it in 1..=opts.max_iters {
         let rho_new = r_hat.dot(&r, comm);
         if rho_new == 0.0 {
-            return SolveStats { iterations: it, converged: false, initial_residual, final_residual: res };
+            return SolveStats {
+                iterations: it,
+                converged: false,
+                initial_residual,
+                final_residual: res,
+            };
         }
         if it == 1 {
             p.copy_from(&r, comm);
@@ -150,7 +184,12 @@ pub fn bicgstab(
         a.spmv(&mut phat, &mut v, comm);
         let rhv = r_hat.dot(&v, comm);
         if rhv == 0.0 {
-            return SolveStats { iterations: it, converged: false, initial_residual, final_residual: res };
+            return SolveStats {
+                iterations: it,
+                converged: false,
+                initial_residual,
+                final_residual: res,
+            };
         }
         alpha = rho / rhv;
         s.copy_from(&r, comm);
@@ -158,13 +197,23 @@ pub fn bicgstab(
         let s_norm = s.norm2(comm);
         if s_norm <= target {
             x.axpy(alpha, &phat, comm);
-            return SolveStats { iterations: it, converged: true, initial_residual, final_residual: s_norm };
+            return SolveStats {
+                iterations: it,
+                converged: true,
+                initial_residual,
+                final_residual: s_norm,
+            };
         }
         m.apply(&s, &mut shat, comm);
         a.spmv(&mut shat, &mut t, comm);
         let tt = t.dot(&t, comm);
         if tt == 0.0 {
-            return SolveStats { iterations: it, converged: false, initial_residual, final_residual: s_norm };
+            return SolveStats {
+                iterations: it,
+                converged: false,
+                initial_residual,
+                final_residual: s_norm,
+            };
         }
         omega = t.dot(&s, comm) / tt;
         x.axpy(alpha, &phat, comm);
@@ -173,13 +222,28 @@ pub fn bicgstab(
         r.axpy(-omega, &t, comm);
         res = r.norm2(comm);
         if res <= target {
-            return SolveStats { iterations: it, converged: true, initial_residual, final_residual: res };
+            return SolveStats {
+                iterations: it,
+                converged: true,
+                initial_residual,
+                final_residual: res,
+            };
         }
         if omega == 0.0 {
-            return SolveStats { iterations: it, converged: false, initial_residual, final_residual: res };
+            return SolveStats {
+                iterations: it,
+                converged: false,
+                initial_residual,
+                final_residual: res,
+            };
         }
     }
-    SolveStats { iterations: opts.max_iters, converged: false, initial_residual, final_residual: res }
+    SolveStats {
+        iterations: opts.max_iters,
+        converged: false,
+        initial_residual,
+        final_residual: res,
+    }
 }
 
 /// Right-preconditioned restarted GMRES(m).
@@ -204,7 +268,12 @@ pub fn gmres(
     let initial_residual = r.norm2(comm);
     let mut res = initial_residual;
     if res <= target {
-        return SolveStats { iterations: 0, converged: true, initial_residual, final_residual: res };
+        return SolveStats {
+            iterations: 0,
+            converged: true,
+            initial_residual,
+            final_residual: res,
+        };
     }
 
     let mut total_iters = 0usize;
@@ -292,10 +361,20 @@ pub fn gmres(
         r.axpy(-1.0, &tmp, comm);
         res = r.norm2(comm);
         if res <= target {
-            return SolveStats { iterations: total_iters, converged: true, initial_residual, final_residual: res };
+            return SolveStats {
+                iterations: total_iters,
+                converged: true,
+                initial_residual,
+                final_residual: res,
+            };
         }
     }
-    SolveStats { iterations: total_iters, converged: false, initial_residual, final_residual: res }
+    SolveStats {
+        iterations: total_iters,
+        converged: false,
+        initial_residual,
+        final_residual: res,
+    }
 }
 
 #[cfg(test)]
@@ -448,7 +527,10 @@ mod tests {
             let mut b = a.new_vector();
             a.spmv(&mut ones, &mut b, comm);
             let mut x = a.new_vector();
-            let opts = SolveOptions { max_iters: 2000, ..SolveOptions::default() };
+            let opts = SolveOptions {
+                max_iters: 2000,
+                ..SolveOptions::default()
+            };
             let stats = gmres(&a, &b, &mut x, &Identity, 20, opts, comm);
             assert!(stats.converged, "{stats:?}");
             for &v in x.owned() {

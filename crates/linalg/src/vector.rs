@@ -6,6 +6,16 @@ use hetero_simmpi::{Payload, SimComm};
 /// Tag space used by halo exchanges (below the collective range).
 const HALO_TAG: u64 = 9_000;
 
+/// Fixed reduction chunk length. Dot products always sum per-chunk partials
+/// in chunk order — at any thread count, including one — so the result is a
+/// function of the data alone, never of `RAYON_NUM_THREADS`.
+const REDUCE_CHUNK: usize = 1024;
+
+/// Minimum owned length before element-wise updates (axpy, xpby, scale) fan
+/// out across the intra-rank pool. Element-wise results are independent of
+/// the split, so this gates speed only.
+const PAR_ELEMWISE_MIN: usize = 4096;
+
 /// A symmetric halo-exchange plan between a rank and its neighbours.
 ///
 /// Local vector layout is `[owned entries | ghost entries]`. For neighbour
@@ -47,12 +57,18 @@ impl ExchangePlan {
     pub fn validate(&self, n_owned: usize, n_local: usize) {
         assert_eq!(self.neighbors.len(), self.send_indices.len());
         assert_eq!(self.neighbors.len(), self.recv_indices.len());
-        assert!(self.neighbors.windows(2).all(|w| w[0] < w[1]), "neighbors must be sorted");
+        assert!(
+            self.neighbors.windows(2).all(|w| w[0] < w[1]),
+            "neighbors must be sorted"
+        );
         for s in &self.send_indices {
             assert!(s.iter().all(|&i| i < n_owned), "send indices must be owned");
         }
         for r in &self.recv_indices {
-            assert!(r.iter().all(|&i| (n_owned..n_local).contains(&i)), "recv indices must be ghosts");
+            assert!(
+                r.iter().all(|&i| (n_owned..n_local).contains(&i)),
+                "recv indices must be ghosts"
+            );
         }
     }
 }
@@ -69,7 +85,10 @@ pub struct DistVector {
 impl DistVector {
     /// A zero vector with `n_owned` owned and `n_ghost` ghost entries.
     pub fn zeros(n_owned: usize, n_ghost: usize) -> Self {
-        DistVector { values: vec![0.0; n_owned + n_ghost], n_owned }
+        DistVector {
+            values: vec![0.0; n_owned + n_ghost],
+            n_owned,
+        }
     }
 
     /// Wraps existing local values (owned followed by ghosts).
@@ -130,42 +149,87 @@ impl DistVector {
     }
 
     /// `self += alpha * x` over owned entries (ghosts are refreshed lazily
-    /// by the next exchange).
+    /// by the next exchange). Element-wise, so parallel and serial runs are
+    /// bitwise identical.
     pub fn axpy(&mut self, alpha: f64, x: &DistVector, comm: &mut SimComm) {
         assert_eq!(self.n_owned, x.n_owned);
-        for (a, b) in self.values[..self.n_owned].iter_mut().zip(&x.values[..x.n_owned]) {
-            *a += alpha * b;
+        let n = self.n_owned;
+        let xs = &x.values[..n];
+        if n >= PAR_ELEMWISE_MIN && rayon::current_num_threads() > 1 {
+            rayon::fixed::for_each_chunk_mut(
+                &mut self.values[..n],
+                REDUCE_CHUNK,
+                |_chunk, start, ys| {
+                    let len = ys.len();
+                    for (a, b) in ys.iter_mut().zip(&xs[start..start + len]) {
+                        *a += alpha * b;
+                    }
+                },
+            );
+        } else {
+            for (a, b) in self.values[..n].iter_mut().zip(xs) {
+                *a += alpha * b;
+            }
         }
-        comm.compute(work_costs::axpy(self.n_owned));
+        comm.compute(work_costs::axpy(n));
     }
 
     /// `self = x + beta * self` over owned entries (the CG direction
     /// update).
     pub fn xpby(&mut self, x: &DistVector, beta: f64, comm: &mut SimComm) {
         assert_eq!(self.n_owned, x.n_owned);
-        for (a, b) in self.values[..self.n_owned].iter_mut().zip(&x.values[..x.n_owned]) {
-            *a = b + beta * *a;
+        let n = self.n_owned;
+        let xs = &x.values[..n];
+        if n >= PAR_ELEMWISE_MIN && rayon::current_num_threads() > 1 {
+            rayon::fixed::for_each_chunk_mut(
+                &mut self.values[..n],
+                REDUCE_CHUNK,
+                |_chunk, start, ys| {
+                    let len = ys.len();
+                    for (a, b) in ys.iter_mut().zip(&xs[start..start + len]) {
+                        *a = b + beta * *a;
+                    }
+                },
+            );
+        } else {
+            for (a, b) in self.values[..n].iter_mut().zip(xs) {
+                *a = b + beta * *a;
+            }
         }
-        comm.compute(work_costs::axpy(self.n_owned));
+        comm.compute(work_costs::axpy(n));
     }
 
     /// Scales owned entries by `alpha`.
     pub fn scale(&mut self, alpha: f64, comm: &mut SimComm) {
-        for a in &mut self.values[..self.n_owned] {
-            *a *= alpha;
+        let n = self.n_owned;
+        if n >= PAR_ELEMWISE_MIN && rayon::current_num_threads() > 1 {
+            rayon::fixed::for_each_chunk_mut(&mut self.values[..n], REDUCE_CHUNK, |_c, _s, ys| {
+                for a in ys {
+                    *a *= alpha;
+                }
+            });
+        } else {
+            for a in &mut self.values[..n] {
+                *a *= alpha;
+            }
         }
-        comm.compute(work_costs::scale(self.n_owned));
+        comm.compute(work_costs::scale(n));
     }
 
     /// Global dot product (owned entries + all-reduce).
+    ///
+    /// The local part is a fixed-chunk reduction: per-chunk partial sums
+    /// combined in chunk order, so the value is bitwise identical at any
+    /// intra-rank thread count.
     pub fn dot(&self, other: &DistVector, comm: &mut SimComm) -> f64 {
         assert_eq!(self.n_owned, other.n_owned);
-        let local: f64 = self.values[..self.n_owned]
-            .iter()
-            .zip(&other.values[..other.n_owned])
-            .map(|(a, b)| a * b)
-            .sum();
-        comm.compute(work_costs::dot(self.n_owned));
+        let n = self.n_owned;
+        let a = &self.values[..n];
+        let b = &other.values[..n];
+        let local = rayon::fixed::chunked_sum(n, REDUCE_CHUNK, |s, e| {
+            a[s..e].iter().zip(&b[s..e]).map(|(x, y)| x * y).sum()
+        });
+        comm.compute(work_costs::dot(n));
         comm.allreduce_scalar(hetero_simmpi::collectives::ReduceOp::Sum, local)
     }
 
@@ -182,13 +246,20 @@ impl DistVector {
         // Post all sends first (buffered), then drain receives: the pattern
         // priced by the network model's overlap assumption.
         for (i, &nb) in plan.neighbors.iter().enumerate() {
-            let buf: Vec<f64> = plan.send_indices[i].iter().map(|&j| self.values[j]).collect();
+            let buf: Vec<f64> = plan.send_indices[i]
+                .iter()
+                .map(|&j| self.values[j])
+                .collect();
             comm.compute(work_costs::copy(buf.len()));
             comm.send(nb, HALO_TAG, Payload::F64(buf));
         }
         for (i, &nb) in plan.neighbors.iter().enumerate() {
             let buf = comm.recv_f64(nb, HALO_TAG);
-            assert_eq!(buf.len(), plan.recv_indices[i].len(), "halo size mismatch with rank {nb}");
+            assert_eq!(
+                buf.len(),
+                plan.recv_indices[i].len(),
+                "halo size mismatch with rank {nb}"
+            );
             for (&slot, &v) in plan.recv_indices[i].iter().zip(&buf) {
                 self.values[slot] = v;
             }

@@ -20,10 +20,7 @@ fn serial_cfg() -> SpmdConfig {
 
 /// Random triplets over a small matrix.
 fn triplets(n: usize) -> impl Strategy<Value = Vec<(usize, usize, f64)>> {
-    prop::collection::vec(
-        (0..n, 0..n, -5.0f64..5.0),
-        0..40,
-    )
+    prop::collection::vec((0..n, 0..n, -5.0f64..5.0), 0..40)
 }
 
 /// A random diagonally dominant SPD matrix via its lower entries.

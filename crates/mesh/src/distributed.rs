@@ -91,8 +91,9 @@ impl DistributedMesh {
             "assignment contains out-of-range part id"
         );
 
-        let owned_cells: Vec<usize> =
-            (0..mesh.num_cells()).filter(|&c| assignment[c] == rank).collect();
+        let owned_cells: Vec<usize> = (0..mesh.num_cells())
+            .filter(|&c| assignment[c] == rank)
+            .collect();
 
         // Every corner of an owned cell that is also touched by a foreign
         // cell is an interface corner shared with that foreign rank.
@@ -115,7 +116,14 @@ impl DistributedMesh {
             .map(|(r, set)| (r, set.into_iter().collect()))
             .collect();
 
-        DistributedMesh { mesh, assignment, rank, num_parts, owned_cells, interface_corners }
+        DistributedMesh {
+            mesh,
+            assignment,
+            rank,
+            num_parts,
+            owned_cells,
+            interface_corners,
+        }
     }
 
     /// The underlying global mesh.
@@ -168,7 +176,10 @@ impl DistributedMesh {
     /// Corner-lattice nodes shared with `neighbor` (sorted). Empty slice if
     /// `neighbor` is not adjacent.
     pub fn shared_corners(&self, neighbor: usize) -> &[usize] {
-        self.interface_corners.get(&neighbor).map(Vec::as_slice).unwrap_or(&[])
+        self.interface_corners
+            .get(&neighbor)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Owner rank of a lattice node of order `q`, under the smallest-cell-id
@@ -204,8 +215,10 @@ mod tests {
     fn two_slab_partition(n: usize) -> (StructuredHexMesh, Arc<Vec<usize>>) {
         // Split the cube into x < n/2 (rank 0) and x >= n/2 (rank 1).
         let mesh = StructuredHexMesh::unit_cube(n);
-        let assignment: Vec<usize> =
-            mesh.cells().map(|c| if c.i < n / 2 { 0 } else { 1 }).collect();
+        let assignment: Vec<usize> = mesh
+            .cells()
+            .map(|c| if c.i < n / 2 { 0 } else { 1 })
+            .collect();
         (mesh, Arc::new(assignment))
     }
 

@@ -109,7 +109,11 @@ impl StructuredHexMesh {
     #[inline]
     pub fn cell_size(&self) -> Point3 {
         let d = self.hi - self.lo;
-        Point3::new(d.x / self.nx as f64, d.y / self.ny as f64, d.z / self.nz as f64)
+        Point3::new(
+            d.x / self.nx as f64,
+            d.y / self.ny as f64,
+            d.z / self.nz as f64,
+        )
     }
 
     /// Characteristic mesh size `h` (largest cell edge).

@@ -63,7 +63,10 @@ pub fn interface_faces(mesh: &StructuredHexMesh, assignment: &[usize]) -> usize 
 /// Any partition of the same mesh into `k^3` equal parts has at least this
 /// order of cut; the partitioner tests compare against it.
 pub fn ideal_block_cut(n: usize, k: usize) -> usize {
-    assert!(k > 0 && n.is_multiple_of(k), "block partition requires k | n");
+    assert!(
+        k > 0 && n.is_multiple_of(k),
+        "block partition requires k | n"
+    );
     3 * (k - 1) * n * n
 }
 

@@ -76,7 +76,10 @@ impl BlockLayout {
     /// Panics if any part count is zero or exceeds the cell count along its
     /// axis.
     pub fn new(cells: (usize, usize, usize), parts: (usize, usize, usize)) -> Self {
-        assert!(parts.0 > 0 && parts.1 > 0 && parts.2 > 0, "part counts must be positive");
+        assert!(
+            parts.0 > 0 && parts.1 > 0 && parts.2 > 0,
+            "part counts must be positive"
+        );
         assert!(
             parts.0 <= cells.0 && parts.1 <= cells.1 && parts.2 <= cells.2,
             "more parts than cells along an axis"
@@ -134,9 +137,18 @@ impl BlockLayout {
     pub fn cell_ranges(&self, rank: usize) -> [(usize, usize); 3] {
         let b = self.block_of_rank(rank);
         [
-            (chunk_start(b.i, self.cells.0, self.parts.0), chunk_start(b.i + 1, self.cells.0, self.parts.0)),
-            (chunk_start(b.j, self.cells.1, self.parts.1), chunk_start(b.j + 1, self.cells.1, self.parts.1)),
-            (chunk_start(b.k, self.cells.2, self.parts.2), chunk_start(b.k + 1, self.cells.2, self.parts.2)),
+            (
+                chunk_start(b.i, self.cells.0, self.parts.0),
+                chunk_start(b.i + 1, self.cells.0, self.parts.0),
+            ),
+            (
+                chunk_start(b.j, self.cells.1, self.parts.1),
+                chunk_start(b.j + 1, self.cells.1, self.parts.1),
+            ),
+            (
+                chunk_start(b.k, self.cells.2, self.parts.2),
+                chunk_start(b.k + 1, self.cells.2, self.parts.2),
+            ),
         ]
     }
 
@@ -305,10 +317,16 @@ mod tests {
         let n = l.node_neighbors(center, 1);
         assert_eq!(n.len(), 26);
         // Face neighbours share a (3*1+1)^2 = 16-node plane.
-        let face = n.iter().find(|&&(r, _)| r == l.rank_of_block(Index3::new(0, 1, 1))).unwrap();
+        let face = n
+            .iter()
+            .find(|&&(r, _)| r == l.rank_of_block(Index3::new(0, 1, 1)))
+            .unwrap();
         assert_eq!(face.1, 16);
         // Corner neighbour shares exactly one node.
-        let corner = n.iter().find(|&&(r, _)| r == l.rank_of_block(Index3::new(0, 0, 0))).unwrap();
+        let corner = n
+            .iter()
+            .find(|&&(r, _)| r == l.rank_of_block(Index3::new(0, 0, 0)))
+            .unwrap();
         assert_eq!(corner.1, 1);
     }
 
@@ -329,7 +347,10 @@ mod tests {
         for r in 0..l.num_parts() {
             for &(s, count) in &l.node_neighbors(r, 2) {
                 let back = l.node_neighbors(s, 2);
-                let found = back.iter().find(|&&(t, _)| t == r).expect("symmetric neighbor");
+                let found = back
+                    .iter()
+                    .find(|&&(t, _)| t == r)
+                    .expect("symmetric neighbor");
                 assert_eq!(found.1, count, "ranks {r} and {s} disagree on shared nodes");
             }
         }

@@ -34,7 +34,10 @@ impl DualGraph {
     pub fn from_csr(xadj: Vec<usize>, adjncy: Vec<usize>) -> Self {
         assert!(!xadj.is_empty() && xadj[0] == 0);
         assert_eq!(*xadj.last().unwrap(), adjncy.len());
-        assert!(xadj.windows(2).all(|w| w[0] <= w[1]), "xadj must be non-decreasing");
+        assert!(
+            xadj.windows(2).all(|w| w[0] <= w[1]),
+            "xadj must be non-decreasing"
+        );
         let n = xadj.len() - 1;
         assert!(adjncy.iter().all(|&v| v < n), "neighbor id out of range");
         DualGraph { xadj, adjncy }

@@ -27,7 +27,9 @@ impl GreedyPartitioner {
             let target = remaining / (num_parts - part);
             // Seed: the lowest-id unassigned vertex; then walk a BFS from it
             // to a peripheral unassigned vertex to keep parts compact.
-            let first = (0..n).find(|&v| assignment[v] == usize::MAX).expect("cells remain");
+            let first = (0..n)
+                .find(|&v| assignment[v] == usize::MAX)
+                .expect("cells remain");
             let sweep = graph.bfs_order(first, |v| assignment[v] == usize::MAX);
             let seed = *sweep.last().unwrap_or(&first);
             let grow = graph.bfs_order(seed, |v| assignment[v] == usize::MAX);
@@ -113,7 +115,11 @@ mod tests {
         let g = DualGraph::from_mesh(&mesh);
         let asg = GreedyPartitioner.partition(&mesh, 8);
         let ideal = hetero_mesh::quality::ideal_block_cut(8, 2);
-        assert!(g.edge_cut(&asg) <= 3 * ideal, "cut {} vs ideal {ideal}", g.edge_cut(&asg));
+        assert!(
+            g.edge_cut(&asg) <= 3 * ideal,
+            "cut {} vs ideal {ideal}",
+            g.edge_cut(&asg)
+        );
     }
 
     #[test]

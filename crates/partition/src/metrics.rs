@@ -21,17 +21,17 @@ pub struct PartitionQuality {
 }
 
 /// Computes the full quality summary for `assignment` on `mesh`.
-pub fn assess(mesh: &StructuredHexMesh, assignment: &[usize], num_parts: usize) -> PartitionQuality {
+pub fn assess(
+    mesh: &StructuredHexMesh,
+    assignment: &[usize],
+    num_parts: usize,
+) -> PartitionQuality {
     let graph = DualGraph::from_mesh(mesh);
     assess_graph(&graph, assignment, num_parts)
 }
 
 /// Computes the quality summary against an explicit dual graph.
-pub fn assess_graph(
-    graph: &DualGraph,
-    assignment: &[usize],
-    num_parts: usize,
-) -> PartitionQuality {
+pub fn assess_graph(graph: &DualGraph, assignment: &[usize], num_parts: usize) -> PartitionQuality {
     assert_eq!(assignment.len(), graph.num_vertices());
     let edge_cut = graph.edge_cut(assignment);
     let imbalance = load_imbalance(assignment, num_parts);
@@ -55,7 +55,13 @@ pub fn assess_graph(
     }
     let max_neighbors = neighbor_sets.iter().map(|s| s.len()).max().unwrap_or(0);
 
-    PartitionQuality { num_parts, edge_cut, imbalance, comm_volume, max_neighbors }
+    PartitionQuality {
+        num_parts,
+        edge_cut,
+        imbalance,
+        comm_volume,
+        max_neighbors,
+    }
 }
 
 #[cfg(test)]

@@ -38,7 +38,9 @@ pub fn kl_refine(
     for &p in assignment.iter() {
         sizes[p] += 1;
     }
-    let max_size = ((n as f64 / num_parts as f64) * max_imbalance).floor().max(1.0) as usize;
+    let max_size = ((n as f64 / num_parts as f64) * max_imbalance)
+        .floor()
+        .max(1.0) as usize;
     // A move must also not empty a part.
     let min_size = 1usize;
 

@@ -28,7 +28,12 @@ pub fn puma() -> PlatformSpec {
         network: NetworkModel::gigabit_ethernet(),
         access: AccessKind::UserSpace,
         scheduler: SchedulerKind::PbsTorque,
-        queue: QueueModel { base: 300.0, per_node: 30.0, spread: 2.0, size_exponent: 1.1 },
+        queue: QueueModel {
+            base: 300.0,
+            per_node: 30.0,
+            spread: 2.0,
+            size_exponent: 1.1,
+        },
         cost: CostModel {
             billing: Billing::EstimatedPerCoreHour(0.023),
             note: "estimated from capital cost and operating expenses".into(),
@@ -52,7 +57,12 @@ pub fn ellipse() -> PlatformSpec {
         network: NetworkModel::gigabit_ethernet(),
         access: AccessKind::UserSpace,
         scheduler: SchedulerKind::SgeSerialOnly,
-        queue: QueueModel { base: 1800.0, per_node: 45.0, spread: 3.0, size_exponent: 1.2 },
+        queue: QueueModel {
+            base: 1800.0,
+            per_node: 45.0,
+            spread: 3.0,
+            size_exponent: 1.2,
+        },
         cost: CostModel {
             billing: Billing::PerCoreHour(0.05),
             note: "flat university rate".into(),
@@ -85,7 +95,12 @@ pub fn lagrange() -> PlatformSpec {
         network: NetworkModel::infiniband_ddr(),
         access: AccessKind::UserSpace,
         scheduler: SchedulerKind::PbsPro,
-        queue: QueueModel { base: 3600.0, per_node: 90.0, spread: 4.0, size_exponent: 1.3 },
+        queue: QueueModel {
+            base: 3600.0,
+            per_node: 90.0,
+            spread: 4.0,
+            size_exponent: 1.3,
+        },
         cost: CostModel {
             billing: Billing::PerCoreHour(0.1919),
             note: "EUR 0.15/core-h at the study's exchange rate".into(),
@@ -116,7 +131,10 @@ pub fn ec2() -> PlatformSpec {
         scheduler: SchedulerKind::DirectShell,
         queue: QueueModel::on_demand(90.0, 2.0),
         cost: CostModel {
-            billing: Billing::PerNodeHour { rate: 2.40, cores_per_node: 16 },
+            billing: Billing::PerNodeHour {
+                rate: 2.40,
+                cores_per_node: 16,
+            },
             note: "on-demand instance rate during the study".into(),
         },
         limits: ExecutionLimits::capacity_only(63 * 16),
@@ -129,7 +147,10 @@ pub const EC2_SPOT_NODE_HOUR: f64 = 0.54;
 /// The cost model of an all-spot EC2 assembly (Table II's "est. cost").
 pub fn ec2_spot_cost() -> CostModel {
     CostModel {
-        billing: Billing::PerNodeHour { rate: EC2_SPOT_NODE_HOUR, cores_per_node: 16 },
+        billing: Billing::PerNodeHour {
+            rate: EC2_SPOT_NODE_HOUR,
+            cores_per_node: 16,
+        },
         note: "spot-request bid price during the study".into(),
     }
 }

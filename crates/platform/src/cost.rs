@@ -44,9 +44,10 @@ impl CostModel {
             Billing::PerCoreHour(rate) | Billing::EstimatedPerCoreHour(rate) => {
                 rate * ranks as f64 * hours
             }
-            Billing::PerNodeHour { rate, cores_per_node } => {
-                rate * ranks.div_ceil(cores_per_node) as f64 * hours
-            }
+            Billing::PerNodeHour {
+                rate,
+                cores_per_node,
+            } => rate * ranks.div_ceil(cores_per_node) as f64 * hours,
         }
     }
 
@@ -64,14 +65,20 @@ mod tests {
 
     fn node_billed() -> CostModel {
         CostModel {
-            billing: Billing::PerNodeHour { rate: 2.40, cores_per_node: 16 },
+            billing: Billing::PerNodeHour {
+                rate: 2.40,
+                cores_per_node: 16,
+            },
             note: String::new(),
         }
     }
 
     #[test]
     fn per_core_hour_scales_linearly() {
-        let m = CostModel { billing: Billing::PerCoreHour(0.05), note: String::new() };
+        let m = CostModel {
+            billing: Billing::PerCoreHour(0.05),
+            note: String::new(),
+        };
         assert!((m.cost(100, 3600.0) - 5.0).abs() < 1e-12);
         assert!((m.cost(100, 1800.0) - 2.5).abs() < 1e-12);
     }
@@ -97,7 +104,10 @@ mod tests {
         assert!((c1 - 0.0032).abs() < 0.0002, "{c1}");
         // Spot estimate column: $0.54/instance-hour, 148.98 s -> $1.4079.
         let spot = CostModel {
-            billing: Billing::PerNodeHour { rate: 0.54, cores_per_node: 16 },
+            billing: Billing::PerNodeHour {
+                rate: 0.54,
+                cores_per_node: 16,
+            },
             note: String::new(),
         };
         let cs = spot.cost(1000, 148.98);

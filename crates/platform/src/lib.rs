@@ -34,7 +34,7 @@ pub mod scheduler;
 pub mod spec;
 pub mod spot;
 
-pub use catalog::{ec2, ellipse, lagrange, puma, all_platforms};
+pub use catalog::{all_platforms, ec2, ellipse, lagrange, puma};
 pub use cost::{Billing, CostModel};
 pub use limits::{ExecutionLimits, LimitViolation};
 pub use spec::{AccessKind, PlatformSpec};

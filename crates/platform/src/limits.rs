@@ -39,10 +39,16 @@ pub enum LimitViolation {
 impl std::fmt::Display for LimitViolation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            LimitViolation::InsufficientCapacity { requested, available } => {
+            LimitViolation::InsufficientCapacity {
+                requested,
+                available,
+            } => {
                 write!(f, "requested {requested} cores but only {available} exist")
             }
-            LimitViolation::LauncherFailure { requested, max_ranks } => write!(
+            LimitViolation::LauncherFailure {
+                requested,
+                max_ranks,
+            } => write!(
                 f,
                 "mpiexec cannot initialize {requested} remote daemons (limit ~{max_ranks})"
             ),
@@ -68,7 +74,11 @@ pub struct ExecutionLimits {
 impl ExecutionLimits {
     /// No limits beyond capacity.
     pub fn capacity_only(max_cores: usize) -> Self {
-        ExecutionLimits { max_cores, max_launchable_ranks: None, adapter_volume_cap: None }
+        ExecutionLimits {
+            max_cores,
+            max_launchable_ranks: None,
+            adapter_volume_cap: None,
+        }
     }
 
     /// Checks whether a job of `ranks` ranks, moving an estimated
@@ -83,7 +93,10 @@ impl ExecutionLimits {
         }
         if let Some(max) = self.max_launchable_ranks {
             if ranks > max {
-                return Err(LimitViolation::LauncherFailure { requested: ranks, max_ranks: max });
+                return Err(LimitViolation::LauncherFailure {
+                    requested: ranks,
+                    max_ranks: max,
+                });
             }
         }
         if let Some(cap) = self.adapter_volume_cap {
@@ -108,7 +121,10 @@ mod tests {
         assert!(l.check(125, 0.0).is_ok());
         assert!(matches!(
             l.check(216, 0.0),
-            Err(LimitViolation::InsufficientCapacity { requested: 216, available: 128 })
+            Err(LimitViolation::InsufficientCapacity {
+                requested: 216,
+                available: 128
+            })
         ));
     }
 
@@ -120,7 +136,10 @@ mod tests {
             adapter_volume_cap: None,
         };
         assert!(l.check(512, 0.0).is_ok());
-        assert!(matches!(l.check(729, 0.0), Err(LimitViolation::LauncherFailure { .. })));
+        assert!(matches!(
+            l.check(729, 0.0),
+            Err(LimitViolation::LauncherFailure { .. })
+        ));
     }
 
     #[test]
@@ -139,7 +158,10 @@ mod tests {
 
     #[test]
     fn violations_display() {
-        let v = LimitViolation::LauncherFailure { requested: 729, max_ranks: 512 };
+        let v = LimitViolation::LauncherFailure {
+            requested: 729,
+            max_ranks: 512,
+        };
         assert!(v.to_string().contains("729"));
     }
 }

@@ -154,7 +154,9 @@ impl Action {
             Action::Preinstalled => 0.0,
             Action::VendorLibrary(_) => 0.25,
             Action::PackageManager => 0.1,
-            Action::SourceBuild => pkg.expect("source builds are per package").source_build_hours(),
+            Action::SourceBuild => pkg
+                .expect("source builds are per package")
+                .source_build_hours(),
             Action::AdminRequest(_) => 0.5,
             Action::SystemConfig(_) => 0.5,
             Action::SgeLiaison => 0.5,
@@ -311,16 +313,28 @@ impl ProvisionPlan {
 
     /// Steps that actually cost effort (not already-preinstalled no-ops).
     pub fn work_steps(&self) -> impl Iterator<Item = &PlanStep> {
-        self.steps.iter().filter(|s| s.action != Action::Preinstalled)
+        self.steps
+            .iter()
+            .filter(|s| s.action != Action::Preinstalled)
     }
 
     /// Renders a human-readable plan.
     pub fn render(&self) -> String {
         let mut out = format!("Provisioning plan for {}\n", self.platform);
         for s in &self.steps {
-            out.push_str(&format!("  {:<28} {:<38} {:>5.2} h\n", s.item, s.action.label(), s.hours));
+            out.push_str(&format!(
+                "  {:<28} {:<38} {:>5.2} h\n",
+                s.item,
+                s.action.label(),
+                s.hours
+            ));
         }
-        out.push_str(&format!("  {:<28} {:<38} {:>5.2} h\n", "TOTAL", "", self.total_hours()));
+        out.push_str(&format!(
+            "  {:<28} {:<38} {:>5.2} h\n",
+            "TOTAL",
+            "",
+            self.total_hours()
+        ));
         out
     }
 }
@@ -368,7 +382,11 @@ pub fn plan(env: &PlatformEnvironment) -> Result<ProvisionPlan, PlanError> {
         }
         let hours = action.hours(Some(pkg));
         if action != Action::Preinstalled {
-            steps.push(PlanStep { item: pkg.name().into(), action, hours });
+            steps.push(PlanStep {
+                item: pkg.name().into(),
+                action,
+                hours,
+            });
         }
     }
 
@@ -379,7 +397,11 @@ pub fn plan(env: &PlatformEnvironment) -> Result<ProvisionPlan, PlanError> {
             .clone()
             .unwrap_or(Action::AdminRequest("storage remediation".into()));
         let hours = action.hours(None);
-        steps.push(PlanStep { item: "scratch space".into(), action, hours });
+        steps.push(PlanStep {
+            item: "scratch space".into(),
+            action,
+            hours,
+        });
     }
 
     // Parallel execution environment.
@@ -413,7 +435,10 @@ pub fn plan(env: &PlatformEnvironment) -> Result<ProvisionPlan, PlanError> {
         });
     }
 
-    Ok(ProvisionPlan { platform: env.key.clone(), steps })
+    Ok(ProvisionPlan {
+        platform: env.key.clone(),
+        steps,
+    })
 }
 
 /// The paper's Section VIII future-work direction, made concrete:
@@ -455,7 +480,10 @@ pub fn plan_with_prepared_environment(
             hours: 0.25,
         });
     }
-    Ok(ProvisionPlan { platform: format!("{} (prepared)", env.key), steps })
+    Ok(ProvisionPlan {
+        platform: format!("{} (prepared)", env.key),
+        steps,
+    })
 }
 
 #[cfg(test)]
@@ -491,7 +519,10 @@ mod tests {
         let h = p.total_hours();
         assert!((7.0..=9.5).contains(&h), "{h} h\n{}", p.render());
         // MPI must be a source build; BLAS must come from ACML.
-        assert!(p.steps.iter().any(|s| s.item.contains("Open MPI") && s.action == Action::SourceBuild));
+        assert!(p
+            .steps
+            .iter()
+            .any(|s| s.item.contains("Open MPI") && s.action == Action::SourceBuild));
         assert!(p
             .steps
             .iter()
@@ -508,7 +539,10 @@ mod tests {
         assert!((6.0..=9.5).contains(&h), "{h} h\n{}", p.render());
         // MPI is preinstalled there; Trilinos is the big source build.
         assert!(!p.steps.iter().any(|s| s.item.contains("Open MPI")));
-        assert!(p.steps.iter().any(|s| s.item.contains("Trilinos") && s.action == Action::SourceBuild));
+        assert!(p
+            .steps
+            .iter()
+            .any(|s| s.item.contains("Trilinos") && s.action == Action::SourceBuild));
         assert!(p
             .steps
             .iter()
@@ -523,11 +557,23 @@ mod tests {
         let h = p.total_hours();
         assert!((8.5..=12.0).contains(&h), "{h} h\n{}", p.render());
         // Compilers come from yum; CMake from source (not in the repos).
-        assert!(p.steps.iter().any(|s| s.item.contains("GCC") && s.action == Action::PackageManager));
-        assert!(p.steps.iter().any(|s| s.item.contains("CMake") && s.action == Action::SourceBuild));
+        assert!(p
+            .steps
+            .iter()
+            .any(|s| s.item.contains("GCC") && s.action == Action::PackageManager));
+        assert!(p
+            .steps
+            .iter()
+            .any(|s| s.item.contains("CMake") && s.action == Action::SourceBuild));
         // Cloud-specific system configuration shows up.
-        assert!(p.steps.iter().any(|s| matches!(&s.action, Action::SystemConfig(w) if w.contains("ssh"))));
-        assert!(p.steps.iter().any(|s| matches!(&s.action, Action::SystemConfig(w) if w.contains("security group"))));
+        assert!(p
+            .steps
+            .iter()
+            .any(|s| matches!(&s.action, Action::SystemConfig(w) if w.contains("ssh"))));
+        assert!(p
+            .steps
+            .iter()
+            .any(|s| matches!(&s.action, Action::SystemConfig(w) if w.contains("security group"))));
     }
 
     #[test]
@@ -560,7 +606,10 @@ mod tests {
             iaas_setup: vec![],
             support: "none".into(),
         };
-        assert!(matches!(plan(&env), Err(PlanError::Unsatisfiable(Pkg::Gcc))));
+        assert!(matches!(
+            plan(&env),
+            Err(PlanError::Unsatisfiable(Pkg::Gcc))
+        ));
     }
 
     #[test]

@@ -68,7 +68,12 @@ impl QueueModel {
 
     /// An on-demand model: boot latency only (IaaS).
     pub fn on_demand(boot_seconds: f64, per_node: f64) -> Self {
-        QueueModel { base: boot_seconds, per_node, spread: 0.3, size_exponent: 1.0 }
+        QueueModel {
+            base: boot_seconds,
+            per_node,
+            spread: 0.3,
+            size_exponent: 1.0,
+        }
     }
 }
 
@@ -86,13 +91,23 @@ mod tests {
 
     #[test]
     fn wait_grows_with_nodes() {
-        let q = QueueModel { base: 600.0, per_node: 60.0, spread: 0.0, size_exponent: 1.2 };
+        let q = QueueModel {
+            base: 600.0,
+            per_node: 60.0,
+            spread: 0.0,
+            size_exponent: 1.2,
+        };
         assert!(q.wait_seconds(32, 1) > q.wait_seconds(2, 1));
     }
 
     #[test]
     fn wait_is_deterministic_per_seed() {
-        let q = QueueModel { base: 100.0, per_node: 10.0, spread: 0.5, size_exponent: 1.0 };
+        let q = QueueModel {
+            base: 100.0,
+            per_node: 10.0,
+            spread: 0.5,
+            size_exponent: 1.0,
+        };
         assert_eq!(q.wait_seconds(8, 42), q.wait_seconds(8, 42));
         assert_ne!(q.wait_seconds(8, 42), q.wait_seconds(8, 43));
     }
@@ -100,7 +115,12 @@ mod tests {
     #[test]
     fn on_demand_is_fast() {
         let cloud = QueueModel::on_demand(90.0, 2.0);
-        let grid = QueueModel { base: 3600.0, per_node: 120.0, spread: 1.0, size_exponent: 1.3 };
+        let grid = QueueModel {
+            base: 3600.0,
+            per_node: 120.0,
+            spread: 1.0,
+            size_exponent: 1.3,
+        };
         for nodes in [1usize, 8, 63] {
             assert!(cloud.wait_seconds(nodes, 7) < grid.wait_seconds(nodes, 7) / 5.0);
         }
@@ -108,7 +128,12 @@ mod tests {
 
     #[test]
     fn congestion_bounded_by_spread() {
-        let q = QueueModel { base: 100.0, per_node: 0.0, spread: 0.5, size_exponent: 1.0 };
+        let q = QueueModel {
+            base: 100.0,
+            per_node: 0.0,
+            spread: 0.5,
+            size_exponent: 1.0,
+        };
         for seed in 0..200 {
             let w = q.wait_seconds(4, seed);
             assert!((100.0..150.0 + 1e-9).contains(&w), "w = {w}");

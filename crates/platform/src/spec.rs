@@ -51,7 +51,10 @@ impl PlatformSpec {
     /// Cluster topology for a job of `ranks` ranks (block placement over
     /// the minimum node count, single placement group).
     pub fn topology(&self, ranks: usize) -> ClusterTopology {
-        let nodes = ranks.div_ceil(self.cores_per_node).min(self.max_nodes).max(1);
+        let nodes = ranks
+            .div_ceil(self.cores_per_node)
+            .min(self.max_nodes)
+            .max(1);
         ClusterTopology::uniform(nodes, self.cores_per_node)
     }
 
@@ -113,8 +116,16 @@ mod tests {
             network: NetworkModel::gigabit_ethernet(),
             access: AccessKind::UserSpace,
             scheduler: SchedulerKind::PbsTorque,
-            queue: QueueModel { base: 60.0, per_node: 10.0, spread: 0.0, size_exponent: 1.0 },
-            cost: CostModel { billing: Billing::PerCoreHour(0.05), note: String::new() },
+            queue: QueueModel {
+                base: 60.0,
+                per_node: 10.0,
+                spread: 0.0,
+                size_exponent: 1.0,
+            },
+            cost: CostModel {
+                billing: Billing::PerCoreHour(0.05),
+                note: String::new(),
+            },
             limits: ExecutionLimits::capacity_only(32),
         }
     }

@@ -67,14 +67,18 @@ pub fn acquire_fleet(
     match strategy {
         FleetStrategy::OnDemandSingleGroup => {
             for _ in 0..nodes {
-                out.push(NodeAllocation { spot: false, group: 0, price_per_hour: on_demand_price });
+                out.push(NodeAllocation {
+                    spot: false,
+                    group: 0,
+                    price_per_hour: on_demand_price,
+                });
             }
         }
         FleetStrategy::SpotMix { groups, max_bid } => {
             assert!(groups > 0);
             let (lo, hi) = SPOT_CAPACITY_RANGE;
-            let capacity =
-                lo + (to_unit(hash_msg(seed, 0xF1EE7, nodes as u64, 0)) * (hi - lo + 1) as f64)
+            let capacity = lo
+                + (to_unit(hash_msg(seed, 0xF1EE7, nodes as u64, 0)) * (hi - lo + 1) as f64)
                     as usize;
             let bid_ok = EC2_SPOT_NODE_HOUR <= max_bid;
             for i in 0..nodes {
@@ -82,12 +86,19 @@ pub fn acquire_fleet(
                 out.push(NodeAllocation {
                     spot,
                     group: i % groups,
-                    price_per_hour: if spot { EC2_SPOT_NODE_HOUR } else { on_demand_price },
+                    price_per_hour: if spot {
+                        EC2_SPOT_NODE_HOUR
+                    } else {
+                        on_demand_price
+                    },
                 });
             }
         }
     }
-    FleetAllocation { nodes: out, strategy }
+    FleetAllocation {
+        nodes: out,
+        strategy,
+    }
 }
 
 impl FleetAllocation {
@@ -118,10 +129,7 @@ impl FleetAllocation {
 
     /// The cluster topology induced by the fleet's placement groups.
     pub fn topology(&self, cores_per_node: usize) -> ClusterTopology {
-        ClusterTopology::with_groups(
-            cores_per_node,
-            self.nodes.iter().map(|n| n.group).collect(),
-        )
+        ClusterTopology::with_groups(cores_per_node, self.nodes.iter().map(|n| n.group).collect())
     }
 }
 
@@ -145,7 +153,10 @@ mod tests {
         for seed in 0..100 {
             let f = acquire_fleet(
                 63,
-                FleetStrategy::SpotMix { groups: 4, max_bid: 1.0 },
+                FleetStrategy::SpotMix {
+                    groups: 4,
+                    max_bid: 1.0,
+                },
                 2.40,
                 seed,
             );
@@ -153,15 +164,30 @@ mod tests {
             assert!(f.spot_count() >= 40, "seed {seed}: {}", f.spot_count());
         }
         // Small fleets do fill from spot alone.
-        let small = acquire_fleet(8, FleetStrategy::SpotMix { groups: 4, max_bid: 1.0 }, 2.40, 1);
+        let small = acquire_fleet(
+            8,
+            FleetStrategy::SpotMix {
+                groups: 4,
+                max_bid: 1.0,
+            },
+            2.40,
+            1,
+        );
         assert_eq!(small.spot_count(), 8);
     }
 
     #[test]
     fn mix_is_much_cheaper() {
         let full = acquire_fleet(63, FleetStrategy::OnDemandSingleGroup, 2.40, 3);
-        let mix =
-            acquire_fleet(63, FleetStrategy::SpotMix { groups: 4, max_bid: 1.0 }, 2.40, 3);
+        let mix = acquire_fleet(
+            63,
+            FleetStrategy::SpotMix {
+                groups: 4,
+                max_bid: 1.0,
+            },
+            2.40,
+            3,
+        );
         let ratio = full.hourly_cost() / mix.hourly_cost();
         assert!(ratio > 1.8, "ratio = {ratio}");
         // The paper's "est. cost" column prices the whole fleet at the spot
@@ -174,7 +200,10 @@ mod tests {
     fn low_bid_gets_no_spot_instances() {
         let f = acquire_fleet(
             10,
-            FleetStrategy::SpotMix { groups: 4, max_bid: 0.10 },
+            FleetStrategy::SpotMix {
+                groups: 4,
+                max_bid: 0.10,
+            },
             2.40,
             1,
         );
@@ -184,15 +213,39 @@ mod tests {
 
     #[test]
     fn mix_topology_spans_groups() {
-        let f = acquire_fleet(8, FleetStrategy::SpotMix { groups: 4, max_bid: 1.0 }, 2.40, 9);
+        let f = acquire_fleet(
+            8,
+            FleetStrategy::SpotMix {
+                groups: 4,
+                max_bid: 1.0,
+            },
+            2.40,
+            9,
+        );
         let topo = f.topology(16);
         assert_eq!(topo.groups_in_use(8), 4);
     }
 
     #[test]
     fn acquisition_is_deterministic() {
-        let a = acquire_fleet(20, FleetStrategy::SpotMix { groups: 4, max_bid: 1.0 }, 2.40, 7);
-        let b = acquire_fleet(20, FleetStrategy::SpotMix { groups: 4, max_bid: 1.0 }, 2.40, 7);
+        let a = acquire_fleet(
+            20,
+            FleetStrategy::SpotMix {
+                groups: 4,
+                max_bid: 1.0,
+            },
+            2.40,
+            7,
+        );
+        let b = acquire_fleet(
+            20,
+            FleetStrategy::SpotMix {
+                groups: 4,
+                max_bid: 1.0,
+            },
+            2.40,
+            7,
+        );
         assert_eq!(a, b);
     }
 }

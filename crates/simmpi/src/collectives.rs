@@ -63,7 +63,8 @@ impl SimComm {
         if size == 1 {
             return;
         }
-        let tag = COLLECTIVE_TAG_BASE + self.next_collective_epoch() * SLOTS_PER_EPOCH + SLOT_BARRIER;
+        let tag =
+            COLLECTIVE_TAG_BASE + self.next_collective_epoch() * SLOTS_PER_EPOCH + SLOT_BARRIER;
         let rank = self.rank();
         let mut step = 1usize;
         while step < size {
@@ -80,7 +81,8 @@ impl SimComm {
     pub fn reduce(&mut self, root: usize, op: ReduceOp, data: &[f64]) -> Option<Vec<f64>> {
         let size = self.size();
         assert!(root < size);
-        let tag = COLLECTIVE_TAG_BASE + self.next_collective_epoch() * SLOTS_PER_EPOCH + SLOT_REDUCE;
+        let tag =
+            COLLECTIVE_TAG_BASE + self.next_collective_epoch() * SLOTS_PER_EPOCH + SLOT_REDUCE;
         let rel = (self.rank() + size - root) % size;
         let mut acc = data.to_vec();
         let mut mask = 1usize;
@@ -92,7 +94,10 @@ impl SimComm {
                     let other = self.recv_f64(partner, tag);
                     op.apply(&mut acc, &other);
                     // Combining costs real flops.
-                    self.compute(crate::work::Work::new(acc.len() as f64, 16.0 * acc.len() as f64));
+                    self.compute(crate::work::Work::new(
+                        acc.len() as f64,
+                        16.0 * acc.len() as f64,
+                    ));
                 }
             } else {
                 let partner = ((rel & !mask) + root) % size;
@@ -159,7 +164,8 @@ impl SimComm {
     pub fn gather(&mut self, root: usize, data: &[f64]) -> Option<Vec<Vec<f64>>> {
         let size = self.size();
         assert!(root < size);
-        let tag = COLLECTIVE_TAG_BASE + self.next_collective_epoch() * SLOTS_PER_EPOCH + SLOT_GATHER;
+        let tag =
+            COLLECTIVE_TAG_BASE + self.next_collective_epoch() * SLOTS_PER_EPOCH + SLOT_GATHER;
         if self.rank() == root {
             let mut out = vec![Vec::new(); size];
             out[root] = data.to_vec();
@@ -273,7 +279,11 @@ mod tests {
     fn bcast_from_each_root() {
         for root in 0..5 {
             let r = run_spmd(cfg(5), move |comm| {
-                let data = if comm.rank() == root { vec![42.0, root as f64] } else { vec![] };
+                let data = if comm.rank() == root {
+                    vec![42.0, root as f64]
+                } else {
+                    vec![]
+                };
                 comm.bcast(root, data)
             });
             for res in &r {

@@ -5,10 +5,9 @@ use crate::network::{MsgContext, NetworkModel};
 use crate::stats::CommStats;
 use crate::topology::ClusterTopology;
 use crate::work::{ComputeModel, Work};
-use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Fixed CPU-side cost of posting a send (buffer packing setup).
 pub(crate) const SEND_OVERHEAD: f64 = 0.4e-6;
@@ -104,7 +103,10 @@ impl SharedComm {
     pub(crate) fn poison(&self) {
         self.poisoned.store(true, Ordering::SeqCst);
         for m in &self.mailboxes {
-            let _guard = m.queues.lock();
+            let _guard = m
+                .queues
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             m.cv.notify_all();
         }
     }
@@ -126,7 +128,14 @@ impl SimComm {
     pub(crate) fn new(rank: usize, shared: Arc<SharedComm>) -> Self {
         assert!(rank < shared.size);
         let size = shared.size;
-        SimComm { rank, shared, clock: 0.0, send_seq: vec![0; size], stats: CommStats::default(), coll_epoch: 0 }
+        SimComm {
+            rank,
+            shared,
+            clock: 0.0,
+            send_seq: vec![0; size],
+            stats: CommStats::default(),
+            coll_epoch: 0,
+        }
     }
 
     /// This rank's id.
@@ -225,10 +234,19 @@ impl SimComm {
         self.stats.msgs_sent += 1;
         self.stats.bytes_sent += modeled_bytes;
 
-        let env = Envelope { payload, modeled_bytes, depart: self.clock, seq, src: self.rank };
+        let env = Envelope {
+            payload,
+            modeled_bytes,
+            depart: self.clock,
+            seq,
+            src: self.rank,
+        };
         let mailbox = &self.shared.mailboxes[dst];
         {
-            let mut queues = mailbox.queues.lock();
+            let mut queues = mailbox
+                .queues
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             queues.entry((self.rank, tag)).or_default().push_back(env);
         }
         mailbox.cv.notify_all();
@@ -241,7 +259,10 @@ impl SimComm {
         assert!(src < self.shared.size, "source rank out of range");
         let env = {
             let mailbox = &self.shared.mailboxes[self.rank];
-            let mut queues = mailbox.queues.lock();
+            let mut queues = mailbox
+                .queues
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             loop {
                 if let Some(q) = queues.get_mut(&(src, tag)) {
                     if let Some(env) = q.pop_front() {
@@ -249,9 +270,15 @@ impl SimComm {
                     }
                 }
                 if self.shared.poisoned.load(Ordering::SeqCst) {
-                    panic!("job poisoned: a peer rank panicked while rank {} waited on ({src}, {tag})", self.rank);
+                    panic!(
+                        "job poisoned: a peer rank panicked while rank {} waited on ({src}, {tag})",
+                        self.rank
+                    );
                 }
-                mailbox.cv.wait(&mut queues);
+                queues = mailbox
+                    .cv
+                    .wait(queues)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
             }
         };
         debug_assert_eq!(env.src, src);
@@ -345,7 +372,11 @@ mod tests {
         });
         assert_eq!(results[0].value, vec![2.0, 4.0, 6.0]);
         // Rank 0's clock covers a full round trip: at least 2 latencies.
-        assert!(results[0].clock > 2.0 * 45e-6, "clock = {}", results[0].clock);
+        assert!(
+            results[0].clock > 2.0 * 45e-6,
+            "clock = {}",
+            results[0].clock
+        );
     }
 
     #[test]
@@ -360,7 +391,10 @@ mod tests {
                 (0..10).map(|_| comm.recv_f64(0, 5)[0]).collect()
             }
         });
-        assert_eq!(results[1].value, (0..10).map(|i| i as f64).collect::<Vec<_>>());
+        assert_eq!(
+            results[1].value,
+            (0..10).map(|i| i as f64).collect::<Vec<_>>()
+        );
     }
 
     #[test]

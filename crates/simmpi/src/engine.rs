@@ -60,7 +60,13 @@ where
         "{} ranks exceed the real-thread engine limit ({MAX_REAL_RANKS}); use hetero_simmpi::modeled",
         config.size
     );
-    let shared = SharedComm::new(config.size, config.topo, config.net, config.compute, config.seed);
+    let shared = SharedComm::new(
+        config.size,
+        config.topo,
+        config.net,
+        config.compute,
+        config.seed,
+    );
 
     let mut slots: Vec<Option<Result<RankResult<T>, String>>> =
         (0..config.size).map(|_| None).collect();
@@ -96,7 +102,10 @@ where
             })
             .collect();
         for (rank, h) in handles.into_iter().enumerate() {
-            slots[rank] = Some(h.join().unwrap_or_else(|_| Err("rank thread crashed".into())));
+            slots[rank] = Some(
+                h.join()
+                    .unwrap_or_else(|_| Err("rank thread crashed".into())),
+            );
         }
     });
 

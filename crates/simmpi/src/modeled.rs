@@ -66,7 +66,11 @@ impl VirtualRank {
     /// Creates a virtual rank at clock zero.
     pub fn new(env: VirtualEnv) -> Self {
         assert!(env.size > 0 && env.rank < env.size);
-        VirtualRank { env, clock: 0.0, seq: 0 }
+        VirtualRank {
+            env,
+            clock: 0.0,
+            seq: 0,
+        }
     }
 
     /// Current virtual time in seconds.
@@ -80,7 +84,13 @@ impl VirtualRank {
         self.clock += self.env.compute.time(work);
     }
 
-    fn transfer(&mut self, bytes: f64, same_node: bool, same_group: bool, peer: usize) -> (f64, f64) {
+    fn transfer(
+        &mut self,
+        bytes: f64,
+        same_node: bool,
+        same_group: bool,
+        peer: usize,
+    ) -> (f64, f64) {
         let ctx = MsgContext {
             bytes: bytes + HEADER_BYTES,
             same_node,
@@ -130,11 +140,17 @@ impl VirtualRank {
             let level = phase_level % depth;
             let same_node = (1usize << level) < self.env.nic_sharers;
             let (lat, drain) = self.transfer(bytes, same_node, true, self.env.rank ^ 1);
-            self.clock +=
-                SEND_OVERHEAD + (bytes + HEADER_BYTES) / self.env.net.intra_bw + lat + drain + RECV_OVERHEAD;
+            self.clock += SEND_OVERHEAD
+                + (bytes + HEADER_BYTES) / self.env.net.intra_bw
+                + lat
+                + drain
+                + RECV_OVERHEAD;
         }
         // Combine flops on the reduce path.
-        self.compute(Work::new(depth as f64 * n as f64, depth as f64 * 16.0 * n as f64));
+        self.compute(Work::new(
+            depth as f64 * n as f64,
+            depth as f64 * 16.0 * n as f64,
+        ));
     }
 
     /// Charges a dissemination barrier (`ceil(log2 p)` rounds of empty
@@ -144,7 +160,8 @@ impl VirtualRank {
         for level in 0..rounds {
             let same_node = (1usize << level) < self.env.nic_sharers;
             let (lat, drain) = self.transfer(0.0, same_node, true, self.env.rank ^ 1);
-            self.clock += SEND_OVERHEAD + HEADER_BYTES / self.env.net.intra_bw + lat + drain + RECV_OVERHEAD;
+            self.clock +=
+                SEND_OVERHEAD + HEADER_BYTES / self.env.net.intra_bw + lat + drain + RECV_OVERHEAD;
         }
     }
 
@@ -192,23 +209,42 @@ mod tests {
     #[test]
     fn halo_exchange_costs_at_least_one_transfer() {
         let mut v = VirtualRank::new(env(8, NetworkModel::gigabit_ethernet()));
-        let msgs = vec![VirtualMsg { peer: 1, bytes: 1e6, same_node: false, same_group: true }];
+        let msgs = vec![VirtualMsg {
+            peer: 1,
+            bytes: 1e6,
+            same_node: false,
+            same_group: true,
+        }];
         v.halo_exchange(&msgs);
         // >= latency + bytes / (bw / sharers).
-        assert!(v.clock() > 45e-6 + 1e6 / (117e6 / 4.0) * 0.9, "clock = {}", v.clock());
+        assert!(
+            v.clock() > 45e-6 + 1e6 / (117e6 / 4.0) * 0.9,
+            "clock = {}",
+            v.clock()
+        );
     }
 
     #[test]
     fn more_neighbors_cost_more() {
         let one = {
             let mut v = VirtualRank::new(env(27, NetworkModel::gigabit_ethernet()));
-            v.halo_exchange(&[VirtualMsg { peer: 1, bytes: 1e5, same_node: false, same_group: true }]);
+            v.halo_exchange(&[VirtualMsg {
+                peer: 1,
+                bytes: 1e5,
+                same_node: false,
+                same_group: true,
+            }]);
             v.clock()
         };
         let many = {
             let mut v = VirtualRank::new(env(27, NetworkModel::gigabit_ethernet()));
             let msgs: Vec<_> = (0..26)
-                .map(|p| VirtualMsg { peer: p, bytes: 1e5, same_node: false, same_group: true })
+                .map(|p| VirtualMsg {
+                    peer: p,
+                    bytes: 1e5,
+                    same_node: false,
+                    same_group: true,
+                })
                 .collect();
             v.halo_exchange(&msgs);
             v.clock()
@@ -246,7 +282,12 @@ mod tests {
         let run = || {
             let mut v = VirtualRank::new(env(64, NetworkModel::ten_gig_ethernet_ec2()));
             for _ in 0..10 {
-                v.halo_exchange(&[VirtualMsg { peer: 3, bytes: 5e4, same_node: false, same_group: true }]);
+                v.halo_exchange(&[VirtualMsg {
+                    peer: 3,
+                    bytes: 5e4,
+                    same_node: false,
+                    same_group: true,
+                }]);
                 v.allreduce(1);
             }
             v.clock()

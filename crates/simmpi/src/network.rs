@@ -206,7 +206,10 @@ mod tests {
     #[test]
     fn latency_dominates_small_messages() {
         let m = NetworkModel::gigabit_ethernet();
-        let t = m.transfer_time(MsgContext { jitter_key: (0, 0, 1, 0), ..ctx(8.0) });
+        let t = m.transfer_time(MsgContext {
+            jitter_key: (0, 0, 1, 0),
+            ..ctx(8.0)
+        });
         // An 8-byte message costs roughly the latency (jitter < 5%).
         assert!((t / m.latency - 1.0).abs() < 0.1, "t = {t}");
     }
@@ -222,15 +225,25 @@ mod tests {
     fn nic_sharing_divides_bandwidth() {
         let m = NetworkModel::infiniband_ddr(); // no jitter to speak of
         let alone = m.transfer_time(ctx(1e8));
-        let shared = m.transfer_time(MsgContext { nic_sharers: 4, ..ctx(1e8) });
-        assert!(shared / alone > 3.5 && shared / alone < 4.2, "ratio {}", shared / alone);
+        let shared = m.transfer_time(MsgContext {
+            nic_sharers: 4,
+            ..ctx(1e8)
+        });
+        assert!(
+            shared / alone > 3.5 && shared / alone < 4.2,
+            "ratio {}",
+            shared / alone
+        );
     }
 
     #[test]
     fn intra_node_is_fast() {
         let m = NetworkModel::gigabit_ethernet();
         let inter = m.transfer_time(ctx(1e6));
-        let intra = m.transfer_time(MsgContext { same_node: true, ..ctx(1e6) });
+        let intra = m.transfer_time(MsgContext {
+            same_node: true,
+            ..ctx(1e6)
+        });
         assert!(intra < inter / 10.0);
     }
 
@@ -248,18 +261,30 @@ mod tests {
         let mut m = NetworkModel::ten_gig_ethernet_ec2();
         m.jitter_sigma = 0.0; // isolate the group effect
         let within = m.transfer_time(ctx(1e6));
-        let across = m.transfer_time(MsgContext { same_group: false, ..ctx(1e6) });
+        let across = m.transfer_time(MsgContext {
+            same_group: false,
+            ..ctx(1e6)
+        });
         assert!(across > within, "{across} vs {within}");
     }
 
     #[test]
     fn jitter_changes_with_sequence_number() {
         let m = NetworkModel::ten_gig_ethernet_ec2();
-        let a = m.transfer_time(MsgContext { jitter_key: (7, 0, 1, 0), ..ctx(1e6) });
-        let b = m.transfer_time(MsgContext { jitter_key: (7, 0, 1, 1), ..ctx(1e6) });
+        let a = m.transfer_time(MsgContext {
+            jitter_key: (7, 0, 1, 0),
+            ..ctx(1e6)
+        });
+        let b = m.transfer_time(MsgContext {
+            jitter_key: (7, 0, 1, 1),
+            ..ctx(1e6)
+        });
         assert_ne!(a, b);
         // But the same key is reproducible.
-        let a2 = m.transfer_time(MsgContext { jitter_key: (7, 0, 1, 0), ..ctx(1e6) });
+        let a2 = m.transfer_time(MsgContext {
+            jitter_key: (7, 0, 1, 0),
+            ..ctx(1e6)
+        });
         assert_eq!(a, a2);
     }
 

@@ -97,8 +97,10 @@ mod tests {
     fn jitter_mean_is_near_one() {
         let sigma = 0.3;
         let n = 20_000u64;
-        let mean: f64 =
-            (0..n).map(|s| jitter_factor(11, 3, 5, s, sigma)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|s| jitter_factor(11, 3, 5, s, sigma))
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - 1.0).abs() < 0.05, "mean = {mean}");
     }
 

@@ -62,8 +62,18 @@ mod tests {
 
     #[test]
     fn merge_adds_fields() {
-        let mut a = CommStats { msgs_sent: 2, bytes_sent: 100.0, compute_time: 1.0, ..Default::default() };
-        let b = CommStats { msgs_sent: 3, bytes_sent: 50.0, comm_time: 0.5, ..Default::default() };
+        let mut a = CommStats {
+            msgs_sent: 2,
+            bytes_sent: 100.0,
+            compute_time: 1.0,
+            ..Default::default()
+        };
+        let b = CommStats {
+            msgs_sent: 3,
+            bytes_sent: 50.0,
+            comm_time: 0.5,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.msgs_sent, 5);
         assert_eq!(a.bytes_sent, 150.0);
@@ -75,7 +85,11 @@ mod tests {
     fn comm_fraction_bounds() {
         let idle = CommStats::default();
         assert_eq!(idle.comm_fraction(), 0.0);
-        let busy = CommStats { compute_time: 3.0, comm_time: 1.0, ..Default::default() };
+        let busy = CommStats {
+            compute_time: 3.0,
+            comm_time: 1.0,
+            ..Default::default()
+        };
         assert!((busy.comm_fraction() - 0.25).abs() < 1e-12);
     }
 }

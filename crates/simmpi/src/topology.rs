@@ -20,13 +20,19 @@ impl ClusterTopology {
     /// A cluster of `num_nodes` identical nodes in one placement group.
     pub fn uniform(num_nodes: usize, cores_per_node: usize) -> Self {
         assert!(num_nodes > 0 && cores_per_node > 0);
-        ClusterTopology { cores_per_node, groups: vec![0; num_nodes] }
+        ClusterTopology {
+            cores_per_node,
+            groups: vec![0; num_nodes],
+        }
     }
 
     /// A cluster whose node `i` belongs to placement group `groups[i]`.
     pub fn with_groups(cores_per_node: usize, groups: Vec<usize>) -> Self {
         assert!(cores_per_node > 0 && !groups.is_empty());
-        ClusterTopology { cores_per_node, groups }
+        ClusterTopology {
+            cores_per_node,
+            groups,
+        }
     }
 
     /// A cluster of `num_nodes` nodes dealt round-robin into `num_groups`
@@ -65,7 +71,10 @@ impl ClusterTopology {
     #[inline]
     pub fn node_of_rank(&self, rank: usize) -> usize {
         let node = rank / self.cores_per_node;
-        assert!(node < self.num_nodes(), "rank {rank} exceeds cluster capacity");
+        assert!(
+            node < self.num_nodes(),
+            "rank {rank} exceeds cluster capacity"
+        );
         node
     }
 

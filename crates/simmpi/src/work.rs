@@ -21,7 +21,10 @@ pub struct Work {
 
 impl Work {
     /// No work.
-    pub const ZERO: Work = Work { flops: 0.0, bytes: 0.0 };
+    pub const ZERO: Work = Work {
+        flops: 0.0,
+        bytes: 0.0,
+    };
 
     /// Creates a work quantity.
     #[inline]
@@ -52,7 +55,10 @@ impl Add for Work {
     type Output = Work;
     #[inline]
     fn add(self, rhs: Work) -> Work {
-        Work { flops: self.flops + rhs.flops, bytes: self.bytes + rhs.bytes }
+        Work {
+            flops: self.flops + rhs.flops,
+            bytes: self.bytes + rhs.bytes,
+        }
     }
 }
 
@@ -67,7 +73,10 @@ impl Mul<f64> for Work {
     type Output = Work;
     #[inline]
     fn mul(self, s: f64) -> Work {
-        Work { flops: self.flops * s, bytes: self.bytes * s }
+        Work {
+            flops: self.flops * s,
+            bytes: self.bytes * s,
+        }
     }
 }
 
@@ -92,8 +101,14 @@ impl ComputeModel {
     /// # Panics
     /// Panics if either rate is not strictly positive.
     pub fn new(flops_per_sec: f64, mem_bw: f64) -> Self {
-        assert!(flops_per_sec > 0.0 && mem_bw > 0.0, "rates must be positive");
-        ComputeModel { flops_per_sec, mem_bw }
+        assert!(
+            flops_per_sec > 0.0 && mem_bw > 0.0,
+            "rates must be positive"
+        );
+        ComputeModel {
+            flops_per_sec,
+            mem_bw,
+        }
     }
 
     /// Simulated seconds to execute `work` on one core.

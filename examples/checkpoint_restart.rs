@@ -22,7 +22,10 @@ fn main() {
     let n = 4; // global mesh 4^3 cells
     let ranks = 8;
     let mesh = StructuredHexMesh::unit_cube(n);
-    let cfg = RdConfig { steps: 3, ..RdConfig::default() };
+    let cfg = RdConfig {
+        steps: 3,
+        ..RdConfig::default()
+    };
     let t_checkpoint = cfg.t0 + cfg.steps as f64 * cfg.dt;
 
     // Phase 1: run on `puma` with a block partition and checkpoint.
@@ -30,7 +33,9 @@ fn main() {
     let block = Arc::new(BlockPartitioner.partition(&mesh, ranks));
     let mesh1 = mesh.clone();
     let cfg1 = cfg.clone();
-    println!("phase 1: running RD on puma (block partition), checkpointing at t = {t_checkpoint} ...");
+    println!(
+        "phase 1: running RD on puma (block partition), checkpointing at t = {t_checkpoint} ..."
+    );
     let results = run_spmd(puma.spmd_config(ranks, 1), move |comm| {
         let dmesh = DistributedMesh::new(mesh1.clone(), Arc::clone(&block), comm.rank(), ranks);
         let report = solve_rd(&dmesh, &cfg1, comm);

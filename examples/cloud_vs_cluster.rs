@@ -26,7 +26,10 @@ fn main() {
     // The paper's qualitative findings, restated from the data:
     let ec2_small = table.outcome(8, "ec2").unwrap().phases.total;
     let puma_small = table.outcome(8, "puma").unwrap().phases.total;
-    println!("at 8 ranks, ec2 is {:.1}x faster than puma (newer CPUs)", puma_small / ec2_small);
+    println!(
+        "at 8 ranks, ec2 is {:.1}x faster than puma (newer CPUs)",
+        puma_small / ec2_small
+    );
 
     let lagrange_flat = table.outcome(343, "lagrange").unwrap().phases.total
         / table.outcome(1, "lagrange").unwrap().phases.total;

@@ -20,24 +20,39 @@ fn main() {
         ..RunRequest::new(catalog::puma(), App::paper_rd(4), 8, 4)
     };
 
-    println!("running RD (Q2 elements, BDF2) on {} ...\n", req.platform.description);
+    println!(
+        "running RD (Q2 elements, BDF2) on {} ...\n",
+        req.platform.description
+    );
     let out = execute(&req).expect("within puma's limits");
 
     println!("platform            : {}", out.platform);
     println!("ranks / nodes       : {} / {}", out.ranks, out.nodes);
     println!("engine              : {:?}", out.fidelity);
-    println!("assembly            : {:.4} s/iteration", out.phases.assembly);
-    println!("preconditioner      : {:.4} s/iteration", out.phases.precond);
+    println!(
+        "assembly            : {:.4} s/iteration",
+        out.phases.assembly
+    );
+    println!(
+        "preconditioner      : {:.4} s/iteration",
+        out.phases.precond
+    );
     println!("solve               : {:.4} s/iteration", out.phases.solve);
     println!("total               : {:.4} s/iteration", out.phases.total);
     println!("CG iterations       : {:.1}", out.krylov_iters);
-    println!("cost                : ${:.6}/iteration", out.cost_per_iteration);
+    println!(
+        "cost                : ${:.6}/iteration",
+        out.cost_per_iteration
+    );
     println!("queue wait          : {:.0} s", out.queue_wait_seconds);
 
     let v = out.verification.expect("numerical runs verify");
     println!("\nverification against u = t^2 (x1^2 + x2^2 + x3^2):");
     println!("  max nodal error   : {:.2e}", v.linf);
     println!("  discrete L2 error : {:.2e}", v.l2);
-    assert!(v.linf < 1e-5, "the Q2 + BDF2 discretization must be exact to solver tolerance");
+    assert!(
+        v.linf < 1e-5,
+        "the Q2 + BDF2 discretization must be exact to solver tolerance"
+    );
     println!("\nOK: the distributed pipeline reproduces the exact solution.");
 }

@@ -35,8 +35,15 @@ fn main() {
     // covers the full 63-instance fleet.
     println!("\nspot acquisition attempts for 63 instances (5 seeds):");
     for seed in 0..5 {
-        let fleet =
-            acquire_fleet(63, FleetStrategy::SpotMix { groups: 4, max_bid: 1.0 }, 2.40, seed);
+        let fleet = acquire_fleet(
+            63,
+            FleetStrategy::SpotMix {
+                groups: 4,
+                max_bid: 1.0,
+            },
+            2.40,
+            seed,
+        );
         println!(
             "  seed {seed}: {} spot + {} on-demand -> {:.2} $/h (all on-demand would be {:.2} $/h)",
             fleet.spot_count(),

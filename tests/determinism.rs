@@ -23,6 +23,40 @@ fn numerical_engine_is_deterministic_across_runs() {
 }
 
 #[test]
+fn report_is_bitwise_identical_across_intra_rank_thread_counts() {
+    // The Fig-4-style RD scenario computed with explicit rayon pool sizes
+    // 1 and 4 (wired through RunRequest, not the environment) must produce
+    // byte-identical serialized reports: the fixed-chunk kernels make the
+    // numerics a function of the data alone, never the thread count.
+    let run = |threads: usize| -> String {
+        let req = RunRequest {
+            fidelity: Fidelity::Numerical,
+            threads_per_rank: threads,
+            ..RunRequest::new(catalog::ec2(), App::paper_rd(3), 8, 3)
+        };
+        format!("{:?}", execute(&req).unwrap())
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn ns_report_is_bitwise_identical_across_thread_counts() {
+    // Same guarantee for the heavier NS pipeline: four solves per step,
+    // cached momentum/pressure assemblies, SSOR level sweeps.
+    let run = |threads: usize| -> String {
+        let req = RunRequest {
+            fidelity: Fidelity::Numerical,
+            threads_per_rank: threads,
+            ..RunRequest::new(catalog::ec2(), App::paper_ns(2), 8, 3)
+        };
+        format!("{:?}", execute(&req).unwrap())
+    };
+    assert_eq!(run(1), run(4));
+}
+
+#[test]
 fn modeled_engine_is_deterministic() {
     let req = RunRequest::new(catalog::ec2(), App::paper_rd(4), 729, 20);
     let a = execute(&req).unwrap();
@@ -59,7 +93,12 @@ fn ideal_deterministic_platform_ignores_the_seed() {
 
 #[test]
 fn whole_scenarios_reproduce_bitwise() {
-    let opts = ScenarioOptions { steps: 2, discard: 0, max_k: 4, ..ScenarioOptions::paper() };
+    let opts = ScenarioOptions {
+        steps: 2,
+        discard: 0,
+        max_k: 4,
+        ..ScenarioOptions::paper()
+    };
     let a = table2(&opts);
     let b = table2(&opts);
     for (x, y) in a.iter().zip(&b) {

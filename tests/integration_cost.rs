@@ -4,7 +4,11 @@ use hetero_hpc::scenarios::{cost_curves, fig4, fig5, table2, ScenarioOptions};
 use hetero_platform::catalog;
 
 fn opts() -> ScenarioOptions {
-    ScenarioOptions { steps: 3, discard: 1, ..ScenarioOptions::paper() }
+    ScenarioOptions {
+        steps: 3,
+        discard: 1,
+        ..ScenarioOptions::paper()
+    }
 }
 
 #[test]
@@ -17,12 +21,21 @@ fn table2_reproduces_the_papers_structure() {
         // "Regular allocation in a single placement group does not
         // introduce any performance benefits": times equal within noise.
         let rel = (r.mix_time - r.full_time).abs() / r.full_time;
-        assert!(rel < 0.2, "ranks {}: full {} vs mix {}", r.ranks, r.full_time, r.mix_time);
+        assert!(
+            rel < 0.2,
+            "ranks {}: full {} vs mix {}",
+            r.ranks,
+            r.full_time,
+            r.mix_time
+        );
         // "...despite costing four times as much": per-hour rates differ by
         // 2.40/0.54 ~ 4.44.
-        let hourly_ratio =
-            (r.full_cost / r.full_time) / (r.mix_est_cost / r.mix_time);
-        assert!((3.8..=5.0).contains(&hourly_ratio), "ranks {}: {hourly_ratio}", r.ranks);
+        let hourly_ratio = (r.full_cost / r.full_time) / (r.mix_est_cost / r.mix_time);
+        assert!(
+            (3.8..=5.0).contains(&hourly_ratio),
+            "ranks {}: {hourly_ratio}",
+            r.ranks
+        );
         // Costs grow superlinearly in ranks (time grows too).
         assert!(r.full_cost > 0.0 && r.mix_est_cost > 0.0);
     }
@@ -43,7 +56,11 @@ fn table2_cost_arithmetic_matches_the_paper() {
     let rows = table2(&opts());
     for r in &rows {
         let expect_full = r.full_time * r.nodes as f64 * 2.40 / 3600.0;
-        assert!((r.full_cost - expect_full).abs() / expect_full < 1e-9, "ranks {}", r.ranks);
+        assert!(
+            (r.full_cost - expect_full).abs() / expect_full < 1e-9,
+            "ranks {}",
+            r.ranks
+        );
         let expect_mix = r.mix_time * r.nodes as f64 * 0.54 / 3600.0;
         assert!((r.mix_est_cost - expect_mix).abs() / expect_mix < 1e-9);
     }
@@ -82,8 +99,14 @@ fn fig6_cheapest_platform_at_small_scale_is_the_home_cluster() {
             .unwrap()
     };
     for ranks in [8usize, 27, 64, 125] {
-        assert!(cost_at("puma", ranks) < cost_at("lagrange", ranks), "ranks {ranks}");
-        assert!(cost_at("puma", ranks) < cost_at("ec2", ranks), "ranks {ranks}");
+        assert!(
+            cost_at("puma", ranks) < cost_at("lagrange", ranks),
+            "ranks {ranks}"
+        );
+        assert!(
+            cost_at("puma", ranks) < cost_at("ec2", ranks),
+            "ranks {ranks}"
+        );
     }
 }
 
@@ -99,12 +122,22 @@ fn fig7_ec2_mix_beats_the_home_cluster_for_ns() {
     let mix = curves.iter().find(|c| c.label == "ec2 mix").unwrap();
     for ranks in [27usize, 64, 125] {
         let (_, mix_cost) = mix.points.iter().find(|&&(r, _)| r == ranks).unwrap();
-        let puma_cost = curves[0].points.iter().find(|&&(r, _)| r == ranks).map(|&(_, c)| c);
+        let puma_cost = curves[0]
+            .points
+            .iter()
+            .find(|&&(r, _)| r == ranks)
+            .map(|&(_, c)| c);
         let Some(puma_cost) = puma_cost else { continue };
         let t_mix = table.outcome(ranks, "ec2").unwrap().phases.total;
         let t_puma = table.outcome(ranks, "puma").unwrap().phases.total;
-        assert!(t_mix < t_puma, "ranks {ranks}: ec2 {t_mix} vs puma {t_puma}");
-        assert!(*mix_cost < 1.1 * puma_cost, "ranks {ranks}: mix {mix_cost} vs puma {puma_cost}");
+        assert!(
+            t_mix < t_puma,
+            "ranks {ranks}: ec2 {t_mix} vs puma {t_puma}"
+        );
+        assert!(
+            *mix_cost < 1.1 * puma_cost,
+            "ranks {ranks}: mix {mix_cost} vs puma {puma_cost}"
+        );
     }
 }
 
@@ -126,7 +159,12 @@ fn fig6_mix_converges_toward_full_at_large_sizes() {
     // Small fleets fill entirely from spot (ratio ~ 4.4); the 63-node fleet
     // needs on-demand top-up, pulling the ratio down.
     assert!(ratio_at(64) > 4.0, "{}", ratio_at(64));
-    assert!(ratio_at(1000) < ratio_at(64), "{} vs {}", ratio_at(1000), ratio_at(64));
+    assert!(
+        ratio_at(1000) < ratio_at(64),
+        "{} vs {}",
+        ratio_at(1000),
+        ratio_at(64)
+    );
 }
 
 #[test]
@@ -145,7 +183,15 @@ fn numerical_engine_supports_placement_group_fleets() {
     };
     let single = execute(&base).unwrap();
 
-    let fleet = acquire_fleet(2, FleetStrategy::SpotMix { groups: 2, max_bid: 1.0 }, 2.40, 7);
+    let fleet = acquire_fleet(
+        2,
+        FleetStrategy::SpotMix {
+            groups: 2,
+            max_bid: 1.0,
+        },
+        2.40,
+        7,
+    );
     let mix = execute(&RunRequest {
         topology_override: Some(fleet.topology(16)),
         cost_override: Some(catalog::ec2_spot_cost()),
@@ -168,7 +214,11 @@ fn numerical_engine_supports_placement_group_fleets() {
 #[test]
 fn csv_reports_mark_infeasible_rows() {
     use hetero_hpc::report::weak_scaling_csv;
-    let o = ScenarioOptions { steps: 2, discard: 0, ..ScenarioOptions::paper() };
+    let o = ScenarioOptions {
+        steps: 2,
+        discard: 0,
+        ..ScenarioOptions::paper()
+    };
     let table = fig4(&o);
     let csv = weak_scaling_csv(&table);
     // puma above 125 ranks must appear as infeasible rows, not silently

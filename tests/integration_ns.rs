@@ -81,7 +81,10 @@ fn ns_distributed_equals_serial_numerics() {
     })
     .unwrap();
     let dist = execute(&ns_req(catalog::puma(), 8)).unwrap();
-    let (s, d) = (serial.verification.unwrap().l2, dist.verification.unwrap().l2);
+    let (s, d) = (
+        serial.verification.unwrap().l2,
+        dist.verification.unwrap().l2,
+    );
     assert!((s - d).abs() / s < 1e-4, "serial {s} vs distributed {d}");
 }
 

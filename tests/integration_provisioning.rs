@@ -7,8 +7,11 @@ use hetero_platform::provision::{environment_of, plan, Action, Pkg};
 #[test]
 fn effort_totals_match_section_vi() {
     let t = table1();
-    let hours: Vec<(String, f64)> =
-        t.plans.iter().map(|p| (p.platform.clone(), p.total_hours())).collect();
+    let hours: Vec<(String, f64)> = t
+        .plans
+        .iter()
+        .map(|p| (p.platform.clone(), p.total_hours()))
+        .collect();
     let h = |key: &str| hours.iter().find(|(k, _)| k == key).unwrap().1;
     // puma is the home environment: nothing to do.
     assert_eq!(h("puma"), 0.0);
@@ -43,14 +46,23 @@ fn remediations_match_table_is_colored_cells() {
     // ec2: yum for the toolchain, source for CMake (not in the repos) and
     // the scientific stack, plus the cloud-specific system configuration.
     let ec2 = plan(&environment_of("ec2").unwrap()).unwrap();
-    assert!(ec2.steps.iter().any(|s| s.item.contains("GCC") && s.action == Action::PackageManager));
-    assert!(ec2.steps.iter().any(|s| s.item.contains("CMake") && s.action == Action::SourceBuild));
+    assert!(ec2
+        .steps
+        .iter()
+        .any(|s| s.item.contains("GCC") && s.action == Action::PackageManager));
+    assert!(ec2
+        .steps
+        .iter()
+        .any(|s| s.item.contains("CMake") && s.action == Action::SourceBuild));
     let sysconfigs = ec2
         .steps
         .iter()
         .filter(|s| matches!(s.action, Action::SystemConfig(_)))
         .count();
-    assert!(sysconfigs >= 4, "ssh keys, ports, partition, image: {sysconfigs}");
+    assert!(
+        sysconfigs >= 4,
+        "ssh keys, ports, partition, image: {sysconfigs}"
+    );
 }
 
 #[test]
@@ -76,7 +88,16 @@ fn every_platform_plan_is_dependency_ordered() {
 fn rendered_table_one_is_complete() {
     let text = render_table1(&table1());
     // All Table I rows that we model.
-    for row in ["cpu arch.", "cores/node", "RAM/core", "network", "access", "support", "execution", "cost"] {
+    for row in [
+        "cpu arch.",
+        "cores/node",
+        "RAM/core",
+        "network",
+        "access",
+        "support",
+        "execution",
+        "cost",
+    ] {
         assert!(text.contains(row), "missing row {row}");
     }
     // The paper's remediation annotations appear.

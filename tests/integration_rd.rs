@@ -110,7 +110,10 @@ fn manufactured_poisson_converges_at_second_order() {
             apply_dirichlet(&mut a, &mut b, &dm, |_| 0.0, comm);
             let jac = Jacobi::new(&a, comm);
             let mut x = a.new_vector();
-            let opts = SolveOptions { max_iters: 2000, ..SolveOptions::default() };
+            let opts = SolveOptions {
+                max_iters: 2000,
+                ..SolveOptions::default()
+            };
             let stats = cg(&a, &b, &mut x, &jac, opts, comm);
             assert!(stats.converged, "{stats:?}");
             dm.nodal_l2_error(&x, exact, comm)
@@ -162,7 +165,10 @@ fn partitioner_choice_does_not_change_the_numbers() {
             let dmesh = DistributedMesh::new(mesh.clone(), Arc::clone(&assignment), comm.rank(), 8);
             let r = hetero_fem::rd::solve_rd(
                 &dmesh,
-                &hetero_fem::rd::RdConfig { steps: 2, ..Default::default() },
+                &hetero_fem::rd::RdConfig {
+                    steps: 2,
+                    ..Default::default()
+                },
                 comm,
             );
             r.l2_error

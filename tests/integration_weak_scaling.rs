@@ -6,7 +6,11 @@ use hetero_hpc::run::Fidelity;
 use hetero_hpc::scenarios::{fig4, fig5, ScenarioOptions, WeakScalingTable};
 
 fn paper_opts() -> ScenarioOptions {
-    ScenarioOptions { steps: 7, discard: 5, ..ScenarioOptions::paper() }
+    ScenarioOptions {
+        steps: 7,
+        discard: 5,
+        ..ScenarioOptions::paper()
+    }
 }
 
 fn degradation(table: &WeakScalingTable, platform: &str, ranks: usize) -> f64 {
@@ -49,7 +53,10 @@ fn fig4_only_lagrange_maintains_weak_scaling_at_large_sizes() {
     let ellipse = degradation(&t, "ellipse", 343);
     let ec2 = degradation(&t, "ec2", 343);
     assert!(lagrange < 1.5, "lagrange {lagrange}");
-    assert!(ellipse > lagrange, "ellipse {ellipse} vs lagrange {lagrange}");
+    assert!(
+        ellipse > lagrange,
+        "ellipse {ellipse} vs lagrange {lagrange}"
+    );
     assert!(ec2 > lagrange, "ec2 {ec2} vs lagrange {lagrange}");
 }
 
@@ -62,7 +69,10 @@ fn fig4_ec2_has_the_worst_relative_degradation() {
     let at_max = degradation(&t, "ec2", 1000);
     let puma = degradation(&t, "puma", 125);
     let ellipse = degradation(&t, "ellipse", 512);
-    assert!(at_max > ellipse, "ec2@1000 {at_max} vs ellipse@512 {ellipse}");
+    assert!(
+        at_max > ellipse,
+        "ec2@1000 {at_max} vs ellipse@512 {ellipse}"
+    );
     assert!(at_max > 5.0, "ec2 must collapse at scale: {at_max}");
     assert!(ec2 > 0.8 * puma, "ec2@125 {ec2} vs puma@125 {puma}");
 }
@@ -94,7 +104,11 @@ fn fig4_phase_ordering_is_paper_like() {
 #[test]
 fn fig5_ns_scales_worse_than_rd() {
     // "This test does not scale well in any range."
-    let opts = ScenarioOptions { steps: 3, discard: 1, ..paper_opts() };
+    let opts = ScenarioOptions {
+        steps: 3,
+        discard: 1,
+        ..paper_opts()
+    };
     let rd = fig4(&opts);
     let ns = fig5(&opts);
     for platform in ["puma", "ellipse", "ec2"] {
@@ -121,20 +135,40 @@ fn fig5_ec2_competitive_with_hpc_at_small_scale() {
     // Amazon EC2 performance is comparable to the HPC class machine and can
     // considerably improve time to completion in comparison to the
     // department class computing clusters."
-    let opts = ScenarioOptions { steps: 3, discard: 1, ..paper_opts() };
+    let opts = ScenarioOptions {
+        steps: 3,
+        discard: 1,
+        ..paper_opts()
+    };
     let ns = fig5(&opts);
     let time = |p: &str, r: usize| ns.outcome(r, p).unwrap().phases.total;
     for ranks in [8usize, 27, 64] {
         let ratio = time("ec2", ranks) / time("lagrange", ranks);
-        assert!((0.6..=1.4).contains(&ratio), "ranks {ranks}: ec2/lagrange = {ratio}");
-        assert!(time("ec2", ranks) < 0.65 * time("puma", ranks), "ranks {ranks}");
+        assert!(
+            (0.6..=1.4).contains(&ratio),
+            "ranks {ranks}: ec2/lagrange = {ratio}"
+        );
+        assert!(
+            time("ec2", ranks) < 0.65 * time("puma", ranks),
+            "ranks {ranks}"
+        );
     }
 }
 
 #[test]
 fn modeled_ladder_is_deterministic() {
-    let a = fig4(&ScenarioOptions { max_k: 4, steps: 2, discard: 0, ..paper_opts() });
-    let b = fig4(&ScenarioOptions { max_k: 4, steps: 2, discard: 0, ..paper_opts() });
+    let a = fig4(&ScenarioOptions {
+        max_k: 4,
+        steps: 2,
+        discard: 0,
+        ..paper_opts()
+    });
+    let b = fig4(&ScenarioOptions {
+        max_k: 4,
+        steps: 2,
+        discard: 0,
+        ..paper_opts()
+    });
     for (ra, rb) in a.rows.iter().zip(&b.rows) {
         for ((_, ca), (_, cb)) in ra.cells.iter().zip(&rb.cells) {
             match (ca, cb) {

@@ -17,17 +17,27 @@ fn both_engines(
         discard: 1,
         ..RunRequest::new(platform, app, ranks, axis)
     };
-    let numerical = execute(&RunRequest { fidelity: Fidelity::Numerical, ..base.clone() })
-        .unwrap()
-        .phases;
-    let modeled =
-        execute(&RunRequest { fidelity: Fidelity::Modeled, ..base }).unwrap().phases;
+    let numerical = execute(&RunRequest {
+        fidelity: Fidelity::Numerical,
+        ..base.clone()
+    })
+    .unwrap()
+    .phases;
+    let modeled = execute(&RunRequest {
+        fidelity: Fidelity::Modeled,
+        ..base
+    })
+    .unwrap()
+    .phases;
     (numerical, modeled)
 }
 
 fn assert_close(label: &str, a: f64, b: f64, rel_tol: f64) {
     let rel = (a - b).abs() / a.max(b).max(1e-30);
-    assert!(rel < rel_tol, "{label}: numerical {a} vs modeled {b} (rel {rel:.3})");
+    assert!(
+        rel < rel_tol,
+        "{label}: numerical {a} vs modeled {b} (rel {rel:.3})"
+    );
 }
 
 #[test]
@@ -36,8 +46,18 @@ fn rd_engines_agree_distributed() {
     // totals within 25%, assembly within 20%.
     for (ranks, axis) in [(8usize, 4usize), (8, 5), (27, 4)] {
         let (num, modeled) = both_engines(catalog::ellipse(), App::paper_rd(3), ranks, axis);
-        assert_close(&format!("total {ranks}x{axis}^3"), num.total, modeled.total, 0.25);
-        assert_close(&format!("assembly {ranks}x{axis}^3"), num.assembly, modeled.assembly, 0.20);
+        assert_close(
+            &format!("total {ranks}x{axis}^3"),
+            num.total,
+            modeled.total,
+            0.25,
+        );
+        assert_close(
+            &format!("assembly {ranks}x{axis}^3"),
+            num.assembly,
+            modeled.assembly,
+            0.20,
+        );
     }
 }
 
@@ -107,8 +127,16 @@ fn modeled_traffic_estimate_is_in_range_of_measured() {
         discard: 0,
         ..RunRequest::new(catalog::lagrange(), App::paper_rd(3), 27, 4)
     };
-    let num = execute(&RunRequest { fidelity: Fidelity::Numerical, ..base.clone() }).unwrap();
-    let modeled = execute(&RunRequest { fidelity: Fidelity::Modeled, ..base }).unwrap();
+    let num = execute(&RunRequest {
+        fidelity: Fidelity::Numerical,
+        ..base.clone()
+    })
+    .unwrap();
+    let modeled = execute(&RunRequest {
+        fidelity: Fidelity::Modeled,
+        ..base
+    })
+    .unwrap();
     let ratio = modeled.bytes_per_iteration / num.bytes_per_iteration;
     assert!((0.2..=5.0).contains(&ratio), "traffic ratio {ratio}");
 }

@@ -1,0 +1,262 @@
+//! In-tree stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so this crate implements
+//! the benchmarking surface the workspace's `[[bench]]` targets use:
+//! [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Throughput`],
+//! [`Bencher::iter`], and the `criterion_group!` / `criterion_main!`
+//! macros. It is a plain wall-clock harness: each sample times a batch of
+//! iterations and the reported figure is the median ns/op across samples.
+//! There is no statistical regression analysis, warm-up tuning, or HTML
+//! report — just stable, comparable numbers printed to stdout.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Measures one closure: estimates an iteration batch size, then times
+/// `sample_size` batches.
+pub struct Bencher {
+    samples: usize,
+    /// Median ns per operation, filled in by [`Bencher::iter`].
+    median_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, recording the median ns/op over the configured
+    /// number of samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Estimate how many iterations fit in ~2 ms so short kernels are
+        // timed in batches rather than per call.
+        let mut iters_per_sample = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed.as_micros() >= 2_000 || iters_per_sample >= 1 << 20 {
+                break;
+            }
+            iters_per_sample *= 2;
+        }
+
+        let mut per_op: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let t0 = Instant::now();
+                for _ in 0..iters_per_sample {
+                    black_box(routine());
+                }
+                t0.elapsed().as_nanos() as f64 / iters_per_sample as f64
+            })
+            .collect();
+        per_op.sort_by(f64::total_cmp);
+        self.median_ns = per_op[per_op.len() / 2];
+    }
+}
+
+/// Identifies one benchmark within a group, usually by its parameter.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id naming both a function and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function.into()),
+        }
+    }
+
+    /// An id naming just a parameter (the group supplies the function
+    /// name).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Units processed per iteration, used to print a rate next to the time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Declares how much work one iteration performs.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{id}", self.name);
+        run_one(&label, self.samples, self.throughput, |b| f(b));
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.id);
+        run_one(&label, self.samples, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { samples: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the default number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into(), self.samples, None, |b| f(b));
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let samples = self.samples;
+        BenchmarkGroup {
+            name: name.into(),
+            samples,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Prints the closing summary line (called by `criterion_main!`).
+    pub fn final_summary(&mut self) {
+        println!("benchmarks complete");
+    }
+}
+
+fn run_one(
+    label: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        samples,
+        median_ns: f64::NAN,
+    };
+    f(&mut bencher);
+    let ns = bencher.median_ns;
+    match throughput {
+        Some(Throughput::Elements(n)) if ns > 0.0 => {
+            let rate = n as f64 / (ns * 1e-9);
+            println!("{label:<50} {ns:>14.1} ns/iter  {rate:>12.3e} elem/s");
+        }
+        Some(Throughput::Bytes(n)) if ns > 0.0 => {
+            let rate = n as f64 / (ns * 1e-9);
+            println!("{label:<50} {ns:>14.1} ns/iter  {rate:>12.3e} B/s");
+        }
+        _ => println!("{label:<50} {ns:>14.1} ns/iter"),
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's two
+/// accepted forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates the benchmark binary's `main`, running each declared group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+            $crate::Criterion::default().final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        let mut g = c.benchmark_group("sum");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(100));
+        g.bench_with_input(BenchmarkId::from_parameter(100), &100usize, |b, &n| {
+            b.iter(|| (0..n).sum::<usize>());
+        });
+        g.bench_function("plain", |b| b.iter(|| black_box(2 + 2)));
+        g.finish();
+    }
+
+    criterion_group!(name = group_a; config = Criterion::default().sample_size(3); targets = target);
+    criterion_group!(group_b, target);
+
+    #[test]
+    fn groups_run_and_report() {
+        group_a();
+        group_b();
+    }
+}

@@ -1,0 +1,282 @@
+//! In-tree stand-in for `rayon`, built for *deterministic* intra-rank
+//! parallelism.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! this minimal implementation instead of the real crate. It intentionally
+//! does **not** provide work-stealing `par_iter` adapters; it provides the
+//! pool-configuration surface the workspace uses (`ThreadPoolBuilder`,
+//! `ThreadPool::install`, `current_num_threads`) plus the [`fixed`] module
+//! of order-preserving fork-join primitives that the numerical kernels are
+//! written against.
+//!
+//! # Determinism contract
+//!
+//! Work is split into **fixed-size chunks whose boundaries depend only on
+//! the input size**, never on the thread count. Each chunk's result is
+//! computed independently and combined (or written back) in chunk-index
+//! order. Consequently every primitive in [`fixed`] produces bitwise
+//! identical results at any pool size, including 1 — which is also why a
+//! sequential fallback below a size threshold is always safe.
+//!
+//! # Pool model
+//!
+//! There is no persistent worker pool: parallel regions spawn scoped
+//! threads (`std::thread::scope`), which keeps all data borrowing safe and
+//! makes the implementation `unsafe`-free. The effective thread count is a
+//! thread-local setting: `ThreadPool::install` binds it for the duration of
+//! a closure on the *calling* thread (each simulated SPMD rank thread
+//! installs its own), defaulting to `RAYON_NUM_THREADS` or 1.
+
+use std::cell::Cell;
+
+thread_local! {
+    /// 0 means "not installed": fall back to the environment default.
+    static CURRENT_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+fn env_default_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1)
+}
+
+/// The number of threads parallel regions on this thread will use.
+pub fn current_num_threads() -> usize {
+    let installed = CURRENT_THREADS.with(Cell::get);
+    if installed == 0 {
+        env_default_threads()
+    } else {
+        installed
+    }
+}
+
+/// Error building a thread pool (kept for API compatibility; the stand-in
+/// cannot actually fail).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default thread count
+    /// (`RAYON_NUM_THREADS` or 1).
+    pub fn new() -> Self {
+        ThreadPoolBuilder { num_threads: 0 }
+    }
+
+    /// Sets the pool's thread count (0 = environment default).
+    #[must_use]
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool.
+    ///
+    /// # Errors
+    /// Never fails in the stand-in; the `Result` mirrors the real API.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            env_default_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A logical thread pool: a thread-count setting that [`ThreadPool::install`]
+/// binds on the calling thread. Threads themselves are scoped per parallel
+/// region.
+#[derive(Debug, Clone)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count installed on the calling
+    /// thread, restoring the previous setting afterwards (also on panic).
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                CURRENT_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let prev = CURRENT_THREADS.with(Cell::get);
+        CURRENT_THREADS.with(|c| c.set(self.num_threads.max(1)));
+        let _restore = Restore(prev);
+        op()
+    }
+
+    /// This pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Deterministic, order-preserving fork-join primitives.
+pub mod fixed {
+    /// Runs `n` independent tasks, returning their results in task order.
+    /// Tasks are distributed to threads in contiguous index blocks, so the
+    /// assignment (and the output order) is independent of scheduling.
+    pub fn map_tasks<R, F>(n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        if n == 0 {
+            return Vec::new();
+        }
+        let threads = super::current_num_threads().min(n);
+        if threads <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let per = n.div_ceil(threads);
+        std::thread::scope(|s| {
+            for (block_idx, block) in out.chunks_mut(per).enumerate() {
+                let f = &f;
+                s.spawn(move || {
+                    for (j, slot) in block.iter_mut().enumerate() {
+                        *slot = Some(f(block_idx * per + j));
+                    }
+                });
+            }
+        });
+        out.into_iter()
+            .map(|r| r.expect("every task ran"))
+            .collect()
+    }
+
+    /// Splits `data` into fixed-size chunks of `chunk_len` elements (the
+    /// last may be short) and calls `f(chunk_index, start_offset, chunk)`
+    /// for each, in parallel across contiguous chunk blocks. Chunk
+    /// boundaries depend only on `data.len()` and `chunk_len`.
+    pub fn for_each_chunk_mut<T, F>(data: &mut [T], chunk_len: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, usize, &mut [T]) + Sync,
+    {
+        assert!(chunk_len > 0, "chunk_len must be positive");
+        if data.is_empty() {
+            return;
+        }
+        let nchunks = data.len().div_ceil(chunk_len);
+        let threads = super::current_num_threads().min(nchunks);
+        if threads <= 1 {
+            for (i, c) in data.chunks_mut(chunk_len).enumerate() {
+                f(i, i * chunk_len, c);
+            }
+            return;
+        }
+        let per = nchunks.div_ceil(threads);
+        std::thread::scope(|s| {
+            let mut rest = data;
+            let mut first_chunk = 0usize;
+            while !rest.is_empty() {
+                let take = (per * chunk_len).min(rest.len());
+                let (head, tail) = std::mem::take(&mut rest).split_at_mut(take);
+                rest = tail;
+                let f = &f;
+                let base = first_chunk;
+                s.spawn(move || {
+                    for (j, c) in head.chunks_mut(chunk_len).enumerate() {
+                        f(base + j, (base + j) * chunk_len, c);
+                    }
+                });
+                first_chunk += per;
+            }
+        });
+    }
+
+    /// Fixed-chunk sum reduction: partial sums over `chunk_len`-sized
+    /// chunks of an index space, combined left-to-right in chunk order.
+    /// `chunk_sum(start, end)` must return the sum over `[start, end)`.
+    /// Bitwise identical at any thread count.
+    pub fn chunked_sum<F>(n: usize, chunk_len: usize, chunk_sum: F) -> f64
+    where
+        F: Fn(usize, usize) -> f64 + Sync,
+    {
+        if n == 0 {
+            return 0.0;
+        }
+        let nchunks = n.div_ceil(chunk_len);
+        let partials = map_tasks(nchunks, |i| {
+            let start = i * chunk_len;
+            chunk_sum(start, (start + chunk_len).min(n))
+        });
+        partials.into_iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(n: usize) -> ThreadPool {
+        ThreadPoolBuilder::new().num_threads(n).build().unwrap()
+    }
+
+    #[test]
+    fn map_tasks_preserves_order_at_any_pool_size() {
+        let expected: Vec<usize> = (0..1000).map(|i| i * i).collect();
+        for threads in [1, 2, 4, 7] {
+            let got = pool(threads).install(|| fixed::map_tasks(1000, |i| i * i));
+            assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn chunked_sum_is_bitwise_identical_across_pool_sizes() {
+        let xs: Vec<f64> = (0..10_000).map(|i| (i as f64).sin()).collect();
+        let sum_at = |threads: usize| {
+            pool(threads)
+                .install(|| fixed::chunked_sum(xs.len(), 128, |s, e| xs[s..e].iter().sum()))
+        };
+        let s1 = sum_at(1);
+        for threads in [2, 3, 4, 8] {
+            assert_eq!(s1.to_bits(), sum_at(threads).to_bits());
+        }
+    }
+
+    #[test]
+    fn for_each_chunk_mut_covers_every_element_once() {
+        let mut data = vec![0u32; 999];
+        pool(4).install(|| {
+            fixed::for_each_chunk_mut(&mut data, 64, |_ci, start, chunk| {
+                for (j, x) in chunk.iter_mut().enumerate() {
+                    *x += (start + j) as u32 + 1;
+                }
+            });
+        });
+        for (i, &x) in data.iter().enumerate() {
+            assert_eq!(x, i as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn install_restores_previous_setting() {
+        let outer = pool(3);
+        let inner = pool(5);
+        outer.install(|| {
+            assert_eq!(current_num_threads(), 3);
+            inner.install(|| assert_eq!(current_num_threads(), 5));
+            assert_eq!(current_num_threads(), 3);
+        });
+    }
+}

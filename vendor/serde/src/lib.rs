@@ -1,0 +1,437 @@
+//! In-tree stand-in for the `serde` crate.
+//!
+//! The build environment has no network access, so the workspace cannot
+//! pull the real serde from crates.io. This crate implements the small
+//! slice of serde the workspace actually uses, organized around a single
+//! JSON-shaped [`Value`] data model:
+//!
+//! - [`Serialize`] converts a value into a [`Value`] tree;
+//! - [`Deserialize`] reconstructs a value from a [`Value`] tree;
+//! - with the `derive` feature, `#[derive(Serialize, Deserialize)]` from
+//!   the vendored `serde_derive` generates those impls for named-field
+//!   structs and unit/tuple/struct enum variants.
+//!
+//! The companion `serde_json` stand-in supplies the text format (parser,
+//! pretty printer, `json!`). Numbers are stored as either `Int` (i128) or
+//! `Float` (f64); integral floats may print without a decimal point and
+//! re-parse as `Int`, which `f64::deserialize_value` accepts — round trips
+//! are lossless for every finite value.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped tree. Object keys keep insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (also produced by parsing a float that prints without a
+    /// fractional part).
+    Int(i128),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, as ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Object member lookup; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Like [`Value::get`] but yields `Null` for missing keys — the lookup
+    /// the derived `Deserialize` impls use, so `Option` fields absent from
+    /// the input read back as `None`.
+    pub fn field(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+
+    /// Array element lookup for derived tuple-variant impls; `Null` when
+    /// out of bounds or not an array.
+    pub fn element(&self, index: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(index).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+
+    /// The elements if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The entries if this is an object.
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The string slice if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as `f64` (both `Int` and `Float` qualify).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Int(i) => u64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as `i64` if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => i64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// The boolean if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.field(key)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, index: usize) -> &Value {
+        self.element(index)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+/// Serialization/deserialization error (also used by the `serde_json`
+/// stand-in as its parse-error type).
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Conversion into the [`Value`] data model.
+pub trait Serialize {
+    /// Serializes `self` into a [`Value`] tree.
+    fn serialize_value(&self) -> Value;
+}
+
+/// Reconstruction from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Deserializes `Self` from a [`Value`] tree.
+    ///
+    /// # Errors
+    /// Returns an [`Error`] if the tree does not match `Self`'s shape.
+    fn deserialize_value(v: &Value) -> Result<Self, Error>;
+}
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool()
+            .ok_or_else(|| Error::new(format!("expected bool, got {v:?}")))
+    }
+}
+
+macro_rules! impl_integer {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Int(*self as i128)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Int(i) => <$t>::try_from(*i).map_err(|_| {
+                        Error::new(format!(
+                            "integer {i} out of range for {}",
+                            stringify!($t)
+                        ))
+                    }),
+                    _ => Err(Error::new(format!(
+                        "expected {}, got {v:?}",
+                        stringify!($t)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_integer!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .ok_or_else(|| Error::new(format!("expected f64, got {v:?}")))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        Ok(f64::deserialize_value(v)? as f32)
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::new(format!("expected string, got {v:?}")))
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(x) => x.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            _ => Ok(Some(T::deserialize_value(v)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        self.as_slice().serialize_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize_value).collect(),
+            _ => Err(Error::new(format!("expected array, got {v:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_value(&self) -> Value {
+        self.as_slice().serialize_value()
+    }
+}
+
+impl<T: Deserialize + Default + Copy, const N: usize> Deserialize for [T; N] {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        let items = Vec::<T>::deserialize_value(v)?;
+        if items.len() != N {
+            return Err(Error::new(format!(
+                "expected {N}-element array, got {}",
+                items.len()
+            )));
+        }
+        let mut out = [T::default(); N];
+        out.copy_from_slice(&items);
+        Ok(out)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident . $idx:tt),+)),* $(,)?) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.serialize_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                Ok(($($t::deserialize_value(v.element($idx))?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple!((A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3),);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_lookups() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::Int(3)),
+            (
+                "b".into(),
+                Value::Array(vec![Value::Float(1.5), Value::Null]),
+            ),
+        ]);
+        assert_eq!(v["a"].as_u64(), Some(3));
+        assert_eq!(v["b"][0].as_f64(), Some(1.5));
+        assert!(v["b"][1].is_null());
+        assert!(v["missing"].is_null());
+    }
+
+    #[test]
+    fn option_roundtrip_through_null() {
+        let none: Option<String> = None;
+        let some = Some("x".to_string());
+        assert_eq!(
+            Option::<String>::deserialize_value(&none.serialize_value()).unwrap(),
+            None
+        );
+        assert_eq!(
+            Option::<String>::deserialize_value(&some.serialize_value()).unwrap(),
+            Some("x".to_string())
+        );
+    }
+
+    #[test]
+    fn integers_roundtrip_and_range_check() {
+        assert_eq!(
+            u64::deserialize_value(&u64::MAX.serialize_value()).unwrap(),
+            u64::MAX
+        );
+        assert!(u8::deserialize_value(&Value::Int(300)).is_err());
+    }
+
+    #[test]
+    fn tuple_roundtrip() {
+        let t = (1u64, 2u64, 3u64, 4u64);
+        let v = t.serialize_value();
+        assert_eq!(<(u64, u64, u64, u64)>::deserialize_value(&v).unwrap(), t);
+    }
+
+    #[test]
+    fn string_equality_against_value() {
+        let v = Value::String("RD".into());
+        assert_eq!(v, "RD");
+    }
+}

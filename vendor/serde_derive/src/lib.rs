@@ -1,0 +1,398 @@
+//! In-tree stand-in for `serde_derive`.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors a minimal serde implementation (see `vendor/serde`).
+//! This crate provides the `#[derive(Serialize)]` / `#[derive(Deserialize)]`
+//! macros for it, written directly against `proc_macro` token streams —
+//! no `syn`/`quote` dependency.
+//!
+//! Supported shapes (exactly what the workspace uses):
+//! - structs with named fields,
+//! - enums with unit variants, tuple variants, and struct variants.
+//!
+//! The generated impls target the vendored `serde` data model: everything
+//! serializes through `serde::Value`, and field/variant types are resolved
+//! by ordinary type inference in the generated constructors, so the parser
+//! never needs to understand Rust types — only names and arities.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+enum Body {
+    Struct(Vec<String>),
+    Enum(Vec<(String, Variant)>),
+}
+
+enum Variant {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+    // Skip attributes (doc comments arrive as #[doc = "..."]) and the
+    // visibility qualifier, then land on `struct` / `enum`.
+    let kind = loop {
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Punct(bang)) = toks.peek() {
+                    if bang.as_char() == '!' {
+                        toks.next();
+                    }
+                }
+                toks.next(); // the bracketed attribute body
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "pub" {
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            toks.next(); // pub(crate) etc.
+                        }
+                    }
+                } else if s == "struct" || s == "enum" {
+                    break s;
+                } else {
+                    panic!("serde derive: unsupported item prefix `{s}`");
+                }
+            }
+            other => panic!("serde derive: unexpected token {other:?}"),
+        }
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected item name, got {other:?}"),
+    };
+    let body_group = match toks.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        other => panic!(
+            "serde derive on `{name}`: only brace-bodied, non-generic items are supported \
+             (got {other:?})"
+        ),
+    };
+    let body = if kind == "struct" {
+        Body::Struct(parse_named_fields(body_group.stream()))
+    } else {
+        Body::Enum(parse_variants(body_group.stream()))
+    };
+    Item { name, body }
+}
+
+/// Parses `[attrs] [vis] name: Type, ...`, returning the field names. Type
+/// tokens are skipped up to each top-level comma; `<`/`>` depth is tracked
+/// so commas inside generic arguments (e.g. `HashMap<K, V>`) don't split.
+/// Parenthesized tuple types are single `Group` tokens, so their commas are
+/// invisible here.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    loop {
+        skip_attributes(&mut toks);
+        skip_visibility(&mut toks);
+        match toks.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            Some(other) => panic!("serde derive: expected a field name, got {other:?}"),
+        }
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde derive: expected `:` after field name, got {other:?}"),
+        }
+        let mut angle_depth = 0i32;
+        loop {
+            match toks.next() {
+                None => break,
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                },
+                Some(_) => {}
+            }
+        }
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Variant)> {
+    let mut variants = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    loop {
+        skip_attributes(&mut toks);
+        let name = match toks.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("serde derive: expected a variant name, got {other:?}"),
+        };
+        let variant = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                toks.next();
+                Variant::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fs = parse_named_fields(g.stream());
+                toks.next();
+                Variant::Named(fs)
+            }
+            _ => Variant::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = toks.peek() {
+            if p.as_char() == ',' {
+                toks.next();
+            }
+        }
+        variants.push((name, variant));
+    }
+    variants
+}
+
+fn skip_attributes(toks: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    while let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        toks.next(); // '#'
+        toks.next(); // '[...]'
+    }
+}
+
+fn skip_visibility(toks: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if let Some(TokenTree::Ident(id)) = toks.peek() {
+        if id.to_string() == "pub" {
+            toks.next();
+            if let Some(TokenTree::Group(g)) = toks.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    toks.next();
+                }
+            }
+        }
+    }
+}
+
+/// Counts top-level fields inside a tuple-variant's parentheses (types and
+/// attributes are opaque; only `<`/`>`-aware top-level commas matter).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut angle_depth = 0i32;
+    let mut count = 0usize;
+    let mut segment_has_tokens = false;
+    for t in stream {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    count += 1;
+                    segment_has_tokens = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        segment_has_tokens = true;
+    }
+    if segment_has_tokens {
+        count + 1
+    } else {
+        count
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    match &item.body {
+        Body::Struct(fields) => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "__fields.push((::std::string::String::from(\"{f}\"), \
+                     ::serde::Serialize::serialize_value(&self.{f})));\n"
+                ));
+            }
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn serialize_value(&self) -> ::serde::Value {{\n\
+                         let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                             ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Object(__fields)\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for (v, kind) in variants {
+                match kind {
+                    Variant::Unit => arms.push_str(&format!(
+                        "{name}::{v} => \
+                         ::serde::Value::String(::std::string::String::from(\"{v}\")),\n"
+                    )),
+                    Variant::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{v}(__f0) => \
+                         ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{v}\"), \
+                         ::serde::Serialize::serialize_value(__f0))]),\n"
+                    )),
+                    Variant::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v}({binds}) => \
+                             ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{v}\"), \
+                             ::serde::Value::Array(::std::vec![{elems}]))]),\n",
+                            binds = binds.join(", "),
+                            elems = elems.join(", "),
+                        ));
+                    }
+                    Variant::Named(fs) => {
+                        let entries: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), \
+                                     ::serde::Serialize::serialize_value({f}))"
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binds} }} => \
+                             ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{v}\"), \
+                             ::serde::Value::Object(::std::vec![{entries}]))]),\n",
+                            binds = fs.join(", "),
+                            entries = entries.join(", "),
+                        ));
+                    }
+                }
+            }
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn serialize_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n\
+                             {arms}\
+                         }}\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    match &item.body {
+        Body::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: ::serde::Deserialize::deserialize_value(__v.field(\"{f}\"))?")
+                })
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize_value(__v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}\n",
+                inits = inits.join(", "),
+            )
+        }
+        Body::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for (v, kind) in variants {
+                match kind {
+                    Variant::Unit => unit_arms.push_str(&format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n"
+                    )),
+                    Variant::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}(\
+                         ::serde::Deserialize::deserialize_value(__inner)?)),\n"
+                    )),
+                    Variant::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!(
+                                    "::serde::Deserialize::deserialize_value(__inner.element({i}))?"
+                                )
+                            })
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{v}\" => ::std::result::Result::Ok({name}::{v}({elems})),\n",
+                            elems = elems.join(", "),
+                        ));
+                    }
+                    Variant::Named(fs) => {
+                        let inits: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::deserialize_value(\
+                                     __inner.field(\"{f}\"))?"
+                                )
+                            })
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{v}\" => ::std::result::Result::Ok({name}::{v} {{ {inits} }}),\n",
+                            inits = inits.join(", "),
+                        ));
+                    }
+                }
+            }
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize_value(__v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match __v {{\n\
+                             ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                                 {unit_arms}\
+                                 __other => ::std::result::Result::Err(::serde::Error::new(\
+                                     format!(\"unknown {name} variant `{{}}`\", __other))),\n\
+                             }},\n\
+                             ::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                                 let __tag = __entries[0].0.as_str();\n\
+                                 let __inner = &__entries[0].1;\n\
+                                 match __tag {{\n\
+                                     {tagged_arms}\
+                                     __other => ::std::result::Result::Err(::serde::Error::new(\
+                                         format!(\"unknown {name} variant `{{}}`\", __other))),\n\
+                                 }}\n\
+                             }}\n\
+                             __other => ::std::result::Result::Err(::serde::Error::new(\
+                                 format!(\"invalid encoding for enum {name}: {{:?}}\", __other))),\n\
+                         }}\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+    }
+}
