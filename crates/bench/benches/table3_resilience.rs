@@ -1,0 +1,118 @@
+//! Regenerates **Table III** (extension): expected time and dollar cost of
+//! the RD application on EC2 under faults — on-demand (hardware crashes
+//! only, restart from scratch) vs spot-with-restart under the live
+//! revocation market — across checkpoint cadences. This is the table the
+//! paper could not produce: its spot experiments never survived long enough
+//! ("we never succeeded in establishing a full 63-host configuration of
+//! spot request instances").
+
+use hetero_bench::write_artifact;
+use hetero_hpc::report::{render_table3, table3_json};
+use hetero_hpc::scenarios::{table3, ResilienceOptions};
+
+fn main() {
+    let opts = ResilienceOptions::paper();
+    let rows = table3(&opts);
+    let text = render_table3(&rows);
+    println!("{text}");
+    write_artifact("table3.txt", &text);
+
+    let mut csv =
+        String::from("ranks,nodes,config,cadence,expected_s,expected_usd,completion_rate,mean_attempts,mean_lost_work_s,mean_checkpoint_s\n");
+    let mut push = |ranks: usize,
+                    nodes: usize,
+                    config: &str,
+                    cadence: usize,
+                    c: &hetero_hpc::scenarios::Table3Cell| {
+        csv.push_str(&format!(
+            "{},{},{},{},{:.2},{:.4},{:.3},{:.2},{:.2},{:.2}\n",
+            ranks,
+            nodes,
+            config,
+            cadence,
+            c.expected_seconds,
+            c.expected_dollars,
+            c.completion_rate,
+            c.mean_attempts,
+            c.mean_lost_work,
+            c.mean_checkpoint_seconds
+        ));
+    };
+    for row in &rows {
+        push(row.ranks, row.nodes, "on_demand", 0, &row.on_demand);
+        for (cadence, cell) in &row.spot {
+            push(row.ranks, row.nodes, "spot_restart", *cadence, cell);
+        }
+    }
+    write_artifact("table3.csv", &csv);
+    write_artifact(
+        "table3.json",
+        &serde_json::to_string_pretty(&table3_json(&rows)).expect("finite JSON tree"),
+    );
+
+    println!("paper checkpoints:");
+    // Spot-with-restart wins on expected dollars at small-to-mid scale,
+    // where fleets fill from spot capacity and revocations are rare price
+    // spikes rather than capacity losses.
+    for row in rows.iter().filter(|r| r.ranks <= 216) {
+        let best = row
+            .spot
+            .iter()
+            .find(|&&(c, _)| c == row.best_cadence())
+            .expect("best cadence is in the sweep");
+        assert!(
+            best.1.expected_dollars < row.on_demand.expected_dollars,
+            "ranks {}: spot {} vs on-demand {}",
+            row.ranks,
+            best.1.expected_dollars,
+            row.on_demand.expected_dollars
+        );
+    }
+    let mid = rows
+        .iter()
+        .find(|r| r.ranks == 216)
+        .expect("ladder has 216");
+    let mid_best = mid
+        .spot
+        .iter()
+        .find(|&&(c, _)| c == mid.best_cadence())
+        .unwrap();
+    println!(
+        "  spot-with-restart undercuts on-demand through 216 ranks \
+         (at 216: {:.2} $ vs {:.2} $, {:.1}x)",
+        mid_best.1.expected_dollars,
+        mid.on_demand.expected_dollars,
+        mid.on_demand.expected_dollars / mid_best.1.expected_dollars
+    );
+
+    // At the largest scale revocations are frequent (spot capacity crosses
+    // the fleet size every few epochs) and the checkpoint cadence shows an
+    // interior optimum: checkpointing every step wastes I/O, never
+    // checkpointing re-executes entire campaigns.
+    let last = rows.last().expect("ladder is non-empty");
+    let dollars_at = |cadence: usize| {
+        last.spot
+            .iter()
+            .find(|&&(c, _)| c == cadence)
+            .map(|(_, cell)| cell.expected_dollars)
+            .expect("cadence is in the sweep")
+    };
+    let best = last.best_cadence();
+    assert!(
+        best != 1 && best != 0,
+        "cadence optimum must be interior, got {best}"
+    );
+    assert!(dollars_at(best) < dollars_at(1), "too-frequent must lose");
+    assert!(dollars_at(best) < dollars_at(0), "too-rare must lose");
+    println!(
+        "  checkpoint cadence sweet spot at {} ranks: every {} steps \
+         ({:.2} $ vs {:.2} $ every step, {:.2} $ never)",
+        last.ranks,
+        best,
+        dollars_at(best),
+        dollars_at(1),
+        dollars_at(0)
+    );
+
+    println!("\nartifacts: target/paper-artifacts/table3.{{txt,csv,json}}");
+}

@@ -1,7 +1,9 @@
 //! Emits `BENCH_kernels.json`: median host-time ns/op for the hot kernels
 //! the PR-2 optimisations target — per-step matrix assembly (from-scratch
 //! vs. symbolic-reuse, 1 vs. 4 threads), the symbolic/numeric matrix
-//! rebuild split, and SpMV at explicit pool sizes.
+//! rebuild split, and SpMV at explicit pool sizes — plus the fault-path
+//! kernels of the PR-3 recovery loop: checkpoint capture/serialize and
+//! parse/restore, so the perf trajectory covers recovery overhead.
 //!
 //! Run from the repo root so the snapshot lands next to the other artifacts:
 //!
@@ -17,6 +19,7 @@
 use hetero_fem::assembly::{assemble_matrix, scalar_kernels, MatrixAssembly};
 use hetero_fem::dofmap::DofMap;
 use hetero_fem::element::ElementOrder;
+use hetero_hpc::snapshot::Snapshot;
 use hetero_linalg::csr::TripletBuilder;
 use hetero_linalg::{DistMatrix, ExchangePlan};
 use hetero_mesh::{DistributedMesh, StructuredHexMesh};
@@ -139,6 +142,66 @@ fn time_assembly(n: usize) -> AssemblyTimes {
     .value
 }
 
+struct CheckpointTimes {
+    capture: f64,
+    serialize: f64,
+    parse: f64,
+    restore: f64,
+    bytes: usize,
+}
+
+/// Times the recovery-loop kernels on a Q2 field over an `n^3`-cell mesh:
+/// capture (gather the distributed field into a dense snapshot), JSON
+/// serialize (the on-disk write), parse, and restore (scatter back into the
+/// local dof layout) — the per-checkpoint host cost `execute_resilient`
+/// pays at every cadence tick and every restart.
+fn time_checkpoint(n: usize) -> CheckpointTimes {
+    let cfg = SpmdConfig {
+        size: 1,
+        topo: ClusterTopology::uniform(1, 1),
+        net: NetworkModel::ideal(),
+        compute: ComputeModel::new(1e9, 4e9),
+        seed: 0,
+    };
+    let mesh = StructuredHexMesh::unit_cube(n);
+    let assignment = Arc::new(BlockPartitioner.partition(&mesh, 1));
+    run_spmd(cfg, move |comm| {
+        let dmesh = DistributedMesh::new(mesh.clone(), Arc::clone(&assignment), 0, 1);
+        let dm = DofMap::build(&dmesh, ElementOrder::Q2, comm);
+        let u = dm.interpolate(|p| (p.x + 2.0 * p.y).sin() * (3.0 * p.z).cos());
+
+        let capture = median_ns(9, 4, || {
+            let mut snap = Snapshot::new("RD", 0.0, 0);
+            snap.capture("u", &dm, &u, comm);
+            black_box(snap);
+        });
+        let mut snap = Snapshot::new("RD", 0.0, 0);
+        snap.capture("u", &dm, &u, comm);
+        let serialize = median_ns(9, 4, || {
+            black_box(snap.to_json());
+        });
+        let on_disk = snap.to_json();
+        let parse = median_ns(9, 4, || {
+            black_box(Snapshot::from_json(black_box(&on_disk)).expect("checkpoint parses"));
+        });
+        let restored = Snapshot::from_json(&on_disk).expect("checkpoint parses");
+        let restore = median_ns(9, 4, || {
+            black_box(restored.restore("u", &dm, comm));
+        });
+
+        CheckpointTimes {
+            capture,
+            serialize,
+            parse,
+            restore,
+            bytes: on_disk.len(),
+        }
+    })
+    .pop()
+    .expect("one rank was launched")
+    .value
+}
+
 fn main() {
     let host_cores = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -182,6 +245,9 @@ fn main() {
     let spmv_1t = spmv_at(1);
     let spmv_4t = spmv_at(4);
 
+    // Recovery-loop kernels: one Q2 checkpoint on 6^3 = 216 cells.
+    let ckpt = time_checkpoint(6);
+
     let report = serde_json::json!({
         "schema": "hetero-hpc/bench-kernels/v1",
         "host_cores": host_cores,
@@ -202,6 +268,15 @@ fn main() {
             "pool_1thread_ns": spmv_1t,
             "pool_4threads_ns": spmv_4t,
             "thread_scaling_4_over_1": spmv_1t / spmv_4t,
+        }),
+        "checkpoint_q2_216cells": serde_json::json!({
+            "capture_ns": ckpt.capture,
+            "serialize_ns": ckpt.serialize,
+            "parse_ns": ckpt.parse,
+            "restore_ns": ckpt.restore,
+            "on_disk_bytes": ckpt.bytes,
+            "write_path_ns": ckpt.capture + ckpt.serialize,
+            "restart_path_ns": ckpt.parse + ckpt.restore,
         }),
     });
     let text = serde_json::to_string_pretty(&report).expect("the report is a finite JSON tree");

@@ -57,10 +57,12 @@
 pub mod apps;
 pub mod expense;
 pub mod modeled;
+pub mod recovery;
 pub mod report;
 pub mod run;
 pub mod scenarios;
 pub mod snapshot;
 
 pub use apps::App;
+pub use recovery::{execute_resilient, ResilienceOutcome, ResilienceSpec};
 pub use run::{execute, Fidelity, RunOutcome, RunRequest};

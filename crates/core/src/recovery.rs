@@ -1,0 +1,731 @@
+//! Resilient execution: the checkpoint → fault → rollback → re-acquire →
+//! resume loop, in deterministic virtual time.
+//!
+//! [`execute_resilient`] wraps the two engines of [`crate::run`] with the
+//! fault subsystem of [`hetero_fault`]:
+//!
+//! * each attempt acquires a fleet via [`acquire_fleet`] (restart **with
+//!   re-acquisition**: a revoked spot fleet is re-bid from scratch under a
+//!   fresh attempt seed),
+//! * a [`FaultTimeline`] sampled for the attempt is lowered to the
+//!   engine-level [`hetero_simmpi::FaultPlan`] and injected into the
+//!   threaded engine, which surfaces the first node loss as a
+//!   [`hetero_simmpi::RankFailed`] error instead of a deadlock,
+//! * the numerical path checkpoints through [`Snapshot`] at the policy's
+//!   cadence (rank 0 writes to a simulated shared filesystem that survives
+//!   the attempt), charges the write to every rank's virtual clock, and
+//!   resumes the solver **bitwise** from the last durable checkpoint, and
+//! * the modeled path replays the identical campaign analytically through
+//!   [`replay_campaign`] for paper-scale rank counts.
+//!
+//! Everything — market epochs, crash times, checkpoint instants, restart
+//! waits — is hash-derived from the experiment seed, so the same seed gives
+//! a byte-identical [`RecoveryStats`] on any host at any thread count.
+
+use crate::apps::App;
+use crate::modeled::{run_modeled, ModeledRun};
+use crate::run::{resolve_fidelity, Fidelity, RunOutcome, RunRequest, Verification};
+use crate::snapshot::Snapshot;
+use hetero_fault::{
+    replay_campaign, AttemptEnv, CrashProcess, FaultModel, FaultTimeline, RecoveryStats,
+    ResiliencePolicy, SpotMarket,
+};
+use hetero_fem::element::ElementOrder;
+use hetero_fem::ns::{solve_ns_with, NsResume, NsStepView};
+use hetero_fem::phase::{summarize, PhaseTimes};
+use hetero_fem::rd::{solve_rd_with, RdResume, RdStepView};
+use hetero_mesh::{DistributedMesh, StructuredHexMesh};
+use hetero_partition::block::near_cubic_factors;
+use hetero_partition::BlockLayout;
+use hetero_platform::limits::LimitViolation;
+use hetero_platform::spot::{acquire_fleet, FleetAllocation, FleetStrategy};
+use hetero_platform::PlatformSpec;
+use hetero_simmpi::rng::splitmix64;
+use hetero_simmpi::{run_spmd_with_faults, SimComm, SpmdConfig};
+use std::sync::{Arc, Mutex};
+
+/// How a run acquires its fleet, what can go wrong, and what it does about
+/// it. Attached to [`RunRequest::resilience`].
+#[derive(Debug, Clone)]
+pub struct ResilienceSpec {
+    /// Checkpoint cadence, restart budget, backoff, and store bandwidth.
+    pub policy: ResiliencePolicy,
+    /// The fault processes active during the run.
+    pub faults: FaultModel,
+    /// How each attempt's fleet is acquired.
+    pub strategy: FleetStrategy,
+}
+
+impl ResilienceSpec {
+    /// On-demand capacity with the platform's hardware crash process and no
+    /// checkpoints: faults are rare and fatal (the failure-free baseline).
+    pub fn on_demand(platform: &PlatformSpec) -> Self {
+        ResilienceSpec {
+            policy: ResiliencePolicy::fail_fast(),
+            faults: FaultModel {
+                crashes: Some(CrashProcess {
+                    node_mtbf_hours: platform.node_mtbf_hours,
+                }),
+                spot: None,
+                degradation: None,
+            },
+            strategy: FleetStrategy::OnDemandSingleGroup,
+        }
+    }
+
+    /// A spot-mix fleet under a live revocation market plus the platform's
+    /// crash process, protected by checkpoint/restart.
+    pub fn spot_with_restart(
+        platform: &PlatformSpec,
+        max_bid: f64,
+        checkpoint_every: usize,
+        max_restarts: usize,
+    ) -> Self {
+        ResilienceSpec {
+            policy: ResiliencePolicy::restart(checkpoint_every, max_restarts),
+            faults: FaultModel {
+                crashes: Some(CrashProcess {
+                    node_mtbf_hours: platform.node_mtbf_hours,
+                }),
+                spot: Some(SpotMarket::ec2_like(max_bid)),
+                degradation: None,
+            },
+            strategy: FleetStrategy::SpotMix { groups: 4, max_bid },
+        }
+    }
+}
+
+/// What a resilient campaign produced: the final run's outcome (when the
+/// campaign finished within its restart budget) plus the full time/dollar
+/// accounting across all attempts.
+#[derive(Debug, Clone)]
+pub struct ResilienceOutcome {
+    /// The completed run, `None` if the restart budget ran out first.
+    pub outcome: Option<RunOutcome>,
+    /// Campaign accounting: attempts, faults, checkpoints, lost work,
+    /// waits, and expected wall-clock/dollars.
+    pub stats: RecoveryStats,
+    /// Spot nodes held by the first attempt's fleet.
+    pub first_attempt_spot_nodes: usize,
+}
+
+/// Seed for restart attempt `attempt` (0 = the initial launch). Each
+/// attempt re-samples the market, the crash process, and the network
+/// jitter under an independent hash stream.
+pub fn attempt_seed(seed: u64, attempt: usize) -> u64 {
+    splitmix64(seed ^ (attempt as u64).wrapping_mul(0xA076_1D64_78BD_642F))
+}
+
+fn global_dofs(order: ElementOrder, ranks: usize, per_rank_axis: usize) -> f64 {
+    let f = near_cubic_factors(ranks);
+    let q = order.q();
+    ((q * f.0 * per_rank_axis + 1) * (q * f.1 * per_rank_axis + 1) * (q * f.2 * per_rank_axis + 1))
+        as f64
+}
+
+/// Bytes one durable checkpoint of `app`'s full resume state occupies (the
+/// dense global fields rank 0 writes through the shared store).
+pub fn state_bytes(app: &App, ranks: usize, per_rank_axis: usize) -> f64 {
+    match app {
+        App::Rd(c) => global_dofs(c.order, ranks, per_rank_axis) * c.bdf.steps() as f64 * 8.0,
+        App::Ns(c) => {
+            let v = global_dofs(c.vel_order, ranks, per_rank_axis);
+            let p = global_dofs(c.p_order, ranks, per_rank_axis);
+            (v * 3.0 * c.bdf.steps() as f64 + p) * 8.0
+        }
+    }
+}
+
+/// The node-hour price the on-demand top-up pays on this platform.
+fn on_demand_node_hour(platform: &PlatformSpec) -> f64 {
+    platform.cost_of(platform.cores_per_node, 3600.0)
+}
+
+/// Executes a run under its [`ResilienceSpec`] (platform-default on-demand
+/// fail-fast when the request carries none), returning the campaign
+/// accounting alongside the final outcome.
+///
+/// # Errors
+/// Platform limits are enforced *before* the attempt loop: an infeasible
+/// size (e.g. `ellipse` above 512 ranks) is a [`LimitViolation`]
+/// immediately — bounded backoff never retries a structurally impossible
+/// launch.
+pub fn execute_resilient(req: &RunRequest) -> Result<ResilienceOutcome, LimitViolation> {
+    let spec = req
+        .resilience
+        .clone()
+        .unwrap_or_else(|| ResilienceSpec::on_demand(&req.platform));
+
+    // Capacity/launcher limits first, then the traffic probe — identical to
+    // `execute`, and deliberately ahead of any acquisition: a launcher
+    // failure is not a fault to retry.
+    req.platform.check_limits(req.ranks, 0.0)?;
+    let probe_topo = req.platform.topology(req.ranks);
+    let probe = run_modeled(
+        &req.app.with_steps(1),
+        req.ranks,
+        req.per_rank_axis,
+        &probe_topo,
+        &req.platform.network,
+        req.platform.compute,
+        req.seed,
+    );
+    req.platform
+        .check_limits(req.ranks, probe.bytes_per_iteration)?;
+
+    let nodes = probe_topo.num_nodes();
+    let od_rate = on_demand_node_hour(&req.platform);
+    let ckpt_seconds =
+        state_bytes(&req.app, req.ranks, req.per_rank_axis) / spec.policy.io_bandwidth;
+
+    // Failure-free duration estimate sizes the fault-sampling horizon (with
+    // generous slack for restart-induced re-execution).
+    let fleet0 = acquire_fleet(nodes, spec.strategy, od_rate, attempt_seed(req.seed, 0));
+    let ff = run_modeled(
+        &req.app,
+        req.ranks,
+        req.per_rank_axis,
+        &fleet0.topology(req.platform.cores_per_node),
+        &req.platform.network,
+        req.platform.compute,
+        req.seed,
+    );
+    let ff_total: f64 = ff.iterations.iter().map(|p| p.total).sum();
+    let horizon = 4.0 * (ff_total + req.app.steps() as f64 * ckpt_seconds) + 7200.0;
+
+    match resolve_fidelity(req) {
+        Fidelity::Numerical => run_resilient_numerical(req, &spec, nodes, horizon, od_rate),
+        Fidelity::Modeled | Fidelity::Auto => Ok(run_resilient_modeled(
+            req,
+            &spec,
+            nodes,
+            horizon,
+            od_rate,
+            ckpt_seconds,
+            &ff,
+            &fleet0,
+        )),
+    }
+}
+
+fn attempt_wait(req: &RunRequest, nodes: usize, attempt: usize) -> f64 {
+    if attempt == 0 {
+        req.platform.queue_wait(req.ranks, req.seed)
+    } else {
+        req.platform
+            .queue
+            .reacquisition_wait_seconds(nodes, req.seed, attempt)
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_resilient_modeled(
+    req: &RunRequest,
+    spec: &ResilienceSpec,
+    nodes: usize,
+    horizon: f64,
+    od_rate: f64,
+    ckpt_seconds: f64,
+    ff: &ModeledRun,
+    fleet0: &FleetAllocation,
+) -> ResilienceOutcome {
+    let step_seconds: Vec<f64> = ff.iterations.iter().map(|p| p.total).collect();
+    let stats = replay_campaign(&step_seconds, ckpt_seconds, &spec.policy, |attempt| {
+        let aseed = attempt_seed(req.seed, attempt);
+        let fleet = acquire_fleet(nodes, spec.strategy, od_rate, aseed);
+        let timeline = FaultTimeline::generate(
+            &spec.faults,
+            nodes,
+            &fleet.spot_node_indices(),
+            horizon,
+            aseed,
+        );
+        AttemptEnv {
+            fatal_at: timeline.first_fatal().map(|e| e.time),
+            wait_seconds: attempt_wait(req, nodes, attempt),
+            hourly_cost: fleet.hourly_cost(),
+        }
+    });
+
+    let phases = summarize(&ff.iterations, req.discard.min(ff.iterations.len() - 1))
+        .expect("modeled run produced no measurable iterations");
+    let outcome = stats.completed.then(|| RunOutcome {
+        platform: req.platform.key.clone(),
+        app: req.app.name(),
+        ranks: req.ranks,
+        nodes,
+        fidelity: Fidelity::Modeled,
+        phases,
+        cost_per_iteration: fleet0.cost(phases.total),
+        queue_wait_seconds: req.platform.queue_wait(req.ranks, req.seed),
+        krylov_iters: ff.krylov_iters as f64,
+        verification: None,
+        bytes_per_iteration: ff.bytes_per_iteration,
+    });
+    ResilienceOutcome {
+        outcome,
+        stats,
+        first_attempt_spot_nodes: fleet0.spot_count(),
+    }
+}
+
+/// The simulated shared filesystem: rank 0's durable checkpoint writes
+/// survive the attempt that made them (the role the paper's HDF5 files on
+/// shared storage play for LifeV restarts).
+#[derive(Default)]
+struct CheckpointStore {
+    latest: Option<(usize, Snapshot)>,
+    writes: usize,
+    /// Rank 0's virtual clock right after the last durable write of the
+    /// *current* attempt (0 when the attempt has written nothing yet).
+    attempt_ckpt_clock: f64,
+}
+
+enum ResumeState {
+    Fresh,
+    Rd(RdResume),
+    Ns(NsResume),
+}
+
+fn build_resume(app: &App, store: &Mutex<CheckpointStore>) -> ResumeState {
+    let guard = store.lock().expect("checkpoint store never poisoned");
+    let Some((step, snap)) = &guard.latest else {
+        return ResumeState::Fresh;
+    };
+    let dense = |name: &str| -> Vec<f64> {
+        snap.field(name)
+            .unwrap_or_else(|| panic!("checkpoint missing field {name}"))
+            .values
+            .clone()
+    };
+    match app {
+        App::Rd(c) => ResumeState::Rd(RdResume {
+            start_step: *step,
+            history: (0..c.bdf.steps())
+                .map(|j| dense(&format!("h{j}")))
+                .collect(),
+        }),
+        App::Ns(c) => ResumeState::Ns(NsResume {
+            start_step: *step,
+            hist: (0..c.bdf.steps())
+                .map(|j| [0, 1, 2].map(|k| dense(&format!("v{j}_{k}"))))
+                .collect(),
+            pressure: dense("p"),
+        }),
+    }
+}
+
+struct RankOut {
+    iterations: Vec<PhaseTimes>,
+    kiters: f64,
+    linf: f64,
+    l2: f64,
+    bytes: f64,
+}
+
+fn run_resilient_numerical(
+    req: &RunRequest,
+    spec: &ResilienceSpec,
+    nodes: usize,
+    horizon: f64,
+    od_rate: f64,
+) -> Result<ResilienceOutcome, LimitViolation> {
+    let factors = near_cubic_factors(req.ranks);
+    let cells = (
+        factors.0 * req.per_rank_axis,
+        factors.1 * req.per_rank_axis,
+        factors.2 * req.per_rank_axis,
+    );
+    let mesh = StructuredHexMesh::new(
+        cells.0,
+        cells.1,
+        cells.2,
+        hetero_mesh::Point3::ZERO,
+        hetero_mesh::Point3::splat(1.0),
+    );
+    let layout = BlockLayout::new(cells, factors);
+    let assignment = Arc::new(layout.assignment());
+    let total_steps = req.app.steps();
+    let io_seconds = state_bytes(&req.app, req.ranks, req.per_rank_axis) / spec.policy.io_bandwidth;
+    let max_restarts = spec.policy.max_restarts();
+    let ranks = req.ranks;
+
+    let store: Arc<Mutex<CheckpointStore>> = Arc::default();
+    let mut stats = RecoveryStats::default();
+    let mut first_spot = 0usize;
+    let mut final_run: Option<(Vec<hetero_simmpi::RankResult<RankOut>>, FleetAllocation)> = None;
+
+    // One logical pool shared by all ranks; `install` binds the thread
+    // count on each rank's own OS thread (see `run::run_numerical`).
+    let pool = Arc::new(
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(req.threads_per_rank.max(1))
+            .build()
+            .expect("the vendored pool builder cannot fail"),
+    );
+
+    loop {
+        let attempt = stats.attempts;
+        let aseed = attempt_seed(req.seed, attempt);
+        let fleet = acquire_fleet(nodes, spec.strategy, od_rate, aseed);
+        if attempt == 0 {
+            first_spot = fleet.spot_count();
+        }
+        let timeline = FaultTimeline::generate(
+            &spec.faults,
+            nodes,
+            &fleet.spot_node_indices(),
+            horizon,
+            aseed,
+        );
+        let wait = attempt_wait(req, nodes, attempt);
+        stats.attempts += 1;
+        stats.wait_seconds += wait;
+        store
+            .lock()
+            .expect("checkpoint store never poisoned")
+            .attempt_ckpt_clock = 0.0;
+
+        let resume = Arc::new(build_resume(&req.app, &store));
+        let cfg = SpmdConfig {
+            size: ranks,
+            topo: fleet.topology(req.platform.cores_per_node),
+            net: req.platform.network.clone(),
+            compute: req.platform.compute,
+            seed: aseed,
+        };
+
+        let app = req.app.clone();
+        let mesh_c = mesh.clone();
+        let asg = Arc::clone(&assignment);
+        let store_c = Arc::clone(&store);
+        let resume_c = Arc::clone(&resume);
+        let pool_c = Arc::clone(&pool);
+        let policy = spec.policy;
+
+        let result = run_spmd_with_faults(cfg, timeline.to_plan(), move |comm| {
+            pool_c.install(|| {
+                let dmesh =
+                    DistributedMesh::new(mesh_c.clone(), Arc::clone(&asg), comm.rank(), ranks);
+                match &app {
+                    App::Rd(c) => {
+                        let checkpoint = |view: &RdStepView<'_>, comm: &mut SimComm| {
+                            let t = c.t0 + view.step as f64 * c.dt;
+                            let mut snap = Snapshot::new("RD", t, view.step);
+                            for (j, v) in view.history.iter().enumerate() {
+                                snap.capture(&format!("h{j}"), view.dm, v, comm);
+                            }
+                            commit(&store_c, io_seconds, view.step, snap, comm);
+                        };
+                        let mut obs = |view: &RdStepView<'_>, comm: &mut SimComm| {
+                            if policy.checkpoint_due(view.step, total_steps) {
+                                checkpoint(view, comm);
+                            }
+                        };
+                        let rd_resume = match resume_c.as_ref() {
+                            ResumeState::Rd(r) => Some(r),
+                            _ => None,
+                        };
+                        let r = solve_rd_with(&dmesh, c, rd_resume, Some(&mut obs), comm);
+                        RankOut {
+                            iterations: r.iterations,
+                            kiters: r.krylov_iters.iter().sum::<usize>() as f64
+                                / r.krylov_iters.len() as f64,
+                            linf: r.linf_error,
+                            l2: r.l2_error,
+                            bytes: comm.stats().bytes_received,
+                        }
+                    }
+                    App::Ns(c) => {
+                        let checkpoint = |view: &NsStepView<'_>, comm: &mut SimComm| {
+                            let t = c.t0 + view.step as f64 * c.dt;
+                            let mut snap = Snapshot::new("NS", t, view.step);
+                            for (j, comps) in view.hist.iter().enumerate() {
+                                for (k, v) in comps.iter().enumerate() {
+                                    snap.capture(&format!("v{j}_{k}"), view.vmap, v, comm);
+                                }
+                            }
+                            snap.capture("p", view.pmap, view.pressure, comm);
+                            commit(&store_c, io_seconds, view.step, snap, comm);
+                        };
+                        let mut obs = |view: &NsStepView<'_>, comm: &mut SimComm| {
+                            if policy.checkpoint_due(view.step, total_steps) {
+                                checkpoint(view, comm);
+                            }
+                        };
+                        let ns_resume = match resume_c.as_ref() {
+                            ResumeState::Ns(r) => Some(r),
+                            _ => None,
+                        };
+                        let r = solve_ns_with(&dmesh, c, ns_resume, Some(&mut obs), comm);
+                        let total_k: usize =
+                            r.vel_iters.iter().sum::<usize>() + r.p_iters.iter().sum::<usize>();
+                        RankOut {
+                            iterations: r.iterations,
+                            kiters: total_k as f64 / r.vel_iters.len() as f64,
+                            linf: r.vel_linf_error,
+                            l2: r.vel_l2_error,
+                            bytes: comm.stats().bytes_received,
+                        }
+                    }
+                }
+            })
+        });
+
+        match result {
+            Ok(results) => {
+                let run_t = results.iter().map(|r| r.clock).fold(0.0, f64::max);
+                stats.total_seconds += wait + run_t;
+                stats.total_dollars += fleet.hourly_cost() * run_t / 3600.0;
+                stats.completed = true;
+                final_run = Some((results, fleet));
+                break;
+            }
+            Err(failed) => {
+                let ckpt_clock = store
+                    .lock()
+                    .expect("checkpoint store never poisoned")
+                    .attempt_ckpt_clock;
+                stats.faults_injected += 1;
+                stats.total_seconds += wait + failed.at;
+                stats.total_dollars += fleet.hourly_cost() * failed.at / 3600.0;
+                stats.lost_work_seconds += (failed.at - ckpt_clock).max(0.0);
+                let restarts_used = stats.attempts - 1;
+                if restarts_used >= max_restarts {
+                    break;
+                }
+                let delay = spec.policy.backoff.delay(restarts_used);
+                stats.backoff_seconds += delay;
+                stats.total_seconds += delay;
+            }
+        }
+    }
+
+    {
+        let s = store.lock().expect("checkpoint store never poisoned");
+        stats.checkpoints_written = s.writes;
+        stats.checkpoint_seconds = s.writes as f64 * io_seconds;
+    }
+    let run_seconds = stats.total_seconds - stats.wait_seconds - stats.backoff_seconds;
+    stats.compute_seconds = run_seconds - stats.lost_work_seconds - stats.checkpoint_seconds;
+
+    let outcome = final_run.map(|(results, fleet)| {
+        let steps_run = results[0].value.iterations.len();
+        let mut per_iter = vec![PhaseTimes::default(); steps_run];
+        for r in &results {
+            for (acc, &t) in per_iter.iter_mut().zip(&r.value.iterations) {
+                *acc = acc.max(t);
+            }
+        }
+        let phases = summarize(&per_iter, req.discard.min(steps_run.saturating_sub(1)))
+            .expect("final attempt ran at least one step");
+        RunOutcome {
+            platform: req.platform.key.clone(),
+            app: req.app.name(),
+            ranks,
+            nodes,
+            fidelity: Fidelity::Numerical,
+            phases,
+            cost_per_iteration: fleet.cost(phases.total),
+            queue_wait_seconds: req.platform.queue_wait(req.ranks, req.seed),
+            krylov_iters: results[0].value.kiters,
+            verification: Some(Verification {
+                linf: results[0].value.linf,
+                l2: results[0].value.l2,
+            }),
+            bytes_per_iteration: results.iter().map(|r| r.value.bytes).sum::<f64>()
+                / steps_run as f64,
+        }
+    });
+
+    Ok(ResilienceOutcome {
+        outcome,
+        stats,
+        first_attempt_spot_nodes: first_spot,
+    })
+}
+
+/// Charges the durable write to every rank's virtual clock and commits it
+/// on rank 0. A rank felled *during* the charge unwinds before the commit,
+/// so an interrupted checkpoint is never durable.
+fn commit(
+    store: &Mutex<CheckpointStore>,
+    io_seconds: f64,
+    step: usize,
+    snap: Snapshot,
+    comm: &mut SimComm,
+) {
+    comm.advance(io_seconds);
+    if comm.rank() == 0 {
+        let mut s = store.lock().expect("checkpoint store never poisoned");
+        s.latest = Some((step, snap));
+        s.writes += 1;
+        s.attempt_ckpt_clock = comm.clock();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetero_fault::{Backoff, RecoveryMode};
+    use hetero_platform::catalog;
+
+    fn flaky_market(epoch_seconds: f64, spike_probability: f64) -> SpotMarket {
+        SpotMarket {
+            epoch_seconds,
+            spike_probability,
+            ..SpotMarket::ec2_like(1.0)
+        }
+    }
+
+    fn small_spot_req(steps: usize, cadence: usize, epoch: f64, spike: f64) -> RunRequest {
+        let ec2 = catalog::ec2();
+        let spec = ResilienceSpec {
+            policy: ResiliencePolicy {
+                io_bandwidth: 500e6,
+                backoff: Backoff {
+                    base_seconds: 5.0,
+                    factor: 2.0,
+                    cap_seconds: 60.0,
+                },
+                ..ResiliencePolicy::restart(cadence, 50)
+            },
+            faults: FaultModel {
+                crashes: None,
+                spot: Some(flaky_market(epoch, spike)),
+                degradation: None,
+            },
+            strategy: FleetStrategy::SpotMix {
+                groups: 2,
+                max_bid: 1.0,
+            },
+        };
+        RunRequest {
+            fidelity: Fidelity::Numerical,
+            resilience: Some(spec),
+            ..RunRequest::new(ec2, App::paper_rd(steps), 8, 3)
+        }
+    }
+
+    #[test]
+    fn fault_free_resilient_run_matches_plain_execute_accuracy() {
+        let mut req = small_spot_req(3, 1, 1e9, 0.0);
+        // An epoch of 1e9 s never revokes within the horizon.
+        let out = execute_resilient(&req).unwrap();
+        assert!(out.stats.completed);
+        assert_eq!(out.stats.attempts, 1);
+        assert_eq!(out.stats.faults_injected, 0);
+        assert!(out.stats.checkpoints_written >= 1);
+        let v = out.outcome.unwrap().verification.unwrap();
+        req.resilience = None;
+        let plain = crate::run::execute(&req).unwrap().verification.unwrap();
+        assert_eq!(v.linf, plain.linf, "checkpointing must not change numerics");
+        assert_eq!(v.l2, plain.l2);
+    }
+
+    #[test]
+    fn revoked_run_recovers_with_exact_accuracy() {
+        // A fast, nasty market: revocations every simulated second or so,
+        // on a run whose virtual duration spans several epochs.
+        let req = small_spot_req(6, 1, 0.012, 0.35);
+        let out = execute_resilient(&req).unwrap();
+        assert!(
+            out.stats.completed,
+            "restart budget must suffice: {:?}",
+            out.stats
+        );
+        assert!(
+            out.stats.faults_injected >= 1,
+            "market never fired: {:?}",
+            out.stats
+        );
+        assert!(out.stats.lost_work_seconds > 0.0);
+        let v = out.outcome.unwrap().verification.unwrap();
+        let mut plain = small_spot_req(6, 1, 0.012, 0.35);
+        plain.resilience = None;
+        let ff = crate::run::execute(&plain).unwrap().verification.unwrap();
+        assert!(
+            (v.linf - ff.linf).abs() <= 1e-12,
+            "{} vs {}",
+            v.linf,
+            ff.linf
+        );
+        assert!((v.l2 - ff.l2).abs() <= 1e-12, "{} vs {}", v.l2, ff.l2);
+    }
+
+    #[test]
+    fn fail_fast_surfaces_the_fault_without_retrying() {
+        let mut req = small_spot_req(6, 0, 0.012, 0.35);
+        if let Some(spec) = &mut req.resilience {
+            spec.policy.mode = RecoveryMode::FailFast;
+            spec.policy.checkpoint_every = 0;
+        }
+        let out = execute_resilient(&req).unwrap();
+        assert!(!out.stats.completed);
+        assert_eq!(out.stats.attempts, 1);
+        assert_eq!(out.stats.faults_injected, 1);
+        assert!(out.outcome.is_none());
+        let rerun = out.stats.total_seconds - out.stats.wait_seconds;
+        assert!(
+            (out.stats.lost_work_seconds - rerun).abs() < 1e-9,
+            "without checkpoints every run second is lost: {} vs {rerun}",
+            out.stats.lost_work_seconds
+        );
+    }
+
+    #[test]
+    fn exhausted_restart_budget_terminates() {
+        // Revocations far faster than any step completes: no attempt makes
+        // progress, and the bounded budget must stop the loop.
+        let mut req = small_spot_req(4, 1, 1e-4, 1.0);
+        if let Some(spec) = &mut req.resilience {
+            spec.policy.mode = RecoveryMode::Restart { max_restarts: 3 };
+        }
+        let out = execute_resilient(&req).unwrap();
+        assert!(!out.stats.completed);
+        assert_eq!(out.stats.attempts, 4); // 1 + 3 restarts
+        assert_eq!(out.stats.faults_injected, 4);
+        assert!(out.outcome.is_none());
+    }
+
+    #[test]
+    fn limit_violations_preempt_the_attempt_loop() {
+        let ellipse = catalog::ellipse();
+        let req = RunRequest {
+            resilience: Some(ResilienceSpec::spot_with_restart(&ellipse, 1.0, 4, 100)),
+            ..RunRequest::new(ellipse, App::paper_rd(2), 729, 20)
+        };
+        assert!(matches!(
+            execute_resilient(&req),
+            Err(LimitViolation::LauncherFailure { .. })
+        ));
+    }
+
+    #[test]
+    fn modeled_path_accounts_like_the_replay() {
+        let ec2 = catalog::ec2();
+        let req = RunRequest {
+            fidelity: Fidelity::Modeled,
+            resilience: Some(ResilienceSpec::spot_with_restart(&ec2, 1.0, 8, 40)),
+            ..RunRequest::new(ec2, App::paper_rd(40), 216, 20)
+        };
+        let out = execute_resilient(&req).unwrap();
+        assert!(out.stats.completed);
+        assert!(out.stats.total_dollars > 0.0);
+        assert!(out.stats.total_seconds > 0.0);
+        let o = out.outcome.unwrap();
+        assert_eq!(o.fidelity, Fidelity::Modeled);
+        assert!(o.verification.is_none());
+        // Deterministic: same request, same campaign, bitwise.
+        let again = execute_resilient(&req).unwrap();
+        assert_eq!(format!("{:?}", out.stats), format!("{:?}", again.stats));
+    }
+
+    #[test]
+    fn state_bytes_grow_with_order_and_history() {
+        let rd = App::paper_rd(4);
+        let ns = App::paper_ns(4);
+        assert!(state_bytes(&ns, 8, 3) > state_bytes(&rd, 8, 3));
+        assert!(state_bytes(&rd, 27, 3) > state_bytes(&rd, 8, 3));
+    }
+}

@@ -1,6 +1,6 @@
 //! Text/CSV/JSON renderers for the reproduced tables and figures.
 
-use crate::scenarios::{CostCurve, Table1, Table2Row, WeakScalingTable};
+use crate::scenarios::{CostCurve, Table1, Table2Row, Table3Row, WeakScalingTable};
 use hetero_platform::catalog;
 use hetero_platform::cost::Billing;
 
@@ -111,6 +111,74 @@ pub fn render_table2(rows: &[Table2Row]) -> String {
         ));
     }
     out
+}
+
+/// Renders the resilience sweep (Table III): expected campaign cost of
+/// on-demand vs spot-with-restart per checkpoint cadence, with the
+/// per-row cadence sweet spot starred.
+pub fn render_table3(rows: &[Table3Row]) -> String {
+    let mut out = String::new();
+    out.push_str("Table III: RD on EC2 under faults — expected campaign cost [$]\n");
+    out.push_str("on-demand (crashes only, restart from scratch) vs spot-with-restart\n");
+    out.push_str("(live revocation market, checkpoint cadence swept; * = cheapest cadence)\n\n");
+    let cadences: Vec<usize> = rows
+        .first()
+        .map(|r| r.spot.iter().map(|&(c, _)| c).collect())
+        .unwrap_or_default();
+    out.push_str(&format!(
+        "{:>6} {:>5} | {:>12} |",
+        "ranks", "nodes", "on-demand"
+    ));
+    for c in &cadences {
+        let label = if *c == 0 {
+            "no ckpt".to_string()
+        } else {
+            format!("every {c}")
+        };
+        out.push_str(&format!(" {label:>12} |"));
+    }
+    out.push_str(" done%\n");
+    for row in rows {
+        let best = row.best_cadence();
+        out.push_str(&format!(
+            "{:>6} {:>5} | {:>12.2} |",
+            row.ranks, row.nodes, row.on_demand.expected_dollars
+        ));
+        let mut min_rate: f64 = 1.0;
+        for (c, cell) in &row.spot {
+            let star = if *c == best { "*" } else { " " };
+            out.push_str(&format!(" {:>11.2}{star} |", cell.expected_dollars));
+            min_rate = min_rate.min(cell.completion_rate);
+        }
+        out.push_str(&format!(" {:>4.0}\n", min_rate * 100.0));
+    }
+    out
+}
+
+/// Serializes the resilience sweep to JSON (for EXPERIMENTS.md artifacts).
+pub fn table3_json(rows: &[Table3Row]) -> serde_json::Value {
+    serde_json::json!({
+        "rows": rows.iter().map(|row| {
+            let cell = |c: &crate::scenarios::Table3Cell| serde_json::json!({
+                "expected_seconds": c.expected_seconds,
+                "expected_dollars": c.expected_dollars,
+                "completion_rate": c.completion_rate,
+                "mean_attempts": c.mean_attempts,
+                "mean_lost_work": c.mean_lost_work,
+                "mean_checkpoint_seconds": c.mean_checkpoint_seconds,
+            });
+            serde_json::json!({
+                "ranks": row.ranks,
+                "nodes": row.nodes,
+                "on_demand": cell(&row.on_demand),
+                "best_cadence": row.best_cadence(),
+                "spot": row.spot.iter().map(|(cadence, c)| serde_json::json!({
+                    "cadence": cadence,
+                    "cell": cell(c),
+                })).collect::<Vec<_>>(),
+            })
+        }).collect::<Vec<_>>(),
+    })
 }
 
 /// Renders a cost figure (Figure 6 / 7) as a text table.
@@ -311,6 +379,20 @@ mod tests {
         assert!(text.contains("cpu arch."));
         assert!(text.contains("Effort totals"));
         assert!(text.contains("puma = 0.0"));
+    }
+
+    #[test]
+    fn table3_render_stars_the_sweet_spot() {
+        use crate::scenarios::{table3, ResilienceOptions};
+        let opts = ResilienceOptions::smoke();
+        let rows = table3(&opts);
+        let text = render_table3(&rows);
+        assert!(text.contains("on-demand"));
+        assert!(text.contains("no ckpt"));
+        assert!(text.contains('*'), "no cadence starred:\n{text}");
+        let v = table3_json(&rows);
+        assert_eq!(v["rows"].as_array().unwrap().len(), rows.len());
+        assert!(v["rows"][0]["best_cadence"].as_u64().is_some());
     }
 
     #[test]

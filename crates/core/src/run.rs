@@ -2,6 +2,7 @@
 
 use crate::apps::App;
 use crate::modeled::run_modeled;
+use crate::recovery::ResilienceSpec;
 use hetero_fem::ns::solve_ns;
 use hetero_fem::phase::{summarize, PhaseTimes};
 use hetero_fem::rd::solve_rd;
@@ -55,6 +56,10 @@ pub struct RunRequest {
     pub topology_override: Option<ClusterTopology>,
     /// Replaces the platform's cost model (spot pricing).
     pub cost_override: Option<CostModel>,
+    /// Fault processes and recovery policy — `None` runs failure-free.
+    /// Consumed by [`crate::recovery::execute_resilient`]; the plain
+    /// [`execute`] path ignores it.
+    pub resilience: Option<ResilienceSpec>,
 }
 
 impl RunRequest {
@@ -71,6 +76,7 @@ impl RunRequest {
             fidelity: Fidelity::Auto,
             topology_override: None,
             cost_override: None,
+            resilience: None,
         }
     }
 }
@@ -111,7 +117,7 @@ pub struct RunOutcome {
     pub bytes_per_iteration: f64,
 }
 
-fn resolve_fidelity(req: &RunRequest) -> Fidelity {
+pub(crate) fn resolve_fidelity(req: &RunRequest) -> Fidelity {
     match req.fidelity {
         Fidelity::Auto => {
             if req.ranks <= AUTO_MAX_NUMERICAL_RANKS && req.per_rank_axis <= AUTO_MAX_NUMERICAL_AXIS

@@ -2,7 +2,9 @@
 //! evaluation.
 
 use crate::apps::App;
+use crate::recovery::{execute_resilient, ResilienceSpec};
 use crate::run::{execute, Fidelity, RunOutcome, RunRequest};
+use hetero_fault::ResiliencePolicy;
 use hetero_platform::limits::LimitViolation;
 use hetero_platform::provision::{environment_of, plan, ProvisionPlan};
 use hetero_platform::spot::{acquire_fleet, FleetAllocation, FleetStrategy};
@@ -128,6 +130,7 @@ fn weak_scaling(app_for: impl Fn(usize) -> App, opts: &ScenarioOptions) -> WeakS
                 fidelity: opts.fidelity,
                 topology_override: None,
                 cost_override: None,
+                resilience: None,
             };
             cells.push((platform.key.clone(), execute(&req)));
         }
@@ -185,6 +188,7 @@ pub fn table2(opts: &ScenarioOptions) -> Vec<Table2Row> {
             fidelity: opts.fidelity,
             topology_override: None,
             cost_override: None,
+            resilience: None,
         };
         let full = execute(&base).expect("EC2 runs the whole ladder");
 
@@ -367,6 +371,188 @@ pub fn table1() -> Table1 {
     Table1 { platforms, plans }
 }
 
+/// Knobs for the resilience sweep (the "Table III" the paper could not
+/// produce: expected time and dollars of RD on EC2 spot-with-restart vs
+/// on-demand, across checkpoint cadences).
+#[derive(Debug, Clone)]
+pub struct ResilienceOptions {
+    /// Mesh size, rank ladder, step count, engine, and base seed.
+    pub base: ScenarioOptions,
+    /// Checkpoint cadences swept for the spot campaigns (`0` = never).
+    pub cadences: Vec<usize>,
+    /// Independent market/crash seeds averaged into each cell.
+    pub seeds: usize,
+    /// Restart budget per campaign.
+    pub max_restarts: usize,
+    /// Spot bid as a multiple of the spot base price.
+    pub max_bid: f64,
+}
+
+impl ResilienceOptions {
+    /// The full sweep: 600-step campaigns over the paper ladder, five
+    /// cadences bracketing the Young/Daly optimum, eight seeds per cell.
+    pub fn paper() -> Self {
+        ResilienceOptions {
+            base: ScenarioOptions {
+                steps: 600,
+                ..ScenarioOptions::paper()
+            },
+            cadences: vec![1, 4, 16, 64, 0],
+            seeds: 8,
+            max_restarts: 60,
+            max_bid: 1.0,
+        }
+    }
+
+    /// A cheap configuration for tests.
+    pub fn smoke() -> Self {
+        ResilienceOptions {
+            base: ScenarioOptions {
+                steps: 40,
+                max_k: 2,
+                fidelity: Fidelity::Modeled,
+                ..ScenarioOptions::paper()
+            },
+            cadences: vec![1, 8, 0],
+            seeds: 2,
+            max_restarts: 20,
+            max_bid: 1.0,
+        }
+    }
+}
+
+/// One campaign configuration's expected outcome, averaged over the seeds.
+#[derive(Debug, Clone, Default)]
+pub struct Table3Cell {
+    /// Mean campaign wall-clock (waits + backoff + all attempts), seconds.
+    pub expected_seconds: f64,
+    /// Mean campaign cost, dollars.
+    pub expected_dollars: f64,
+    /// Fraction of seeds whose campaign finished within the restart budget.
+    pub completion_rate: f64,
+    /// Mean attempts per campaign.
+    pub mean_attempts: f64,
+    /// Mean re-executed (rolled-back) seconds per campaign.
+    pub mean_lost_work: f64,
+    /// Mean checkpoint I/O seconds per campaign.
+    pub mean_checkpoint_seconds: f64,
+}
+
+/// One rung of the resilience table.
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// MPI ranks.
+    pub ranks: usize,
+    /// cc2.8xlarge instances.
+    pub nodes: usize,
+    /// The on-demand baseline (hardware crashes only, restart from scratch).
+    pub on_demand: Table3Cell,
+    /// Spot-with-restart cells, one per checkpoint cadence.
+    pub spot: Vec<(usize, Table3Cell)>,
+}
+
+impl Table3Row {
+    /// The swept cadence with the lowest expected dollars (completed
+    /// campaigns preferred over cheap failures).
+    pub fn best_cadence(&self) -> usize {
+        let best_rate = self
+            .spot
+            .iter()
+            .map(|(_, c)| c.completion_rate)
+            .fold(0.0, f64::max);
+        self.spot
+            .iter()
+            .filter(|(_, c)| c.completion_rate >= best_rate)
+            .min_by(|(_, a), (_, b)| {
+                a.expected_dollars
+                    .partial_cmp(&b.expected_dollars)
+                    .expect("expected dollars are finite")
+            })
+            .map(|&(cadence, _)| cadence)
+            .expect("at least one cadence was swept")
+    }
+}
+
+fn resilience_cell(
+    base: &RunRequest,
+    spec: &ResilienceSpec,
+    opts: &ResilienceOptions,
+) -> Table3Cell {
+    let mut cell = Table3Cell::default();
+    for s in 0..opts.seeds {
+        let req = RunRequest {
+            seed: base.seed.wrapping_add(s as u64 * 7919),
+            resilience: Some(spec.clone()),
+            ..base.clone()
+        };
+        let out = execute_resilient(&req).expect("the caller stays within EC2 limits");
+        cell.expected_seconds += out.stats.total_seconds;
+        cell.expected_dollars += out.stats.total_dollars;
+        cell.completion_rate += f64::from(out.stats.completed);
+        cell.mean_attempts += out.stats.attempts as f64;
+        cell.mean_lost_work += out.stats.lost_work_seconds;
+        cell.mean_checkpoint_seconds += out.stats.checkpoint_seconds;
+    }
+    let n = opts.seeds.max(1) as f64;
+    cell.expected_seconds /= n;
+    cell.expected_dollars /= n;
+    cell.completion_rate /= n;
+    cell.mean_attempts /= n;
+    cell.mean_lost_work /= n;
+    cell.mean_checkpoint_seconds /= n;
+    cell
+}
+
+/// **Table III** (extension): expected time/cost of the RD application on
+/// EC2, on-demand vs spot-with-restart across checkpoint cadences.
+pub fn table3(opts: &ResilienceOptions) -> Vec<Table3Row> {
+    let ec2 = catalog::ec2();
+    let mut rows = Vec::new();
+    for ranks in opts.base.ladder() {
+        let nodes = ec2.nodes_for(ranks);
+        let base = RunRequest {
+            platform: ec2.clone(),
+            app: App::paper_rd(opts.base.steps),
+            ranks,
+            per_rank_axis: opts.base.per_rank_axis,
+            seed: opts.base.seed,
+            discard: opts.base.discard,
+            threads_per_rank: 1,
+            fidelity: opts.base.fidelity,
+            topology_override: None,
+            cost_override: None,
+            resilience: None,
+        };
+        // On-demand: only hardware crashes, no checkpoints (a crash restarts
+        // the run from scratch, like the paper's unprotected LifeV jobs).
+        let od_spec = ResilienceSpec {
+            policy: ResiliencePolicy::restart(0, opts.max_restarts),
+            ..ResilienceSpec::on_demand(&ec2)
+        };
+        let on_demand = resilience_cell(&base, &od_spec, opts);
+        let spot = opts
+            .cadences
+            .iter()
+            .map(|&cadence| {
+                let spec = ResilienceSpec::spot_with_restart(
+                    &ec2,
+                    opts.max_bid,
+                    cadence,
+                    opts.max_restarts,
+                );
+                (cadence, resilience_cell(&base, &spec, opts))
+            })
+            .collect();
+        rows.push(Table3Row {
+            ranks,
+            nodes,
+            on_demand,
+            spot,
+        });
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -487,6 +673,46 @@ mod tests {
             eff(&ib, 64),
             eff(&eth, 64)
         );
+    }
+
+    #[test]
+    fn smoke_table3_prefers_spot_at_small_scale() {
+        let opts = ResilienceOptions::smoke();
+        let rows = table3(&opts);
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert_eq!(row.spot.len(), opts.cadences.len());
+            assert!(row.on_demand.completion_rate > 0.0);
+            // Small fleets fill from spot capacity and revocations are rare
+            // price spikes: protected spot is cheaper in expectation.
+            let best = row
+                .spot
+                .iter()
+                .find(|&&(c, _)| c == row.best_cadence())
+                .unwrap();
+            assert!(
+                best.1.expected_dollars < row.on_demand.expected_dollars,
+                "ranks {}: spot {} vs od {}",
+                row.ranks,
+                best.1.expected_dollars,
+                row.on_demand.expected_dollars
+            );
+        }
+    }
+
+    #[test]
+    fn table3_is_deterministic() {
+        let opts = ResilienceOptions {
+            base: ScenarioOptions {
+                max_k: 1,
+                ..ResilienceOptions::smoke().base
+            },
+            seeds: 1,
+            ..ResilienceOptions::smoke()
+        };
+        let a = table3(&opts);
+        let b = table3(&opts);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
     }
 
     #[test]

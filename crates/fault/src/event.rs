@@ -1,0 +1,72 @@
+//! Fault events in virtual time.
+
+use serde::{Deserialize, Serialize};
+
+/// What went wrong.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The spot market revoked the fleet's spot capacity (price crossed the
+    /// bid, or the capacity pool shrank below the fleet's spot share). All
+    /// spot nodes of the attempt are lost at once.
+    SpotRevocation {
+        /// How many nodes the revocation removes.
+        nodes_lost: usize,
+    },
+    /// A single node failed (hardware MTBF process).
+    NodeCrash {
+        /// Topology node index that died.
+        node: usize,
+    },
+    /// The fabric is transiently degraded: messages in flight during the
+    /// window are slowed by `factor`.
+    NetworkDegradation {
+        /// Window length, virtual seconds.
+        duration: f64,
+        /// Multiplicative slowdown on latency and drain (>= 1).
+        factor: f64,
+    },
+}
+
+impl FaultKind {
+    /// Whether the event fells nodes (ends the attempt) rather than merely
+    /// slowing it.
+    pub fn is_fatal(&self) -> bool {
+        !matches!(self, FaultKind::NetworkDegradation { .. })
+    }
+}
+
+/// One scheduled fault: when (virtual seconds from attempt start) and what.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Virtual time of the event, seconds from attempt start.
+    pub time: f64,
+    /// The fault itself.
+    pub kind: FaultKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fatality_classification() {
+        assert!(FaultKind::SpotRevocation { nodes_lost: 50 }.is_fatal());
+        assert!(FaultKind::NodeCrash { node: 3 }.is_fatal());
+        assert!(!FaultKind::NetworkDegradation {
+            duration: 30.0,
+            factor: 4.0
+        }
+        .is_fatal());
+    }
+
+    #[test]
+    fn events_round_trip_through_json() {
+        let e = FaultEvent {
+            time: 120.5,
+            kind: FaultKind::NodeCrash { node: 7 },
+        };
+        let s = serde_json::to_string(&e).unwrap();
+        let back: FaultEvent = serde_json::from_str(&s).unwrap();
+        assert_eq!(e, back);
+    }
+}

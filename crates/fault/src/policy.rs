@@ -1,0 +1,154 @@
+//! What a run does about faults: checkpoint cadence, restart policy, and
+//! backoff.
+
+use serde::{Deserialize, Serialize};
+
+/// Bounded exponential backoff between restart attempts — the "do not
+/// hammer the scheduler" delay, charged as wall-clock (and for clouds,
+/// unbilled) time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Backoff {
+    /// Delay before the first retry, seconds.
+    pub base_seconds: f64,
+    /// Multiplier per subsequent retry.
+    pub factor: f64,
+    /// Upper bound on any single delay, seconds.
+    pub cap_seconds: f64,
+}
+
+impl Backoff {
+    /// The delay before retry number `attempt` (0-based), seconds.
+    pub fn delay(&self, attempt: usize) -> f64 {
+        let mut d = self.base_seconds;
+        for _ in 0..attempt {
+            d *= self.factor;
+            if d >= self.cap_seconds {
+                return self.cap_seconds;
+            }
+        }
+        d.min(self.cap_seconds)
+    }
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Backoff {
+            base_seconds: 30.0,
+            factor: 2.0,
+            cap_seconds: 1800.0,
+        }
+    }
+}
+
+/// What happens after a fault fells the attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RecoveryMode {
+    /// Report the failure; no restart.
+    FailFast,
+    /// Re-acquire resources and resume from the last checkpoint, at most
+    /// `max_restarts` times.
+    Restart {
+        /// Upper bound on restart attempts (the first attempt is free).
+        max_restarts: usize,
+    },
+}
+
+/// The complete resilience policy of one run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResiliencePolicy {
+    /// Checkpoint after every `checkpoint_every` completed steps
+    /// (0 = never checkpoint; a restart then replays from step 0).
+    pub checkpoint_every: usize,
+    /// Sustained bandwidth of the checkpoint store, bytes/second — the
+    /// shared filesystem every node writes through.
+    pub io_bandwidth: f64,
+    /// Restart or fail-fast.
+    pub mode: RecoveryMode,
+    /// Delay schedule between restart attempts.
+    pub backoff: Backoff,
+}
+
+impl ResiliencePolicy {
+    /// No checkpoints, no restarts: surface the first fault as the result.
+    pub fn fail_fast() -> Self {
+        ResiliencePolicy {
+            checkpoint_every: 0,
+            io_bandwidth: 150e6,
+            mode: RecoveryMode::FailFast,
+            backoff: Backoff::default(),
+        }
+    }
+
+    /// Checkpoint every `checkpoint_every` steps and restart up to
+    /// `max_restarts` times.
+    pub fn restart(checkpoint_every: usize, max_restarts: usize) -> Self {
+        ResiliencePolicy {
+            checkpoint_every,
+            io_bandwidth: 150e6,
+            mode: RecoveryMode::Restart { max_restarts },
+            backoff: Backoff::default(),
+        }
+    }
+
+    /// The restart budget (0 under fail-fast).
+    pub fn max_restarts(&self) -> usize {
+        match self.mode {
+            RecoveryMode::FailFast => 0,
+            RecoveryMode::Restart { max_restarts } => max_restarts,
+        }
+    }
+
+    /// Whether `completed_steps` (out of `total_steps`) is a checkpoint
+    /// boundary. The final step is never checkpointed: the run is done.
+    pub fn checkpoint_due(&self, completed_steps: usize, total_steps: usize) -> bool {
+        self.checkpoint_every > 0
+            && completed_steps > 0
+            && completed_steps < total_steps
+            && completed_steps.is_multiple_of(self.checkpoint_every)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let b = Backoff {
+            base_seconds: 10.0,
+            factor: 3.0,
+            cap_seconds: 200.0,
+        };
+        assert_eq!(b.delay(0), 10.0);
+        assert_eq!(b.delay(1), 30.0);
+        assert_eq!(b.delay(2), 90.0);
+        assert_eq!(b.delay(3), 200.0);
+        assert_eq!(b.delay(50), 200.0); // no overflow from repeated multiply
+    }
+
+    #[test]
+    fn checkpoint_due_skips_never_and_final() {
+        let p = ResiliencePolicy::restart(4, 3);
+        assert!(!p.checkpoint_due(0, 12));
+        assert!(p.checkpoint_due(4, 12));
+        assert!(!p.checkpoint_due(5, 12));
+        assert!(p.checkpoint_due(8, 12));
+        assert!(!p.checkpoint_due(12, 12)); // final step: nothing to resume
+        let never = ResiliencePolicy::fail_fast();
+        assert!(!never.checkpoint_due(4, 12));
+    }
+
+    #[test]
+    fn max_restarts_by_mode() {
+        assert_eq!(ResiliencePolicy::fail_fast().max_restarts(), 0);
+        assert_eq!(ResiliencePolicy::restart(10, 7).max_restarts(), 7);
+    }
+
+    #[test]
+    fn policy_round_trips_through_json() {
+        let p = ResiliencePolicy::restart(16, 5);
+        let s = serde_json::to_string(&p).unwrap();
+        let back: ResiliencePolicy = serde_json::from_str(&s).unwrap();
+        assert_eq!(p, back);
+    }
+}

@@ -136,8 +136,54 @@ pub struct NsReport {
     pub n_global_p_dofs: usize,
 }
 
+/// Restart state for [`solve_ns_with`]: dense global velocity history and
+/// pressure, exactly as a checkpoint stores them (see
+/// [`crate::rd::RdResume`] for the bitwise-resume argument).
+#[derive(Debug, Clone)]
+pub struct NsResume {
+    /// Completed time steps (the checkpointed step index).
+    pub start_step: usize,
+    /// Dense global velocity history, newest first; one `[x, y, z]`
+    /// component triple per BDF level.
+    pub hist: Vec<[Vec<f64>; 3]>,
+    /// Dense global pressure at the checkpointed step.
+    pub pressure: Vec<f64>,
+}
+
+/// What a step observer sees after each completed NS time step.
+pub struct NsStepView<'a> {
+    /// The just-completed (absolute, 1-based) step index.
+    pub step: usize,
+    /// Velocity DoF map.
+    pub vmap: &'a DofMap,
+    /// Pressure DoF map.
+    pub pmap: &'a DofMap,
+    /// Velocity history, newest first.
+    pub hist: &'a [[DistVector; 3]],
+    /// Current pressure.
+    pub pressure: &'a DistVector,
+    /// Phase times of the steps this attempt has executed so far.
+    pub iterations: &'a [PhaseTimes],
+}
+
+/// Per-step callback for checkpointing hooks.
+pub type NsObserver<'a> = &'a mut dyn FnMut(&NsStepView<'_>, &mut SimComm);
+
 /// Runs the NS application. Collective over all ranks of `comm`.
 pub fn solve_ns(dmesh: &DistributedMesh, cfg: &NsConfig, comm: &mut SimComm) -> NsReport {
+    solve_ns_with(dmesh, cfg, None, None, comm)
+}
+
+/// Runs the NS application, optionally resuming from checkpointed state
+/// and/or observing each completed step (the fault-tolerance entry point).
+/// Collective over all ranks of `comm`.
+pub fn solve_ns_with(
+    dmesh: &DistributedMesh,
+    cfg: &NsConfig,
+    resume: Option<&NsResume>,
+    mut observer: Option<NsObserver<'_>>,
+    comm: &mut SimComm,
+) -> NsReport {
     assert!(cfg.dt > 0.0 && cfg.steps > 0 && cfg.rho > 0.0 && cfg.mu > 0.0);
     let es = cfg.exact();
     let vmap = DofMap::build(dmesh, cfg.vel_order, comm);
@@ -174,18 +220,47 @@ pub fn solve_ns(dmesh: &DistributedMesh, cfg: &NsConfig, comm: &mut SimComm) -> 
     let vol = h.x * h.y * h.z;
 
     // Velocity history [newest, older], each 3 components; pressure state.
+    // On restart both are refilled from the checkpoint's dense global
+    // fields (owned and ghost slots alike, matching a post-update_ghosts
+    // state).
     let nhist = cfg.bdf.steps();
-    let mut hist: Vec<[DistVector; 3]> = (0..nhist)
-        .map(|j| {
-            let t = cfg.t0 - j as f64 * cfg.dt;
-            [
-                vmap.interpolate(|p| es.velocity_component(0, p, t)),
-                vmap.interpolate(|p| es.velocity_component(1, p, t)),
-                vmap.interpolate(|p| es.velocity_component(2, p, t)),
-            ]
-        })
-        .collect();
-    let mut pressure = pmap.interpolate(|p| es.pressure(p, cfg.t0));
+    let fill = |dm: &DofMap, dense: &[f64]| {
+        assert_eq!(dense.len(), dm.n_global(), "resume field size");
+        let mut v = dm.new_vector();
+        for l in 0..dm.n_local() {
+            v.as_mut_slice()[l] = dense[dm.global_id(l)];
+        }
+        v
+    };
+    let start_step = match resume {
+        Some(r) => {
+            assert!(r.start_step < cfg.steps, "resume beyond the final step");
+            assert_eq!(r.hist.len(), nhist, "resume history depth");
+            r.start_step
+        }
+        None => 0,
+    };
+    let mut hist: Vec<[DistVector; 3]> = match resume {
+        Some(r) => r
+            .hist
+            .iter()
+            .map(|comps| std::array::from_fn(|i| fill(&vmap, &comps[i])))
+            .collect(),
+        None => (0..nhist)
+            .map(|j| {
+                let t = cfg.t0 - j as f64 * cfg.dt;
+                [
+                    vmap.interpolate(|p| es.velocity_component(0, p, t)),
+                    vmap.interpolate(|p| es.velocity_component(1, p, t)),
+                    vmap.interpolate(|p| es.velocity_component(2, p, t)),
+                ]
+            })
+            .collect(),
+    };
+    let mut pressure = match resume {
+        Some(r) => fill(&pmap, &r.pressure),
+        None => pmap.interpolate(|p| es.pressure(p, cfg.t0)),
+    };
 
     let alpha = cfg.bdf.alpha();
     let hist_c = cfg.bdf.history();
@@ -194,15 +269,15 @@ pub fn solve_ns(dmesh: &DistributedMesh, cfg: &NsConfig, comm: &mut SimComm) -> 
     // The pinned pressure DoF: global lattice node 0 (a domain corner).
     let pin_local = pmap.local_id(0);
 
-    let mut iterations = Vec::with_capacity(cfg.steps);
-    let mut vel_iters = Vec::with_capacity(cfg.steps);
-    let mut p_iters = Vec::with_capacity(cfg.steps);
+    let mut iterations = Vec::with_capacity(cfg.steps - start_step);
+    let mut vel_iters = Vec::with_capacity(cfg.steps - start_step);
+    let mut p_iters = Vec::with_capacity(cfg.steps - start_step);
     // Both per-step operators keep a fixed sparsity structure: cache the
     // symbolic phase and only re-scatter values each step.
     let mut momentum_asm = MatrixAssembly::new(8);
     let mut pressure_asm = MatrixAssembly::new(1);
 
-    for step in 1..=cfg.steps {
+    for step in (start_step + 1)..=cfg.steps {
         let t = cfg.t0 + step as f64 * cfg.dt;
         let mut rec = PhaseRecorder::start(comm.clock());
 
@@ -411,6 +486,18 @@ pub fn solve_ns(dmesh: &DistributedMesh, cfg: &NsConfig, comm: &mut SimComm) -> 
             h.copy_from(u, comm);
         }
         iterations.push(rec.finish(comm.clock()));
+
+        if let Some(obs) = observer.as_mut() {
+            let view = NsStepView {
+                step,
+                vmap: &vmap,
+                pmap: &pmap,
+                hist: &hist,
+                pressure: &pressure,
+                iterations: &iterations,
+            };
+            obs(&view, comm);
+        }
     }
 
     let t_final = cfg.t0 + cfg.steps as f64 * cfg.dt;
@@ -588,6 +675,66 @@ mod tests {
             bi[0].vel_l2_error,
             gm[0].vel_l2_error
         );
+    }
+
+    #[test]
+    fn resumed_ns_run_reproduces_the_trajectory_bitwise() {
+        use hetero_simmpi::collectives::ReduceOp;
+        let mesh = StructuredHexMesh::unit_cube(2);
+        let assignment = Arc::new(BlockPartitioner.partition(&mesh, 2));
+        let ns_cfg = NsConfig {
+            steps: 4,
+            ..NsConfig::default()
+        };
+        let results = run_spmd(cfg(2), move |comm| {
+            let dmesh = DistributedMesh::new(mesh.clone(), Arc::clone(&assignment), comm.rank(), 2);
+            let mut saved: Option<NsResume> = None;
+            let dense_of = |dm: &DofMap, v: &DistVector| {
+                let mut d = vec![0.0; dm.n_global()];
+                for l in 0..dm.n_owned() {
+                    d[dm.global_id(l)] = v.owned()[l];
+                }
+                d
+            };
+            {
+                let mut obs = |view: &NsStepView<'_>, _comm: &mut SimComm| {
+                    if view.step == 2 {
+                        saved = Some(NsResume {
+                            start_step: 2,
+                            hist: view
+                                .hist
+                                .iter()
+                                .map(|comps| {
+                                    std::array::from_fn(|i| dense_of(view.vmap, &comps[i]))
+                                })
+                                .collect(),
+                            pressure: dense_of(view.pmap, view.pressure),
+                        });
+                    }
+                };
+                let full = solve_ns_with(&dmesh, &ns_cfg, None, Some(&mut obs), comm);
+                let mut resume = saved.expect("observer fired at step 2");
+                for comps in &mut resume.hist {
+                    for f in comps.iter_mut() {
+                        *f = comm.allreduce(ReduceOp::Sum, f);
+                    }
+                }
+                resume.pressure = comm.allreduce(ReduceOp::Sum, &resume.pressure);
+                let resumed = solve_ns_with(&dmesh, &ns_cfg, Some(&resume), None, comm);
+                assert_eq!(resumed.iterations.len(), 2);
+                (
+                    full.vel_linf_error,
+                    full.vel_l2_error,
+                    resumed.vel_linf_error,
+                    resumed.vel_l2_error,
+                )
+            }
+        });
+        for r in &results {
+            let (fl, f2, rl, r2) = r.value;
+            assert_eq!(fl, rl, "vel linf must match bitwise");
+            assert_eq!(f2, r2, "vel l2 must match bitwise");
+        }
     }
 
     #[test]

@@ -21,7 +21,7 @@ use crate::exact::RdExact;
 use crate::phase::{PhaseRecorder, PhaseTimes};
 use hetero_linalg::precond::{Identity, IluZero, Jacobi, Preconditioner, Ssor};
 use hetero_linalg::solver::{cg, SolveOptions};
-use hetero_linalg::DistMatrix;
+use hetero_linalg::{DistMatrix, DistVector};
 use hetero_mesh::DistributedMesh;
 use hetero_simmpi::SimComm;
 
@@ -86,7 +86,8 @@ impl Default for RdConfig {
 /// Results of an RD run on one rank.
 #[derive(Debug, Clone)]
 pub struct RdReport {
-    /// Phase times per time step (this rank's view).
+    /// Phase times per time step (this rank's view). On a resumed run,
+    /// covers only the steps executed by this attempt.
     pub iterations: Vec<PhaseTimes>,
     /// CG iterations per time step.
     pub krylov_iters: Vec<usize>,
@@ -98,8 +99,53 @@ pub struct RdReport {
     pub n_global_dofs: usize,
 }
 
+/// Restart state for [`solve_rd_with`]: dense global values of the BDF
+/// history, exactly as a checkpoint stores them.
+///
+/// `history[j]` holds `u` at `t0 + (start_step - j) * dt`; filling local
+/// (owned + ghost) slots by global id reproduces the failure-free run's
+/// in-memory state bitwise, so a resumed solve computes the exact same
+/// solution trajectory (absolute step indexing keeps the float arithmetic
+/// of `t` identical too).
+#[derive(Debug, Clone)]
+pub struct RdResume {
+    /// Completed time steps (the checkpointed step index).
+    pub start_step: usize,
+    /// Dense global history fields, newest first; one per BDF level.
+    pub history: Vec<Vec<f64>>,
+}
+
+/// What a step observer sees after each completed time step.
+pub struct RdStepView<'a> {
+    /// The just-completed (absolute, 1-based) step index.
+    pub step: usize,
+    /// The solver's DoF map (for snapshot capture).
+    pub dm: &'a DofMap,
+    /// BDF history, newest first; `history[0]` is the step's solution.
+    pub history: &'a [DistVector],
+    /// Phase times of the steps this attempt has executed so far.
+    pub iterations: &'a [PhaseTimes],
+}
+
+/// Per-step callback: checkpointing hooks charge their I/O through the
+/// provided communicator, keeping virtual time consistent.
+pub type RdObserver<'a> = &'a mut dyn FnMut(&RdStepView<'_>, &mut SimComm);
+
 /// Runs the RD application. Collective over all ranks of `comm`.
 pub fn solve_rd(dmesh: &DistributedMesh, cfg: &RdConfig, comm: &mut SimComm) -> RdReport {
+    solve_rd_with(dmesh, cfg, None, None, comm)
+}
+
+/// Runs the RD application, optionally resuming from checkpointed state
+/// and/or observing each completed step (the fault-tolerance entry point).
+/// Collective over all ranks of `comm`.
+pub fn solve_rd_with(
+    dmesh: &DistributedMesh,
+    cfg: &RdConfig,
+    resume: Option<&RdResume>,
+    mut observer: Option<RdObserver<'_>>,
+    comm: &mut SimComm,
+) -> RdReport {
     assert!(cfg.t0 > 0.0 && cfg.dt > 0.0 && cfg.steps > 0);
     assert!(
         cfg.t0 - cfg.bdf.steps() as f64 * cfg.dt > 0.0,
@@ -115,23 +161,47 @@ pub fn solve_rd(dmesh: &DistributedMesh, cfg: &RdConfig, comm: &mut SimComm) -> 
     // BDF history term each step.
     let mass = assemble_matrix(&dm, &dm, comm, 1, |_i, out| out.copy_from_slice(&kern.mass));
 
-    // BDF history (u^{n-1}, u^{n-2}, ...) seeded from the exact solution.
-    let mut history: Vec<_> = (1..=cfg.bdf.steps())
-        .map(|j| dm.interpolate(|p| ex.u(p, cfg.t0 - (j as f64 - 1.0) * cfg.dt)))
-        .collect();
-    // history[0] = u at t0, history[1] = u at t0 - dt.
+    // BDF history (u^{n-1}, u^{n-2}, ...): seeded from the exact solution,
+    // or — on restart — refilled from the checkpoint's dense global fields
+    // (owned and ghost slots alike, matching a post-update_ghosts state).
+    let start_step = match resume {
+        Some(r) => {
+            assert!(r.start_step < cfg.steps, "resume beyond the final step");
+            assert_eq!(r.history.len(), cfg.bdf.steps(), "resume history depth");
+            r.start_step
+        }
+        None => 0,
+    };
+    let mut history: Vec<_> = match resume {
+        Some(r) => r
+            .history
+            .iter()
+            .map(|dense| {
+                assert_eq!(dense.len(), dm.n_global(), "resume field size");
+                let mut v = dm.new_vector();
+                for l in 0..dm.n_local() {
+                    v.as_mut_slice()[l] = dense[dm.global_id(l)];
+                }
+                v
+            })
+            .collect(),
+        None => (1..=cfg.bdf.steps())
+            .map(|j| dm.interpolate(|p| ex.u(p, cfg.t0 - (j as f64 - 1.0) * cfg.dt)))
+            .collect(),
+    };
+    // history[0] = u at t0 + start_step*dt, history[1] = one dt earlier.
 
     let alpha = cfg.bdf.alpha();
     let hist_coeffs = cfg.bdf.history();
 
-    let mut iterations = Vec::with_capacity(cfg.steps);
-    let mut krylov_iters = Vec::with_capacity(cfg.steps);
+    let mut iterations = Vec::with_capacity(cfg.steps - start_step);
+    let mut krylov_iters = Vec::with_capacity(cfg.steps - start_step);
     let mut u = dm.new_vector();
     // The system matrix changes values every step but never structure:
     // cache the sparsity pattern + scatter permutation across steps.
     let mut system_asm = MatrixAssembly::new(2);
 
-    for step in 1..=cfg.steps {
+    for step in (start_step + 1)..=cfg.steps {
         let t = cfg.t0 + step as f64 * cfg.dt;
         let mut rec = PhaseRecorder::start(comm.clock());
 
@@ -185,6 +255,16 @@ pub fn solve_rd(dmesh: &DistributedMesh, cfg: &RdConfig, comm: &mut SimComm) -> 
         history.rotate_right(1);
         history[0].copy_from(&u, comm);
         iterations.push(rec.finish(comm.clock()));
+
+        if let Some(obs) = observer.as_mut() {
+            let view = RdStepView {
+                step,
+                dm: &dm,
+                history: &history,
+                iterations: &iterations,
+            };
+            obs(&view, comm);
+        }
     }
 
     let t_final = cfg.t0 + cfg.steps as f64 * cfg.dt;
@@ -339,6 +419,68 @@ mod tests {
         let e1 = run_rd(2, 1, cfg1)[0].linf_error;
         let e2 = run_rd(2, 1, cfg2)[0].linf_error;
         assert!(e1 > 100.0 * e2, "bdf1 {e1} vs bdf2 {e2}");
+    }
+
+    #[test]
+    fn resumed_run_reproduces_the_trajectory_bitwise() {
+        // Capture the BDF history after step 3 through the observer, then
+        // resume from it: the final solution and error norms must be
+        // bitwise identical to the uninterrupted run (rollback may lose
+        // time, never accuracy).
+        let mesh = StructuredHexMesh::unit_cube(3);
+        let assignment = Arc::new(BlockPartitioner.partition(&mesh, 2));
+        let rd_cfg = RdConfig {
+            steps: 6,
+            ..RdConfig::default()
+        };
+        let results = run_spmd(cfg(2), move |comm| {
+            let dmesh = DistributedMesh::new(mesh.clone(), Arc::clone(&assignment), comm.rank(), 2);
+            let mut saved: Option<RdResume> = None;
+            {
+                let mut obs = |view: &RdStepView<'_>, _comm: &mut SimComm| {
+                    if view.step == 3 {
+                        let dense: Vec<Vec<f64>> = view
+                            .history
+                            .iter()
+                            .map(|v| {
+                                // Owned dofs tile the global space, so an
+                                // owner-only scatter sums to the exact dense
+                                // field across ranks.
+                                let mut d = vec![0.0; view.dm.n_global()];
+                                for l in 0..view.dm.n_owned() {
+                                    d[view.dm.global_id(l)] = v.owned()[l];
+                                }
+                                d
+                            })
+                            .collect();
+                        saved = Some(RdResume {
+                            start_step: 3,
+                            history: dense,
+                        });
+                    }
+                };
+                let full = solve_rd_with(&dmesh, &rd_cfg, None, Some(&mut obs), comm);
+                let mut resume = saved.expect("observer fired at step 3");
+                // Merge the partial dense fields across ranks so the resume
+                // state is complete (rank-local zeros filled by the peer).
+                for f in &mut resume.history {
+                    *f = comm.allreduce(hetero_simmpi::collectives::ReduceOp::Sum, f);
+                }
+                let resumed = solve_rd_with(&dmesh, &rd_cfg, Some(&resume), None, comm);
+                assert_eq!(resumed.iterations.len(), 3);
+                (
+                    full.linf_error,
+                    full.l2_error,
+                    resumed.linf_error,
+                    resumed.l2_error,
+                )
+            }
+        });
+        for r in &results {
+            let (fl, f2, rl, r2) = r.value;
+            assert_eq!(fl, rl, "linf must match bitwise");
+            assert_eq!(f2, r2, "l2 must match bitwise");
+        }
     }
 
     #[test]

@@ -39,6 +39,8 @@ pub fn puma() -> PlatformSpec {
             note: "estimated from capital cost and operating expenses".into(),
         },
         limits: ExecutionLimits::capacity_only(128),
+        // Aging commodity Opterons, no vendor support contract.
+        node_mtbf_hours: 900.0,
     }
 }
 
@@ -72,6 +74,8 @@ pub fn ellipse() -> PlatformSpec {
             max_launchable_ranks: Some(512),
             adapter_volume_cap: None,
         },
+        // Same hardware class as puma, but professionally operated.
+        node_mtbf_hours: 1200.0,
     }
 }
 
@@ -110,6 +114,8 @@ pub fn lagrange() -> PlatformSpec {
             max_launchable_ranks: None,
             adapter_volume_cap: Some(LAGRANGE_IB_VOLUME_CAP),
         },
+        // Curated TOP500-class blades under service contract.
+        node_mtbf_hours: 2500.0,
     }
 }
 
@@ -138,6 +144,9 @@ pub fn ec2() -> PlatformSpec {
             note: "on-demand instance rate during the study".into(),
         },
         limits: ExecutionLimits::capacity_only(63 * 16),
+        // Datacenter hardware behind a hypervisor; instance loss is
+        // dominated by spot revocation, not node death.
+        node_mtbf_hours: 2000.0,
     }
 }
 

@@ -1,9 +1,9 @@
 //! The execution limits the paper ran into.
 //!
-//! "The former machine [ellipse] was not natively configured to execute the
+//! "The former machine \[ellipse\] was not natively configured to execute the
 //! parallel jobs and our tasks spanning above 512 processes could not be
 //! launched (mpiexec was unable to initialize a huge number of remote MPI
-//! daemons). On the [latter] target [lagrange], our simulation codes reached
+//! daemons). On the \[latter\] target \[lagrange\], our simulation codes reached
 //! the configured limit of data volume sent by the IB network adapters. As
 //! a result, we could not execute tasks bigger than 343 processes there."
 

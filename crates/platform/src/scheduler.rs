@@ -66,6 +66,17 @@ impl QueueModel {
         (self.base + self.per_node * (nodes as f64).powf(self.size_exponent)) * congestion
     }
 
+    /// Wait to *re*-acquire `nodes` nodes for restart attempt `attempt`
+    /// (1-based). Each attempt resamples the congestion draw — the queue
+    /// the job rejoins is not the queue it left — by salting the seed, so
+    /// retries are deterministic per `(model, seed, nodes, attempt)`.
+    pub fn reacquisition_wait_seconds(&self, nodes: usize, seed: u64, attempt: usize) -> f64 {
+        self.wait_seconds(
+            nodes,
+            splitmix64(seed ^ (attempt as u64).wrapping_mul(0xA076_1D64_78BD_642F)),
+        )
+    }
+
     /// An on-demand model: boot latency only (IaaS).
     pub fn on_demand(boot_seconds: f64, per_node: f64) -> Self {
         QueueModel {

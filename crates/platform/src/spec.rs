@@ -45,6 +45,10 @@ pub struct PlatformSpec {
     pub cost: CostModel,
     /// Execution limits.
     pub limits: ExecutionLimits,
+    /// Mean time between hardware failures of one node, hours. Drives the
+    /// crash process of the fault subsystem; commodity clusters sit near
+    /// 10^3 h, curated grid resources higher.
+    pub node_mtbf_hours: f64,
 }
 
 impl PlatformSpec {
@@ -127,6 +131,7 @@ mod tests {
                 note: String::new(),
             },
             limits: ExecutionLimits::capacity_only(32),
+            node_mtbf_hours: 1000.0,
         }
     }
 

@@ -10,9 +10,10 @@
 use crate::catalog::EC2_SPOT_NODE_HOUR;
 use hetero_simmpi::rng::{hash_msg, to_unit};
 use hetero_simmpi::ClusterTopology;
+use serde::{Deserialize, Serialize};
 
 /// How to acquire an instance fleet.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum FleetStrategy {
     /// All on-demand instances in a single placement group (Table II
     /// "full").
@@ -28,7 +29,7 @@ pub enum FleetStrategy {
 }
 
 /// One acquired instance.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct NodeAllocation {
     /// Whether the instance was obtained via a spot request.
     pub spot: bool,
@@ -39,7 +40,7 @@ pub struct NodeAllocation {
 }
 
 /// An acquired fleet.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FleetAllocation {
     /// Per-instance allocations.
     pub nodes: Vec<NodeAllocation>,
@@ -115,6 +116,17 @@ impl FleetAllocation {
     /// Instances acquired via spot requests.
     pub fn spot_count(&self) -> usize {
         self.nodes.iter().filter(|n| n.spot).count()
+    }
+
+    /// Indices (node ids in the induced topology) of the spot instances —
+    /// the nodes a market revocation removes.
+    pub fn spot_node_indices(&self) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.spot)
+            .map(|(i, _)| i)
+            .collect()
     }
 
     /// Real dollars per hour for the whole fleet.

@@ -109,6 +109,40 @@ proptest! {
     }
 
     #[test]
+    fn acquisition_is_deterministic_per_strategy_nodes_seed(
+        nodes in 1usize..100,
+        groups in 1usize..8,
+        bid_cents in 10u32..300,
+        seed in 0u64..50,
+    ) {
+        let bid = bid_cents as f64 / 100.0;
+        for strategy in [
+            FleetStrategy::OnDemandSingleGroup,
+            FleetStrategy::SpotMix { groups, max_bid: bid },
+        ] {
+            let a = acquire_fleet(nodes, strategy, 2.40, seed);
+            let b = acquire_fleet(nodes, strategy, 2.40, seed);
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn on_demand_top_up_fills_the_fleet_exactly(
+        nodes in 1usize..150,
+        groups in 1usize..8,
+        seed in 0u64..50,
+    ) {
+        // Whatever the spot market hands out, the on-demand top-up brings
+        // the fleet to exactly the requested size — never short, never over.
+        let f = acquire_fleet(nodes, FleetStrategy::SpotMix { groups, max_bid: 1.0 }, 2.40, seed);
+        prop_assert_eq!(f.len(), nodes);
+        let on_demand = f.len() - f.spot_count();
+        prop_assert_eq!(f.spot_count() + on_demand, nodes);
+        // The spot share and its node indices agree.
+        prop_assert_eq!(f.spot_node_indices().len(), f.spot_count());
+    }
+
+    #[test]
     fn spot_never_fills_beyond_capacity(nodes in 61usize..100, seed in 0u64..50) {
         let f = acquire_fleet(nodes, FleetStrategy::SpotMix { groups: 4, max_bid: 1.0 }, 2.40, seed);
         prop_assert!(f.spot_count() <= 60, "spot {} of {nodes}", f.spot_count());

@@ -59,6 +59,9 @@ impl SimComm {
     /// rounds). On return every rank's clock is at least the maximum clock
     /// any rank had on entry.
     pub fn barrier(&mut self) {
+        // A dead node must be observed even by a size-1 job (or one whose
+        // messaging all happens to be intra-node and already past).
+        self.maybe_fail();
         let size = self.size();
         if size == 1 {
             return;
@@ -220,10 +223,11 @@ impl SimComm {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::{run_spmd, SpmdConfig};
+    use crate::engine::{run_spmd, run_spmd_with_faults, SpmdConfig};
+    use crate::fault::FaultPlan;
     use crate::network::NetworkModel;
     use crate::topology::ClusterTopology;
-    use crate::work::ComputeModel;
+    use crate::work::{ComputeModel, Work};
 
     fn cfg(size: usize) -> SpmdConfig {
         SpmdConfig {
@@ -367,5 +371,25 @@ mod tests {
         let t2 = time_for(2);
         let t16 = time_for(16);
         assert!(t16 > 2.0 * t2, "t2 = {t2}, t16 = {t16}");
+    }
+
+    #[test]
+    fn collective_with_dead_node_errors_instead_of_deadlocking() {
+        // cfg(8) = 2 nodes x 4 cores; node 1 (ranks 4..8) dies mid-loop.
+        // Survivors blocked inside the allreduce tree must unwind via the
+        // poison path, and the job reports the node loss.
+        let plan = FaultPlan {
+            node_down_at: vec![f64::INFINITY, 2.5],
+            slow_windows: vec![],
+        };
+        let out = run_spmd_with_faults(cfg(8), plan, |comm| {
+            for _ in 0..10 {
+                comm.compute(Work::new(1e9, 0.0)); // 1 virtual second each
+                let _ = comm.allreduce_scalar(ReduceOp::Sum, 1.0);
+            }
+        });
+        let rf = out.unwrap_err();
+        assert_eq!(rf.node, 1);
+        assert_eq!(rf.at, 2.5);
     }
 }

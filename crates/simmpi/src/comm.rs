@@ -1,6 +1,7 @@
 //! The per-rank communicator: typed point-to-point messaging with virtual
 //! clocks.
 
+use crate::fault::{FaultPanic, FaultPlan, RankFailed};
 use crate::network::{MsgContext, NetworkModel};
 use crate::stats::CommStats;
 use crate::topology::ClusterTopology;
@@ -66,6 +67,7 @@ pub(crate) struct SharedComm {
     pub(crate) compute: ComputeModel,
     pub(crate) seed: u64,
     pub(crate) nodes_active: usize,
+    pub(crate) faults: FaultPlan,
     mailboxes: Vec<Mailbox>,
     poisoned: AtomicBool,
 }
@@ -77,6 +79,7 @@ impl SharedComm {
         net: NetworkModel,
         compute: ComputeModel,
         seed: u64,
+        faults: FaultPlan,
     ) -> Arc<Self> {
         assert!(size > 0, "job must have at least one rank");
         assert!(
@@ -93,6 +96,7 @@ impl SharedComm {
             compute,
             seed,
             nodes_active,
+            faults,
             mailboxes,
             poisoned: AtomicBool::new(false),
         })
@@ -122,12 +126,18 @@ pub struct SimComm {
     send_seq: Vec<u64>,
     stats: CommStats,
     pub(crate) coll_epoch: u64,
+    /// This rank's topology node and its scheduled death time (cached from
+    /// the shared fault plan; `INFINITY` means the node survives).
+    node: usize,
+    down_at: f64,
 }
 
 impl SimComm {
     pub(crate) fn new(rank: usize, shared: Arc<SharedComm>) -> Self {
         assert!(rank < shared.size);
         let size = shared.size;
+        let node = shared.topo.node_of_rank(rank);
+        let down_at = shared.faults.down_time(node);
         SimComm {
             rank,
             shared,
@@ -135,6 +145,23 @@ impl SimComm {
             send_seq: vec![0; size],
             stats: CommStats::default(),
             coll_epoch: 0,
+            node,
+            down_at,
+        }
+    }
+
+    /// Raises [`RankFailed`] (as a typed panic the engine intercepts) once
+    /// the virtual clock has reached this rank's node-loss time. Called by
+    /// every clock-advancing operation, so a dead node is observed at the
+    /// first virtual instant it could be — deterministically, because the
+    /// clock itself is deterministic.
+    #[inline]
+    pub(crate) fn maybe_fail(&self) {
+        if self.clock >= self.down_at {
+            std::panic::panic_any(FaultPanic(RankFailed {
+                node: self.node,
+                at: self.down_at,
+            }));
         }
     }
 
@@ -194,6 +221,7 @@ impl SimComm {
         self.stats.flops += work.flops;
         self.stats.mem_bytes += work.bytes;
         self.stats.compute_time += dt;
+        self.maybe_fail();
     }
 
     /// Advances the virtual clock by `seconds` without attributing work
@@ -202,6 +230,7 @@ impl SimComm {
         assert!(seconds >= 0.0, "cannot rewind the clock");
         self.clock += seconds;
         self.stats.other_time += seconds;
+        self.maybe_fail();
     }
 
     /// Sends `payload` to rank `dst` with the given `tag`.
@@ -226,6 +255,10 @@ impl SimComm {
         assert!(dst < self.shared.size, "destination rank out of range");
         let seq = self.send_seq[dst];
         self.send_seq[dst] += 1;
+
+        // A dead sender must not enqueue: the message would teleport data
+        // off a lost node. Check before the clock moves past the send.
+        self.maybe_fail();
 
         // Sender-side cost: fixed overhead plus copying into the transport.
         let pack = modeled_bytes / self.shared.net.intra_bw;
@@ -257,6 +290,9 @@ impl SimComm {
     /// modeled arrival time (if later than now) plus a receive overhead.
     pub fn recv(&mut self, src: usize, tag: u64) -> Payload {
         assert!(src < self.shared.size, "source rank out of range");
+        // A rank whose node is already down must not block on a mailbox it
+        // will never drain.
+        self.maybe_fail();
         let env = {
             let mailbox = &self.shared.mailboxes[self.rank];
             let mut queues = mailbox
@@ -303,11 +339,16 @@ impl SimComm {
         // in-flight messages); the payload then drains serially through this
         // rank's NIC share.
         let (latency, drain) = self.shared.net.transfer_cost(ctx);
+        // Transient degradation windows stretch the wire portion of the
+        // transfer; keyed to the deterministic departure time so both ends
+        // of the exchange agree on whether the window applied.
+        let slow = self.shared.faults.slow_factor(env.depart);
         let before = self.clock;
-        self.clock = self.clock.max(env.depart + latency) + drain + RECV_OVERHEAD;
+        self.clock = self.clock.max(env.depart + latency * slow) + drain * slow + RECV_OVERHEAD;
         self.stats.comm_time += self.clock - before;
         self.stats.msgs_received += 1;
         self.stats.bytes_received += env.modeled_bytes;
+        self.maybe_fail();
         env.payload
     }
 

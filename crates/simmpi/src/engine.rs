@@ -1,6 +1,7 @@
 //! The SPMD execution engine: one OS thread per simulated rank.
 
 use crate::comm::{SharedComm, SimComm};
+use crate::fault::{FaultPanic, FaultPlan, RankFailed};
 use crate::network::NetworkModel;
 use crate::stats::CommStats;
 use crate::topology::ClusterTopology;
@@ -40,6 +41,19 @@ pub struct RankResult<T> {
     pub stats: CommStats,
 }
 
+/// How one rank's thread ended.
+enum RankOutcome<T> {
+    /// Closure returned normally.
+    Ok(RankResult<T>),
+    /// The rank observed its node's scheduled loss.
+    Fault(RankFailed),
+    /// The rank unwound because a peer poisoned the job; not the root
+    /// cause, so it carries no information of its own.
+    Poisoned,
+    /// A genuine application panic.
+    Panic(String),
+}
+
 /// Runs `f` as an SPMD program on `config.size` simulated ranks, each on its
 /// own OS thread, and returns the per-rank results ordered by rank.
 ///
@@ -55,21 +69,80 @@ where
     T: Send,
     F: Fn(&mut SimComm) -> T + Send + Sync,
 {
+    run_spmd_with_faults(config, FaultPlan::none(), f)
+        .expect("a trivial fault plan cannot fail a rank")
+}
+
+/// Injected node losses and poison-path wakeups are control flow, not
+/// errors: keep the default panic hook from printing a message + backtrace
+/// for every one of them. Installed once, delegates real panics unchanged.
+fn silence_fault_unwinds() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            let poisoned = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.starts_with("job poisoned:"))
+                .or_else(|| {
+                    payload
+                        .downcast_ref::<String>()
+                        .map(|s| s.starts_with("job poisoned:"))
+                })
+                .unwrap_or(false);
+            if poisoned || payload.downcast_ref::<FaultPanic>().is_some() {
+                return;
+            }
+            previous(info);
+        }));
+    });
+}
+
+/// Runs `f` like [`run_spmd`], but under a [`FaultPlan`]: each rank watches
+/// its node's scheduled loss time against its own virtual clock, and the
+/// first (in virtual time, tie-broken by node id) observed loss is returned
+/// as `Err(RankFailed)`.
+///
+/// The failure is deterministic even though ranks run on racing OS threads:
+/// every rank's virtual trajectory is a function of the program and the
+/// plan alone, so *which* ranks observe their node's death — and at what
+/// virtual time — never depends on host scheduling. Ranks blocked on a dead
+/// peer are woken through the poison path and do not count as failures.
+///
+/// # Errors
+/// Returns the earliest observed node loss (ordered by virtual time, then
+/// node id) when the plan fells a node mid-run.
+///
+/// # Panics
+/// Panics if any rank raises a genuine application panic (fault- and
+/// poison-unwinds excluded), or on the size/capacity violations of
+/// [`run_spmd`].
+pub fn run_spmd_with_faults<T, F>(
+    config: SpmdConfig,
+    faults: FaultPlan,
+    f: F,
+) -> Result<Vec<RankResult<T>>, RankFailed>
+where
+    T: Send,
+    F: Fn(&mut SimComm) -> T + Send + Sync,
+{
     assert!(
         config.size <= MAX_REAL_RANKS,
         "{} ranks exceed the real-thread engine limit ({MAX_REAL_RANKS}); use hetero_simmpi::modeled",
         config.size
     );
+    silence_fault_unwinds();
     let shared = SharedComm::new(
         config.size,
         config.topo,
         config.net,
         config.compute,
         config.seed,
+        faults,
     );
 
-    let mut slots: Vec<Option<Result<RankResult<T>, String>>> =
-        (0..config.size).map(|_| None).collect();
+    let mut slots: Vec<Option<RankOutcome<T>>> = (0..config.size).map(|_| None).collect();
 
     std::thread::scope(|scope| {
         let shared = &shared;
@@ -80,22 +153,31 @@ where
                     let mut comm = SimComm::new(rank, shared.clone());
                     let out = std::panic::catch_unwind(AssertUnwindSafe(|| f(&mut comm)));
                     match out {
-                        Ok(value) => Ok(RankResult {
+                        Ok(value) => RankOutcome::Ok(RankResult {
                             rank,
                             value,
                             clock: comm.clock(),
                             stats: *comm.stats(),
                         }),
                         Err(payload) => {
-                            // Wake peers blocked in recv so the job unwinds
-                            // instead of deadlocking.
-                            shared.poison();
+                            if let Some(fp) = payload.downcast_ref::<FaultPanic>() {
+                                // Injected node loss: poison so peers blocked
+                                // in recv unwind instead of deadlocking.
+                                shared.poison();
+                                return RankOutcome::Fault(fp.0);
+                            }
                             let msg = payload
                                 .downcast_ref::<&str>()
                                 .map(|s| s.to_string())
                                 .or_else(|| payload.downcast_ref::<String>().cloned())
                                 .unwrap_or_else(|| "<non-string panic>".into());
-                            Err(msg)
+                            if msg.starts_with("job poisoned:") {
+                                // Collateral unwind; the root cause is
+                                // reported by whichever rank poisoned first.
+                                return RankOutcome::Poisoned;
+                            }
+                            shared.poison();
+                            RankOutcome::Panic(msg)
                         }
                     }
                 })
@@ -104,33 +186,55 @@ where
         for (rank, h) in handles.into_iter().enumerate() {
             slots[rank] = Some(
                 h.join()
-                    .unwrap_or_else(|_| Err("rank thread crashed".into())),
+                    .unwrap_or_else(|_| RankOutcome::Panic("rank thread crashed".into())),
             );
         }
     });
 
     let mut results = Vec::with_capacity(config.size);
-    let mut first_err: Option<(usize, String)> = None;
+    let mut first_fault: Option<RankFailed> = None;
+    let mut first_panic: Option<(usize, String)> = None;
+    let mut poisoned_without_cause = false;
     for (rank, slot) in slots.into_iter().enumerate() {
         match slot.expect("every rank produces a result") {
-            Ok(r) => results.push(r),
-            Err(e) => {
-                if first_err.is_none() {
-                    first_err = Some((rank, e));
+            RankOutcome::Ok(r) => results.push(r),
+            RankOutcome::Fault(rf) => {
+                // Earliest loss in virtual time wins; node id breaks ties so
+                // the selection is a pure function of the plan.
+                let earlier = first_fault
+                    .map(|cur| (rf.at, rf.node) < (cur.at, cur.node))
+                    .unwrap_or(true);
+                if earlier {
+                    first_fault = Some(rf);
+                }
+            }
+            RankOutcome::Poisoned => poisoned_without_cause = true,
+            RankOutcome::Panic(e) => {
+                if first_panic.is_none() {
+                    first_panic = Some((rank, e));
                 }
             }
         }
     }
-    if let Some((rank, e)) = first_err {
+    if let Some((rank, e)) = first_panic {
         panic!("rank {rank} panicked: {e}");
     }
-    results
+    if let Some(rf) = first_fault {
+        return Err(rf);
+    }
+    assert!(
+        !poisoned_without_cause,
+        "job poisoned but no rank reported a root cause"
+    );
+    Ok(results)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::comm::Payload;
+    use crate::fault::SlowWindow;
+    use crate::work::Work;
 
     fn cfg(size: usize) -> SpmdConfig {
         SpmdConfig {
@@ -202,5 +306,91 @@ mod tests {
         let mut c = cfg(4);
         c.topo = ClusterTopology::uniform(1, 2);
         run_spmd(c, |_| ());
+    }
+
+    #[test]
+    fn node_loss_surfaces_as_err_not_deadlock() {
+        // Rank 1's node dies at t = 1 s; rank 0 blocks on a message rank 1
+        // will never send. The job must unwind and report the loss.
+        let plan = FaultPlan {
+            node_down_at: vec![f64::INFINITY, 1.0],
+            slow_windows: vec![],
+        };
+        let out = run_spmd_with_faults(cfg(2), plan, |comm| {
+            if comm.rank() == 0 {
+                let _ = comm.recv(1, 3);
+            } else {
+                comm.compute(Work::new(5e9, 0.0)); // 5 virtual seconds > 1
+                comm.send(0, 3, Payload::Empty);
+            }
+        });
+        let rf = out.unwrap_err();
+        assert_eq!(rf.node, 1);
+        assert_eq!(rf.at, 1.0);
+    }
+
+    #[test]
+    fn earliest_fault_wins_deterministically() {
+        // Two independent nodes die; the report must name the earlier one
+        // no matter which OS thread unwinds first.
+        let plan = FaultPlan {
+            node_down_at: vec![f64::INFINITY, 2.0, 0.5, f64::INFINITY],
+            slow_windows: vec![],
+        };
+        for _ in 0..8 {
+            let out = run_spmd_with_faults(cfg(4), plan.clone(), |comm| {
+                comm.compute(Work::new(10e9, 0.0)); // 10 virtual seconds
+            });
+            let rf = out.unwrap_err();
+            assert_eq!((rf.node, rf.at), (2, 0.5));
+        }
+    }
+
+    #[test]
+    fn trivial_plan_changes_nothing() {
+        let body = |comm: &mut SimComm| {
+            comm.compute(Work::new(1e9, 0.0));
+            comm.clock()
+        };
+        let base = run_spmd(cfg(2), body);
+        let faulted = run_spmd_with_faults(cfg(2), FaultPlan::none(), body).unwrap();
+        assert_eq!(base[0].value, faulted[0].value);
+        assert_eq!(base[1].value, faulted[1].value);
+    }
+
+    #[test]
+    fn degradation_window_slows_covered_messages_only() {
+        let clock_of = |windows: Vec<SlowWindow>| {
+            let plan = FaultPlan {
+                node_down_at: vec![],
+                slow_windows: windows,
+            };
+            let mut c = cfg(2);
+            c.net = NetworkModel::gigabit_ethernet();
+            let r = run_spmd_with_faults(c, plan, |comm| {
+                if comm.rank() == 0 {
+                    comm.send(1, 1, Payload::F64(vec![0.0; 100_000]));
+                    0.0
+                } else {
+                    let _ = comm.recv_f64(0, 1);
+                    comm.clock()
+                }
+            })
+            .unwrap();
+            r[1].value
+        };
+        let clean = clock_of(vec![]);
+        let covered = clock_of(vec![SlowWindow {
+            start: 0.0,
+            end: 10.0,
+            factor: 4.0,
+        }]);
+        let missed = clock_of(vec![SlowWindow {
+            start: 100.0,
+            end: 110.0,
+            factor: 4.0,
+        }]);
+        assert!(covered > 2.0 * clean, "{covered} vs {clean}");
+        assert_eq!(missed, clean);
     }
 }

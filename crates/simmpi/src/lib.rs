@@ -36,6 +36,7 @@
 pub mod collectives;
 pub mod comm;
 pub mod engine;
+pub mod fault;
 pub mod modeled;
 pub mod network;
 pub mod rng;
@@ -44,7 +45,8 @@ pub mod topology;
 pub mod work;
 
 pub use comm::{Payload, SimComm};
-pub use engine::{run_spmd, SpmdConfig};
+pub use engine::{run_spmd, run_spmd_with_faults, RankResult, SpmdConfig};
+pub use fault::{FaultPlan, RankFailed, SlowWindow};
 pub use network::{MsgContext, NetworkModel};
 pub use stats::CommStats;
 pub use topology::ClusterTopology;

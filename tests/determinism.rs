@@ -1,10 +1,36 @@
 //! Reproducibility guarantees: same seed -> bitwise identical results, in
-//! both engines, despite real multithreading in the numerical one.
+//! both engines, despite real multithreading in the numerical one — and
+//! despite injected faults in the resilient path.
 
+use hetero_fault::{FaultModel, SpotMarket};
 use hetero_hpc::apps::App;
+use hetero_hpc::recovery::{execute_resilient, ResilienceSpec};
 use hetero_hpc::run::{execute, Fidelity, RunRequest};
 use hetero_hpc::scenarios::{table2, ScenarioOptions};
 use hetero_platform::catalog;
+
+/// An RD run on an EC2 spot fleet under a market compressed enough to
+/// revoke nodes inside the tiny virtual duration of an 8-rank test run.
+fn faulty_rd_request(seed: u64, threads_per_rank: usize) -> RunRequest {
+    let ec2 = catalog::ec2();
+    let mut spec = ResilienceSpec::spot_with_restart(&ec2, 1.0, 1, 50);
+    spec.faults = FaultModel {
+        crashes: None,
+        spot: Some(SpotMarket {
+            epoch_seconds: 0.012,
+            spike_probability: 0.35,
+            ..SpotMarket::ec2_like(1.0)
+        }),
+        degradation: None,
+    };
+    RunRequest {
+        fidelity: Fidelity::Numerical,
+        threads_per_rank,
+        seed,
+        resilience: Some(spec),
+        ..RunRequest::new(ec2, App::paper_rd(6), 8, 3)
+    }
+}
 
 #[test]
 fn numerical_engine_is_deterministic_across_runs() {
@@ -89,6 +115,36 @@ fn ideal_deterministic_platform_ignores_the_seed() {
     let a = execute(&mk(1)).unwrap().phases.total;
     let b = execute(&mk(2)).unwrap().phases.total;
     assert!((a - b).abs() / a < 0.02, "{a} vs {b}");
+}
+
+#[test]
+fn fault_injected_report_is_bitwise_identical_across_thread_counts() {
+    // Spot revocations fell nodes mid-run and the campaign recovers through
+    // checkpoints and re-acquisition — yet the full serialized report
+    // (campaign stats, phases, costs, error norms) is a function of the
+    // seed alone, never of the intra-rank thread count or host scheduling.
+    let run = |threads: usize| -> String {
+        let out = execute_resilient(&faulty_rd_request(2012, threads)).unwrap();
+        assert!(
+            out.stats.faults_injected >= 1,
+            "the market was supposed to bite: {:?}",
+            out.stats
+        );
+        format!("{out:?}")
+    };
+    assert_eq!(run(1), run(4));
+}
+
+#[test]
+fn fault_injected_report_is_deterministic_per_seed() {
+    // A different seed samples a different market and crash stream: the
+    // report changes, but each seed's report reproduces bitwise.
+    let run = |seed: u64| -> String {
+        let out = execute_resilient(&faulty_rd_request(seed, 1)).unwrap();
+        format!("{out:?}")
+    };
+    assert_eq!(run(7), run(7));
+    assert_ne!(run(7), run(8));
 }
 
 #[test]

@@ -1,0 +1,163 @@
+//! End-to-end resilience guarantees: rollback loses time and dollars, never
+//! accuracy; platform limits preempt retries; the cost model orders
+//! protected spot against on-demand the way the market parameters say it
+//! must.
+
+use hetero_fault::{FaultModel, RecoveryMode, SpotMarket};
+use hetero_hpc::apps::App;
+use hetero_hpc::recovery::{execute_resilient, ResilienceSpec};
+use hetero_hpc::run::{execute, Fidelity, RunRequest};
+use hetero_platform::catalog;
+use hetero_platform::limits::LimitViolation;
+
+/// A market compressed to the virtual duration of small numerical runs
+/// (~13 ms per 8-rank RD step), so revocations actually land mid-run.
+fn compressed_market(spike_probability: f64) -> SpotMarket {
+    SpotMarket {
+        epoch_seconds: 0.012,
+        spike_probability,
+        ..SpotMarket::ec2_like(1.0)
+    }
+}
+
+fn spot_request(app: App, checkpoint_every: usize, seed: u64) -> RunRequest {
+    let ec2 = catalog::ec2();
+    let mut spec = ResilienceSpec::spot_with_restart(&ec2, 1.0, checkpoint_every, 50);
+    spec.faults = FaultModel {
+        crashes: None,
+        spot: Some(compressed_market(0.35)),
+        degradation: None,
+    };
+    RunRequest {
+        fidelity: Fidelity::Numerical,
+        seed,
+        resilience: Some(spec),
+        ..RunRequest::new(ec2, app, 8, 3)
+    }
+}
+
+#[test]
+fn recovered_rd_matches_failure_free_norms() {
+    let req = spot_request(App::paper_rd(6), 1, 2012);
+    let out = execute_resilient(&req).unwrap();
+    assert!(out.stats.completed, "restart budget must suffice");
+    assert!(out.stats.faults_injected >= 1, "{:?}", out.stats);
+    assert!(out.stats.lost_work_seconds > 0.0);
+    assert!(out.stats.checkpoints_written >= 1);
+    let v = out.outcome.unwrap().verification.unwrap();
+
+    let mut plain = req.clone();
+    plain.resilience = None;
+    let ff = execute(&plain).unwrap().verification.unwrap();
+    assert!(
+        (v.linf - ff.linf).abs() <= 1e-12,
+        "rollback must not move the Linf norm: {} vs {}",
+        v.linf,
+        ff.linf
+    );
+    assert!((v.l2 - ff.l2).abs() <= 1e-12);
+}
+
+#[test]
+fn recovered_ns_matches_failure_free_norms() {
+    // NS checkpoints carry three velocity histories plus the pressure; the
+    // resumed trajectory must still be bitwise on the solver's path.
+    let req = spot_request(App::paper_ns(4), 1, 97);
+    let out = execute_resilient(&req).unwrap();
+    assert!(out.stats.completed, "restart budget must suffice");
+    assert!(out.stats.faults_injected >= 1, "{:?}", out.stats);
+    let v = out.outcome.unwrap().verification.unwrap();
+
+    let mut plain = req.clone();
+    plain.resilience = None;
+    let ff = execute(&plain).unwrap().verification.unwrap();
+    assert!(
+        (v.linf - ff.linf).abs() <= 1e-12,
+        "rollback must not move the velocity Linf norm: {} vs {}",
+        v.linf,
+        ff.linf
+    );
+    assert!((v.l2 - ff.l2).abs() <= 1e-12);
+}
+
+#[test]
+fn restart_on_oversized_ellipse_still_reports_launcher_failure() {
+    // 729 ranks exceed ellipse's 512-rank mpiexec ceiling. A recovery
+    // policy must not mask that as a retryable fault: the limit is checked
+    // before the attempt loop and backoff never runs.
+    let ellipse = catalog::ellipse();
+    let req = RunRequest {
+        resilience: Some(ResilienceSpec::spot_with_restart(&ellipse, 1.0, 4, 100)),
+        ..RunRequest::new(ellipse, App::paper_rd(2), 729, 20)
+    };
+    assert!(matches!(
+        execute_resilient(&req),
+        Err(LimitViolation::LauncherFailure { .. })
+    ));
+}
+
+#[test]
+fn bounded_backoff_terminates_under_a_lethal_market() {
+    // Revocations faster than any step can complete: no attempt progresses,
+    // and the bounded restart budget must stop the loop (modeled engine,
+    // so the lethal campaign costs microseconds of host time).
+    let ec2 = catalog::ec2();
+    let mut spec = ResilienceSpec::spot_with_restart(&ec2, 1.0, 1, 5);
+    spec.faults = FaultModel {
+        crashes: None,
+        spot: Some(SpotMarket {
+            epoch_seconds: 1e-4,
+            spike_probability: 1.0,
+            ..SpotMarket::ec2_like(1.0)
+        }),
+        degradation: None,
+    };
+    spec.policy.mode = RecoveryMode::Restart { max_restarts: 5 };
+    let req = RunRequest {
+        fidelity: Fidelity::Modeled,
+        resilience: Some(spec),
+        ..RunRequest::new(ec2, App::paper_rd(10), 216, 20)
+    };
+    let out = execute_resilient(&req).unwrap();
+    assert!(!out.stats.completed);
+    assert_eq!(out.stats.attempts, 6); // 1 launch + 5 restarts
+    assert!(out.outcome.is_none());
+    assert!(out.stats.backoff_seconds > 0.0, "backoff must be charged");
+}
+
+#[test]
+fn checkpoint_cadence_trades_io_against_lost_work() {
+    // Same hostile market, two cadences: checkpointing every step pays more
+    // I/O but rolls back less work than checkpointing never.
+    let every = execute_resilient(&spot_request(App::paper_rd(6), 1, 2012))
+        .unwrap()
+        .stats;
+    let never = execute_resilient(&spot_request(App::paper_rd(6), 0, 2012))
+        .unwrap()
+        .stats;
+    assert!(every.checkpoint_seconds > never.checkpoint_seconds);
+    assert!(
+        every.lost_work_seconds < never.lost_work_seconds,
+        "every-step {} vs never {}",
+        every.lost_work_seconds,
+        never.lost_work_seconds
+    );
+}
+
+#[test]
+fn campaign_accounting_is_conserved() {
+    // total = wait + backoff + compute + checkpoints + lost work, exactly.
+    let out = execute_resilient(&spot_request(App::paper_rd(6), 1, 2012)).unwrap();
+    let s = out.stats;
+    let total = s.wait_seconds
+        + s.backoff_seconds
+        + s.compute_seconds
+        + s.checkpoint_seconds
+        + s.lost_work_seconds;
+    assert!(
+        (total - s.total_seconds).abs() < 1e-6,
+        "accounting leak: {} vs {}",
+        total,
+        s.total_seconds
+    );
+}
