@@ -5,11 +5,14 @@ use hetero_bench::write_artifact;
 use hetero_hpc::report::{render_weak_scaling, weak_scaling_csv, weak_scaling_json};
 use hetero_hpc::run::{execute, Fidelity, RunRequest};
 use hetero_hpc::scenarios::{fig5, ScenarioOptions};
-use hetero_hpc::App;
+use hetero_hpc::{App, TraceSpec};
 use hetero_platform::catalog;
 
 fn main() {
-    let opts = ScenarioOptions::paper();
+    let opts = ScenarioOptions {
+        trace: Some(TraceSpec::phases()),
+        ..ScenarioOptions::paper()
+    };
     println!("=== Figure 5: NS weak scaling (modeled engine, paper ladder) ===\n");
     let table = fig5(&opts);
     let text = render_weak_scaling(&table);
@@ -43,6 +46,7 @@ fn main() {
     let req = RunRequest {
         fidelity: Fidelity::Numerical,
         discard: 1,
+        trace: Some(TraceSpec::collectives()),
         ..RunRequest::new(catalog::ec2(), App::paper_ns(3), 8, 5)
     };
     let out = execute(&req).unwrap();
@@ -52,5 +56,10 @@ fn main() {
         out.phases.total, v.linf
     );
     assert!(v.linf < 0.05);
-    println!("\nartifacts: target/paper-artifacts/fig5.{{txt,csv,json}}");
+    let t = out.trace.as_ref().expect("tracing was requested");
+    write_artifact("fig5_numerical_trace.chrome.json", &t.chrome_json());
+    println!(
+        "\nartifacts: target/paper-artifacts/fig5.{{txt,csv,json}} \
+         + fig5_numerical_trace.chrome.json"
+    );
 }

@@ -1,0 +1,57 @@
+//! CI regression gate over kernel snapshots: compares a freshly measured
+//! `BENCH_kernels*.json` against the committed baseline and exits nonzero
+//! if any timing kernel regressed beyond the tolerance.
+//!
+//! ```text
+//! cargo run --release -p hetero-bench --example bench_gate -- \
+//!     BENCH_kernels_smoke.json target/BENCH_kernels_smoke.json [tolerance]
+//! ```
+//!
+//! `tolerance` is fractional (default `0.25` = a kernel may be up to 25%
+//! slower than the baseline before the build fails). Only `_ns` leaves are
+//! gated; derived ratios and host descriptors are ignored, new kernels
+//! pass, deleted kernels fail.
+
+use hetero_bench::gate::compare_snapshots;
+use std::process::ExitCode;
+
+fn load(path: &str) -> serde_json::Value {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("bench_gate: cannot read {path}: {e}"));
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("bench_gate: {path} is not JSON: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (baseline_path, current_path) = match args.as_slice() {
+        [b, c] | [b, c, _] => (b.as_str(), c.as_str()),
+        _ => {
+            eprintln!("usage: bench_gate <baseline.json> <current.json> [tolerance]");
+            return ExitCode::from(2);
+        }
+    };
+    let tolerance: f64 = args
+        .get(2)
+        .map(|t| t.parse().expect("tolerance must be a number like 0.25"))
+        .unwrap_or(0.25);
+
+    let report = compare_snapshots(&load(baseline_path), &load(current_path), tolerance);
+    print!("{}", report.render());
+    if report.checks.is_empty() {
+        eprintln!("bench_gate: baseline {baseline_path} has no _ns kernels — wrong file?");
+        return ExitCode::from(2);
+    }
+    if report.passed() {
+        println!(
+            "bench_gate: PASS ({} kernels within tolerance)",
+            report.checks.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "bench_gate: FAIL ({} regressions)",
+            report.regressions().len()
+        );
+        ExitCode::FAILURE
+    }
+}

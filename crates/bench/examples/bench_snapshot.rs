@@ -2,14 +2,23 @@
 //! the PR-2 optimisations target — per-step matrix assembly (from-scratch
 //! vs. symbolic-reuse, 1 vs. 4 threads), the symbolic/numeric matrix
 //! rebuild split, and SpMV at explicit pool sizes — plus the fault-path
-//! kernels of the PR-3 recovery loop: checkpoint capture/serialize and
-//! parse/restore, so the perf trajectory covers recovery overhead.
+//! kernels of the PR-3 recovery loop (checkpoint capture/serialize and
+//! parse/restore) and the PR-4 trace-recording overhead (a full numerical
+//! run with the event sink off vs. on).
 //!
 //! Run from the repo root so the snapshot lands next to the other artifacts:
 //!
 //! ```text
-//! cargo run --release --example bench_snapshot
+//! cargo run --release --example bench_snapshot            # BENCH_kernels.json
+//! cargo run --release --example bench_snapshot -- --smoke # BENCH_kernels_smoke.json
 //! ```
+//!
+//! `--smoke` measures the same kernels at reduced sizes with fewer samples
+//! — the CI-sized variant the bench-smoke job regenerates on every push
+//! and gates against the committed `BENCH_kernels_smoke.json` via the
+//! `bench_gate` example. The two snapshots use the same size-neutral key
+//! names (sizes are recorded as data fields), so the gate compares smoke
+//! to smoke and full to full without key translation.
 //!
 //! The `host_cores` field records how much hardware parallelism the machine
 //! that produced the snapshot actually had: on a 1-core container the
@@ -95,7 +104,7 @@ struct AssemblyTimes {
 
 /// Times Q2 system assembly on an `n^3`-cell mesh inside one simulated
 /// rank, the way the BDF2 loops drive it every time step.
-fn time_assembly(n: usize) -> AssemblyTimes {
+fn time_assembly(n: usize, samples: usize) -> AssemblyTimes {
     let cfg = SpmdConfig {
         size: 1,
         topo: ClusterTopology::uniform(1, 1),
@@ -111,12 +120,12 @@ fn time_assembly(n: usize) -> AssemblyTimes {
         let kern = scalar_kernels(ElementOrder::Q2, mesh.cell_size());
         let cell = |_i: usize, out: &mut [f64]| out.copy_from_slice(&kern.stiffness);
 
-        let from_scratch = median_ns(9, 2, || {
+        let from_scratch = median_ns(samples, 2, || {
             black_box(assemble_matrix(&dm, &dm, comm, 2, cell));
         });
 
         let mut asm = MatrixAssembly::new(2);
-        let reuse_1t = median_ns(9, 2, || {
+        let reuse_1t = median_ns(samples, 2, || {
             black_box(asm.assemble(&dm, &dm, comm, cell));
         });
 
@@ -126,7 +135,7 @@ fn time_assembly(n: usize) -> AssemblyTimes {
             .expect("the vendored pool builder cannot fail");
         let mut asm4 = MatrixAssembly::new(2);
         let reuse_4t = pool.install(|| {
-            median_ns(9, 2, || {
+            median_ns(samples, 2, || {
                 black_box(asm4.assemble(&dm, &dm, comm, cell));
             })
         });
@@ -155,7 +164,7 @@ struct CheckpointTimes {
 /// serialize (the on-disk write), parse, and restore (scatter back into the
 /// local dof layout) — the per-checkpoint host cost `execute_resilient`
 /// pays at every cadence tick and every restart.
-fn time_checkpoint(n: usize) -> CheckpointTimes {
+fn time_checkpoint(n: usize, samples: usize) -> CheckpointTimes {
     let cfg = SpmdConfig {
         size: 1,
         topo: ClusterTopology::uniform(1, 1),
@@ -170,22 +179,22 @@ fn time_checkpoint(n: usize) -> CheckpointTimes {
         let dm = DofMap::build(&dmesh, ElementOrder::Q2, comm);
         let u = dm.interpolate(|p| (p.x + 2.0 * p.y).sin() * (3.0 * p.z).cos());
 
-        let capture = median_ns(9, 4, || {
+        let capture = median_ns(samples, 4, || {
             let mut snap = Snapshot::new("RD", 0.0, 0);
             snap.capture("u", &dm, &u, comm);
             black_box(snap);
         });
         let mut snap = Snapshot::new("RD", 0.0, 0);
         snap.capture("u", &dm, &u, comm);
-        let serialize = median_ns(9, 4, || {
+        let serialize = median_ns(samples, 4, || {
             black_box(snap.to_json());
         });
         let on_disk = snap.to_json();
-        let parse = median_ns(9, 4, || {
+        let parse = median_ns(samples, 4, || {
             black_box(Snapshot::from_json(black_box(&on_disk)).expect("checkpoint parses"));
         });
         let restored = Snapshot::from_json(&on_disk).expect("checkpoint parses");
-        let restore = median_ns(9, 4, || {
+        let restore = median_ns(samples, 4, || {
             black_box(restored.restore("u", &dm, comm));
         });
 
@@ -202,33 +211,98 @@ fn time_checkpoint(n: usize) -> CheckpointTimes {
     .value
 }
 
+/// Times one full numerical RD run (8 ranks, 3^3 cells each) with the
+/// event sink off vs. on at the most verbose detail level — the recording
+/// overhead the trace layer adds to a real workload. With `trace: None` no
+/// sink exists at all, so the untraced time *is* the zero-overhead
+/// baseline.
+fn time_trace_overhead(samples: usize) -> (f64, f64) {
+    use hetero_hpc::{execute, App, Fidelity, RunRequest, TraceSpec};
+    use hetero_platform::catalog;
+    let base = RunRequest {
+        fidelity: Fidelity::Numerical,
+        ..RunRequest::new(catalog::puma(), App::paper_rd(2), 8, 3)
+    };
+    let traced = RunRequest {
+        trace: Some(TraceSpec::messages()),
+        ..base.clone()
+    };
+    let untraced = median_ns(samples, 1, || {
+        black_box(execute(&base).expect("8 ranks fit on puma"));
+    });
+    let traced = median_ns(samples, 1, || {
+        black_box(execute(&traced).expect("8 ranks fit on puma"));
+    });
+    (untraced, traced)
+}
+
+struct Profile {
+    schema: &'static str,
+    out: &'static str,
+    /// Cells per axis for the assembly timing.
+    assembly_n: usize,
+    /// Grid edge for the symbolic/numeric rebuild split.
+    rebuild_n: usize,
+    /// Grid edge for the SpMV pool-size sweep.
+    spmv_n: usize,
+    /// Cells per axis for the checkpoint kernels.
+    ckpt_n: usize,
+    /// Timing samples per kernel (the median is reported).
+    samples: usize,
+}
+
+const FULL: Profile = Profile {
+    schema: "hetero-hpc/bench-kernels/v2",
+    out: "BENCH_kernels.json",
+    assembly_n: 6,
+    rebuild_n: 20,
+    spmv_n: 32,
+    ckpt_n: 6,
+    samples: 9,
+};
+
+/// CI-sized: same kernels, smaller meshes, fewer samples — minutes become
+/// seconds, and the committed smoke baseline is compared against smoke
+/// remeasurements only.
+const SMOKE: Profile = Profile {
+    schema: "hetero-hpc/bench-kernels-smoke/v2",
+    out: "BENCH_kernels_smoke.json",
+    assembly_n: 4,
+    rebuild_n: 12,
+    spmv_n: 16,
+    ckpt_n: 4,
+    samples: 5,
+};
+
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let p = if smoke { SMOKE } else { FULL };
     let host_cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
 
-    // Per-time-step system assembly, Q2 on 6^3 = 216 cells.
-    let asm = time_assembly(6);
+    // Per-time-step system assembly, Q2 on assembly_n^3 cells.
+    let asm = time_assembly(p.assembly_n, p.samples);
 
-    // Symbolic/numeric rebuild split on an 8000-row stencil matrix. `build`
-    // consumes the builder, so the from-scratch path must clone the triplet
-    // stream first; the clone is timed separately and subtracted.
-    let (builder, vals) = laplacian_triplets(20);
+    // Symbolic/numeric rebuild split on a rebuild_n^3-row stencil matrix.
+    // `build` consumes the builder, so the from-scratch path must clone the
+    // triplet stream first; the clone is timed separately and subtracted.
+    let (builder, vals) = laplacian_triplets(p.rebuild_n);
     let pattern = builder.symbolic();
-    let clone_ns = median_ns(9, 4, || {
+    let clone_ns = median_ns(p.samples, 4, || {
         black_box(builder.clone());
     });
-    let build_incl_clone_ns = median_ns(9, 4, || {
+    let build_incl_clone_ns = median_ns(p.samples, 4, || {
         black_box(builder.clone().build());
     });
-    let numeric_ns = median_ns(9, 4, || {
+    let numeric_ns = median_ns(p.samples, 4, || {
         black_box(pattern.numeric(black_box(&vals)));
     });
     let build_ns = (build_incl_clone_ns - clone_ns).max(1.0);
 
-    // SpMV at explicit pool sizes, 32^3 rows.
-    let (b32, _) = laplacian_triplets(32);
-    let a = DistMatrix::new(b32.build(), ExchangePlan::empty());
+    // SpMV at explicit pool sizes, spmv_n^3 rows.
+    let (bs, _) = laplacian_triplets(p.spmv_n);
+    let a = DistMatrix::new(bs.build(), ExchangePlan::empty());
     let x = vec![1.0f64; a.n_local()];
     let mut y = vec![0.0f64; a.n_owned()];
     let mut spmv_at = |threads: usize| {
@@ -237,7 +311,7 @@ fn main() {
             .build()
             .expect("the vendored pool builder cannot fail");
         pool.install(|| {
-            median_ns(9, 8, || {
+            median_ns(p.samples, 8, || {
                 a.local().spmv(black_box(&x), &mut y);
             })
         })
@@ -245,31 +319,38 @@ fn main() {
     let spmv_1t = spmv_at(1);
     let spmv_4t = spmv_at(4);
 
-    // Recovery-loop kernels: one Q2 checkpoint on 6^3 = 216 cells.
-    let ckpt = time_checkpoint(6);
+    // Recovery-loop kernels: one Q2 checkpoint on ckpt_n^3 cells.
+    let ckpt = time_checkpoint(p.ckpt_n, p.samples);
+
+    // Trace-recording overhead on a full numerical run.
+    let (untraced_ns, traced_ns) = time_trace_overhead(p.samples);
 
     let report = serde_json::json!({
-        "schema": "hetero-hpc/bench-kernels/v1",
+        "schema": p.schema,
         "host_cores": host_cores,
         "note": "median ns/op; thread-scaling entries can only show a speedup when host_cores > 1",
-        "assembly_q2_216cells": serde_json::json!({
+        "assembly_q2": serde_json::json!({
+            "cells": p.assembly_n * p.assembly_n * p.assembly_n,
             "from_scratch_ns": asm.from_scratch,
             "symbolic_reuse_1thread_ns": asm.reuse_1t,
             "symbolic_reuse_4threads_ns": asm.reuse_4t,
             "per_step_speedup_4threads": asm.from_scratch / asm.reuse_4t,
             "thread_scaling_4_over_1": asm.reuse_1t / asm.reuse_4t,
         }),
-        "matrix_rebuild_8000rows": serde_json::json!({
+        "matrix_rebuild": serde_json::json!({
+            "rows": p.rebuild_n * p.rebuild_n * p.rebuild_n,
             "triplet_build_ns": build_ns,
             "symbolic_numeric_ns": numeric_ns,
             "rebuild_speedup": build_ns / numeric_ns,
         }),
-        "spmv_32768rows": serde_json::json!({
+        "spmv": serde_json::json!({
+            "rows": p.spmv_n * p.spmv_n * p.spmv_n,
             "pool_1thread_ns": spmv_1t,
             "pool_4threads_ns": spmv_4t,
             "thread_scaling_4_over_1": spmv_1t / spmv_4t,
         }),
-        "checkpoint_q2_216cells": serde_json::json!({
+        "checkpoint_q2": serde_json::json!({
+            "cells": p.ckpt_n * p.ckpt_n * p.ckpt_n,
             "capture_ns": ckpt.capture,
             "serialize_ns": ckpt.serialize,
             "parse_ns": ckpt.parse,
@@ -278,8 +359,13 @@ fn main() {
             "write_path_ns": ckpt.capture + ckpt.serialize,
             "restart_path_ns": ckpt.parse + ckpt.restore,
         }),
+        "trace_overhead_rd_8ranks": serde_json::json!({
+            "untraced_ns": untraced_ns,
+            "traced_messages_ns": traced_ns,
+            "overhead_percent": (traced_ns / untraced_ns - 1.0) * 100.0,
+        }),
     });
     let text = serde_json::to_string_pretty(&report).expect("the report is a finite JSON tree");
-    std::fs::write("BENCH_kernels.json", &text).expect("writing BENCH_kernels.json");
+    std::fs::write(p.out, &text).unwrap_or_else(|e| panic!("writing {}: {e}", p.out));
     println!("{text}");
 }

@@ -1,0 +1,43 @@
+//! Emits a sample trace from a real (numerical-engine) traced run: the
+//! Chrome `trace_event` JSON CI uploads as an artifact, the JSONL twin,
+//! and the derived metrics/rollup tables on stdout.
+//!
+//! ```text
+//! cargo run --release -p hetero-bench --example trace_sample
+//! ```
+//!
+//! Open `target/paper-artifacts/trace_sample.chrome.json` in Perfetto
+//! (<https://ui.perfetto.dev>) or `about://tracing`: one track per rank,
+//! phase spans nested under each iteration, collective instants at their
+//! virtual completion times.
+
+use hetero_bench::write_artifact;
+use hetero_hpc::report::outcome_phase_rollup;
+use hetero_hpc::{execute, App, Fidelity, RunRequest, TraceSpec};
+use hetero_platform::catalog;
+
+fn main() {
+    let req = RunRequest {
+        fidelity: Fidelity::Numerical,
+        discard: 1,
+        trace: Some(TraceSpec::messages()),
+        ..RunRequest::new(catalog::puma(), App::paper_rd(3), 8, 4)
+    };
+    let out = execute(&req).expect("8 ranks fit on puma");
+    let trace = out.trace.as_ref().expect("the request asked for a trace");
+
+    let chrome = write_artifact("trace_sample.chrome.json", &trace.chrome_json());
+    let jsonl = write_artifact("trace_sample.jsonl", &trace.jsonl());
+
+    println!(
+        "traced RD on puma: {} ranks, {} steps, {} events",
+        req.ranks,
+        req.app.steps(),
+        trace.len()
+    );
+    println!("\n{}", out.trace.as_ref().unwrap().metrics().render_text());
+    if let Some(table) = outcome_phase_rollup(&out, req.discard) {
+        println!("{table}");
+    }
+    println!("artifacts:\n  {}\n  {}", chrome.display(), jsonl.display());
+}

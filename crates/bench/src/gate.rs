@@ -1,0 +1,184 @@
+//! The bench regression gate: a tolerance-aware comparator over two
+//! `BENCH_kernels*.json` snapshots.
+//!
+//! The snapshots are JSON trees whose *timing* leaves all carry an `_ns`
+//! key suffix (median host nanoseconds per op). The gate walks both trees
+//! in parallel, compares every `_ns` leaf present in the baseline against
+//! the freshly measured value, and flags a regression when the new time
+//! exceeds the baseline by more than the tolerance. Non-timing leaves
+//! (ratios, byte counts, core counts, notes) are ignored: they either
+//! derive from the timings or describe the host. Timing kernels that are
+//! *new* in the current snapshot pass silently — adding a kernel must not
+//! fail the gate — but a kernel that *disappears* is a failure, since a
+//! deleted measurement is indistinguishable from a hidden regression.
+
+use serde_json::Value;
+
+/// One timing leaf compared by the gate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelCheck {
+    /// Dotted path of the leaf, e.g. `"spmv_32768rows.pool_1thread_ns"`.
+    pub key: String,
+    /// Baseline median ns/op (the committed snapshot).
+    pub baseline_ns: f64,
+    /// Freshly measured median ns/op; `None` when the kernel vanished.
+    pub current_ns: Option<f64>,
+}
+
+impl KernelCheck {
+    /// `current / baseline`; a missing current measurement counts as
+    /// infinitely slow.
+    pub fn ratio(&self) -> f64 {
+        match self.current_ns {
+            Some(c) if self.baseline_ns > 0.0 => c / self.baseline_ns,
+            Some(_) => 1.0,
+            None => f64::INFINITY,
+        }
+    }
+
+    /// Whether this leaf regressed beyond `tolerance` (0.25 = 25% slower).
+    pub fn regressed(&self, tolerance: f64) -> bool {
+        self.ratio() > 1.0 + tolerance
+    }
+}
+
+/// The outcome of comparing two snapshots.
+#[derive(Debug, Clone)]
+pub struct GateReport {
+    /// Fractional slowdown allowed before a leaf fails (0.25 = 25%).
+    pub tolerance: f64,
+    /// Every `_ns` leaf of the baseline, in baseline order.
+    pub checks: Vec<KernelCheck>,
+}
+
+impl GateReport {
+    /// The checks that exceeded the tolerance.
+    pub fn regressions(&self) -> Vec<&KernelCheck> {
+        self.checks
+            .iter()
+            .filter(|c| c.regressed(self.tolerance))
+            .collect()
+    }
+
+    /// `true` when no baseline kernel regressed.
+    pub fn passed(&self) -> bool {
+        self.regressions().is_empty()
+    }
+
+    /// Human-readable table: one row per kernel, regressions marked.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "bench gate: {} kernels, tolerance +{:.0}%\n",
+            self.checks.len(),
+            self.tolerance * 100.0
+        );
+        for c in &self.checks {
+            let (cur, ratio) = match c.current_ns {
+                Some(v) => (format!("{v:>14.1}"), format!("{:>7.3}x", c.ratio())),
+                None => (format!("{:>14}", "missing"), format!("{:>8}", "-")),
+            };
+            let verdict = if c.regressed(self.tolerance) {
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            out.push_str(&format!(
+                "  {:<55} {:>14.1} -> {cur} {ratio}  {verdict}\n",
+                c.key, c.baseline_ns
+            ));
+        }
+        out
+    }
+}
+
+/// Compares a freshly measured snapshot against a committed baseline.
+/// `tolerance` is the fractional slowdown allowed per kernel (0.25 = fail
+/// only when a kernel is more than 25% slower than the baseline).
+pub fn compare_snapshots(baseline: &Value, current: &Value, tolerance: f64) -> GateReport {
+    let mut checks = Vec::new();
+    walk(baseline, current, "", &mut checks);
+    GateReport { tolerance, checks }
+}
+
+fn walk(baseline: &Value, current: &Value, path: &str, out: &mut Vec<KernelCheck>) {
+    let Some(entries) = baseline.as_object() else {
+        return;
+    };
+    for (key, b) in entries {
+        let sub = if path.is_empty() {
+            key.clone()
+        } else {
+            format!("{path}.{key}")
+        };
+        if b.as_object().is_some() {
+            walk(b, current.field(key), &sub, out);
+        } else if key.ends_with("_ns") {
+            if let Some(baseline_ns) = b.as_f64() {
+                out.push(KernelCheck {
+                    key: sub,
+                    baseline_ns,
+                    current_ns: current.field(key).as_f64(),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(asm: f64, spmv: f64) -> Value {
+        serde_json::json!({
+            "schema": "hetero-hpc/bench-kernels/v1",
+            "host_cores": 1,
+            "assembly": serde_json::json!({ "from_scratch_ns": asm, "speedup": 17.0 }),
+            "spmv": serde_json::json!({ "pool_1thread_ns": spmv }),
+        })
+    }
+
+    #[test]
+    fn identical_snapshots_pass() {
+        let b = snap(100.0, 50.0);
+        let r = compare_snapshots(&b, &b, 0.25);
+        assert_eq!(r.checks.len(), 2, "only _ns leaves are gated");
+        assert!(r.passed());
+    }
+
+    #[test]
+    fn slowdown_within_tolerance_passes() {
+        let r = compare_snapshots(&snap(100.0, 50.0), &snap(124.0, 62.0), 0.25);
+        assert!(r.passed(), "{}", r.render());
+    }
+
+    #[test]
+    fn slowdown_beyond_tolerance_fails_the_right_kernel() {
+        let r = compare_snapshots(&snap(100.0, 50.0), &snap(126.0, 50.0), 0.25);
+        assert!(!r.passed());
+        let regs = r.regressions();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].key, "assembly.from_scratch_ns");
+        assert!(r.render().contains("REGRESSED"));
+    }
+
+    #[test]
+    fn missing_kernel_fails_but_new_kernel_passes() {
+        let base = snap(100.0, 50.0);
+        let current = serde_json::json!({
+            "assembly": serde_json::json!({ "from_scratch_ns": 90.0, "brand_new_ns": 1.0 }),
+            // spmv group vanished entirely
+        });
+        let r = compare_snapshots(&base, &current, 0.25);
+        assert!(!r.passed());
+        assert_eq!(r.regressions()[0].key, "spmv.pool_1thread_ns");
+        assert_eq!(r.regressions()[0].current_ns, None);
+        // The brand-new kernel is not a check at all.
+        assert!(r.checks.iter().all(|c| !c.key.contains("brand_new")));
+    }
+
+    #[test]
+    fn speedups_always_pass() {
+        let r = compare_snapshots(&snap(100.0, 50.0), &snap(10.0, 5.0), 0.0);
+        assert!(r.passed());
+    }
+}

@@ -19,6 +19,8 @@
 //! print the paper-style rows to stdout and write machine-readable copies
 //! under `target/paper-artifacts/`.
 
+pub mod gate;
+
 /// Writes an artifact file under `target/paper-artifacts/`, creating the
 /// directory as needed. Returns the path written.
 pub fn write_artifact(name: &str, contents: &str) -> std::path::PathBuf {

@@ -66,3 +66,6 @@ pub mod snapshot;
 pub use apps::App;
 pub use recovery::{execute_resilient, ResilienceOutcome, ResilienceSpec};
 pub use run::{execute, Fidelity, RunOutcome, RunRequest};
+// The tracing vocabulary, re-exported so harness users can request and
+// consume traces without naming `hetero-trace` directly.
+pub use hetero_trace::{Trace, TraceDetail, TraceEvent, TraceSpec};

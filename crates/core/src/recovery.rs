@@ -16,7 +16,7 @@
 //!   the attempt), charges the write to every rank's virtual clock, and
 //!   resumes the solver **bitwise** from the last durable checkpoint, and
 //! * the modeled path replays the identical campaign analytically through
-//!   [`replay_campaign`] for paper-scale rank counts.
+//!   [`hetero_fault::replay_campaign`] for paper-scale rank counts.
 //!
 //! Everything — market epochs, crash times, checkpoint instants, restart
 //! waits — is hash-derived from the experiment seed, so the same seed gives
@@ -24,11 +24,13 @@
 
 use crate::apps::App;
 use crate::modeled::{run_modeled, ModeledRun};
-use crate::run::{resolve_fidelity, Fidelity, RunOutcome, RunRequest, Verification};
+use crate::run::{
+    resolve_fidelity, synthesize_phase_trace, Fidelity, RunOutcome, RunRequest, Verification,
+};
 use crate::snapshot::Snapshot;
 use hetero_fault::{
-    replay_campaign, AttemptEnv, CrashProcess, FaultModel, FaultTimeline, RecoveryStats,
-    ResiliencePolicy, SpotMarket,
+    replay_campaign_observed, AttemptEnv, CampaignEvent, CrashProcess, FaultKind, FaultModel,
+    FaultTimeline, RecoveryStats, ResiliencePolicy, SpotMarket,
 };
 use hetero_fem::element::ElementOrder;
 use hetero_fem::ns::{solve_ns_with, NsResume, NsStepView};
@@ -41,7 +43,8 @@ use hetero_platform::limits::LimitViolation;
 use hetero_platform::spot::{acquire_fleet, FleetAllocation, FleetStrategy};
 use hetero_platform::PlatformSpec;
 use hetero_simmpi::rng::splitmix64;
-use hetero_simmpi::{run_spmd_with_faults, SimComm, SpmdConfig};
+use hetero_simmpi::{run_spmd_traced, run_spmd_with_faults, SimComm, SpmdConfig};
+use hetero_trace::{EventKind, Trace};
 use std::sync::{Arc, Mutex};
 
 /// How a run acquires its fleet, what can go wrong, and what it does about
@@ -107,6 +110,16 @@ pub struct ResilienceOutcome {
     pub stats: RecoveryStats,
     /// Spot nodes held by the first attempt's fleet.
     pub first_attempt_spot_nodes: usize,
+    /// The campaign timeline as a trace, when [`RunRequest::trace`] asked
+    /// for one: attempt starts, revocations, rollbacks, durable checkpoint
+    /// commits, per-attempt fleet expenses, and the closing time-account
+    /// summary, all stamped in campaign-absolute virtual seconds. For the
+    /// numerical engine the completed attempt's full per-rank trace is
+    /// merged in (shifted to its campaign start); felled attempts
+    /// contribute campaign-level events only — their partial per-rank
+    /// spans describe work the rollback discarded, so the campaign keeps
+    /// just the incident record.
+    pub trace: Option<Trace>,
 }
 
 /// Seed for restart attempt `attempt` (0 = the initial launch). Each
@@ -230,21 +243,54 @@ fn run_resilient_modeled(
     fleet0: &FleetAllocation,
 ) -> ResilienceOutcome {
     let step_seconds: Vec<f64> = ff.iterations.iter().map(|p| p.total).collect();
-    let stats = replay_campaign(&step_seconds, ckpt_seconds, &spec.policy, |attempt| {
-        let aseed = attempt_seed(req.seed, attempt);
-        let fleet = acquire_fleet(nodes, spec.strategy, od_rate, aseed);
-        let timeline = FaultTimeline::generate(
-            &spec.faults,
-            nodes,
-            &fleet.spot_node_indices(),
-            horizon,
-            aseed,
-        );
-        AttemptEnv {
-            fatal_at: timeline.first_fatal().map(|e| e.time),
-            wait_seconds: attempt_wait(req, nodes, attempt),
-            hourly_cost: fleet.hourly_cost(),
-        }
+    let traced = req.trace.is_some();
+    // Per-attempt fatal node ids (captured while the env closure has the
+    // attempt's timeline in hand) and the campaign incidents, both only
+    // collected when a trace was requested.
+    let mut fatal_nodes: Vec<Option<u32>> = Vec::new();
+    let mut incidents: Vec<CampaignEvent> = Vec::new();
+    let stats = replay_campaign_observed(
+        &step_seconds,
+        ckpt_seconds,
+        &spec.policy,
+        |attempt| {
+            let aseed = attempt_seed(req.seed, attempt);
+            let fleet = acquire_fleet(nodes, spec.strategy, od_rate, aseed);
+            let timeline = FaultTimeline::generate(
+                &spec.faults,
+                nodes,
+                &fleet.spot_node_indices(),
+                horizon,
+                aseed,
+            );
+            if traced {
+                fatal_nodes.push(timeline.first_fatal().map(|e| match &e.kind {
+                    FaultKind::NodeCrash { node } => *node as u32,
+                    // A spot revocation fells the whole spot share at
+                    // once; attribute it to the first spot node.
+                    _ => fleet.spot_node_indices().first().copied().unwrap_or(0) as u32,
+                }));
+            }
+            AttemptEnv {
+                fatal_at: timeline.first_fatal().map(|e| e.time),
+                wait_seconds: attempt_wait(req, nodes, attempt),
+                hourly_cost: fleet.hourly_cost(),
+            }
+        },
+        |e| {
+            if traced {
+                incidents.push(e);
+            }
+        },
+    );
+
+    let ckpt_bytes = state_bytes(&req.app, req.ranks, req.per_rank_axis);
+    let trace = traced.then(|| {
+        let mut t = Trace::default();
+        push_campaign_incidents(&mut t, &incidents, &fatal_nodes, ckpt_bytes);
+        push_time_accounts(&mut t, &stats);
+        t.sort();
+        t
     });
 
     let phases = summarize(&ff.iterations, req.discard.min(ff.iterations.len() - 1))
@@ -261,11 +307,80 @@ fn run_resilient_modeled(
         krylov_iters: ff.krylov_iters as f64,
         verification: None,
         bytes_per_iteration: ff.bytes_per_iteration,
+        trace: traced.then(|| synthesize_phase_trace(&ff.iterations)),
     });
     ResilienceOutcome {
         outcome,
         stats,
         first_attempt_spot_nodes: fleet0.spot_count(),
+        trace,
+    }
+}
+
+/// Lowers the analytic replay's campaign incidents to trace events.
+fn push_campaign_incidents(
+    trace: &mut Trace,
+    incidents: &[CampaignEvent],
+    fatal_nodes: &[Option<u32>],
+    ckpt_bytes: f64,
+) {
+    for e in incidents {
+        match *e {
+            CampaignEvent::AttemptStart { attempt, at } => trace.push_campaign(
+                at,
+                EventKind::AttemptStart {
+                    attempt: attempt as u32,
+                },
+            ),
+            CampaignEvent::CheckpointCommit { step, at } => trace.push_campaign(
+                at,
+                EventKind::Checkpoint {
+                    step: step as u32,
+                    bytes: ckpt_bytes,
+                },
+            ),
+            CampaignEvent::Fault { attempt, at } => trace.push_campaign(
+                at,
+                EventKind::Revocation {
+                    node: fatal_nodes.get(attempt).copied().flatten().unwrap_or(0),
+                },
+            ),
+            CampaignEvent::Rollback {
+                to_step,
+                lost_seconds,
+                at,
+            } => trace.push_campaign(
+                at,
+                EventKind::Rollback {
+                    to_step: to_step as u32,
+                    lost_seconds,
+                },
+            ),
+            CampaignEvent::Billed { dollars, at, .. } => {
+                trace.push_campaign(
+                    at,
+                    EventKind::Expense {
+                        account: "fleet",
+                        dollars,
+                    },
+                );
+            }
+        }
+    }
+}
+
+/// Closes a campaign trace with the recovery accounting identity: one
+/// time-account instant per bucket, stamped at the campaign's end.
+fn push_time_accounts(trace: &mut Trace, stats: &RecoveryStats) {
+    let at = stats.total_seconds;
+    for (account, seconds) in [
+        ("wait", stats.wait_seconds),
+        ("backoff", stats.backoff_seconds),
+        ("checkpoint", stats.checkpoint_seconds),
+        ("lost_work", stats.lost_work_seconds),
+        ("compute", stats.compute_seconds),
+    ] {
+        trace.push_campaign(at, EventKind::TimeAccount { account, seconds });
     }
 }
 
@@ -354,6 +469,9 @@ fn run_resilient_numerical(
     let mut stats = RecoveryStats::default();
     let mut first_spot = 0usize;
     let mut final_run: Option<(Vec<hetero_simmpi::RankResult<RankOut>>, FleetAllocation)> = None;
+    let ckpt_bytes = state_bytes(&req.app, req.ranks, req.per_rank_axis);
+    let mut campaign: Option<Trace> = req.trace.map(|_| Trace::default());
+    let mut final_trace: Option<Trace> = None;
 
     // One logical pool shared by all ranks; `install` binds the thread
     // count on each rank's own OS thread (see `run::run_numerical`).
@@ -379,6 +497,16 @@ fn run_resilient_numerical(
             aseed,
         );
         let wait = attempt_wait(req, nodes, attempt);
+        // Campaign-absolute time this attempt's compute starts.
+        let start_abs = stats.total_seconds + wait;
+        if let Some(c) = campaign.as_mut() {
+            c.push_campaign(
+                start_abs,
+                EventKind::AttemptStart {
+                    attempt: attempt as u32,
+                },
+            );
+        }
         stats.attempts += 1;
         stats.wait_seconds += wait;
         store
@@ -403,7 +531,7 @@ fn run_resilient_numerical(
         let pool_c = Arc::clone(&pool);
         let policy = spec.policy;
 
-        let result = run_spmd_with_faults(cfg, timeline.to_plan(), move |comm| {
+        let body = move |comm: &mut SimComm| {
             pool_c.install(|| {
                 let dmesh =
                     DistributedMesh::new(mesh_c.clone(), Arc::clone(&asg), comm.rank(), ranks);
@@ -415,7 +543,7 @@ fn run_resilient_numerical(
                             for (j, v) in view.history.iter().enumerate() {
                                 snap.capture(&format!("h{j}"), view.dm, v, comm);
                             }
-                            commit(&store_c, io_seconds, view.step, snap, comm);
+                            commit(&store_c, io_seconds, ckpt_bytes, view.step, snap, comm);
                         };
                         let mut obs = |view: &RdStepView<'_>, comm: &mut SimComm| {
                             if policy.checkpoint_due(view.step, total_steps) {
@@ -446,7 +574,7 @@ fn run_resilient_numerical(
                                 }
                             }
                             snap.capture("p", view.pmap, view.pressure, comm);
-                            commit(&store_c, io_seconds, view.step, snap, comm);
+                            commit(&store_c, io_seconds, ckpt_bytes, view.step, snap, comm);
                         };
                         let mut obs = |view: &NsStepView<'_>, comm: &mut SimComm| {
                             if policy.checkpoint_due(view.step, total_steps) {
@@ -470,7 +598,18 @@ fn run_resilient_numerical(
                     }
                 }
             })
-        });
+        };
+        // A felled attempt's per-rank spans describe work the rollback
+        // discards, so its trace is dropped; only the completed attempt's
+        // trace is kept, and felled attempts contribute campaign-level
+        // incident events alone.
+        let (result, attempt_trace) = match req.trace {
+            Some(tspec) => {
+                let (r, t) = run_spmd_traced(cfg, timeline.to_plan(), tspec, body);
+                (r, Some(t))
+            }
+            None => (run_spmd_with_faults(cfg, timeline.to_plan(), body), None),
+        };
 
         match result {
             Ok(results) => {
@@ -478,18 +617,57 @@ fn run_resilient_numerical(
                 stats.total_seconds += wait + run_t;
                 stats.total_dollars += fleet.hourly_cost() * run_t / 3600.0;
                 stats.completed = true;
+                if let (Some(c), Some(t)) = (campaign.as_mut(), &attempt_trace) {
+                    let mut shifted = t.clone();
+                    shifted.shift(start_abs);
+                    c.merge(shifted);
+                    c.push_campaign(
+                        start_abs + run_t,
+                        EventKind::Expense {
+                            account: "fleet",
+                            dollars: fleet.hourly_cost() * run_t / 3600.0,
+                        },
+                    );
+                }
+                final_trace = attempt_trace;
                 final_run = Some((results, fleet));
                 break;
             }
             Err(failed) => {
-                let ckpt_clock = store
-                    .lock()
-                    .expect("checkpoint store never poisoned")
-                    .attempt_ckpt_clock;
+                let (ckpt_clock, ckpt_step) = {
+                    let s = store.lock().expect("checkpoint store never poisoned");
+                    (
+                        s.attempt_ckpt_clock,
+                        s.latest.as_ref().map_or(0, |(step, _)| *step),
+                    )
+                };
                 stats.faults_injected += 1;
                 stats.total_seconds += wait + failed.at;
                 stats.total_dollars += fleet.hourly_cost() * failed.at / 3600.0;
                 stats.lost_work_seconds += (failed.at - ckpt_clock).max(0.0);
+                if let Some(c) = campaign.as_mut() {
+                    let fail_abs = start_abs + failed.at;
+                    c.push_campaign(
+                        fail_abs,
+                        EventKind::Revocation {
+                            node: failed.node as u32,
+                        },
+                    );
+                    c.push_campaign(
+                        fail_abs,
+                        EventKind::Rollback {
+                            to_step: ckpt_step as u32,
+                            lost_seconds: (failed.at - ckpt_clock).max(0.0),
+                        },
+                    );
+                    c.push_campaign(
+                        fail_abs,
+                        EventKind::Expense {
+                            account: "fleet",
+                            dollars: fleet.hourly_cost() * failed.at / 3600.0,
+                        },
+                    );
+                }
                 let restarts_used = stats.attempts - 1;
                 if restarts_used >= max_restarts {
                     break;
@@ -508,6 +686,10 @@ fn run_resilient_numerical(
     }
     let run_seconds = stats.total_seconds - stats.wait_seconds - stats.backoff_seconds;
     stats.compute_seconds = run_seconds - stats.lost_work_seconds - stats.checkpoint_seconds;
+    if let Some(c) = campaign.as_mut() {
+        push_time_accounts(c, &stats);
+        c.sort();
+    }
 
     let outcome = final_run.map(|(results, fleet)| {
         let steps_run = results[0].value.iterations.len();
@@ -535,6 +717,7 @@ fn run_resilient_numerical(
             }),
             bytes_per_iteration: results.iter().map(|r| r.value.bytes).sum::<f64>()
                 / steps_run as f64,
+            trace: final_trace,
         }
     });
 
@@ -542,6 +725,7 @@ fn run_resilient_numerical(
         outcome,
         stats,
         first_attempt_spot_nodes: first_spot,
+        trace: campaign,
     })
 }
 
@@ -551,6 +735,7 @@ fn run_resilient_numerical(
 fn commit(
     store: &Mutex<CheckpointStore>,
     io_seconds: f64,
+    bytes: f64,
     step: usize,
     snap: Snapshot,
     comm: &mut SimComm,
@@ -561,6 +746,10 @@ fn commit(
         s.latest = Some((step, snap));
         s.writes += 1;
         s.attempt_ckpt_clock = comm.clock();
+        comm.trace_instant(EventKind::Checkpoint {
+            step: step as u32,
+            bytes,
+        });
     }
 }
 

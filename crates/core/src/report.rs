@@ -1,8 +1,10 @@
 //! Text/CSV/JSON renderers for the reproduced tables and figures.
 
+use crate::run::RunOutcome;
 use crate::scenarios::{CostCurve, Table1, Table2Row, Table3Row, WeakScalingTable};
 use hetero_platform::catalog;
 use hetero_platform::cost::Billing;
+use hetero_trace::Trace;
 
 fn fmt_time(t: f64) -> String {
     if t >= 100.0 {
@@ -57,6 +59,28 @@ pub fn render_weak_scaling(table: &WeakScalingTable) -> String {
         out.push('\n');
     }
     out
+}
+
+/// Renders the per-phase rollup table recomputed from a structured trace:
+/// the span-level view behind the Fig. 4 assembly/precond/solve split, plus
+/// the unattributed remainder of each iteration. Returns `None` when the
+/// trace holds no phase span that survives the discard.
+pub fn render_phase_rollup(trace: &Trace, discard: usize) -> Option<String> {
+    trace.phase_rollup(discard).map(|r| r.render())
+}
+
+/// Per-phase rollup for a traced run. Returns `None` when the run was not
+/// traced (the request's `trace` was `None`) or recorded no phase spans.
+///
+/// The rollup is recomputed purely from span records, yet matches the
+/// outcome's reported [`PhaseTimes`](hetero_fem::phase::PhaseTimes)
+/// bitwise — the reduction mirrors the report pipeline operation for
+/// operation.
+pub fn outcome_phase_rollup(outcome: &RunOutcome, discard: usize) -> Option<String> {
+    outcome
+        .trace
+        .as_ref()
+        .and_then(|t| render_phase_rollup(t, discard))
 }
 
 /// Renders a weak-scaling figure as CSV
@@ -393,6 +417,28 @@ mod tests {
         let v = table3_json(&rows);
         assert_eq!(v["rows"].as_array().unwrap().len(), rows.len());
         assert!(v["rows"][0]["best_cadence"].as_u64().is_some());
+    }
+
+    #[test]
+    fn phase_rollup_renders_for_traced_runs_only() {
+        use crate::run::{execute, RunRequest};
+        use hetero_trace::TraceSpec;
+        let plain = RunRequest {
+            discard: 1,
+            ..RunRequest::new(catalog::ec2(), crate::apps::App::paper_rd(3), 64, 8)
+        };
+        let traced = RunRequest {
+            trace: Some(TraceSpec::phases()),
+            ..plain.clone()
+        };
+        let out = execute(&plain).unwrap();
+        assert!(outcome_phase_rollup(&out, plain.discard).is_none());
+        let out = execute(&traced).unwrap();
+        let table = outcome_phase_rollup(&out, traced.discard).expect("traced run has spans");
+        for needle in ["assembly", "precond", "solve", "other", "total", "100.0%"] {
+            assert!(table.contains(needle), "missing {needle} in:\n{table}");
+        }
+        assert!(table.contains("2 iterations, first 1 discarded"));
     }
 
     #[test]

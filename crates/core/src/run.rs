@@ -11,7 +11,8 @@ use hetero_partition::block::near_cubic_factors;
 use hetero_partition::BlockLayout;
 use hetero_platform::limits::LimitViolation;
 use hetero_platform::{CostModel, PlatformSpec};
-use hetero_simmpi::{run_spmd, ClusterTopology, SpmdConfig};
+use hetero_simmpi::{run_spmd, run_spmd_traced, ClusterTopology, FaultPlan, SpmdConfig};
+use hetero_trace::{EventKind, Phase as TracePhase, Trace, TraceEvent, TraceSpec};
 use std::sync::Arc;
 
 /// Which engine to use.
@@ -60,6 +61,12 @@ pub struct RunRequest {
     /// Consumed by [`crate::recovery::execute_resilient`]; the plain
     /// [`execute`] path ignores it.
     pub resilience: Option<ResilienceSpec>,
+    /// Structured-event tracing — `None` (the default) records nothing and
+    /// costs nothing. With a spec, the numerical engine records per-rank
+    /// phase/collective/message events in virtual time, and the modeled
+    /// engine synthesizes the equivalent phase spans; either way the
+    /// outcome carries a [`Trace`] whose rollup matches `phases` bitwise.
+    pub trace: Option<TraceSpec>,
 }
 
 impl RunRequest {
@@ -77,6 +84,7 @@ impl RunRequest {
             topology_override: None,
             cost_override: None,
             resilience: None,
+            trace: None,
         }
     }
 }
@@ -115,6 +123,9 @@ pub struct RunOutcome {
     pub verification: Option<Verification>,
     /// Aggregate fabric traffic per iteration (bytes, all ranks).
     pub bytes_per_iteration: f64,
+    /// The structured event trace, when [`RunRequest::trace`] asked for
+    /// one. Deterministic: a pure function of the request.
+    pub trace: Option<Trace>,
 }
 
 pub(crate) fn resolve_fidelity(req: &RunRequest) -> Fidelity {
@@ -172,7 +183,7 @@ pub fn execute(req: &RunRequest) -> Result<RunOutcome, LimitViolation> {
     let nodes = topo.nodes_for_ranks(req.ranks);
     let queue_wait_seconds = req.platform.queue_wait(req.ranks, req.seed);
 
-    let (phases, krylov_iters, verification, bytes_per_iteration) = match fidelity {
+    let (phases, krylov_iters, verification, bytes_per_iteration, trace) = match fidelity {
         Fidelity::Numerical => run_numerical(req, topo)?,
         Fidelity::Modeled | Fidelity::Auto => {
             let m = run_modeled(
@@ -186,7 +197,14 @@ pub fn execute(req: &RunRequest) -> Result<RunOutcome, LimitViolation> {
             );
             let phases = summarize(&m.iterations, req.discard)
                 .expect("modeled run produced no measurable iterations");
-            (phases, m.krylov_iters as f64, None, m.bytes_per_iteration)
+            let trace = req.trace.map(|_| synthesize_phase_trace(&m.iterations));
+            (
+                phases,
+                m.krylov_iters as f64,
+                None,
+                m.bytes_per_iteration,
+                trace,
+            )
         }
     };
 
@@ -205,10 +223,58 @@ pub fn execute(req: &RunRequest) -> Result<RunOutcome, LimitViolation> {
         krylov_iters,
         verification,
         bytes_per_iteration,
+        trace,
     })
 }
 
-type NumericalResult = (PhaseTimes, f64, Option<Verification>, f64);
+/// The trace the modeled engine implies: rank-0 phase spans per step with
+/// the exact per-step durations, laid out on a cumulative virtual clock.
+/// Rolling the result up reproduces `summarize(&iterations, d)` bitwise —
+/// one span per `(step, phase)`, critical-rank max over the single rank,
+/// then the identical sum-and-scale.
+pub(crate) fn synthesize_phase_trace(iterations: &[PhaseTimes]) -> Trace {
+    let mut events = Vec::with_capacity(iterations.len() * 5);
+    let mut seq = 0u64;
+    let mut clock = 0.0f64;
+    for (i, it) in iterations.iter().enumerate() {
+        let step = (i + 1) as u32;
+        let named = it.assembly + it.precond + it.solve;
+        let mut at = clock;
+        for (dur, phase) in [
+            (it.assembly, TracePhase::Assembly),
+            (it.precond, TracePhase::Precond),
+            (it.solve, TracePhase::Solve),
+            (it.total - named, TracePhase::Other),
+        ] {
+            events.push(TraceEvent {
+                at,
+                dur,
+                rank: 0,
+                seq,
+                kind: EventKind::Phase { phase, step },
+            });
+            seq += 1;
+            at += dur;
+        }
+        events.push(TraceEvent {
+            at: clock,
+            dur: it.total,
+            rank: 0,
+            seq,
+            kind: EventKind::Phase {
+                phase: TracePhase::Iteration,
+                step,
+            },
+        });
+        seq += 1;
+        clock += it.total;
+    }
+    let mut trace = Trace { events };
+    trace.sort();
+    trace
+}
+
+type NumericalResult = (PhaseTimes, f64, Option<Verification>, f64, Option<Trace>);
 
 fn run_numerical(
     req: &RunRequest,
@@ -257,7 +323,7 @@ fn run_numerical(
             .expect("the vendored pool builder cannot fail"),
     );
 
-    let results = run_spmd(cfg, move |comm| {
+    let body = move |comm: &mut hetero_simmpi::SimComm| {
         pool.install(|| {
             let dmesh =
                 DistributedMesh::new(mesh.clone(), Arc::clone(&assignment), comm.rank(), ranks);
@@ -287,7 +353,17 @@ fn run_numerical(
                 }
             }
         })
-    });
+    };
+    let (results, trace) = match req.trace {
+        Some(spec) => {
+            let (res, trace) = run_spmd_traced(cfg, FaultPlan::none(), spec, body);
+            (
+                res.expect("a trivial fault plan cannot fail a rank"),
+                Some(trace),
+            )
+        }
+        None => (run_spmd(cfg, body), None),
+    };
 
     // Critical-rank reduction: per-iteration max across ranks.
     let steps = results[0].value.iterations.len();
@@ -304,7 +380,7 @@ fn run_numerical(
         l2: results[0].value.l2,
     });
     let bytes: f64 = results.iter().map(|r| r.value.bytes).sum::<f64>() / steps as f64;
-    Ok((phases, kiters, verification, bytes))
+    Ok((phases, kiters, verification, bytes, trace))
 }
 
 #[cfg(test)]
@@ -385,5 +461,50 @@ mod tests {
         let b = execute(&req).unwrap();
         assert_eq!(a.phases.total, b.phases.total);
         assert_eq!(a.cost_per_iteration, b.cost_per_iteration);
+    }
+
+    #[test]
+    fn traced_numerical_rollup_matches_report_bitwise() {
+        let base = RunRequest {
+            discard: 1,
+            ..RunRequest::new(catalog::puma(), App::paper_rd(3), 8, 3)
+        };
+        let traced = RunRequest {
+            trace: Some(TraceSpec::messages()),
+            ..base.clone()
+        };
+        let plain = execute(&base).unwrap();
+        let out = execute(&traced).unwrap();
+        assert!(plain.trace.is_none(), "no spec, no trace");
+        // Tracing observes; it must not perturb the run.
+        assert_eq!(out.phases, plain.phases);
+        let trace = out.trace.as_ref().unwrap();
+        assert!(!trace.is_empty());
+        let r = trace.phase_rollup(traced.discard).unwrap();
+        assert_eq!(r.assembly, out.phases.assembly);
+        assert_eq!(r.precond, out.phases.precond);
+        assert_eq!(r.solve, out.phases.solve);
+        assert_eq!(r.total, out.phases.total);
+    }
+
+    #[test]
+    fn modeled_trace_rollup_matches_summarized_phases() {
+        let req = RunRequest {
+            discard: 1,
+            trace: Some(TraceSpec::collectives()),
+            ..RunRequest::new(catalog::ec2(), App::paper_rd(4), 216, 20)
+        };
+        let out = execute(&req).unwrap();
+        assert_eq!(out.fidelity, Fidelity::Modeled);
+        let r = out
+            .trace
+            .as_ref()
+            .unwrap()
+            .phase_rollup(req.discard)
+            .unwrap();
+        assert_eq!(r.assembly, out.phases.assembly);
+        assert_eq!(r.precond, out.phases.precond);
+        assert_eq!(r.solve, out.phases.solve);
+        assert_eq!(r.total, out.phases.total);
     }
 }

@@ -9,6 +9,7 @@ use hetero_platform::limits::LimitViolation;
 use hetero_platform::provision::{environment_of, plan, ProvisionPlan};
 use hetero_platform::spot::{acquire_fleet, FleetAllocation, FleetStrategy};
 use hetero_platform::{catalog, PlatformSpec};
+use hetero_trace::TraceSpec;
 
 /// Shared knobs for the scenario sweeps.
 #[derive(Debug, Clone)]
@@ -25,6 +26,10 @@ pub struct ScenarioOptions {
     pub fidelity: Fidelity,
     /// Experiment seed.
     pub seed: u64,
+    /// Structured-event tracing for every weak-scaling cell (`None`
+    /// records nothing). Benches use this to emit trace artifacts
+    /// alongside the snapshots.
+    pub trace: Option<TraceSpec>,
 }
 
 impl ScenarioOptions {
@@ -38,6 +43,7 @@ impl ScenarioOptions {
             discard: 5,
             fidelity: Fidelity::Modeled,
             seed: 2012,
+            trace: None,
         }
     }
 
@@ -51,6 +57,7 @@ impl ScenarioOptions {
             discard: 1,
             fidelity: Fidelity::Auto,
             seed: 2012,
+            trace: None,
         }
     }
 
@@ -131,6 +138,7 @@ fn weak_scaling(app_for: impl Fn(usize) -> App, opts: &ScenarioOptions) -> WeakS
                 topology_override: None,
                 cost_override: None,
                 resilience: None,
+                trace: opts.trace,
             };
             cells.push((platform.key.clone(), execute(&req)));
         }
@@ -189,6 +197,7 @@ pub fn table2(opts: &ScenarioOptions) -> Vec<Table2Row> {
             topology_override: None,
             cost_override: None,
             resilience: None,
+            trace: None,
         };
         let full = execute(&base).expect("EC2 runs the whole ladder");
 
@@ -522,6 +531,7 @@ pub fn table3(opts: &ResilienceOptions) -> Vec<Table3Row> {
             topology_override: None,
             cost_override: None,
             resilience: None,
+            trace: None,
         };
         // On-demand: only hardware crashes, no checkpoints (a crash restarts
         // the run from scratch, like the paper's unprotected LifeV jobs).

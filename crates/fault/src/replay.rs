@@ -51,6 +51,55 @@ pub struct RecoveryStats {
     pub total_dollars: f64,
 }
 
+/// A campaign-level incident [`replay_campaign_observed`] reports as it
+/// replays. Times are campaign-absolute seconds (acquisition waits and
+/// backoff delays included), so observers can place the incidents on one
+/// timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CampaignEvent {
+    /// An attempt's compute begins (its acquisition wait has elapsed).
+    AttemptStart {
+        /// 0-based attempt index (0 = the initial launch).
+        attempt: usize,
+        /// Campaign-absolute start time, seconds.
+        at: f64,
+    },
+    /// A durable checkpoint write finished.
+    CheckpointCommit {
+        /// Step the snapshot covers.
+        step: usize,
+        /// Campaign-absolute commit time, seconds.
+        at: f64,
+    },
+    /// A fatal fault felled the running attempt.
+    Fault {
+        /// The felled attempt.
+        attempt: usize,
+        /// Campaign-absolute fault time, seconds.
+        at: f64,
+    },
+    /// Work after the last durable checkpoint is discarded; the next
+    /// attempt (if any) resumes from `to_step`.
+    Rollback {
+        /// Step the campaign rolls back to.
+        to_step: usize,
+        /// Virtual seconds of work the rollback discards.
+        lost_seconds: f64,
+        /// Campaign-absolute time, seconds.
+        at: f64,
+    },
+    /// What the attempt's fleet billed for its run time (an expense
+    /// delta, charged when the attempt ends).
+    Billed {
+        /// The billed attempt.
+        attempt: usize,
+        /// Dollars charged.
+        dollars: f64,
+        /// Campaign-absolute time, seconds.
+        at: f64,
+    },
+}
+
 /// Replays a campaign of `step_seconds` (the failure-free per-step times)
 /// under `policy`, drawing each attempt's fate from `env_for(attempt)`.
 ///
@@ -63,7 +112,22 @@ pub fn replay_campaign(
     step_seconds: &[f64],
     checkpoint_seconds: f64,
     policy: &ResiliencePolicy,
+    env_for: impl FnMut(usize) -> AttemptEnv,
+) -> RecoveryStats {
+    replay_campaign_observed(step_seconds, checkpoint_seconds, policy, env_for, |_| {})
+}
+
+/// [`replay_campaign`] with a hook that observes every campaign-level
+/// incident (attempt launches, durable checkpoint commits, faults,
+/// rollbacks, billing) as the replay walks the timeline. The stats are
+/// identical to the unobserved replay — observation never changes the
+/// accounting.
+pub fn replay_campaign_observed(
+    step_seconds: &[f64],
+    checkpoint_seconds: f64,
+    policy: &ResiliencePolicy,
     mut env_for: impl FnMut(usize) -> AttemptEnv,
+    mut observe: impl FnMut(CampaignEvent),
 ) -> RecoveryStats {
     let total_steps = step_seconds.len();
     let mut stats = RecoveryStats::default();
@@ -71,7 +135,15 @@ pub fn replay_campaign(
     let max_restarts = policy.max_restarts();
 
     loop {
-        let env = env_for(stats.attempts);
+        let attempt = stats.attempts;
+        let env = env_for(attempt);
+        // Campaign-absolute time the attempt's compute starts: everything
+        // booked so far plus this attempt's acquisition wait.
+        let start_abs = stats.total_seconds + env.wait_seconds;
+        observe(CampaignEvent::AttemptStart {
+            attempt,
+            at: start_abs,
+        });
         stats.attempts += 1;
         stats.wait_seconds += env.wait_seconds;
         let fatal = env.fatal_at.map(|t| t.max(0.0));
@@ -103,6 +175,10 @@ pub fn replay_campaign(
                 stats.checkpoint_seconds += checkpoint_seconds;
                 last_ckpt_t = t;
                 last_ckpt_step = i + 1;
+                observe(CampaignEvent::CheckpointCommit {
+                    step: i + 1,
+                    at: start_abs + t,
+                });
             }
         }
 
@@ -111,6 +187,11 @@ pub fn replay_campaign(
                 stats.total_seconds += env.wait_seconds + t;
                 stats.total_dollars += env.hourly_cost * t / 3600.0;
                 stats.completed = true;
+                observe(CampaignEvent::Billed {
+                    attempt,
+                    dollars: env.hourly_cost * t / 3600.0,
+                    at: start_abs + t,
+                });
                 break;
             }
             Some(fa) => {
@@ -119,6 +200,20 @@ pub fn replay_campaign(
                 stats.total_dollars += env.hourly_cost * fa / 3600.0;
                 stats.lost_work_seconds += fa - last_ckpt_t;
                 resume_step = last_ckpt_step;
+                observe(CampaignEvent::Fault {
+                    attempt,
+                    at: start_abs + fa,
+                });
+                observe(CampaignEvent::Rollback {
+                    to_step: last_ckpt_step,
+                    lost_seconds: fa - last_ckpt_t,
+                    at: start_abs + fa,
+                });
+                observe(CampaignEvent::Billed {
+                    attempt,
+                    dollars: env.hourly_cost * fa / 3600.0,
+                    at: start_abs + fa,
+                });
                 let restarts_used = stats.attempts - 1;
                 if restarts_used >= max_restarts {
                     break;
@@ -241,6 +336,71 @@ mod tests {
         assert_eq!(s.lost_work_seconds, 43.0);
         // Retry: 8 steps + one durable checkpoint after step 4.
         assert_eq!(s.checkpoints_written, 1);
+    }
+
+    #[test]
+    fn observed_replay_reports_the_campaign_it_accounts() {
+        // Same scenario as `restart_resumes_from_last_durable_checkpoint`:
+        // one fault at t = 95, checkpoints after steps 4 and 8, one retry.
+        let policy = ResiliencePolicy {
+            backoff: Backoff {
+                base_seconds: 30.0,
+                factor: 2.0,
+                cap_seconds: 1800.0,
+            },
+            ..ResiliencePolicy::restart(4, 3)
+        };
+        let mut fates = vec![Some(95.0), None].into_iter();
+        let mut events = Vec::new();
+        let s = replay_campaign_observed(
+            &steps(12, 10.0),
+            2.0,
+            &policy,
+            |_| AttemptEnv {
+                fatal_at: fates.next().unwrap(),
+                wait_seconds: 10.0,
+                hourly_cost: 36.0,
+            },
+            |e| events.push(e),
+        );
+        assert!(s.completed);
+        // Attempt 0 starts after its wait; attempt 1 after wait + fault
+        // time + backoff + its own wait.
+        assert!(matches!(
+            events[0],
+            CampaignEvent::AttemptStart { attempt: 0, at } if at == 10.0
+        ));
+        let ckpts: Vec<(usize, f64)> = events
+            .iter()
+            .filter_map(|e| match e {
+                CampaignEvent::CheckpointCommit { step, at } => Some((*step, *at)),
+                _ => None,
+            })
+            .collect();
+        // Attempt 0 commits after steps 4 (t=42) and 8 (t=84); the retry
+        // resumes from step 8 and hits no further cadence boundary.
+        assert_eq!(ckpts, vec![(4, 52.0), (8, 94.0)]);
+        assert!(events.iter().any(|e| matches!(
+            e,
+            CampaignEvent::Rollback { to_step: 8, lost_seconds, at }
+                if *lost_seconds == 11.0 && *at == 105.0
+        )));
+        let billed: f64 = events
+            .iter()
+            .filter_map(|e| match e {
+                CampaignEvent::Billed { dollars, .. } => Some(*dollars),
+                _ => None,
+            })
+            .sum();
+        assert!((billed - s.total_dollars).abs() < 1e-12);
+        // Observation must not change the accounting.
+        let mut fates2 = vec![Some(95.0), None].into_iter();
+        let unobserved = replay_campaign(&steps(12, 10.0), 2.0, &policy, |_| AttemptEnv {
+            fatal_at: fates2.next().unwrap(),
+            wait_seconds: 10.0,
+            hourly_cost: 36.0,
+        });
+        assert_eq!(s, unobserved);
     }
 
     #[test]

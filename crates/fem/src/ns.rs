@@ -36,6 +36,7 @@ use hetero_linalg::solver::{bicgstab, cg, gmres, SolveOptions};
 use hetero_linalg::DistVector;
 use hetero_mesh::DistributedMesh;
 use hetero_simmpi::SimComm;
+use hetero_trace::{EventKind, Phase as TracePhase};
 
 /// Krylov method used for the nonsymmetric momentum systems — the choice an
 /// AztecOO user makes in the paper's stack.
@@ -384,11 +385,27 @@ pub fn solve_ns_with(
                 comm,
             );
         }
+        let seg = rec.mark();
         rec.end_assembly(comm.clock());
+        comm.trace_span(
+            seg,
+            EventKind::Phase {
+                phase: TracePhase::Assembly,
+                step: step as u32,
+            },
+        );
 
         // -- Preconditioner (iiia) -------------------------------------------
+        let seg = rec.mark();
         let pre_v = cfg.precond_vel.build(&a_v, comm);
         rec.end_precond(comm.clock());
+        comm.trace_span(
+            seg,
+            EventKind::Phase {
+                phase: TracePhase::Precond,
+                step: step as u32,
+            },
+        );
 
         // -- Solve (iiib) ----------------------------------------------------
         // Momentum: three component solves, warm-started.
@@ -475,17 +492,44 @@ pub fn solve_ns_with(
         }
         pressure.axpy(1.0, &phi, comm);
         pressure.update_ghosts(pmap.plan(), comm);
+        let seg = rec.mark();
         rec.end_solve(comm.clock());
+        comm.trace_span(
+            seg,
+            EventKind::Phase {
+                phase: TracePhase::Solve,
+                step: step as u32,
+            },
+        );
+        comm.trace_instant(EventKind::Solver {
+            step: step as u32,
+            iters: (vits + stats_p.iterations) as u32,
+        });
 
         vel_iters.push(vits);
         p_iters.push(stats_p.iterations);
 
         // Rotate velocity history.
+        let seg = rec.mark();
         hist.rotate_right(1);
         for (h, u) in hist[0].iter_mut().zip(&ustar) {
             h.copy_from(u, comm);
         }
         iterations.push(rec.finish(comm.clock()));
+        comm.trace_span(
+            seg,
+            EventKind::Phase {
+                phase: TracePhase::Other,
+                step: step as u32,
+            },
+        );
+        comm.trace_span(
+            rec.started(),
+            EventKind::Phase {
+                phase: TracePhase::Iteration,
+                step: step as u32,
+            },
+        );
 
         if let Some(obs) = observer.as_mut() {
             let view = NsStepView {

@@ -97,6 +97,19 @@ impl PhaseRecorder {
         self.times.total = clock - self.start;
         self.times
     }
+
+    /// Virtual time the iteration started at.
+    pub fn started(&self) -> f64 {
+        self.start
+    }
+
+    /// Start of the *current* phase segment (the clock passed to the last
+    /// `end_*` call, or the iteration start). Lets callers emit a trace
+    /// span for the segment an `end_*` call is about to close, using the
+    /// exact same boundaries the recorder accumulates.
+    pub fn mark(&self) -> f64 {
+        self.last
+    }
 }
 
 /// The paper's reduction: drop the first `discard` iterations, average the

@@ -24,6 +24,7 @@ use hetero_linalg::solver::{cg, SolveOptions};
 use hetero_linalg::{DistMatrix, DistVector};
 use hetero_mesh::DistributedMesh;
 use hetero_simmpi::SimComm;
+use hetero_trace::{EventKind, Phase as TracePhase};
 
 /// Preconditioner selector for the applications.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -234,11 +235,27 @@ pub fn solve_rd_with(
         });
         b.axpy(1.0, &source, comm);
         apply_dirichlet(&mut a, &mut b, &dm, |p| ex.u(p, t), comm);
+        let seg = rec.mark();
         rec.end_assembly(comm.clock());
+        comm.trace_span(
+            seg,
+            EventKind::Phase {
+                phase: TracePhase::Assembly,
+                step: step as u32,
+            },
+        );
 
         // -- Preconditioner (iiia).
+        let seg = rec.mark();
         let precond = cfg.precond.build(&a, comm);
         rec.end_precond(comm.clock());
+        comm.trace_span(
+            seg,
+            EventKind::Phase {
+                phase: TracePhase::Precond,
+                step: step as u32,
+            },
+        );
 
         // -- Solve (iiib). Warm start from the previous solution.
         u.copy_from(&history[0], comm);
@@ -248,13 +265,40 @@ pub fn solve_rd_with(
             "RD solve failed at step {step}: {stats:?} (t = {t})"
         );
         krylov_iters.push(stats.iterations);
+        let seg = rec.mark();
         rec.end_solve(comm.clock());
+        comm.trace_span(
+            seg,
+            EventKind::Phase {
+                phase: TracePhase::Solve,
+                step: step as u32,
+            },
+        );
+        comm.trace_instant(EventKind::Solver {
+            step: step as u32,
+            iters: stats.iterations as u32,
+        });
 
         // Rotate history (u's ghosts refreshed for the next history combo).
+        let seg = rec.mark();
         u.update_ghosts(dm.plan(), comm);
         history.rotate_right(1);
         history[0].copy_from(&u, comm);
         iterations.push(rec.finish(comm.clock()));
+        comm.trace_span(
+            seg,
+            EventKind::Phase {
+                phase: TracePhase::Other,
+                step: step as u32,
+            },
+        );
+        comm.trace_span(
+            rec.started(),
+            EventKind::Phase {
+                phase: TracePhase::Iteration,
+                step: step as u32,
+            },
+        );
 
         if let Some(obs) = observer.as_mut() {
             let view = RdStepView {

@@ -58,7 +58,18 @@ impl SimComm {
     /// Synchronizes all ranks (dissemination barrier, `ceil(log2 p)`
     /// rounds). On return every rank's clock is at least the maximum clock
     /// any rank had on entry.
+    ///
+    /// Barriers are also where each rank's trace staging buffer drains
+    /// into the shared sink: every rank is stalled anyway, so the drain's
+    /// wall-time cost never skews a measurement.
     pub fn barrier(&mut self) {
+        let (t0, b0) = (self.clock(), self.stats().bytes_sent);
+        self.barrier_inner();
+        self.trace_collective("barrier", t0, b0);
+        self.flush_trace();
+    }
+
+    fn barrier_inner(&mut self) {
         // A dead node must be observed even by a size-1 job (or one whose
         // messaging all happens to be intra-node and already past).
         self.maybe_fail();
@@ -82,6 +93,13 @@ impl SimComm {
     /// Reduces `data` element-wise onto the root (binomial tree). Returns
     /// `Some(result)` on the root, `None` elsewhere.
     pub fn reduce(&mut self, root: usize, op: ReduceOp, data: &[f64]) -> Option<Vec<f64>> {
+        let (t0, b0) = (self.clock(), self.stats().bytes_sent);
+        let out = self.reduce_inner(root, op, data);
+        self.trace_collective("reduce", t0, b0);
+        out
+    }
+
+    fn reduce_inner(&mut self, root: usize, op: ReduceOp, data: &[f64]) -> Option<Vec<f64>> {
         let size = self.size();
         assert!(root < size);
         let tag =
@@ -115,6 +133,13 @@ impl SimComm {
     /// Broadcasts `data` from the root (binomial tree). Every rank returns
     /// the root's vector; non-root inputs are ignored.
     pub fn bcast(&mut self, root: usize, data: Vec<f64>) -> Vec<f64> {
+        let (t0, b0) = (self.clock(), self.stats().bytes_sent);
+        let out = self.bcast_inner(root, data);
+        self.trace_collective("bcast", t0, b0);
+        out
+    }
+
+    fn bcast_inner(&mut self, root: usize, data: Vec<f64>) -> Vec<f64> {
         let size = self.size();
         assert!(root < size);
         let tag = COLLECTIVE_TAG_BASE + self.next_collective_epoch() * SLOTS_PER_EPOCH + SLOT_BCAST;
@@ -165,6 +190,13 @@ impl SimComm {
     /// Gathers every rank's vector on the root (direct sends). Returns
     /// `Some(per-rank vectors)` on the root, `None` elsewhere.
     pub fn gather(&mut self, root: usize, data: &[f64]) -> Option<Vec<Vec<f64>>> {
+        let (t0, b0) = (self.clock(), self.stats().bytes_sent);
+        let out = self.gather_inner(root, data);
+        self.trace_collective("gather", t0, b0);
+        out
+    }
+
+    fn gather_inner(&mut self, root: usize, data: &[f64]) -> Option<Vec<Vec<f64>>> {
         let size = self.size();
         assert!(root < size);
         let tag =
@@ -188,6 +220,13 @@ impl SimComm {
     /// All-gather (ring algorithm): every rank returns all ranks' vectors,
     /// indexed by rank.
     pub fn allgather(&mut self, data: &[f64]) -> Vec<Vec<f64>> {
+        let (t0, b0) = (self.clock(), self.stats().bytes_sent);
+        let out = self.allgather_inner(data);
+        self.trace_collective("allgather", t0, b0);
+        out
+    }
+
+    fn allgather_inner(&mut self, data: &[f64]) -> Vec<Vec<f64>> {
         let size = self.size();
         let rank = self.rank();
         let tag =

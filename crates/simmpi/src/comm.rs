@@ -6,6 +6,7 @@ use crate::network::{MsgContext, NetworkModel};
 use crate::stats::CommStats;
 use crate::topology::ClusterTopology;
 use crate::work::{ComputeModel, Work};
+use hetero_trace::{EventKind, RankTracer, TraceDetail, TraceSink};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -68,8 +69,17 @@ pub(crate) struct SharedComm {
     pub(crate) seed: u64,
     pub(crate) nodes_active: usize,
     pub(crate) faults: FaultPlan,
+    /// Trace sink all ranks drain into; `None` disables recording (each
+    /// rank then holds no tracer at all).
+    pub(crate) trace: Option<Arc<TraceSink>>,
     mailboxes: Vec<Mailbox>,
-    poisoned: AtomicBool,
+    /// One flag per rank, raised when that rank's thread has exited (clean
+    /// return, injected fault, or panic). A receiver blocked on a message
+    /// unwinds only once its *sender* is gone — a virtual-time-determined
+    /// condition — never on a global "something failed" flag, which would
+    /// make the survivors' progress (and any side effects like checkpoint
+    /// commits) depend on wall-clock scheduling.
+    terminated: Vec<AtomicBool>,
 }
 
 impl SharedComm {
@@ -80,6 +90,7 @@ impl SharedComm {
         compute: ComputeModel,
         seed: u64,
         faults: FaultPlan,
+        trace: Option<Arc<TraceSink>>,
     ) -> Arc<Self> {
         assert!(size > 0, "job must have at least one rank");
         assert!(
@@ -89,6 +100,7 @@ impl SharedComm {
         );
         let nodes_active = topo.nodes_for_ranks(size);
         let mailboxes = (0..size).map(|_| Mailbox::default()).collect();
+        let terminated = (0..size).map(|_| AtomicBool::new(false)).collect();
         Arc::new(SharedComm {
             size,
             topo,
@@ -97,15 +109,19 @@ impl SharedComm {
             seed,
             nodes_active,
             faults,
+            trace,
             mailboxes,
-            poisoned: AtomicBool::new(false),
+            terminated,
         })
     }
 
-    /// Marks the job as failed and wakes every rank blocked in `recv` so the
-    /// whole job unwinds instead of deadlocking on a dead peer.
-    pub(crate) fn poison(&self) {
-        self.poisoned.store(true, Ordering::SeqCst);
+    /// Records that `rank`'s thread has exited (for any reason) and wakes
+    /// every blocked receiver so those waiting on this rank can re-check.
+    /// All of the rank's sends happen-before this store, so a receiver that
+    /// observes the flag and still finds its queue empty knows the message
+    /// will never arrive.
+    pub(crate) fn mark_terminated(&self, rank: usize) {
+        self.terminated[rank].store(true, Ordering::SeqCst);
         for m in &self.mailboxes {
             let _guard = m
                 .queues
@@ -113,6 +129,10 @@ impl SharedComm {
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
             m.cv.notify_all();
         }
+    }
+
+    pub(crate) fn rank_terminated(&self, rank: usize) -> bool {
+        self.terminated[rank].load(Ordering::SeqCst)
     }
 }
 
@@ -130,6 +150,9 @@ pub struct SimComm {
     /// the shared fault plan; `INFINITY` means the node survives).
     node: usize,
     down_at: f64,
+    /// Trace recording handle; `None` when tracing is disabled, so the
+    /// disabled fast path is a single `Option` discriminant test.
+    tracer: Option<RankTracer>,
 }
 
 impl SimComm {
@@ -138,6 +161,10 @@ impl SimComm {
         let size = shared.size;
         let node = shared.topo.node_of_rank(rank);
         let down_at = shared.faults.down_time(node);
+        let tracer = shared
+            .trace
+            .as_ref()
+            .map(|sink| RankTracer::new(rank as u32, sink.clone()));
         SimComm {
             rank,
             shared,
@@ -147,6 +174,7 @@ impl SimComm {
             coll_epoch: 0,
             node,
             down_at,
+            tracer,
         }
     }
 
@@ -266,6 +294,12 @@ impl SimComm {
         self.stats.comm_time += SEND_OVERHEAD + pack;
         self.stats.msgs_sent += 1;
         self.stats.bytes_sent += modeled_bytes;
+        if self.trace_detail() == Some(TraceDetail::Messages) {
+            self.trace_instant(EventKind::SendMsg {
+                peer: dst as u32,
+                bytes: modeled_bytes,
+            });
+        }
 
         let env = Envelope {
             payload,
@@ -305,9 +339,21 @@ impl SimComm {
                         break env;
                     }
                 }
-                if self.shared.poisoned.load(Ordering::SeqCst) {
+                // Unwind only when the *sender* is provably gone: whether a
+                // message is ever sent is a pure function of virtual time
+                // (senders die at deterministic clock readings), so every
+                // survivor's unwind point — and everything it commits before
+                // unwinding — is deterministic too. A global poison flag
+                // here would race host scheduling.
+                if self.shared.rank_terminated(src) {
+                    // The terminated store is ordered after all of src's
+                    // sends; one last look under the lock catches a final
+                    // message that raced the flag.
+                    if let Some(env) = queues.get_mut(&(src, tag)).and_then(|q| q.pop_front()) {
+                        break env;
+                    }
                     panic!(
-                        "job poisoned: a peer rank panicked while rank {} waited on ({src}, {tag})",
+                        "job poisoned: rank {} waited on ({src}, {tag}) but the sender is gone",
                         self.rank
                     );
                 }
@@ -348,6 +394,15 @@ impl SimComm {
         self.stats.comm_time += self.clock - before;
         self.stats.msgs_received += 1;
         self.stats.bytes_received += env.modeled_bytes;
+        if self.trace_detail() == Some(TraceDetail::Messages) {
+            self.trace_span(
+                before,
+                EventKind::RecvMsg {
+                    peer: src as u32,
+                    bytes: env.modeled_bytes,
+                },
+            );
+        }
         self.maybe_fail();
         env.payload
     }
@@ -378,6 +433,65 @@ impl SimComm {
         let e = self.coll_epoch;
         self.coll_epoch += 1;
         e
+    }
+
+    /// Whether a trace sink is attached to this run.
+    #[inline]
+    pub fn trace_enabled(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// Recording granularity, when tracing is enabled.
+    #[inline]
+    pub fn trace_detail(&self) -> Option<TraceDetail> {
+        self.tracer.as_ref().map(RankTracer::detail)
+    }
+
+    /// Records a span from virtual time `start` to the current clock.
+    /// No-op (one branch) when tracing is disabled.
+    #[inline]
+    pub fn trace_span(&mut self, start: f64, kind: EventKind) {
+        if let Some(t) = self.tracer.as_mut() {
+            let dur = self.clock - start;
+            t.record(start, dur, kind);
+        }
+    }
+
+    /// Records an instant event at the current clock. No-op (one branch)
+    /// when tracing is disabled.
+    #[inline]
+    pub fn trace_instant(&mut self, kind: EventKind) {
+        if let Some(t) = self.tracer.as_mut() {
+            t.record(self.clock, 0.0, kind);
+        }
+    }
+
+    /// Records a collective span if the detail level covers collectives.
+    /// `start_clock`/`start_bytes` are the clock and `bytes_sent` counter
+    /// captured on entry to the operation.
+    #[inline]
+    pub(crate) fn trace_collective(
+        &mut self,
+        op: &'static str,
+        start_clock: f64,
+        start_bytes: f64,
+    ) {
+        if let Some(t) = self.tracer.as_mut() {
+            if t.detail() >= TraceDetail::Collectives {
+                let bytes = self.stats.bytes_sent - start_bytes;
+                let dur = self.clock - start_clock;
+                t.record(start_clock, dur, EventKind::Collective { op, bytes });
+            }
+        }
+    }
+
+    /// Drains this rank's staging buffer into the shared sink. Called at
+    /// barriers; the buffer also drains on overflow and when the rank's
+    /// communicator is dropped (normal exit *and* fault/poison unwinds).
+    pub(crate) fn flush_trace(&mut self) {
+        if let Some(t) = self.tracer.as_mut() {
+            t.flush();
+        }
     }
 }
 

@@ -6,7 +6,9 @@ use crate::network::NetworkModel;
 use crate::stats::CommStats;
 use crate::topology::ClusterTopology;
 use crate::work::ComputeModel;
+use hetero_trace::{Trace, TraceSink, TraceSpec};
 use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
 
 /// Upper bound on real threads; beyond this, use the analytic engine in
 /// [`crate::modeled`] instead.
@@ -127,6 +129,45 @@ where
     T: Send,
     F: Fn(&mut SimComm) -> T + Send + Sync,
 {
+    run_spmd_inner(config, faults, None, f)
+}
+
+/// Runs `f` like [`run_spmd_with_faults`] with trace recording attached:
+/// every rank stamps events with its virtual clock and the merged
+/// [`Trace`] is returned alongside the result.
+///
+/// The trace is a pure function of `(config, faults, f)` — byte-identical
+/// across host thread counts. That holds even when the run fails
+/// (`Err(RankFailed)`): a rank unwinds either at its own deterministic
+/// node-loss clock or when a message it waits on provably cannot arrive,
+/// both virtual-time-determined conditions. A failed run's per-rank spans
+/// still describe work the caller will roll back, which is why the
+/// recovery layer keeps only campaign-level events from failed attempts.
+pub fn run_spmd_traced<T, F>(
+    config: SpmdConfig,
+    faults: FaultPlan,
+    spec: TraceSpec,
+    f: F,
+) -> (Result<Vec<RankResult<T>>, RankFailed>, Trace)
+where
+    T: Send,
+    F: Fn(&mut SimComm) -> T + Send + Sync,
+{
+    let sink = TraceSink::new(spec);
+    let result = run_spmd_inner(config, faults, Some(sink.clone()), f);
+    (result, sink.finish())
+}
+
+fn run_spmd_inner<T, F>(
+    config: SpmdConfig,
+    faults: FaultPlan,
+    trace: Option<Arc<TraceSink>>,
+    f: F,
+) -> Result<Vec<RankResult<T>>, RankFailed>
+where
+    T: Send,
+    F: Fn(&mut SimComm) -> T + Send + Sync,
+{
     assert!(
         config.size <= MAX_REAL_RANKS,
         "{} ranks exceed the real-thread engine limit ({MAX_REAL_RANKS}); use hetero_simmpi::modeled",
@@ -140,6 +181,7 @@ where
         config.compute,
         config.seed,
         faults,
+        trace,
     );
 
     let mut slots: Vec<Option<RankOutcome<T>>> = (0..config.size).map(|_| None).collect();
@@ -152,7 +194,7 @@ where
                 scope.spawn(move || {
                     let mut comm = SimComm::new(rank, shared.clone());
                     let out = std::panic::catch_unwind(AssertUnwindSafe(|| f(&mut comm)));
-                    match out {
+                    let outcome = match out {
                         Ok(value) => RankOutcome::Ok(RankResult {
                             rank,
                             value,
@@ -161,25 +203,32 @@ where
                         }),
                         Err(payload) => {
                             if let Some(fp) = payload.downcast_ref::<FaultPanic>() {
-                                // Injected node loss: poison so peers blocked
-                                // in recv unwind instead of deadlocking.
-                                shared.poison();
-                                return RankOutcome::Fault(fp.0);
+                                // Injected node loss; peers blocked on this
+                                // rank's messages unwind via the terminated
+                                // flag below.
+                                RankOutcome::Fault(fp.0)
+                            } else {
+                                let msg = payload
+                                    .downcast_ref::<&str>()
+                                    .map(|s| s.to_string())
+                                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                                    .unwrap_or_else(|| "<non-string panic>".into());
+                                if msg.starts_with("job poisoned:") {
+                                    // Collateral unwind; the root cause is
+                                    // reported by whichever rank died first.
+                                    RankOutcome::Poisoned
+                                } else {
+                                    RankOutcome::Panic(msg)
+                                }
                             }
-                            let msg = payload
-                                .downcast_ref::<&str>()
-                                .map(|s| s.to_string())
-                                .or_else(|| payload.downcast_ref::<String>().cloned())
-                                .unwrap_or_else(|| "<non-string panic>".into());
-                            if msg.starts_with("job poisoned:") {
-                                // Collateral unwind; the root cause is
-                                // reported by whichever rank poisoned first.
-                                return RankOutcome::Poisoned;
-                            }
-                            shared.poison();
-                            RankOutcome::Panic(msg)
                         }
-                    }
+                    };
+                    // Whatever the exit reason, tell blocked receivers this
+                    // rank will send nothing more. Failure then cascades
+                    // only along real wait-for dependencies, keeping every
+                    // survivor's unwind point virtual-time-deterministic.
+                    shared.mark_terminated(rank);
+                    outcome
                 })
             })
             .collect();
@@ -343,6 +392,46 @@ mod tests {
             });
             let rf = out.unwrap_err();
             assert_eq!((rf.node, rf.at), (2, 0.5));
+        }
+    }
+
+    #[test]
+    fn traced_run_records_deterministic_ordered_events() {
+        let body = |comm: &mut SimComm| {
+            comm.compute(Work::new(1e9, 0.0));
+            let _ = comm.allreduce_scalar(crate::collectives::ReduceOp::Sum, 1.0);
+            comm.barrier();
+            comm.clock()
+        };
+        let run = || {
+            let (res, trace) =
+                run_spmd_traced(cfg(4), FaultPlan::none(), TraceSpec::messages(), body);
+            (res.unwrap(), trace)
+        };
+        let (res_a, trace_a) = run();
+        let (_res_b, trace_b) = run();
+        assert!(!trace_a.is_empty());
+        // Identical configs give bitwise-identical traces and exports.
+        assert_eq!(trace_a, trace_b);
+        assert_eq!(trace_a.jsonl(), trace_b.jsonl());
+        // Events are in canonical (at, rank, seq) order.
+        let mut sorted = trace_a.clone();
+        sorted.sort();
+        assert_eq!(trace_a, sorted);
+        // Collectives and p2p traffic both made it in.
+        use hetero_trace::EventKind;
+        assert!(trace_a
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Collective { op: "barrier", .. })));
+        assert!(trace_a
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::SendMsg { .. })));
+        // Tracing never perturbs virtual time.
+        let untraced = run_spmd(cfg(4), body);
+        for (t, u) in res_a.iter().zip(&untraced) {
+            assert_eq!(t.value, u.value);
         }
     }
 

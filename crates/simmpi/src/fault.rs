@@ -11,7 +11,7 @@
 //!
 //! A rank observes its node's death the first time its virtual clock
 //! reaches the scheduled time; it raises [`RankFailed`] (as a typed panic
-//! the engine intercepts), the job is poisoned so peers blocked in `recv`
+//! the engine intercepts), peers blocked in `recv` on a terminated sender
 //! unwind instead of deadlocking, and
 //! [`crate::engine::run_spmd_with_faults`] returns the failure as an error.
 

@@ -29,6 +29,11 @@
 //! For configurations too large to execute numerically (the paper's
 //! 1000-rank runs) the same cost formulas are evaluated analytically; see
 //! [`modeled`].
+//!
+//! Runs can optionally record a deterministic, virtual-clock-stamped trace
+//! (phases, collectives, point-to-point traffic) through
+//! [`engine::run_spmd_traced`]; see the `hetero-trace` crate for the event
+//! model and exporters.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -45,8 +50,9 @@ pub mod topology;
 pub mod work;
 
 pub use comm::{Payload, SimComm};
-pub use engine::{run_spmd, run_spmd_with_faults, RankResult, SpmdConfig};
+pub use engine::{run_spmd, run_spmd_traced, run_spmd_with_faults, RankResult, SpmdConfig};
 pub use fault::{FaultPlan, RankFailed, SlowWindow};
+pub use hetero_trace::{Trace, TraceDetail, TraceSpec};
 pub use network::{MsgContext, NetworkModel};
 pub use stats::CommStats;
 pub use topology::ClusterTopology;

@@ -1,0 +1,299 @@
+//! Trace exporters: JSONL and Chrome `trace_event` JSON.
+//!
+//! Both formats are emitted with hand-rolled, dependency-free writers so
+//! the byte stream is a pure function of the event list: floats print via
+//! Rust's shortest-round-trip `Display` (deterministic across platforms),
+//! object keys are written in a fixed order, and nothing ever consults the
+//! wall clock or the environment.
+
+use crate::event::{EventKind, TraceEvent, CAMPAIGN_RANK};
+use std::fmt::Write;
+
+/// Writes `x` as a JSON number (floats are finite throughout the stack; a
+/// non-finite value would be a bug, surfaced as `null` rather than invalid
+/// JSON).
+fn num(out: &mut String, x: f64) {
+    if x.is_finite() {
+        let _ = write!(out, "{x}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn common_prefix(out: &mut String, e: &TraceEvent) {
+    out.push_str("{\"at\":");
+    num(out, e.at);
+    out.push_str(",\"dur\":");
+    num(out, e.dur);
+    out.push_str(",\"rank\":");
+    if e.rank == CAMPAIGN_RANK {
+        out.push_str("\"campaign\"");
+    } else {
+        let _ = write!(out, "{}", e.rank);
+    }
+}
+
+fn kind_fields(out: &mut String, kind: &EventKind) {
+    match kind {
+        EventKind::Phase { phase, step } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"phase\",\"phase\":\"{}\",\"step\":{step}",
+                phase.name()
+            );
+        }
+        EventKind::Collective { op, bytes } => {
+            let _ = write!(out, ",\"ev\":\"collective\",\"op\":\"{op}\",\"bytes\":");
+            num(out, *bytes);
+        }
+        EventKind::SendMsg { peer, bytes } => {
+            let _ = write!(out, ",\"ev\":\"send\",\"peer\":{peer},\"bytes\":");
+            num(out, *bytes);
+        }
+        EventKind::RecvMsg { peer, bytes } => {
+            let _ = write!(out, ",\"ev\":\"recv\",\"peer\":{peer},\"bytes\":");
+            num(out, *bytes);
+        }
+        EventKind::Solver { step, iters } => {
+            let _ = write!(out, ",\"ev\":\"solver\",\"step\":{step},\"iters\":{iters}");
+        }
+        EventKind::Checkpoint { step, bytes } => {
+            let _ = write!(out, ",\"ev\":\"checkpoint\",\"step\":{step},\"bytes\":");
+            num(out, *bytes);
+        }
+        EventKind::Revocation { node } => {
+            let _ = write!(out, ",\"ev\":\"revocation\",\"node\":{node}");
+        }
+        EventKind::Rollback {
+            to_step,
+            lost_seconds,
+        } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"rollback\",\"to_step\":{to_step},\"lost_seconds\":"
+            );
+            num(out, *lost_seconds);
+        }
+        EventKind::AttemptStart { attempt } => {
+            let _ = write!(out, ",\"ev\":\"attempt\",\"attempt\":{attempt}");
+        }
+        EventKind::Expense { account, dollars } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"expense\",\"account\":\"{account}\",\"dollars\":"
+            );
+            num(out, *dollars);
+        }
+        EventKind::TimeAccount { account, seconds } => {
+            let _ = write!(
+                out,
+                ",\"ev\":\"time\",\"account\":\"{account}\",\"seconds\":"
+            );
+            num(out, *seconds);
+        }
+    }
+}
+
+/// One JSON object per event, one event per line, trailing newline.
+pub fn jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 96);
+    for e in events {
+        common_prefix(&mut out, e);
+        kind_fields(&mut out, &e.kind);
+        out.push_str("}\n");
+    }
+    out
+}
+
+/// Display name of an event in the Chrome trace viewer.
+fn chrome_name(kind: &EventKind) -> String {
+    match kind {
+        EventKind::Phase { phase, .. } => phase.name().to_string(),
+        EventKind::Collective { op, .. } => op.to_string(),
+        EventKind::SendMsg { peer, .. } => format!("send->{peer}"),
+        EventKind::RecvMsg { peer, .. } => format!("recv<-{peer}"),
+        EventKind::Solver { .. } => "krylov".to_string(),
+        EventKind::Checkpoint { .. } => "checkpoint".to_string(),
+        EventKind::Revocation { node } => format!("revocation(node {node})"),
+        EventKind::Rollback { .. } => "rollback".to_string(),
+        EventKind::AttemptStart { attempt } => format!("attempt {attempt}"),
+        EventKind::Expense { account, .. } => format!("$ {account}"),
+        EventKind::TimeAccount { account, .. } => format!("t {account}"),
+    }
+}
+
+fn chrome_category(kind: &EventKind) -> &'static str {
+    match kind {
+        EventKind::Phase { .. } => "phase",
+        EventKind::Collective { .. } => "collective",
+        EventKind::SendMsg { .. } | EventKind::RecvMsg { .. } => "p2p",
+        EventKind::Solver { .. } => "solver",
+        EventKind::Checkpoint { .. }
+        | EventKind::Revocation { .. }
+        | EventKind::Rollback { .. }
+        | EventKind::AttemptStart { .. } => "fault",
+        EventKind::Expense { .. } | EventKind::TimeAccount { .. } => "expense",
+    }
+}
+
+/// Chrome `trace_event` JSON: complete (`"X"`) events for spans, instant
+/// (`"i"`) events otherwise; timestamps in microseconds of virtual time;
+/// one `tid` per rank. Loads directly in `about://tracing` and Perfetto.
+pub fn chrome_json(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 160 + 64);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    for e in events {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let span = e.dur > 0.0;
+        out.push_str("{\"name\":\"");
+        out.push_str(&chrome_name(&e.kind));
+        out.push_str("\",\"cat\":\"");
+        out.push_str(chrome_category(&e.kind));
+        out.push_str("\",\"ph\":\"");
+        out.push_str(if span { "X" } else { "i" });
+        out.push_str("\",\"ts\":");
+        num(&mut out, e.at * 1e6);
+        if span {
+            out.push_str(",\"dur\":");
+            num(&mut out, e.dur * 1e6);
+        } else {
+            out.push_str(",\"s\":\"t\"");
+        }
+        out.push_str(",\"pid\":0,\"tid\":");
+        let _ = write!(out, "{}", e.rank);
+        out.push_str(",\"args\":");
+        args_json(&mut out, &e.kind);
+        out.push('}');
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+fn args_json(out: &mut String, kind: &EventKind) {
+    match kind {
+        EventKind::Phase { step, .. } => {
+            let _ = write!(out, "{{\"step\":{step}}}");
+        }
+        EventKind::Collective { bytes, .. }
+        | EventKind::SendMsg { bytes, .. }
+        | EventKind::RecvMsg { bytes, .. } => {
+            out.push_str("{\"bytes\":");
+            num(out, *bytes);
+            out.push('}');
+        }
+        EventKind::Solver { step, iters } => {
+            let _ = write!(out, "{{\"step\":{step},\"iters\":{iters}}}");
+        }
+        EventKind::Checkpoint { step, bytes } => {
+            let _ = write!(out, "{{\"step\":{step},\"bytes\":");
+            num(out, *bytes);
+            out.push('}');
+        }
+        EventKind::Revocation { node } => {
+            let _ = write!(out, "{{\"node\":{node}}}");
+        }
+        EventKind::Rollback {
+            to_step,
+            lost_seconds,
+        } => {
+            let _ = write!(out, "{{\"to_step\":{to_step},\"lost_seconds\":");
+            num(out, *lost_seconds);
+            out.push('}');
+        }
+        EventKind::AttemptStart { attempt } => {
+            let _ = write!(out, "{{\"attempt\":{attempt}}}");
+        }
+        EventKind::Expense { dollars, .. } => {
+            out.push_str("{\"dollars\":");
+            num(out, *dollars);
+            out.push('}');
+        }
+        EventKind::TimeAccount { seconds, .. } => {
+            out.push_str("{\"seconds\":");
+            num(out, *seconds);
+            out.push('}');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Phase;
+
+    fn sample() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent {
+                at: 0.25,
+                dur: 0.5,
+                rank: 0,
+                seq: 0,
+                kind: EventKind::Phase {
+                    phase: Phase::Assembly,
+                    step: 1,
+                },
+            },
+            TraceEvent {
+                at: 0.75,
+                dur: 0.0,
+                rank: 1,
+                seq: 0,
+                kind: EventKind::Solver { step: 1, iters: 12 },
+            },
+            TraceEvent {
+                at: 1.0,
+                dur: 0.0,
+                rank: CAMPAIGN_RANK,
+                seq: 0,
+                kind: EventKind::Expense {
+                    account: "fleet",
+                    dollars: 0.125,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_is_one_parseable_object_per_line() {
+        let text = jsonl(&sample());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            let v: serde_json::Value = serde_json::from_str(line).expect("valid JSON");
+            assert!(v.get("at").and_then(|x| x.as_f64()).is_some());
+        }
+        assert!(lines[0].contains("\"phase\":\"assembly\""));
+        assert!(lines[2].contains("\"rank\":\"campaign\""));
+    }
+
+    #[test]
+    fn chrome_json_parses_and_has_span_and_instant_phases() {
+        let text = chrome_json(&sample());
+        let v: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+        let events = v.get("traceEvents").and_then(|e| e.as_array()).unwrap();
+        assert_eq!(events.len(), 3);
+        assert_eq!(
+            events[0].get("ph").and_then(|p| p.as_str()),
+            Some("X"),
+            "span event must be a complete event"
+        );
+        assert_eq!(events[1].get("ph").and_then(|p| p.as_str()), Some("i"));
+        // Microsecond timestamps of virtual time.
+        assert_eq!(events[0].get("ts").and_then(|t| t.as_f64()), Some(250000.0));
+        assert_eq!(
+            events[0].get("dur").and_then(|t| t.as_f64()),
+            Some(500000.0)
+        );
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let a = sample();
+        assert_eq!(jsonl(&a), jsonl(&a.clone()));
+        assert_eq!(chrome_json(&a), chrome_json(&a.clone()));
+    }
+}

@@ -1,0 +1,38 @@
+//! # hetero-trace
+//!
+//! Deterministic, virtual-clock-stamped structured tracing and metrics for
+//! the hetero-hpc stack.
+//!
+//! Every event is stamped with the emitting rank's *virtual* clock, so a
+//! trace is a pure function of `(program, platform models, seed)` —
+//! byte-identical across host thread counts and host machines. Events are
+//! merged in `(virtual time, rank, per-rank sequence)` order; wall clock
+//! never participates.
+//!
+//! The pieces:
+//! - [`event`]: the event vocabulary ([`TraceEvent`], [`EventKind`],
+//!   [`Phase`]) — `Copy` records, no heap payloads.
+//! - [`sink`]: recording plumbing — per-rank [`RankTracer`] staging
+//!   buffers (preallocated, drained at barriers and on overflow) feeding a
+//!   shared [`TraceSink`]; [`Trace`] is the merged result. When tracing is
+//!   off the communicator holds no tracer, so the disabled path is one
+//!   `Option` check.
+//! - [`metrics`]: [`MetricsRegistry`] — monotonic counters + fixed-bucket
+//!   histograms derived from a finished trace (zero recording overhead).
+//! - [`export`]: JSONL and Chrome `trace_event` JSON writers
+//!   (deterministic bytes; the latter opens in `about://tracing` or
+//!   Perfetto).
+//! - [`rollup`]: [`PhaseRollup`] — reduces phase spans back to the
+//!   paper's per-iteration assembly/precond/solve/total numbers with the
+//!   report pipeline's exact operation order.
+
+pub mod event;
+pub mod export;
+pub mod metrics;
+pub mod rollup;
+pub mod sink;
+
+pub use event::{cmp_events, EventKind, Phase, TraceEvent, CAMPAIGN_RANK};
+pub use metrics::{Histogram, MetricsRegistry};
+pub use rollup::{rollup as phase_rollup, PhaseRollup};
+pub use sink::{RankTracer, Trace, TraceDetail, TraceSink, TraceSpec};

@@ -1,0 +1,367 @@
+//! Recording plumbing: per-rank staging buffers draining into a shared
+//! sink, and the merged [`Trace`] they produce.
+//!
+//! The hot path is [`RankTracer::record`]: one bounds check and a `Vec`
+//! push into a buffer preallocated at its full capacity, so steady-state
+//! recording allocates nothing. Buffers drain into the sink when full and
+//! at barriers; the sink merges drained batches under a mutex that is
+//! touched only at drain time, never per event. When tracing is off the
+//! communicator holds no tracer at all, so the disabled path is a single
+//! `Option` test.
+
+use crate::event::{cmp_events, EventKind, TraceEvent};
+use crate::export;
+use crate::metrics::MetricsRegistry;
+use crate::rollup::{rollup, PhaseRollup};
+use std::sync::{Arc, Mutex};
+
+/// How much of the stack to record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TraceDetail {
+    /// FEM phase spans, solver counts, and fault/recovery/expense events.
+    Phases,
+    /// `Phases` plus one span per collective operation.
+    Collectives,
+    /// `Collectives` plus every point-to-point message. Verbose: a Krylov
+    /// solve emits two events per halo exchange per iteration.
+    Messages,
+}
+
+/// Tracing configuration carried by a run request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceSpec {
+    /// Recording granularity.
+    pub detail: TraceDetail,
+    /// Per-rank staging-buffer capacity, in events. Buffers drain to the
+    /// shared sink when full (and at barriers), so this bounds per-rank
+    /// memory, not trace length.
+    pub buffer_events: usize,
+}
+
+impl TraceSpec {
+    /// Phase-level tracing (the cheapest useful granularity).
+    pub fn phases() -> Self {
+        TraceSpec {
+            detail: TraceDetail::Phases,
+            ..Self::default()
+        }
+    }
+
+    /// Phase + collective tracing (the default).
+    pub fn collectives() -> Self {
+        Self::default()
+    }
+
+    /// Everything, including per-message point-to-point events.
+    pub fn messages() -> Self {
+        TraceSpec {
+            detail: TraceDetail::Messages,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for TraceSpec {
+    fn default() -> Self {
+        TraceSpec {
+            detail: TraceDetail::Collectives,
+            buffer_events: 4096,
+        }
+    }
+}
+
+/// The shared collection point all ranks drain into. One per traced run.
+pub struct TraceSink {
+    spec: TraceSpec,
+    merged: Mutex<Vec<TraceEvent>>,
+}
+
+impl TraceSink {
+    /// Creates a sink for one traced run.
+    pub fn new(spec: TraceSpec) -> Arc<Self> {
+        Arc::new(TraceSink {
+            spec,
+            merged: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The spec this sink was created with.
+    pub fn spec(&self) -> TraceSpec {
+        self.spec
+    }
+
+    /// Moves a rank's staged events into the sink, leaving the staging
+    /// buffer empty but with its capacity intact.
+    pub fn absorb(&self, staged: &mut Vec<TraceEvent>) {
+        if staged.is_empty() {
+            return;
+        }
+        let mut merged = self
+            .merged
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        merged.append(staged);
+    }
+
+    /// Consumes the sink and produces the merged, deterministically ordered
+    /// trace. Call after every rank has drained (the engine drops each
+    /// rank's tracer before joining its thread).
+    pub fn finish(self: Arc<Self>) -> Trace {
+        let mut events = match Arc::try_unwrap(self) {
+            Ok(sink) => sink.merged.into_inner(),
+            Err(arc) => {
+                let mut guard = arc
+                    .merged
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                Ok(std::mem::take(&mut *guard))
+            }
+        }
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+        events.sort_by(cmp_events);
+        Trace { events }
+    }
+}
+
+/// One rank's recording handle: a fixed-capacity staging buffer plus the
+/// per-rank sequence counter that makes the global sort key total.
+pub struct RankTracer {
+    rank: u32,
+    seq: u64,
+    detail: TraceDetail,
+    staged: Vec<TraceEvent>,
+    sink: Arc<TraceSink>,
+}
+
+impl RankTracer {
+    /// Creates the tracer for `rank`, preallocating its staging buffer.
+    pub fn new(rank: u32, sink: Arc<TraceSink>) -> Self {
+        let spec = sink.spec();
+        RankTracer {
+            rank,
+            seq: 0,
+            detail: spec.detail,
+            staged: Vec::with_capacity(spec.buffer_events.max(16)),
+            sink,
+        }
+    }
+
+    /// Recording granularity (copied out of the spec so the check is a
+    /// register compare, not a pointer chase).
+    #[inline]
+    pub fn detail(&self) -> TraceDetail {
+        self.detail
+    }
+
+    /// Records one event stamped at virtual time `at` lasting `dur`
+    /// virtual seconds. Allocation-free until the buffer fills.
+    #[inline]
+    pub fn record(&mut self, at: f64, dur: f64, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        // Drain *before* pushing at capacity so the push itself never
+        // reallocates the staging buffer.
+        if self.staged.len() == self.staged.capacity() {
+            self.sink.absorb(&mut self.staged);
+        }
+        self.staged.push(TraceEvent {
+            at,
+            dur,
+            rank: self.rank,
+            seq,
+            kind,
+        });
+    }
+
+    /// Drains the staging buffer into the sink. Called at barriers and on
+    /// drop, so a rank that unwinds (fault, poison) still contributes the
+    /// events it recorded before dying.
+    pub fn flush(&mut self) {
+        self.sink.absorb(&mut self.staged);
+    }
+}
+
+impl Drop for RankTracer {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// A merged, deterministically ordered trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    /// Events sorted by `(virtual time, rank, per-rank seq)`.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Restores the canonical `(at, rank, seq)` order after edits.
+    pub fn sort(&mut self) {
+        self.events.sort_by(cmp_events);
+    }
+
+    /// Shifts every timestamp by `offset` virtual seconds (used to place an
+    /// attempt's trace on the campaign timeline).
+    pub fn shift(&mut self, offset: f64) {
+        for e in &mut self.events {
+            e.at += offset;
+        }
+    }
+
+    /// Appends a campaign-level event (rank [`crate::event::CAMPAIGN_RANK`])
+    /// with the next free sequence number for that rank. Call [`Self::sort`]
+    /// once after the last push.
+    pub fn push_campaign(&mut self, at: f64, kind: EventKind) {
+        let rank = crate::event::CAMPAIGN_RANK;
+        let seq = self
+            .events
+            .iter()
+            .filter(|e| e.rank == rank)
+            .map(|e| e.seq + 1)
+            .max()
+            .unwrap_or(0);
+        self.events.push(TraceEvent {
+            at,
+            dur: 0.0,
+            rank,
+            seq,
+            kind,
+        });
+    }
+
+    /// Merges `other`'s events in and restores canonical order.
+    pub fn merge(&mut self, other: Trace) {
+        self.events.extend(other.events);
+        self.sort();
+    }
+
+    /// One JSON object per line; byte-identical for byte-identical traces.
+    pub fn jsonl(&self) -> String {
+        export::jsonl(&self.events)
+    }
+
+    /// Chrome `trace_event` JSON (opens in `about://tracing` / Perfetto).
+    pub fn chrome_json(&self) -> String {
+        export::chrome_json(&self.events)
+    }
+
+    /// Derives the metrics registry (counters + histograms) from the
+    /// recorded events.
+    pub fn metrics(&self) -> MetricsRegistry {
+        MetricsRegistry::from_events(&self.events)
+    }
+
+    /// Per-phase rollup reproducing the report's critical-rank +
+    /// discard-and-average reduction. `None` if no complete iteration
+    /// survives the discard.
+    pub fn phase_rollup(&self, discard: usize) -> Option<PhaseRollup> {
+        rollup(&self.events, discard)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Phase;
+
+    #[test]
+    fn record_and_finish_orders_by_virtual_time_then_rank() {
+        let sink = TraceSink::new(TraceSpec::default());
+        let mut t1 = RankTracer::new(1, sink.clone());
+        let mut t0 = RankTracer::new(0, sink.clone());
+        // Rank 1 records first in wall time, but its events sort by `at`.
+        t1.record(
+            2.0,
+            0.5,
+            EventKind::Phase {
+                phase: Phase::Solve,
+                step: 0,
+            },
+        );
+        t0.record(
+            1.0,
+            0.5,
+            EventKind::Phase {
+                phase: Phase::Assembly,
+                step: 0,
+            },
+        );
+        t1.record(1.0, 0.0, EventKind::Solver { step: 0, iters: 3 });
+        drop(t0);
+        drop(t1);
+        let trace = sink.finish();
+        let order: Vec<(f64, u32, u64)> =
+            trace.events.iter().map(|e| (e.at, e.rank, e.seq)).collect();
+        assert_eq!(order, vec![(1.0, 0, 0), (1.0, 1, 1), (2.0, 1, 0)]);
+    }
+
+    #[test]
+    fn staging_buffer_spills_without_losing_events() {
+        let sink = TraceSink::new(TraceSpec {
+            detail: TraceDetail::Messages,
+            buffer_events: 16,
+        });
+        let mut t = RankTracer::new(0, sink.clone());
+        for i in 0..100 {
+            t.record(i as f64, 0.0, EventKind::Solver { step: i, iters: 1 });
+        }
+        drop(t);
+        let trace = sink.finish();
+        assert_eq!(trace.len(), 100);
+        // Per-rank seq survives the spill and keeps the order total.
+        for (i, e) in trace.events.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+        }
+    }
+
+    #[test]
+    fn dropping_an_unwound_tracer_still_drains() {
+        let sink = TraceSink::new(TraceSpec::default());
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut t = RankTracer::new(3, sink.clone());
+            t.record(0.5, 0.0, EventKind::Revocation { node: 1 });
+            panic!("simulated fault unwind");
+        }));
+        assert!(payload.is_err());
+        let trace = sink.finish();
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace.events[0].rank, 3);
+    }
+
+    #[test]
+    fn shift_and_campaign_push_keep_order_after_sort() {
+        let sink = TraceSink::new(TraceSpec::default());
+        let mut t = RankTracer::new(0, sink.clone());
+        t.record(
+            1.0,
+            1.0,
+            EventKind::Collective {
+                op: "barrier",
+                bytes: 64.0,
+            },
+        );
+        drop(t);
+        let mut trace = sink.finish();
+        trace.shift(10.0);
+        trace.push_campaign(5.0, EventKind::AttemptStart { attempt: 1 });
+        trace.push_campaign(5.0, EventKind::Revocation { node: 0 });
+        trace.sort();
+        assert_eq!(trace.events[0].at, 5.0);
+        assert!(matches!(
+            trace.events[0].kind,
+            EventKind::AttemptStart { attempt: 1 }
+        ));
+        assert_eq!(trace.events[1].seq, 1);
+        assert_eq!(trace.events[2].at, 11.0);
+    }
+}

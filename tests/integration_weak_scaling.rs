@@ -191,6 +191,7 @@ fn numerical_smoke_ladder_runs_end_to_end() {
         discard: 0,
         fidelity: Fidelity::Numerical,
         seed: 7,
+        trace: None,
     };
     let t = fig4(&opts);
     assert_eq!(t.rows.len(), 2);
