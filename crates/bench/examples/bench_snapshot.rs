@@ -30,7 +30,9 @@ use hetero_fem::dofmap::DofMap;
 use hetero_fem::element::ElementOrder;
 use hetero_hpc::snapshot::Snapshot;
 use hetero_linalg::csr::TripletBuilder;
-use hetero_linalg::{DistMatrix, ExchangePlan};
+use hetero_linalg::precond::Identity;
+use hetero_linalg::solver::{cg, SolveOptions, SolverVariant};
+use hetero_linalg::{fused_dots, DistMatrix, ExchangePlan};
 use hetero_mesh::{DistributedMesh, StructuredHexMesh};
 use hetero_partition::{BlockPartitioner, Partitioner};
 use hetero_simmpi::{run_spmd, ClusterTopology, ComputeModel, NetworkModel, SpmdConfig};
@@ -236,6 +238,132 @@ fn time_trace_overhead(samples: usize) -> (f64, f64) {
     (untraced, traced)
 }
 
+/// Times the overlapped SpMV against the blocking one across a 2-rank
+/// halo, the fused two-scalar reduction against two scalar ones, and a
+/// fixed-iteration classic vs. pipelined CG solve — the host cost of the
+/// communication-overlap machinery itself (the virtual-time savings are
+/// asserted by the solver-equivalence suite, not measured here).
+struct OverlapTimes {
+    spmv_blocking: f64,
+    spmv_overlapped: f64,
+    two_dots: f64,
+    fused_dot: f64,
+    cg_classic: f64,
+    cg_pipelined: f64,
+}
+
+fn time_overlap_kernels(
+    n_rows: usize,
+    dot_len: usize,
+    cg_iters: usize,
+    samples: usize,
+) -> OverlapTimes {
+    let cfg = SpmdConfig {
+        size: 2,
+        topo: ClusterTopology::uniform(2, 1),
+        net: NetworkModel::ideal(),
+        compute: ComputeModel::new(1e9, 4e9),
+        seed: 0,
+    };
+    run_spmd(cfg, move |comm| {
+        // Rank-local block of the global 1-D Laplacian: one ghost on the
+        // shared edge, so interior/boundary classification is non-trivial.
+        let rank = comm.rank();
+        let first = rank * n_rows;
+        let ghost_local = n_rows; // single ghost slot
+        let mut b = TripletBuilder::with_capacity(n_rows, n_rows + 1, 3 * n_rows);
+        for r in 0..n_rows {
+            let g = first + r;
+            b.add(r, r, 2.0);
+            if r > 0 {
+                b.add(r, r - 1, -1.0);
+            }
+            if r + 1 < n_rows {
+                b.add(r, r + 1, -1.0);
+            }
+            if g > 0 && r == 0 {
+                b.add(r, ghost_local, -1.0);
+            }
+            if g + 1 < 2 * n_rows && r == n_rows - 1 {
+                b.add(r, ghost_local, -1.0);
+            }
+        }
+        let mut plan = ExchangePlan::empty();
+        let nb = 1 - rank;
+        plan.neighbors.push(nb);
+        plan.send_indices
+            .push(vec![if rank == 0 { n_rows - 1 } else { 0 }]);
+        plan.recv_indices.push(vec![ghost_local]);
+        let a = DistMatrix::new(b.build(), plan);
+
+        let mut x = a.new_vector();
+        for (i, v) in x.owned_mut().iter_mut().enumerate() {
+            *v = ((first + i) as f64 * 0.37).sin();
+        }
+        let mut y = a.new_vector();
+        let spmv_blocking = median_ns(samples, 4, || {
+            a.spmv(black_box(&mut x), &mut y, comm);
+        });
+        let spmv_overlapped = median_ns(samples, 4, || {
+            a.spmv_overlapped(black_box(&mut x), &mut y, comm);
+        });
+
+        let v = hetero_linalg::DistVector::from_values(
+            (0..dot_len).map(|i| (i as f64 * 0.1).sin()).collect(),
+            dot_len,
+        );
+        let w = hetero_linalg::DistVector::from_values(
+            (0..dot_len).map(|i| (i as f64 * 0.2).cos()).collect(),
+            dot_len,
+        );
+        let two_dots = median_ns(samples, 4, || {
+            black_box(v.dot(&v, comm) + v.dot(&w, comm));
+        });
+        let fused_dot = median_ns(samples, 4, || {
+            black_box(fused_dots(&[(&v, &v), (&v, &w)], comm));
+        });
+
+        // Fixed-work CG: a tolerance no 1-D Laplacian reaches in cg_iters
+        // iterations, so both variants run exactly cg_iters iterations.
+        let rhs = {
+            let mut r = a.new_vector();
+            r.fill(1.0);
+            r
+        };
+        let mut sol = a.new_vector();
+        let solve_with = |variant: SolverVariant,
+                          sol: &mut hetero_linalg::DistVector,
+                          comm: &mut hetero_simmpi::SimComm| {
+            let opts = SolveOptions {
+                rel_tol: 1e-300,
+                max_iters: cg_iters,
+                variant,
+                ..SolveOptions::default()
+            };
+            cg(&a, &rhs, sol, &Identity, opts, comm)
+        };
+        let cg_classic = median_ns(samples, 1, || {
+            sol.fill(0.0);
+            black_box(solve_with(SolverVariant::Blocking, &mut sol, comm));
+        });
+        let cg_pipelined = median_ns(samples, 1, || {
+            sol.fill(0.0);
+            black_box(solve_with(SolverVariant::Pipelined, &mut sol, comm));
+        });
+
+        OverlapTimes {
+            spmv_blocking,
+            spmv_overlapped,
+            two_dots,
+            fused_dot,
+            cg_classic,
+            cg_pipelined,
+        }
+    })
+    .swap_remove(0)
+    .value
+}
+
 struct Profile {
     schema: &'static str,
     out: &'static str,
@@ -247,6 +375,12 @@ struct Profile {
     spmv_n: usize,
     /// Cells per axis for the checkpoint kernels.
     ckpt_n: usize,
+    /// Rows per rank for the overlapped-SpMV kernel.
+    overlap_rows: usize,
+    /// Local length of the fused-reduction vectors.
+    dot_len: usize,
+    /// Fixed iteration count for the classic-vs-pipelined CG timing.
+    cg_iters: usize,
     /// Timing samples per kernel (the median is reported).
     samples: usize,
 }
@@ -258,6 +392,9 @@ const FULL: Profile = Profile {
     rebuild_n: 20,
     spmv_n: 32,
     ckpt_n: 6,
+    overlap_rows: 32_768,
+    dot_len: 65_536,
+    cg_iters: 50,
     samples: 9,
 };
 
@@ -271,6 +408,9 @@ const SMOKE: Profile = Profile {
     rebuild_n: 12,
     spmv_n: 16,
     ckpt_n: 4,
+    overlap_rows: 4096,
+    dot_len: 8192,
+    cg_iters: 20,
     samples: 5,
 };
 
@@ -322,6 +462,10 @@ fn main() {
     // Recovery-loop kernels: one Q2 checkpoint on ckpt_n^3 cells.
     let ckpt = time_checkpoint(p.ckpt_n, p.samples);
 
+    // Communication-overlap kernels: overlapped SpMV, fused reductions,
+    // pipelined CG.
+    let ov = time_overlap_kernels(p.overlap_rows, p.dot_len, p.cg_iters, p.samples);
+
     // Trace-recording overhead on a full numerical run.
     let (untraced_ns, traced_ns) = time_trace_overhead(p.samples);
 
@@ -358,6 +502,25 @@ fn main() {
             "on_disk_bytes": ckpt.bytes,
             "write_path_ns": ckpt.capture + ckpt.serialize,
             "restart_path_ns": ckpt.parse + ckpt.restore,
+        }),
+        "spmv_overlapped": serde_json::json!({
+            "rows_per_rank": p.overlap_rows,
+            "blocking_ns": ov.spmv_blocking,
+            "overlapped_ns": ov.spmv_overlapped,
+            "host_overhead_ratio": ov.spmv_overlapped / ov.spmv_blocking,
+        }),
+        "fused_dot": serde_json::json!({
+            "len": p.dot_len,
+            "two_dots_ns": ov.two_dots,
+            "fused_ns": ov.fused_dot,
+            "host_speedup": ov.two_dots / ov.fused_dot,
+        }),
+        "cg_pipelined": serde_json::json!({
+            "rows_per_rank": p.overlap_rows,
+            "iterations": p.cg_iters,
+            "classic_ns": ov.cg_classic,
+            "pipelined_ns": ov.cg_pipelined,
+            "host_overhead_ratio": ov.cg_pipelined / ov.cg_classic,
         }),
         "trace_overhead_rd_8ranks": serde_json::json!({
             "untraced_ns": untraced_ns,

@@ -3,6 +3,7 @@
 use hetero_fem::element::ElementOrder;
 use hetero_fem::ns::NsConfig;
 use hetero_fem::rd::{PrecondKind, RdConfig};
+use hetero_linalg::SolverVariant;
 
 /// One of the paper's applications with its configuration.
 #[derive(Debug, Clone)]
@@ -73,6 +74,32 @@ impl App {
         match self {
             App::Rd(c) => c.order,
             App::Ns(c) => c.vel_order,
+        }
+    }
+
+    /// Returns a copy with every Krylov solve switched to `variant`
+    /// (RD: the CG solve; NS: momentum and pressure solves alike).
+    pub fn with_solver_variant(&self, variant: SolverVariant) -> App {
+        match self {
+            App::Rd(c) => {
+                let mut c = c.clone();
+                c.solve.variant = variant;
+                App::Rd(c)
+            }
+            App::Ns(c) => {
+                let mut c = c.clone();
+                c.solve_vel.variant = variant;
+                c.solve_p.variant = variant;
+                App::Ns(c)
+            }
+        }
+    }
+
+    /// The solver variant of the primary (most iteration-heavy) solve.
+    pub fn solver_variant(&self) -> SolverVariant {
+        match self {
+            App::Rd(c) => c.solve.variant,
+            App::Ns(c) => c.solve_vel.variant,
         }
     }
 }

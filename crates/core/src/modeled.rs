@@ -19,6 +19,7 @@ use hetero_fem::ns::NsConfig;
 use hetero_fem::phase::PhaseTimes;
 use hetero_fem::profile;
 use hetero_fem::rd::RdConfig;
+use hetero_linalg::SolverVariant;
 use hetero_partition::BlockLayout;
 use hetero_simmpi::modeled::{VirtualEnv, VirtualMsg, VirtualRank};
 use hetero_simmpi::{ClusterTopology, ComputeModel, NetworkModel, Work};
@@ -53,6 +54,9 @@ struct SpaceInfo {
     neighbors: Vec<(usize, usize)>,
     n_owned: f64,
     nnz: f64,
+    /// Stored entries in rows that reference ghost columns — the part of
+    /// the SpMV that must wait for the halo under the overlapped schedule.
+    boundary_nnz: f64,
 }
 
 fn space_info(layout: &BlockLayout, rank: usize, order: ElementOrder, ranks: usize) -> SpaceInfo {
@@ -61,11 +65,17 @@ fn space_info(layout: &BlockLayout, rank: usize, order: ElementOrder, ranks: usi
     let (nx, ny, nz) = layout.cell_dims();
     let global = ((q * nx + 1) * (q * ny + 1) * (q * nz + 1)) as f64;
     let n_owned = global / ranks as f64;
-    let nnz = n_owned * profile::stencil_nnz_per_row(order);
+    let stencil = profile::stencil_nnz_per_row(order);
+    let nnz = n_owned * stencil;
+    // One stencil layer of rows along each shared interface references
+    // ghost columns; the interface node counts are exactly that layer.
+    let shared: usize = neighbors.iter().map(|&(_, s)| s).sum();
+    let boundary_nnz = (shared as f64 * stencil).min(nnz);
     SpaceInfo {
         neighbors,
         n_owned,
         nnz,
+        boundary_nnz,
     }
 }
 
@@ -149,8 +159,72 @@ impl Replay {
         self.v.compute(Work::new(2.0 * info.nnz, 20.0 * info.nnz));
     }
 
+    /// An overlapped SpMV: the halo transfer progresses while the interior
+    /// rows compute; only the boundary rows serialize behind the wait.
+    fn spmv_overlapped(&mut self, info: &SpaceInfo) {
+        let msgs = self.msgs(&info.neighbors, 8.0);
+        self.recv_bytes += msgs.iter().map(|m| m.bytes).sum::<f64>();
+        let interior = info.nnz - info.boundary_nnz;
+        self.v
+            .halo_exchange_overlapped(&msgs, Work::new(2.0 * interior, 20.0 * interior));
+        self.v
+            .compute(Work::new(2.0 * info.boundary_nnz, 20.0 * info.boundary_nnz));
+    }
+
     fn sweep(&mut self, nnz: f64) {
         self.v.compute(Work::new(2.0 * nnz, 20.0 * nnz));
+    }
+}
+
+/// Replays a preconditioned CG solve (initial residual plus `iters`
+/// iterations) under the given communication schedule, mirroring the
+/// per-iteration collective sequence of `hetero_linalg::solver::cg` /
+/// `cg_pipelined`.
+fn replay_cg(r: &mut Replay, info: &SpaceInfo, iters: usize, variant: SolverVariant) {
+    match variant {
+        SolverVariant::Blocking => {
+            // Initial residual: spmv + norm + precond + dot.
+            r.spmv(info);
+            r.allreduce(1);
+            r.sweep(info.nnz);
+            r.allreduce(1);
+            for _ in 0..iters {
+                r.spmv(info);
+                r.allreduce(1); // dot(p, q)
+                r.axpy(2.0 * info.n_owned);
+                r.allreduce(1); // norm(r)
+                r.sweep(info.nnz); // precond apply
+                r.allreduce(1); // dot(r, z)
+                r.axpy(info.n_owned);
+            }
+        }
+        SolverVariant::Overlapped => {
+            r.spmv_overlapped(info);
+            r.allreduce(1);
+            r.sweep(info.nnz);
+            r.allreduce(1);
+            for _ in 0..iters {
+                r.spmv_overlapped(info);
+                r.allreduce(1); // dot(p, q)
+                r.axpy(2.0 * info.n_owned);
+                r.sweep(info.nnz); // precond apply (before the check)
+                r.allreduce(2); // fused [||r||^2, (r, z)]
+                r.axpy(info.n_owned);
+            }
+        }
+        SolverVariant::Pipelined => {
+            // Setup: residual + preconditioned direction + fused triple.
+            r.spmv_overlapped(info);
+            r.sweep(info.nnz);
+            r.spmv_overlapped(info);
+            r.allreduce(3);
+            for _ in 0..iters {
+                r.sweep(info.nnz); // m = M w
+                r.spmv_overlapped(info); // n = A m
+                r.axpy(8.0 * info.n_owned); // 4 xpby + 4 axpy recurrences
+                r.allreduce(3); // the single fused reduction
+            }
+        }
     }
 }
 
@@ -181,22 +255,9 @@ fn rd_step(r: &mut Replay, s: &Spaces, cfg: &RdConfig) -> PhaseTimes {
     r.v.compute(Work::new(5.0 * info.nnz + info.n_owned, 24.0 * info.nnz));
     let t_precond = r.v.clock();
 
-    // Solve (iiib): CG.
+    // Solve (iiib): CG under the configured communication schedule.
     let iters = profile::rd_cg_iters(s.n_axis);
-    // Initial residual: spmv + norm + precond + dot.
-    r.spmv(info);
-    r.allreduce(1);
-    r.sweep(info.nnz);
-    r.allreduce(1);
-    for _ in 0..iters {
-        r.spmv(info);
-        r.allreduce(1); // dot(p, q)
-        r.axpy(2.0 * info.n_owned);
-        r.allreduce(1); // norm(r)
-        r.sweep(info.nnz); // precond apply
-        r.allreduce(1); // dot(r, z)
-        r.axpy(info.n_owned);
-    }
+    replay_cg(r, info, iters, cfg.solve.variant);
     let t_solve = r.v.clock();
 
     // History rotation ghosts.
@@ -212,7 +273,7 @@ fn rd_step(r: &mut Replay, s: &Spaces, cfg: &RdConfig) -> PhaseTimes {
 }
 
 /// Replays one NS time step.
-fn ns_step(r: &mut Replay, s: &Spaces, _cfg: &NsConfig) -> PhaseTimes {
+fn ns_step(r: &mut Replay, s: &Spaces, cfg: &NsConfig) -> PhaseTimes {
     let v_info = &s.q2;
     let p_info = &s.q1;
     let cells = s.cells as f64;
@@ -251,17 +312,34 @@ fn ns_step(r: &mut Replay, s: &Spaces, _cfg: &NsConfig) -> PhaseTimes {
     let t_precond = r.v.clock();
 
     // Solve: 3 x BiCGStab (2 SpMV per iteration) + pressure CG + projection.
+    let vel_overlapped = cfg.solve_vel.variant != SolverVariant::Blocking;
     let vel_iters = profile::ns_velocity_iters(s.n_axis);
     for _ in 0..3 {
-        r.spmv(v_info); // initial residual
+        if vel_overlapped {
+            r.spmv_overlapped(v_info); // initial residual
+        } else {
+            r.spmv(v_info);
+        }
         r.allreduce(1);
         for _ in 0..vel_iters {
             for _ in 0..2 {
-                r.spmv(v_info);
+                if vel_overlapped {
+                    r.spmv_overlapped(v_info);
+                } else {
+                    r.spmv(v_info);
+                }
                 r.axpy(v_info.n_owned); // Jacobi apply
             }
-            for _ in 0..4 {
-                r.allreduce(1);
+            if vel_overlapped {
+                // rho and rhv stay scalar; (t,t)/(t,s) ride one fused pair.
+                for _ in 0..2 {
+                    r.allreduce(1);
+                }
+                r.allreduce(2);
+            } else {
+                for _ in 0..4 {
+                    r.allreduce(1);
+                }
             }
             r.axpy(6.0 * v_info.n_owned);
         }
@@ -273,16 +351,21 @@ fn ns_step(r: &mut Replay, s: &Spaces, _cfg: &NsConfig) -> PhaseTimes {
         r.axpy(p_info.n_owned);
     }
     let p_iters = profile::ns_pressure_iters(s.n_axis);
-    r.spmv(p_info);
-    r.allreduce(1);
-    for _ in 0..p_iters {
-        r.spmv(p_info);
-        r.allreduce(1);
-        r.axpy(2.0 * p_info.n_owned);
-        r.allreduce(1);
-        r.sweep(p_info.nnz);
-        r.allreduce(1);
-        r.axpy(p_info.n_owned);
+    match cfg.solve_p.variant {
+        SolverVariant::Blocking => {
+            r.spmv(p_info);
+            r.allreduce(1);
+            for _ in 0..p_iters {
+                r.spmv(p_info);
+                r.allreduce(1);
+                r.axpy(2.0 * p_info.n_owned);
+                r.allreduce(1);
+                r.sweep(p_info.nnz);
+                r.allreduce(1);
+                r.axpy(p_info.n_owned);
+            }
+        }
+        variant => replay_cg(r, p_info, p_iters, variant),
     }
     // Correction: 3 gradient SpMVs + lumped update; ghost refreshes.
     for _ in 0..3 {

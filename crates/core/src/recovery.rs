@@ -164,6 +164,13 @@ fn on_demand_node_hour(platform: &PlatformSpec) -> f64 {
 /// immediately — bounded backoff never retries a structurally impossible
 /// launch.
 pub fn execute_resilient(req: &RunRequest) -> Result<ResilienceOutcome, LimitViolation> {
+    // Fold the solver-variant override into the app config (as `execute`
+    // does) so every attempt and probe sees the same schedule.
+    let req = &RunRequest {
+        app: req.resolved_app(),
+        solver_variant: None,
+        ..req.clone()
+    };
     let spec = req
         .resilience
         .clone()

@@ -6,6 +6,7 @@ use crate::recovery::ResilienceSpec;
 use hetero_fem::ns::solve_ns;
 use hetero_fem::phase::{summarize, PhaseTimes};
 use hetero_fem::rd::solve_rd;
+use hetero_linalg::SolverVariant;
 use hetero_mesh::{DistributedMesh, StructuredHexMesh};
 use hetero_partition::block::near_cubic_factors;
 use hetero_partition::BlockLayout;
@@ -53,6 +54,11 @@ pub struct RunRequest {
     pub threads_per_rank: usize,
     /// Engine selection.
     pub fidelity: Fidelity,
+    /// Overrides the solver communication schedule of **every** Krylov
+    /// solve in the app (see [`SolverVariant`]). `None` keeps whatever the
+    /// app's own [`hetero_linalg::SolveOptions`] say — the default blocking
+    /// schedule unless the config was built otherwise.
+    pub solver_variant: Option<SolverVariant>,
     /// Replaces the platform's default topology (placement-group fleets).
     pub topology_override: Option<ClusterTopology>,
     /// Replaces the platform's cost model (spot pricing).
@@ -81,10 +87,20 @@ impl RunRequest {
             discard: 0,
             threads_per_rank: 1,
             fidelity: Fidelity::Auto,
+            solver_variant: None,
             topology_override: None,
             cost_override: None,
             resilience: None,
             trace: None,
+        }
+    }
+
+    /// The app with [`RunRequest::solver_variant`] applied (identity when
+    /// `None`).
+    pub fn resolved_app(&self) -> App {
+        match self.solver_variant {
+            Some(v) => self.app.with_solver_variant(v),
+            None => self.app.clone(),
         }
     }
 }
@@ -149,6 +165,13 @@ pub(crate) fn resolve_fidelity(req: &RunRequest) -> Fidelity {
 /// above 125 of the ladder), launcher failure (ellipse above 512), adapter
 /// volume cap (lagrange above 343).
 pub fn execute(req: &RunRequest) -> Result<RunOutcome, LimitViolation> {
+    // Normalize the solver-variant override into the app config so both
+    // engines see it through the ordinary SolveOptions path.
+    let req = &RunRequest {
+        app: req.resolved_app(),
+        solver_variant: None,
+        ..req.clone()
+    };
     // Capacity and launcher limits are independent of traffic: check them
     // before even building the topology (an oversubscribed topology cannot
     // be constructed).

@@ -135,6 +135,7 @@ fn weak_scaling(app_for: impl Fn(usize) -> App, opts: &ScenarioOptions) -> WeakS
                 discard: opts.discard,
                 threads_per_rank: 1,
                 fidelity: opts.fidelity,
+                solver_variant: None,
                 topology_override: None,
                 cost_override: None,
                 resilience: None,
@@ -194,6 +195,7 @@ pub fn table2(opts: &ScenarioOptions) -> Vec<Table2Row> {
             discard: opts.discard,
             threads_per_rank: 1,
             fidelity: opts.fidelity,
+            solver_variant: None,
             topology_override: None,
             cost_override: None,
             resilience: None,
@@ -528,6 +530,7 @@ pub fn table3(opts: &ResilienceOptions) -> Vec<Table3Row> {
             discard: opts.base.discard,
             threads_per_rank: 1,
             fidelity: opts.base.fidelity,
+            solver_variant: None,
             topology_override: None,
             cost_override: None,
             resilience: None,

@@ -32,7 +32,9 @@ use crate::exact::EthierSteinman;
 use crate::phase::{PhaseRecorder, PhaseTimes};
 use crate::quadrature::{GaussRule3d, ShapeTable};
 use crate::rd::PrecondKind;
-use hetero_linalg::solver::{bicgstab, cg, gmres, SolveOptions};
+use hetero_linalg::solver::{
+    bicgstab_with_workspace, cg, gmres_with_workspace, SolveOptions, SolverWorkspace,
+};
 use hetero_linalg::DistVector;
 use hetero_mesh::DistributedMesh;
 use hetero_simmpi::SimComm;
@@ -101,11 +103,13 @@ impl Default for NsConfig {
                 rel_tol: 1e-9,
                 abs_tol: 1e-13,
                 max_iters: 400,
+                ..SolveOptions::default()
             },
             solve_p: SolveOptions {
                 rel_tol: 1e-9,
                 abs_tol: 1e-13,
                 max_iters: 800,
+                ..SolveOptions::default()
             },
         }
     }
@@ -277,6 +281,9 @@ pub fn solve_ns_with(
     // symbolic phase and only re-scatter values each step.
     let mut momentum_asm = MatrixAssembly::new(8);
     let mut pressure_asm = MatrixAssembly::new(1);
+    // Solver scratch shared by the three momentum solves of every step:
+    // after the first step no solver vector is allocated again.
+    let mut solver_ws = SolverWorkspace::new();
 
     for step in (start_step + 1)..=cfg.steps {
         let t = cfg.t0 + step as f64 * cfg.dt;
@@ -415,16 +422,23 @@ pub fn solve_ns_with(
             let mut x = vmap.new_vector();
             x.copy_from(&hist[0][i], comm);
             let stats = match cfg.momentum_solver {
-                MomentumSolver::BiCgStab => {
-                    bicgstab(&a_v, rhs_i, &mut x, pre_v.as_ref(), cfg.solve_vel, comm)
-                }
-                MomentumSolver::Gmres { restart } => gmres(
+                MomentumSolver::BiCgStab => bicgstab_with_workspace(
+                    &a_v,
+                    rhs_i,
+                    &mut x,
+                    pre_v.as_ref(),
+                    cfg.solve_vel,
+                    &mut solver_ws,
+                    comm,
+                ),
+                MomentumSolver::Gmres { restart } => gmres_with_workspace(
                     &a_v,
                     rhs_i,
                     &mut x,
                     pre_v.as_ref(),
                     restart,
                     cfg.solve_vel,
+                    &mut solver_ws,
                     comm,
                 ),
             };

@@ -314,6 +314,27 @@ impl CsrMatrix {
         });
     }
 
+    /// `y[r] = (A x)[r]` for each listed row, leaving other entries of `y`
+    /// untouched. Each listed row's dot product is computed exactly as
+    /// [`Self::spmv`] computes it, so writing two disjoint row subsets
+    /// (e.g. interior then boundary) reproduces the full product bitwise.
+    pub fn spmv_rows(&self, rows: &[usize], x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.num_cols);
+        assert_eq!(y.len(), self.num_rows);
+        if rows.len() < PAR_SPMV_MIN_ROWS || rayon::current_num_threads() <= 1 {
+            for &r in rows {
+                y[r] = self.row_dot(r, x);
+            }
+            return;
+        }
+        // Scattered output slots prevent handing out disjoint &mut chunks of
+        // `y`; compute per-row values in task order, then scatter serially.
+        let vals = rayon::fixed::map_tasks(rows.len(), |i| self.row_dot(rows[i], x));
+        for (&r, v) in rows.iter().zip(vals) {
+            y[r] = v;
+        }
+    }
+
     /// Dot product of row `r` with `x`, iterating the row's columns and
     /// values as one zipped slice pair.
     #[inline]

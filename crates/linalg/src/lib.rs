@@ -34,5 +34,8 @@ pub mod work_costs;
 pub use csr::{CsrMatrix, SparsityPattern, TripletBuilder};
 pub use distmat::DistMatrix;
 pub use precond::{IluZero, Jacobi, Preconditioner, Ssor};
-pub use solver::{bicgstab, cg, gmres, SolveOptions, SolveStats};
-pub use vector::{DistVector, ExchangePlan};
+pub use solver::{
+    bicgstab, bicgstab_with_workspace, cg, cg_pipelined, gmres, gmres_with_workspace, SolveOptions,
+    SolveStats, SolverVariant, SolverWorkspace,
+};
+pub use vector::{fused_dots, DistVector, ExchangePlan};

@@ -8,8 +8,31 @@
 
 use crate::distmat::DistMatrix;
 use crate::precond::Preconditioner;
-use crate::vector::DistVector;
+use crate::vector::{fused_dots, DistVector};
 use hetero_simmpi::SimComm;
+
+/// Communication schedule used by the Krylov solvers.
+///
+/// `Blocking` reproduces the original solver schedule byte-for-byte; the
+/// other two spend the same arithmetic but expose less communication time
+/// on latency-bound fabrics (the paper's 1 GbE platforms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverVariant {
+    /// Blocking halo exchange in each SpMV and one scalar all-reduce per
+    /// inner product — the baseline schedule.
+    #[default]
+    Blocking,
+    /// Halo exchanges overlapped with interior rows
+    /// ([`DistMatrix::spmv_overlapped`]) plus fused dot-product reductions.
+    /// Values are bitwise-identical to `Blocking`; only the virtual-time
+    /// schedule changes.
+    Overlapped,
+    /// Single-reduction pipelined CG (Ghysels–Vanroose): one fused
+    /// all-reduce per iteration. Mathematically equivalent to classic CG
+    /// but rounded differently, so iteration counts can drift by one or
+    /// two. Non-CG solvers fall back to the `Overlapped` schedule.
+    Pipelined,
+}
 
 /// Convergence controls.
 #[derive(Debug, Clone, Copy)]
@@ -20,6 +43,8 @@ pub struct SolveOptions {
     pub abs_tol: f64,
     /// Iteration cap.
     pub max_iters: usize,
+    /// Communication schedule.
+    pub variant: SolverVariant,
 }
 
 impl Default for SolveOptions {
@@ -28,7 +53,50 @@ impl Default for SolveOptions {
             rel_tol: 1e-8,
             abs_tol: 1e-14,
             max_iters: 500,
+            variant: SolverVariant::default(),
         }
+    }
+}
+
+/// Pool of reusable solver scratch vectors.
+///
+/// [`bicgstab_with_workspace`] and [`gmres_with_workspace`] draw their work
+/// vectors here instead of allocating per call and return them on exit, so
+/// a caller that solves repeatedly (the NS momentum stepper runs three
+/// BiCGStab/GMRES solves per time step) allocates no solver scratch in
+/// steady state. Vectors are zeroed when drawn and allocation never charged
+/// virtual time, so results *and* clocks are identical to the allocating
+/// entry points.
+#[derive(Debug, Default)]
+pub struct SolverWorkspace {
+    pool: Vec<DistVector>,
+}
+
+impl SolverWorkspace {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Draws a zeroed vector shaped like `a`'s column space, reusing a
+    /// pooled allocation when one matches.
+    fn grab(&mut self, a: &DistMatrix) -> DistVector {
+        let (no, nl) = (a.col_n_owned(), a.n_local());
+        if let Some(i) = self
+            .pool
+            .iter()
+            .position(|v| v.n_owned() == no && v.n_local() == nl)
+        {
+            let mut v = self.pool.swap_remove(i);
+            v.fill(0.0);
+            v
+        } else {
+            DistVector::zeros(no, nl - no)
+        }
+    }
+
+    fn stash(&mut self, v: DistVector) {
+        self.pool.push(v);
     }
 }
 
@@ -51,8 +119,25 @@ impl SolveOptions {
     }
 }
 
+#[inline]
+fn spmv_variant(
+    a: &DistMatrix,
+    x: &mut DistVector,
+    y: &mut DistVector,
+    overlapped: bool,
+    comm: &mut SimComm,
+) {
+    if overlapped {
+        a.spmv_overlapped(x, y, comm);
+    } else {
+        a.spmv(x, y, comm);
+    }
+}
+
 /// Preconditioned conjugate gradients for SPD systems. Solves `A x = b`
-/// starting from the incoming `x`.
+/// starting from the incoming `x`. Dispatches on `opts.variant`:
+/// `Pipelined` runs [`cg_pipelined`]; the other two run the classic
+/// iteration with blocking or overlapped communication.
 pub fn cg(
     a: &DistMatrix,
     b: &DistVector,
@@ -61,13 +146,29 @@ pub fn cg(
     opts: SolveOptions,
     comm: &mut SimComm,
 ) -> SolveStats {
+    match opts.variant {
+        SolverVariant::Blocking => cg_classic(a, b, x, m, opts, false, comm),
+        SolverVariant::Overlapped => cg_classic(a, b, x, m, opts, true, comm),
+        SolverVariant::Pipelined => cg_pipelined(a, b, x, m, opts, comm),
+    }
+}
+
+fn cg_classic(
+    a: &DistMatrix,
+    b: &DistVector,
+    x: &mut DistVector,
+    m: &dyn Preconditioner,
+    opts: SolveOptions,
+    overlapped: bool,
+    comm: &mut SimComm,
+) -> SolveStats {
     let norm_b = b.norm2(comm);
     let target = opts.target(norm_b);
 
     let mut r = a.new_vector();
     let mut q = a.new_vector();
     // r = b - A x
-    a.spmv(x, &mut q, comm);
+    spmv_variant(a, x, &mut q, overlapped, comm);
     r.copy_from(b, comm);
     r.axpy(-1.0, &q, comm);
     let initial_residual = r.norm2(comm);
@@ -88,7 +189,7 @@ pub fn cg(
 
     let mut res = initial_residual;
     for it in 1..=opts.max_iters {
-        a.spmv(&mut p, &mut q, comm);
+        spmv_variant(a, &mut p, &mut q, overlapped, comm);
         let pq = p.dot(&q, comm);
         if pq == 0.0 {
             return SolveStats {
@@ -101,7 +202,133 @@ pub fn cg(
         let alpha = rz / pq;
         x.axpy(alpha, &p, comm);
         r.axpy(-alpha, &q, comm);
-        res = r.norm2(comm);
+        let rz_new;
+        if overlapped {
+            // Apply the preconditioner before the convergence check so
+            // ||r|| and (r, z) ride one fused reduction. Same scalar values
+            // as the blocking schedule — only the timing differs.
+            m.apply(&r, &mut z, comm);
+            let d = fused_dots(&[(&r, &r), (&r, &z)], comm);
+            res = d[0].sqrt();
+            rz_new = d[1];
+            if res <= target {
+                return SolveStats {
+                    iterations: it,
+                    converged: true,
+                    initial_residual,
+                    final_residual: res,
+                };
+            }
+        } else {
+            res = r.norm2(comm);
+            if res <= target {
+                return SolveStats {
+                    iterations: it,
+                    converged: true,
+                    initial_residual,
+                    final_residual: res,
+                };
+            }
+            m.apply(&r, &mut z, comm);
+            rz_new = r.dot(&z, comm);
+        }
+        let beta = rz_new / rz;
+        rz = rz_new;
+        p.xpby(&z, beta, comm);
+    }
+    SolveStats {
+        iterations: opts.max_iters,
+        converged: false,
+        initial_residual,
+        final_residual: res,
+    }
+}
+
+/// Pipelined conjugate gradients (Ghysels & Vanroose). The three inner
+/// products of a CG iteration are rearranged through auxiliary recurrences
+/// so that a **single fused all-reduce** per iteration carries all
+/// reduction traffic, and every SpMV overlaps its halo exchange.
+/// Mathematically equivalent to [`cg`]; the recurrences round differently
+/// in floating point, so iteration counts can drift by an iteration or two.
+pub fn cg_pipelined(
+    a: &DistMatrix,
+    b: &DistVector,
+    x: &mut DistVector,
+    m: &dyn Preconditioner,
+    opts: SolveOptions,
+    comm: &mut SimComm,
+) -> SolveStats {
+    let norm_b = b.norm2(comm);
+    let target = opts.target(norm_b);
+
+    let mut r = a.new_vector();
+    let mut tmp = a.new_vector();
+    a.spmv_overlapped(x, &mut tmp, comm);
+    r.copy_from(b, comm);
+    r.axpy(-1.0, &tmp, comm);
+    let mut u = a.new_vector();
+    m.apply(&r, &mut u, comm);
+    let mut w = a.new_vector();
+    a.spmv_overlapped(&mut u, &mut w, comm);
+    // One reduction carries gamma = (r, u), delta = (w, u), and ||r||^2.
+    let d = fused_dots(&[(&r, &u), (&w, &u), (&r, &r)], comm);
+    let (mut gamma, mut delta) = (d[0], d[1]);
+    let initial_residual = d[2].sqrt();
+    if initial_residual <= target {
+        return SolveStats {
+            iterations: 0,
+            converged: true,
+            initial_residual,
+            final_residual: initial_residual,
+        };
+    }
+
+    let mut z = a.new_vector();
+    let mut q = a.new_vector();
+    let mut s = a.new_vector();
+    let mut p = a.new_vector();
+    let mut mv = a.new_vector();
+    let mut nv = a.new_vector();
+    let (mut gamma_prev, mut alpha_prev) = (0.0f64, 0.0f64);
+    let mut res = initial_residual;
+    for it in 1..=opts.max_iters {
+        let fail = |res: f64| SolveStats {
+            iterations: it,
+            converged: false,
+            initial_residual,
+            final_residual: res,
+        };
+        m.apply(&w, &mut mv, comm);
+        a.spmv_overlapped(&mut mv, &mut nv, comm);
+        let (alpha, beta);
+        if it == 1 {
+            beta = 0.0;
+            if delta == 0.0 {
+                return fail(res);
+            }
+            alpha = gamma / delta;
+        } else {
+            beta = gamma / gamma_prev;
+            let denom = delta - beta * gamma / alpha_prev;
+            if denom == 0.0 {
+                return fail(res);
+            }
+            alpha = gamma / denom;
+        }
+        z.xpby(&nv, beta, comm); // z = n + beta z  (A M^{-1} s recurrence)
+        q.xpby(&mv, beta, comm); // q = m + beta q  (M^{-1} s recurrence)
+        s.xpby(&w, beta, comm); //  s = w + beta s  (A p recurrence)
+        p.xpby(&u, beta, comm); //  p = u + beta p
+        x.axpy(alpha, &p, comm);
+        r.axpy(-alpha, &s, comm);
+        u.axpy(-alpha, &q, comm);
+        w.axpy(-alpha, &z, comm);
+        gamma_prev = gamma;
+        alpha_prev = alpha;
+        let d = fused_dots(&[(&r, &u), (&w, &u), (&r, &r)], comm);
+        gamma = d[0];
+        delta = d[1];
+        res = d[2].sqrt();
         if res <= target {
             return SolveStats {
                 iterations: it,
@@ -110,11 +337,10 @@ pub fn cg(
                 final_residual: res,
             };
         }
-        m.apply(&r, &mut z, comm);
-        let rz_new = r.dot(&z, comm);
-        let beta = rz_new / rz;
-        rz = rz_new;
-        p.xpby(&z, beta, comm);
+        if gamma == 0.0 {
+            // Breakdown: the next step direction would vanish.
+            return fail(res);
+        }
     }
     SolveStats {
         iterations: opts.max_iters,
@@ -133,14 +359,78 @@ pub fn bicgstab(
     opts: SolveOptions,
     comm: &mut SimComm,
 ) -> SolveStats {
+    let mut ws = SolverWorkspace::new();
+    bicgstab_with_workspace(a, b, x, m, opts, &mut ws, comm)
+}
+
+/// The eight work vectors of one BiCGStab call.
+struct BicgVecs {
+    r: DistVector,
+    t: DistVector,
+    r_hat: DistVector,
+    p: DistVector,
+    v: DistVector,
+    s: DistVector,
+    phat: DistVector,
+    shat: DistVector,
+}
+
+/// [`bicgstab`] drawing its work vectors from `ws` instead of allocating.
+/// Identical results and virtual clocks; use it when solving repeatedly.
+pub fn bicgstab_with_workspace(
+    a: &DistMatrix,
+    b: &DistVector,
+    x: &mut DistVector,
+    m: &dyn Preconditioner,
+    opts: SolveOptions,
+    ws: &mut SolverWorkspace,
+    comm: &mut SimComm,
+) -> SolveStats {
+    let mut vecs = BicgVecs {
+        r: ws.grab(a),
+        t: ws.grab(a),
+        r_hat: ws.grab(a),
+        p: ws.grab(a),
+        v: ws.grab(a),
+        s: ws.grab(a),
+        phat: ws.grab(a),
+        shat: ws.grab(a),
+    };
+    let stats = bicgstab_inner(a, b, x, m, opts, &mut vecs, comm);
+    let BicgVecs {
+        r,
+        t,
+        r_hat,
+        p,
+        v,
+        s,
+        phat,
+        shat,
+    } = vecs;
+    for vec in [r, t, r_hat, p, v, s, phat, shat] {
+        ws.stash(vec);
+    }
+    stats
+}
+
+fn bicgstab_inner(
+    a: &DistMatrix,
+    b: &DistVector,
+    x: &mut DistVector,
+    m: &dyn Preconditioner,
+    opts: SolveOptions,
+    vecs: &mut BicgVecs,
+    comm: &mut SimComm,
+) -> SolveStats {
+    let overlapped = opts.variant != SolverVariant::Blocking;
     let norm_b = b.norm2(comm);
     let target = opts.target(norm_b);
 
-    let mut r = a.new_vector();
-    let mut t = a.new_vector();
-    a.spmv(x, &mut t, comm);
+    let r = &mut vecs.r;
+    let t = &mut vecs.t;
+    spmv_variant(a, x, t, overlapped, comm);
     r.copy_from(b, comm);
-    r.axpy(-1.0, &t, comm);
+    r.axpy(-1.0, t, comm);
     let initial_residual = r.norm2(comm);
     if initial_residual <= target {
         return SolveStats {
@@ -151,18 +441,12 @@ pub fn bicgstab(
         };
     }
 
-    let mut r_hat = a.new_vector();
-    r_hat.copy_from(&r, comm);
-    let mut p = a.new_vector();
-    let mut v = a.new_vector();
-    let mut s = a.new_vector();
-    let mut phat = a.new_vector();
-    let mut shat = a.new_vector();
+    vecs.r_hat.copy_from(&vecs.r, comm);
     let (mut rho, mut alpha, mut omega) = (1.0f64, 1.0f64, 1.0f64);
     let mut res = initial_residual;
 
     for it in 1..=opts.max_iters {
-        let rho_new = r_hat.dot(&r, comm);
+        let rho_new = vecs.r_hat.dot(&vecs.r, comm);
         if rho_new == 0.0 {
             return SolveStats {
                 iterations: it,
@@ -172,17 +456,17 @@ pub fn bicgstab(
             };
         }
         if it == 1 {
-            p.copy_from(&r, comm);
+            vecs.p.copy_from(&vecs.r, comm);
         } else {
             let beta = (rho_new / rho) * (alpha / omega);
             // p = r + beta * (p - omega * v)
-            p.axpy(-omega, &v, comm);
-            p.xpby(&r, beta, comm);
+            vecs.p.axpy(-omega, &vecs.v, comm);
+            vecs.p.xpby(&vecs.r, beta, comm);
         }
         rho = rho_new;
-        m.apply(&p, &mut phat, comm);
-        a.spmv(&mut phat, &mut v, comm);
-        let rhv = r_hat.dot(&v, comm);
+        m.apply(&vecs.p, &mut vecs.phat, comm);
+        spmv_variant(a, &mut vecs.phat, &mut vecs.v, overlapped, comm);
+        let rhv = vecs.r_hat.dot(&vecs.v, comm);
         if rhv == 0.0 {
             return SolveStats {
                 iterations: it,
@@ -192,11 +476,11 @@ pub fn bicgstab(
             };
         }
         alpha = rho / rhv;
-        s.copy_from(&r, comm);
-        s.axpy(-alpha, &v, comm);
-        let s_norm = s.norm2(comm);
+        vecs.s.copy_from(&vecs.r, comm);
+        vecs.s.axpy(-alpha, &vecs.v, comm);
+        let s_norm = vecs.s.norm2(comm);
         if s_norm <= target {
-            x.axpy(alpha, &phat, comm);
+            x.axpy(alpha, &vecs.phat, comm);
             return SolveStats {
                 iterations: it,
                 converged: true,
@@ -204,9 +488,22 @@ pub fn bicgstab(
                 final_residual: s_norm,
             };
         }
-        m.apply(&s, &mut shat, comm);
-        a.spmv(&mut shat, &mut t, comm);
-        let tt = t.dot(&t, comm);
+        m.apply(&vecs.s, &mut vecs.shat, comm);
+        spmv_variant(a, &mut vecs.shat, &mut vecs.t, overlapped, comm);
+        let (tt, ts);
+        if overlapped {
+            // (t, t) and (t, s) ride one fused reduction.
+            let d = fused_dots(&[(&vecs.t, &vecs.t), (&vecs.t, &vecs.s)], comm);
+            tt = d[0];
+            ts = d[1];
+        } else {
+            tt = vecs.t.dot(&vecs.t, comm);
+            ts = if tt == 0.0 {
+                0.0
+            } else {
+                vecs.t.dot(&vecs.s, comm)
+            };
+        }
         if tt == 0.0 {
             return SolveStats {
                 iterations: it,
@@ -215,12 +512,12 @@ pub fn bicgstab(
                 final_residual: s_norm,
             };
         }
-        omega = t.dot(&s, comm) / tt;
-        x.axpy(alpha, &phat, comm);
-        x.axpy(omega, &shat, comm);
-        r.copy_from(&s, comm);
-        r.axpy(-omega, &t, comm);
-        res = r.norm2(comm);
+        omega = ts / tt;
+        x.axpy(alpha, &vecs.phat, comm);
+        x.axpy(omega, &vecs.shat, comm);
+        vecs.r.copy_from(&vecs.s, comm);
+        vecs.r.axpy(-omega, &vecs.t, comm);
+        res = vecs.r.norm2(comm);
         if res <= target {
             return SolveStats {
                 iterations: it,
@@ -256,15 +553,72 @@ pub fn gmres(
     opts: SolveOptions,
     comm: &mut SimComm,
 ) -> SolveStats {
+    let mut ws = SolverWorkspace::new();
+    gmres_with_workspace(a, b, x, m, restart, opts, &mut ws, comm)
+}
+
+/// [`gmres`] drawing its work vectors (residual, scratch, and the
+/// `restart + 1` Krylov basis vectors) from `ws` instead of allocating in
+/// the Arnoldi loop. Identical results and virtual clocks.
+#[allow(clippy::too_many_arguments)]
+pub fn gmres_with_workspace(
+    a: &DistMatrix,
+    b: &DistVector,
+    x: &mut DistVector,
+    m: &dyn Preconditioner,
+    restart: usize,
+    opts: SolveOptions,
+    ws: &mut SolverWorkspace,
+    comm: &mut SimComm,
+) -> SolveStats {
     assert!(restart >= 1);
+    let mut r = ws.grab(a);
+    let mut tmp = ws.grab(a);
+    let mut update = ws.grab(a);
+    let mut w = ws.grab(a);
+    let mut basis: Vec<DistVector> = (0..=restart).map(|_| ws.grab(a)).collect();
+    let stats = gmres_inner(
+        a,
+        b,
+        x,
+        m,
+        restart,
+        opts,
+        &mut r,
+        &mut tmp,
+        &mut update,
+        &mut w,
+        &mut basis,
+        comm,
+    );
+    for vec in [r, tmp, update, w].into_iter().chain(basis) {
+        ws.stash(vec);
+    }
+    stats
+}
+
+#[allow(clippy::too_many_arguments)]
+fn gmres_inner(
+    a: &DistMatrix,
+    b: &DistVector,
+    x: &mut DistVector,
+    m: &dyn Preconditioner,
+    restart: usize,
+    opts: SolveOptions,
+    r: &mut DistVector,
+    tmp: &mut DistVector,
+    update: &mut DistVector,
+    w: &mut DistVector,
+    basis: &mut [DistVector],
+    comm: &mut SimComm,
+) -> SolveStats {
+    let overlapped = opts.variant != SolverVariant::Blocking;
     let norm_b = b.norm2(comm);
     let target = opts.target(norm_b);
 
-    let mut r = a.new_vector();
-    let mut tmp = a.new_vector();
-    a.spmv(x, &mut tmp, comm);
+    spmv_variant(a, x, tmp, overlapped, comm);
     r.copy_from(b, comm);
-    r.axpy(-1.0, &tmp, comm);
+    r.axpy(-1.0, tmp, comm);
     let initial_residual = r.norm2(comm);
     let mut res = initial_residual;
     if res <= target {
@@ -279,11 +633,8 @@ pub fn gmres(
     let mut total_iters = 0usize;
     while total_iters < opts.max_iters {
         // Arnoldi with modified Gram-Schmidt and Givens rotations.
-        let mut basis: Vec<DistVector> = Vec::with_capacity(restart + 1);
-        let mut v0 = a.new_vector();
-        v0.copy_from(&r, comm);
-        v0.scale(1.0 / res, comm);
-        basis.push(v0);
+        basis[0].copy_from(r, comm);
+        basis[0].scale(1.0 / res, comm);
 
         let mut h = vec![vec![0.0f64; restart]; restart + 1];
         let mut cs = vec![0.0f64; restart];
@@ -298,9 +649,8 @@ pub fn gmres(
             }
             total_iters += 1;
             // w = A M^{-1} v_k
-            m.apply(&basis[k], &mut tmp, comm);
-            let mut w = a.new_vector();
-            a.spmv(&mut tmp, &mut w, comm);
+            m.apply(&basis[k], tmp, comm);
+            spmv_variant(a, tmp, w, overlapped, comm);
             for (j, vj) in basis.iter().enumerate().take(k + 1) {
                 h[j][k] = w.dot(vj, comm);
                 w.axpy(-h[j][k], vj, comm);
@@ -332,10 +682,8 @@ pub fn gmres(
                 // Converged, or lucky breakdown (solution is in the span).
                 break;
             }
-            let mut v_next = a.new_vector();
-            v_next.copy_from(&w, comm);
-            v_next.scale(1.0 / norm_w, comm);
-            basis.push(v_next);
+            basis[k + 1].copy_from(w, comm);
+            basis[k + 1].scale(1.0 / norm_w, comm);
         }
 
         // Back-substitute y from H y = g and update x += M^{-1} (V y).
@@ -348,17 +696,17 @@ pub fn gmres(
             }
             y[i] = acc / h[i][i];
         }
-        let mut update = a.new_vector();
+        update.fill(0.0);
         for (j, &yj) in y.iter().enumerate() {
             update.axpy(yj, &basis[j], comm);
         }
-        m.apply(&update, &mut tmp, comm);
-        x.axpy(1.0, &tmp, comm);
+        m.apply(update, tmp, comm);
+        x.axpy(1.0, tmp, comm);
 
         // True residual for the restart.
-        a.spmv(x, &mut tmp, comm);
+        spmv_variant(a, x, tmp, overlapped, comm);
         r.copy_from(b, comm);
-        r.axpy(-1.0, &tmp, comm);
+        r.axpy(-1.0, tmp, comm);
         res = r.norm2(comm);
         if res <= target {
             return SolveStats {
@@ -683,5 +1031,171 @@ mod tests {
         let t_eth = time_on(NetworkModel::gigabit_ethernet());
         let t_ib = time_on(NetworkModel::infiniband_ddr());
         assert!(t_eth > 3.0 * t_ib, "eth {t_eth} vs ib {t_ib}");
+    }
+
+    /// Builds the rank-local block of the global 1-D Laplacian with
+    /// `n_per` rows per rank, including its exchange plan. Returns the
+    /// matrix and this rank's first global row.
+    fn dist_laplacian(comm: &hetero_simmpi::SimComm, n_per: usize) -> (DistMatrix, usize) {
+        let rank = comm.rank();
+        let size = comm.size();
+        let first = rank * n_per;
+        let n_global = n_per * size;
+        let mut ghosts = Vec::new();
+        if rank > 0 {
+            ghosts.push(first - 1);
+        }
+        if rank + 1 < size {
+            ghosts.push(first + n_per);
+        }
+        let n_local = n_per + ghosts.len();
+        let local_of = |g: usize| -> usize {
+            if (first..first + n_per).contains(&g) {
+                g - first
+            } else {
+                n_per + ghosts.iter().position(|&x| x == g).unwrap()
+            }
+        };
+        let mut bld = TripletBuilder::new(n_per, n_local);
+        for r in 0..n_per {
+            let g = first + r;
+            bld.add(r, r, 2.0);
+            if g > 0 {
+                bld.add(r, local_of(g - 1), -1.0);
+            }
+            if g + 1 < n_global {
+                bld.add(r, local_of(g + 1), -1.0);
+            }
+        }
+        let mut plan = ExchangePlan::empty();
+        if rank > 0 {
+            plan.neighbors.push(rank - 1);
+            plan.send_indices.push(vec![0]);
+            plan.recv_indices.push(vec![local_of(first - 1)]);
+        }
+        if rank + 1 < size {
+            plan.neighbors.push(rank + 1);
+            plan.send_indices.push(vec![n_per - 1]);
+            plan.recv_indices.push(vec![local_of(first + n_per)]);
+        }
+        (DistMatrix::new(bld.build(), plan), first)
+    }
+
+    /// The overlapped variant reorders communication but never arithmetic:
+    /// every solver must produce bitwise-identical iterates to blocking.
+    #[test]
+    fn overlapped_variant_is_bitwise_identical_to_blocking() {
+        type RankResult = (Vec<Vec<f64>>, Vec<usize>);
+        let solve = |variant: SolverVariant| -> Vec<RankResult> {
+            run_spmd(cfg(4), move |comm| {
+                let (a, first) = dist_laplacian(comm, 6);
+                let mut b = a.new_vector();
+                for (i, v) in b.owned_mut().iter_mut().enumerate() {
+                    *v = ((first + i) as f64 * 0.3).sin();
+                }
+                let opts = SolveOptions {
+                    variant,
+                    ..SolveOptions::default()
+                };
+                let mut x_cg = a.new_vector();
+                let s_cg = cg(&a, &b, &mut x_cg, &Identity, opts, comm);
+                let mut x_bi = a.new_vector();
+                let s_bi = bicgstab(&a, &b, &mut x_bi, &Identity, opts, comm);
+                let mut x_gm = a.new_vector();
+                let s_gm = gmres(&a, &b, &mut x_gm, &Identity, 10, opts, comm);
+                (
+                    vec![
+                        x_cg.owned().to_vec(),
+                        x_bi.owned().to_vec(),
+                        x_gm.owned().to_vec(),
+                    ],
+                    vec![s_cg.iterations, s_bi.iterations, s_gm.iterations],
+                )
+            })
+            .into_iter()
+            .map(|r| r.value)
+            .collect()
+        };
+        let blocking = solve(SolverVariant::Blocking);
+        let overlapped = solve(SolverVariant::Overlapped);
+        assert_eq!(blocking, overlapped);
+    }
+
+    /// Pipelined CG reassociates the recurrences, so it is not bitwise —
+    /// but it must reach the same tolerance in a comparable iteration
+    /// count (within ±2 of classic CG) and the same solution.
+    #[test]
+    fn pipelined_cg_tracks_classic_cg() {
+        for p in [1usize, 4] {
+            let solve = move |variant: SolverVariant| -> (Vec<f64>, usize, bool) {
+                let results = run_spmd(cfg(p), move |comm| {
+                    let (a, first) = dist_laplacian(comm, 24 / p);
+                    let mut b = a.new_vector();
+                    for (i, v) in b.owned_mut().iter_mut().enumerate() {
+                        *v = ((first + i) as f64 * 0.3).sin();
+                    }
+                    let opts = SolveOptions {
+                        variant,
+                        ..SolveOptions::default()
+                    };
+                    let mut x = a.new_vector();
+                    let stats = cg(&a, &b, &mut x, &Identity, opts, comm);
+                    (x.owned().to_vec(), stats.iterations, stats.converged)
+                });
+                let iters = results[0].value.1;
+                let converged = results.iter().all(|r| r.value.2);
+                (
+                    results.into_iter().flat_map(|r| r.value.0).collect(),
+                    iters,
+                    converged,
+                )
+            };
+            let (x_c, it_c, ok_c) = solve(SolverVariant::Blocking);
+            let (x_p, it_p, ok_p) = solve(SolverVariant::Pipelined);
+            assert!(ok_c && ok_p, "p = {p}: both must converge");
+            assert!(
+                it_p.abs_diff(it_c) <= 2,
+                "p = {p}: pipelined {it_p} vs classic {it_c} iterations"
+            );
+            for (c, pv) in x_c.iter().zip(&x_p) {
+                assert!((c - pv).abs() < 1e-6, "p = {p}: {c} vs {pv}");
+            }
+        }
+    }
+
+    /// Reusing a `SolverWorkspace` across solves must change neither the
+    /// computed values nor the simulated clock: pooled vectors are zeroed
+    /// on grab and allocation is never charged virtual time.
+    #[test]
+    fn workspace_reuse_is_bitwise_and_clock_identical() {
+        let run = |reuse: bool| -> Vec<(Vec<f64>, f64)> {
+            run_spmd(cfg(2), move |comm| {
+                let (a, first) = dist_laplacian(comm, 8);
+                let mut b = a.new_vector();
+                for (i, v) in b.owned_mut().iter_mut().enumerate() {
+                    *v = 1.0 + ((first + i) as f64 * 0.2).cos();
+                }
+                let opts = SolveOptions::default();
+                let mut ws = SolverWorkspace::new();
+                let mut x = a.new_vector();
+                for _ in 0..2 {
+                    x.fill(0.0);
+                    if reuse {
+                        bicgstab_with_workspace(&a, &b, &mut x, &Identity, opts, &mut ws, comm);
+                        gmres_with_workspace(&a, &b, &mut x, &Identity, 8, opts, &mut ws, comm);
+                    } else {
+                        bicgstab(&a, &b, &mut x, &Identity, opts, comm);
+                        gmres(&a, &b, &mut x, &Identity, 8, opts, comm);
+                    }
+                }
+                (x.owned().to_vec(), comm.clock())
+            })
+            .into_iter()
+            .map(|r| r.value)
+            .collect()
+        };
+        let fresh = run(false);
+        let pooled = run(true);
+        assert_eq!(fresh, pooled);
     }
 }

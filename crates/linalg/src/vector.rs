@@ -1,7 +1,8 @@
 //! Row-distributed vectors with ghost entries.
 
 use crate::work_costs;
-use hetero_simmpi::{Payload, SimComm};
+use hetero_simmpi::collectives::ReduceOp;
+use hetero_simmpi::{Payload, RecvRequest, SimComm};
 
 /// Tag space used by halo exchanges (below the collective range).
 const HALO_TAG: u64 = 9_000;
@@ -222,6 +223,15 @@ impl DistVector {
     /// combined in chunk order, so the value is bitwise identical at any
     /// intra-rank thread count.
     pub fn dot(&self, other: &DistVector, comm: &mut SimComm) -> f64 {
+        let local = self.dot_local(other, comm);
+        comm.allreduce_scalar(ReduceOp::Sum, local)
+    }
+
+    /// This rank's partial of the global dot product: the same fixed-chunk
+    /// local reduction as [`Self::dot`], *without* the all-reduce. Batch
+    /// several partials through [`fused_dots`] (one `allreduce_vec`) so k
+    /// inner products cost a single collective.
+    pub fn dot_local(&self, other: &DistVector, comm: &mut SimComm) -> f64 {
         assert_eq!(self.n_owned, other.n_owned);
         let n = self.n_owned;
         let a = &self.values[..n];
@@ -230,7 +240,7 @@ impl DistVector {
             a[s..e].iter().zip(&b[s..e]).map(|(x, y)| x * y).sum()
         });
         comm.compute(work_costs::dot(n));
-        comm.allreduce_scalar(hetero_simmpi::collectives::ReduceOp::Sum, local)
+        local
     }
 
     /// Global Euclidean norm.
@@ -266,6 +276,69 @@ impl DistVector {
             comm.compute(work_costs::copy(buf.len()));
         }
     }
+
+    /// Posts the halo exchange of [`Self::update_ghosts`] without completing
+    /// it: gathers and sends interface values to every neighbour, then posts
+    /// one nonblocking receive per neighbour. Transfers progress during any
+    /// compute charged before the matching [`Self::finish_ghost_update`] —
+    /// the overlap the communication-avoiding SpMV exploits.
+    pub fn post_ghost_update(&self, plan: &ExchangePlan, comm: &mut SimComm) -> Vec<RecvRequest> {
+        for (i, &nb) in plan.neighbors.iter().enumerate() {
+            let buf: Vec<f64> = plan.send_indices[i]
+                .iter()
+                .map(|&j| self.values[j])
+                .collect();
+            comm.compute(work_costs::copy(buf.len()));
+            let _ = comm.isend(nb, HALO_TAG, Payload::F64(buf));
+        }
+        plan.neighbors
+            .iter()
+            .map(|&nb| comm.irecv(nb, HALO_TAG))
+            .collect()
+    }
+
+    /// Completes a halo exchange posted by [`Self::post_ghost_update`],
+    /// scattering the received interface values into their ghost slots.
+    /// After this the ghosts are bitwise what [`Self::update_ghosts`] would
+    /// have produced.
+    ///
+    /// # Panics
+    /// Panics if `reqs` does not match the plan's neighbour count or a
+    /// received halo has the wrong length.
+    pub fn finish_ghost_update(
+        &mut self,
+        plan: &ExchangePlan,
+        reqs: Vec<RecvRequest>,
+        comm: &mut SimComm,
+    ) {
+        assert_eq!(reqs.len(), plan.neighbors.len());
+        let bufs = comm.wait_all(reqs);
+        for ((i, &nb), payload) in plan.neighbors.iter().enumerate().zip(bufs) {
+            let buf = match payload {
+                Payload::F64(v) => v,
+                other => panic!("expected F64 halo from rank {nb}, got {other:?}"),
+            };
+            assert_eq!(
+                buf.len(),
+                plan.recv_indices[i].len(),
+                "halo size mismatch with rank {nb}"
+            );
+            for (&slot, &v) in plan.recv_indices[i].iter().zip(&buf) {
+                self.values[slot] = v;
+            }
+            comm.compute(work_costs::copy(buf.len()));
+        }
+    }
+}
+
+/// Fused inner products: the local partials of each `(a, b)` pair batched
+/// through ONE `allreduce_vec`, so k reductions cost one collective's
+/// latency. The tree combines element-wise in the same rank order as k
+/// scalar all-reduces, so each returned value is bitwise-identical to the
+/// corresponding `a.dot(b, comm)`.
+pub fn fused_dots(pairs: &[(&DistVector, &DistVector)], comm: &mut SimComm) -> Vec<f64> {
+    let locals: Vec<f64> = pairs.iter().map(|(a, b)| a.dot_local(b, comm)).collect();
+    comm.allreduce_vec(ReduceOp::Sum, &locals)
 }
 
 #[cfg(test)]

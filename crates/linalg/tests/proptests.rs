@@ -3,7 +3,7 @@
 
 use hetero_linalg::csr::TripletBuilder;
 use hetero_linalg::precond::{Identity, IluZero, Jacobi, Ssor};
-use hetero_linalg::solver::{bicgstab, cg, gmres, SolveOptions};
+use hetero_linalg::solver::{bicgstab, cg, gmres, SolveOptions, SolverVariant};
 use hetero_linalg::{DistMatrix, DistVector, ExchangePlan};
 use hetero_simmpi::{run_spmd, ClusterTopology, ComputeModel, NetworkModel, SpmdConfig};
 use proptest::prelude::*;
@@ -42,6 +42,120 @@ fn spd_system(n: usize) -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<f64>)> {
         }
         (a, sol)
     })
+}
+
+/// A random banded matrix split into contiguous per-rank blocks: rank
+/// count, half-bandwidth, block sizes, band values, and input vector.
+/// Block sizes stay >= the half-bandwidth so halos only touch adjacent
+/// ranks. Band values use a fixed stride of `BAND_STRIDE` per row with
+/// the diagonal at offset `BAND_CENTER`, sized for the largest case.
+type BandedCase = (usize, usize, Vec<usize>, Vec<f64>, Vec<f64>);
+
+const BAND_STRIDE: usize = 5; // fits any half-bandwidth <= 2
+const BAND_CENTER: usize = 2;
+
+fn banded_partition() -> impl Strategy<Value = BandedCase> {
+    let max_n = 4 * 8;
+    (
+        1usize..=4,
+        1usize..=2,
+        prop::collection::vec(2usize..8, 4),
+        prop::collection::vec(-1.0f64..1.0, max_n * BAND_STRIDE),
+        prop::collection::vec(-2.0f64..2.0, max_n),
+    )
+        .prop_map(|(p, bw, sizes, band, xv)| (p, bw, sizes[..p].to_vec(), band, xv))
+}
+
+/// Runs blocking and overlapped SpMV on the banded case across `p` ranks
+/// with an intra-rank pool of `threads`, returning the two global results.
+fn banded_spmv_both_ways(case: &BandedCase, threads: usize) -> (Vec<f64>, Vec<f64>) {
+    let (p, bw, sizes, band, xv) = case.clone();
+    let spmd = SpmdConfig {
+        size: p,
+        topo: ClusterTopology::uniform(p, 1),
+        net: NetworkModel::gigabit_ethernet(),
+        compute: ComputeModel::new(1e9, 4e9),
+        seed: 11,
+    };
+    let results = run_spmd(spmd, move |comm| {
+        let rank = comm.rank();
+        let first: usize = sizes[..rank].iter().sum();
+        let n_per = sizes[rank];
+        let n_global: usize = sizes.iter().sum();
+        // Band entry of the global matrix; the diagonal is made dominant.
+        let entry = |i: usize, j: usize| -> f64 {
+            if i == j {
+                let off: f64 = (i.saturating_sub(bw)..(i + bw + 1).min(n_global))
+                    .filter(|&c| c != i)
+                    .map(|c| band[i * BAND_STRIDE + (c + BAND_CENTER - i)].abs())
+                    .sum();
+                off + 1.0
+            } else {
+                band[i * BAND_STRIDE + (j + BAND_CENTER - i)]
+            }
+        };
+        let mut ghosts = Vec::new();
+        for g in first.saturating_sub(bw)..first {
+            ghosts.push(g);
+        }
+        for g in first + n_per..(first + n_per + bw).min(n_global) {
+            ghosts.push(g);
+        }
+        let n_local = n_per + ghosts.len();
+        let local_of = |g: usize| -> usize {
+            if (first..first + n_per).contains(&g) {
+                g - first
+            } else {
+                n_per + ghosts.iter().position(|&x| x == g).unwrap()
+            }
+        };
+        let mut bld = TripletBuilder::new(n_per, n_local);
+        for r in 0..n_per {
+            let g = first + r;
+            for j in g.saturating_sub(bw)..(g + bw + 1).min(n_global) {
+                bld.add(r, local_of(j), entry(g, j));
+            }
+        }
+        let mut plan = ExchangePlan::empty();
+        if rank > 0 {
+            let k = bw.min(first); // ghosts we hold from the previous rank
+            plan.neighbors.push(rank - 1);
+            plan.send_indices.push((0..bw.min(n_per)).collect());
+            plan.recv_indices
+                .push((first - k..first).map(local_of).collect());
+        }
+        if rank + 1 < sizes.len() {
+            let k = bw.min(n_global - first - n_per);
+            plan.neighbors.push(rank + 1);
+            plan.send_indices
+                .push((n_per - bw.min(n_per)..n_per).collect());
+            plan.recv_indices
+                .push((first + n_per..first + n_per + k).map(local_of).collect());
+        }
+        let a = DistMatrix::new(bld.build(), plan);
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        pool.install(|| {
+            let mut x1 = a.new_vector();
+            x1.owned_mut().copy_from_slice(&xv[first..first + n_per]);
+            let mut x2 = a.new_vector();
+            x2.owned_mut().copy_from_slice(&xv[first..first + n_per]);
+            let mut y1 = a.new_vector();
+            let mut y2 = a.new_vector();
+            a.spmv(&mut x1, &mut y1, comm);
+            a.spmv_overlapped(&mut x2, &mut y2, comm);
+            (y1.owned().to_vec(), y2.owned().to_vec())
+        })
+    });
+    let mut blocking = Vec::new();
+    let mut overlapped = Vec::new();
+    for r in results {
+        blocking.extend(r.value.0);
+        overlapped.extend(r.value.1);
+    }
+    (blocking, overlapped)
 }
 
 fn dense_to_dist(a: &[Vec<f64>]) -> DistMatrix {
@@ -195,4 +309,73 @@ proptest! {
             assert!((v.norm2(comm) - expect_dot.sqrt()).abs() < 1e-10);
         });
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Overlapped SpMV is bitwise-identical to blocking SpMV on random
+    /// banded matrices under random contiguous partitions, and the result
+    /// does not depend on the intra-rank thread count.
+    #[test]
+    fn overlapped_spmv_is_bitwise_identical_on_random_partitions(case in banded_partition()) {
+        let (b1, o1) = banded_spmv_both_ways(&case, 1);
+        let (b4, o4) = banded_spmv_both_ways(&case, 4);
+        for (((b, o), b_mt), o_mt) in b1.iter().zip(&o1).zip(&b4).zip(&o4) {
+            prop_assert_eq!(b.to_bits(), o.to_bits(), "overlapped vs blocking");
+            prop_assert_eq!(b.to_bits(), b_mt.to_bits(), "blocking across threads");
+            prop_assert_eq!(o.to_bits(), o_mt.to_bits(), "overlapped across threads");
+        }
+    }
+
+    /// Pipelined CG reaches the same residual tolerance as classic CG on
+    /// random SPD systems, with an iteration count within ±2.
+    #[test]
+    fn pipelined_cg_matches_classic_on_random_spd((a, sol) in spd_system(6)) {
+        run_spmd(serial_cfg(), move |comm| {
+            let m = dense_to_dist(&a);
+            let mut xs = DistVector::from_values(sol.clone(), sol.len());
+            let mut b = m.new_vector();
+            m.spmv(&mut xs, &mut b, comm);
+            let base = SolveOptions { rel_tol: 1e-9, max_iters: 400, ..Default::default() };
+
+            let mut xc = m.new_vector();
+            let sc = cg(&m, &b, &mut xc, &Identity, base, comm);
+            let mut xp = m.new_vector();
+            let opts_p = SolveOptions { variant: SolverVariant::Pipelined, ..base };
+            let sp = cg(&m, &b, &mut xp, &Identity, opts_p, comm);
+
+            assert!(sc.converged && sp.converged, "classic {sc:?} pipelined {sp:?}");
+            assert!(
+                sp.iterations.abs_diff(sc.iterations) <= 2,
+                "pipelined {} vs classic {} iterations",
+                sp.iterations,
+                sc.iterations
+            );
+            for ((c, p), s) in xc.owned().iter().zip(xp.owned()).zip(&sol) {
+                assert!((c - s).abs() < 1e-5, "classic {c} vs exact {s}");
+                assert!((p - s).abs() < 1e-5, "pipelined {p} vs exact {s}");
+            }
+        });
+    }
+}
+
+/// A partition big enough that the interior sweep crosses the parallel
+/// threshold, so the overlapped path is exercised with real intra-rank
+/// parallelism (not the serial fallback).
+#[test]
+fn overlapped_spmv_bitwise_identity_holds_past_parallel_threshold() {
+    let p = 2usize;
+    let n_per = 300usize;
+    let n: usize = p * n_per;
+    let band: Vec<f64> = (0..n * BAND_STRIDE)
+        .map(|i| ((i as f64) * 0.13).sin())
+        .collect();
+    let xv: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.7).cos()).collect();
+    let case: BandedCase = (p, 1, vec![n_per; p], band, xv);
+    let (b1, o1) = banded_spmv_both_ways(&case, 1);
+    let (b4, o4) = banded_spmv_both_ways(&case, 4);
+    assert_eq!(b1, o1);
+    assert_eq!(b1, b4);
+    assert_eq!(o1, o4);
 }

@@ -187,6 +187,23 @@ impl SimComm {
         self.allreduce(op, &[x])[0]
     }
 
+    /// Fused all-reduce: `k` scalars batched through ONE reduce+broadcast
+    /// tree, so the k reductions of a Krylov iteration cost one collective's
+    /// latency instead of k. The binomial tree combines element-wise in the
+    /// same rank order as `k` separate calls, so each element of the result
+    /// is bitwise-identical to the scalar all-reduce of that element.
+    ///
+    /// Traced as a single `"allreduce_fused"` collective span (the separate
+    /// reduce/bcast spans of [`Self::allreduce`] are not emitted), so the
+    /// rollup can tell fused from scalar reductions.
+    pub fn allreduce_vec(&mut self, op: ReduceOp, data: &[f64]) -> Vec<f64> {
+        let (t0, b0) = (self.clock(), self.stats().bytes_sent);
+        let reduced = self.reduce_inner(0, op, data);
+        let out = self.bcast_inner(0, reduced.unwrap_or_default());
+        self.trace_collective("allreduce_fused", t0, b0);
+        out
+    }
+
     /// Gathers every rank's vector on the root (direct sends). Returns
     /// `Some(per-rank vectors)` on the root, `None` elsewhere.
     pub fn gather(&mut self, root: usize, data: &[f64]) -> Option<Vec<Vec<f64>>> {

@@ -42,6 +42,34 @@ impl Payload {
     }
 }
 
+/// Handle for a nonblocking send posted with [`SimComm::isend`].
+///
+/// Sends are buffered (as in the blocking [`SimComm::send`]), so the
+/// operation is already complete when the handle is returned; the handle
+/// exists so call sites read like the MPI post/wait idiom they model.
+#[derive(Debug, Clone, Copy)]
+pub struct SendRequest {
+    /// Destination rank the message was posted to.
+    pub dst: usize,
+    /// Modeled wire bytes of the posted message.
+    pub bytes: f64,
+}
+
+/// Handle for a nonblocking receive posted with [`SimComm::irecv`].
+///
+/// The handle records the *post time* on this rank's virtual clock; the
+/// matching [`SimComm::wait_all`] (or [`SimComm::wait`]) charges a transfer
+/// that progressed concurrently with whatever compute the rank charged
+/// between post and wait.
+#[derive(Debug, Clone, Copy)]
+#[must_use = "a posted receive must be completed with wait/wait_all"]
+pub struct RecvRequest {
+    src: usize,
+    tag: u64,
+    /// This rank's virtual clock when the receive was posted.
+    posted: f64,
+}
+
 struct Envelope {
     payload: Payload,
     /// Modeled size used for pricing (body + header, or an explicit
@@ -319,53 +347,52 @@ impl SimComm {
         mailbox.cv.notify_all();
     }
 
-    /// Receives the next message from `src` with `tag`, blocking the host
-    /// thread until it arrives. The virtual clock advances to the message's
-    /// modeled arrival time (if later than now) plus a receive overhead.
-    pub fn recv(&mut self, src: usize, tag: u64) -> Payload {
-        assert!(src < self.shared.size, "source rank out of range");
-        // A rank whose node is already down must not block on a mailbox it
-        // will never drain.
-        self.maybe_fail();
-        let env = {
-            let mailbox = &self.shared.mailboxes[self.rank];
-            let mut queues = mailbox
-                .queues
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
-            loop {
-                if let Some(q) = queues.get_mut(&(src, tag)) {
-                    if let Some(env) = q.pop_front() {
-                        break env;
-                    }
+    /// Blocks the host thread until a message from `(src, tag)` is queued,
+    /// then pops it. Unwinds (poison panic) only once the sender is provably
+    /// gone — a virtual-time-determined condition shared by the blocking and
+    /// nonblocking receive paths.
+    fn block_for_envelope(&mut self, src: usize, tag: u64) -> Envelope {
+        let mailbox = &self.shared.mailboxes[self.rank];
+        let mut queues = mailbox
+            .queues
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            if let Some(q) = queues.get_mut(&(src, tag)) {
+                if let Some(env) = q.pop_front() {
+                    return env;
                 }
-                // Unwind only when the *sender* is provably gone: whether a
-                // message is ever sent is a pure function of virtual time
-                // (senders die at deterministic clock readings), so every
-                // survivor's unwind point — and everything it commits before
-                // unwinding — is deterministic too. A global poison flag
-                // here would race host scheduling.
-                if self.shared.rank_terminated(src) {
-                    // The terminated store is ordered after all of src's
-                    // sends; one last look under the lock catches a final
-                    // message that raced the flag.
-                    if let Some(env) = queues.get_mut(&(src, tag)).and_then(|q| q.pop_front()) {
-                        break env;
-                    }
-                    panic!(
-                        "job poisoned: rank {} waited on ({src}, {tag}) but the sender is gone",
-                        self.rank
-                    );
-                }
-                queues = mailbox
-                    .cv
-                    .wait(queues)
-                    .unwrap_or_else(std::sync::PoisonError::into_inner);
             }
-        };
-        debug_assert_eq!(env.src, src);
+            // Unwind only when the *sender* is provably gone: whether a
+            // message is ever sent is a pure function of virtual time
+            // (senders die at deterministic clock readings), so every
+            // survivor's unwind point — and everything it commits before
+            // unwinding — is deterministic too. A global poison flag
+            // here would race host scheduling.
+            if self.shared.rank_terminated(src) {
+                // The terminated store is ordered after all of src's
+                // sends; one last look under the lock catches a final
+                // message that raced the flag.
+                if let Some(env) = queues.get_mut(&(src, tag)).and_then(|q| q.pop_front()) {
+                    return env;
+                }
+                panic!(
+                    "job poisoned: rank {} waited on ({src}, {tag}) but the sender is gone",
+                    self.rank
+                );
+            }
+            queues = mailbox
+                .cv
+                .wait(queues)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
 
+    /// Prices the transfer of a delivered envelope: `(latency, drain, slow)`
+    /// from the network model and the fault plan's degradation windows.
+    fn transfer_terms(&mut self, env: &Envelope) -> (f64, f64, f64) {
         let topo = &self.shared.topo;
+        let src = env.src;
         let same_node = topo.same_node(src, self.rank);
         let same_group = topo.same_group(src, self.rank);
         // Both endpoints' NICs are shared by their node-mates; the busier
@@ -381,14 +408,29 @@ impl SimComm {
             nodes_active: self.shared.nodes_active,
             jitter_key: (self.shared.seed, src as u64, self.rank as u64, env.seq),
         };
-        // The first byte arrives after the latency (overlapping with other
-        // in-flight messages); the payload then drains serially through this
-        // rank's NIC share.
         let (latency, drain) = self.shared.net.transfer_cost(ctx);
         // Transient degradation windows stretch the wire portion of the
         // transfer; keyed to the deterministic departure time so both ends
         // of the exchange agree on whether the window applied.
         let slow = self.shared.faults.slow_factor(env.depart);
+        (latency, drain, slow)
+    }
+
+    /// Receives the next message from `src` with `tag`, blocking the host
+    /// thread until it arrives. The virtual clock advances to the message's
+    /// modeled arrival time (if later than now) plus a receive overhead.
+    pub fn recv(&mut self, src: usize, tag: u64) -> Payload {
+        assert!(src < self.shared.size, "source rank out of range");
+        // A rank whose node is already down must not block on a mailbox it
+        // will never drain.
+        self.maybe_fail();
+        let env = self.block_for_envelope(src, tag);
+        debug_assert_eq!(env.src, src);
+
+        // The first byte arrives after the latency (overlapping with other
+        // in-flight messages); the payload then drains serially through this
+        // rank's NIC share.
+        let (latency, drain, slow) = self.transfer_terms(&env);
         let before = self.clock;
         self.clock = self.clock.max(env.depart + latency * slow) + drain * slow + RECV_OVERHEAD;
         self.stats.comm_time += self.clock - before;
@@ -427,6 +469,108 @@ impl SimComm {
             Payload::Usize(v) => v,
             other => panic!("expected Usize payload from rank {src}, got {other:?}"),
         }
+    }
+
+    /// Posts a nonblocking send of `payload` to rank `dst`.
+    ///
+    /// Identical cost and semantics to [`Self::send`] (buffered, so the
+    /// sender never blocks); the returned handle is already complete and
+    /// needs no wait.
+    pub fn isend(&mut self, dst: usize, tag: u64, payload: Payload) -> SendRequest {
+        let bytes = payload.body_bytes() + HEADER_BYTES;
+        self.send_with_modeled_bytes(dst, tag, payload, bytes);
+        SendRequest { dst, bytes }
+    }
+
+    /// Posts a nonblocking receive for the next message from `(src, tag)`.
+    ///
+    /// Free on the virtual clock: the post merely records the current time.
+    /// From this instant the transfer progresses *concurrently* with any
+    /// compute the rank charges, until the matching [`Self::wait_all`] /
+    /// [`Self::wait`] completes it.
+    pub fn irecv(&mut self, src: usize, tag: u64) -> RecvRequest {
+        assert!(src < self.shared.size, "source rank out of range");
+        self.maybe_fail();
+        RecvRequest {
+            src,
+            tag,
+            posted: self.clock,
+        }
+    }
+
+    /// Completes one posted receive. Equivalent to
+    /// `wait_all(vec![req])` returning the single payload.
+    pub fn wait(&mut self, req: RecvRequest) -> Payload {
+        self.wait_all(vec![req]).pop().expect("one request in")
+    }
+
+    /// Completes posted receives in order, returning their payloads.
+    ///
+    /// Deterministic virtual-time overlap model: a message posted at `P`
+    /// that departed its sender at `D` is fully transferred (latency plus
+    /// drain, both stretched by any degradation window keyed to `D`) at
+    ///
+    /// ```text
+    /// avail = max(P, D + latency·slow) + drain·slow
+    /// ```
+    ///
+    /// and the waiter's clock advances to `max(wait_point, avail)` plus the
+    /// receive overhead — i.e. completion is `max(post + transfer,
+    /// wait_point)`: transfer time already covered by compute charged
+    /// between post and wait is *hidden*, only the remainder stalls the
+    /// receiver. Every term is a pure function of virtual times, so the
+    /// result is independent of host scheduling. When the wait immediately
+    /// follows the post this degenerates to exactly the blocking
+    /// [`Self::recv`] cost.
+    ///
+    /// Emits one [`EventKind::Overlap`] instant (at `Collectives` detail or
+    /// finer) recording the hidden vs exposed split of the batch.
+    pub fn wait_all(&mut self, reqs: Vec<RecvRequest>) -> Vec<Payload> {
+        self.maybe_fail();
+        let mut out = Vec::with_capacity(reqs.len());
+        let n_msgs = reqs.len() as u32;
+        let (mut hidden, mut exposed) = (0.0f64, 0.0f64);
+        for req in reqs {
+            let env = self.block_for_envelope(req.src, req.tag);
+            debug_assert_eq!(env.src, req.src);
+            let (latency, drain, slow) = self.transfer_terms(&env);
+            let avail = req.posted.max(env.depart + latency * slow) + drain * slow;
+            let before = self.clock;
+            self.clock = self.clock.max(avail) + RECV_OVERHEAD;
+            // Wire time from departure to full arrival, split into the part
+            // that stalled the waiter (exposed) and the part that ran under
+            // compute or earlier waits (hidden).
+            let wire = avail - env.depart;
+            let stall = (avail - before).max(0.0);
+            exposed += stall;
+            hidden += (wire - stall).max(0.0);
+            self.stats.comm_time += self.clock - before;
+            self.stats.msgs_received += 1;
+            self.stats.bytes_received += env.modeled_bytes;
+            if self.trace_detail() == Some(TraceDetail::Messages) {
+                self.trace_span(
+                    before,
+                    EventKind::RecvMsg {
+                        peer: req.src as u32,
+                        bytes: env.modeled_bytes,
+                    },
+                );
+            }
+            self.maybe_fail();
+            out.push(env.payload);
+        }
+        if n_msgs > 0 {
+            if let Some(detail) = self.trace_detail() {
+                if detail >= TraceDetail::Collectives {
+                    self.trace_instant(EventKind::Overlap {
+                        msgs: n_msgs,
+                        hidden,
+                        exposed,
+                    });
+                }
+            }
+        }
+        out
     }
 
     pub(crate) fn next_collective_epoch(&mut self) -> u64 {
@@ -678,5 +822,122 @@ mod tests {
     #[should_panic(expected = "destination rank out of range")]
     fn send_out_of_range_panics() {
         run_spmd(cfg(1), |comm| comm.send(5, 0, Payload::Empty));
+    }
+
+    #[test]
+    fn immediate_wait_matches_blocking_recv() {
+        // With no compute between post and wait, the overlap model must
+        // degenerate to exactly the blocking recv cost.
+        let mut c = cfg(2);
+        c.topo = ClusterTopology::uniform(2, 1);
+        let body_blocking = |comm: &mut SimComm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, Payload::F64(vec![1.5; 5000]));
+                (vec![], 0.0)
+            } else {
+                let v = comm.recv_f64(0, 1);
+                (v, comm.clock())
+            }
+        };
+        let body_nonblocking = |comm: &mut SimComm| {
+            if comm.rank() == 0 {
+                let _ = comm.isend(1, 1, Payload::F64(vec![1.5; 5000]));
+                (vec![], 0.0)
+            } else {
+                let req = comm.irecv(0, 1);
+                let v = match comm.wait(req) {
+                    Payload::F64(v) => v,
+                    other => panic!("expected F64, got {other:?}"),
+                };
+                (v, comm.clock())
+            }
+        };
+        let a = run_spmd(c.clone(), body_blocking);
+        let b = run_spmd(c, body_nonblocking);
+        assert_eq!(a[1].value, b[1].value);
+    }
+
+    #[test]
+    fn compute_between_post_and_wait_hides_transfer() {
+        let mut c = cfg(2);
+        c.topo = ClusterTopology::uniform(2, 1);
+        let big = Payload::F64(vec![0.25; 200_000]); // ~1.6 MB: drain-dominated
+        let overlap_work = Work::new(5e8, 0.0); // 0.5 virtual seconds
+        let blocking = {
+            let big = big.clone();
+            run_spmd(c.clone(), move |comm| {
+                if comm.rank() == 0 {
+                    comm.send(1, 1, big.clone());
+                    0.0
+                } else {
+                    let _ = comm.recv(0, 1);
+                    comm.compute(overlap_work);
+                    comm.clock()
+                }
+            })
+        };
+        let overlapped = run_spmd(c, move |comm| {
+            if comm.rank() == 0 {
+                let _ = comm.isend(1, 1, big.clone());
+                0.0
+            } else {
+                let req = comm.irecv(0, 1);
+                comm.compute(overlap_work); // transfer progresses underneath
+                let _ = comm.wait(req);
+                comm.clock()
+            }
+        });
+        // Same total work + traffic, but the overlapped schedule finishes
+        // earlier because the drain ran during the compute.
+        assert!(
+            overlapped[1].value < blocking[1].value - 0.01,
+            "overlapped {} vs blocking {}",
+            overlapped[1].value,
+            blocking[1].value
+        );
+        // And never earlier than the compute alone.
+        assert!(overlapped[1].value >= 0.5);
+    }
+
+    #[test]
+    fn wait_all_returns_payloads_in_request_order() {
+        let r = run_spmd(cfg(3), |comm| {
+            if comm.rank() == 0 {
+                let reqs = vec![comm.irecv(2, 4), comm.irecv(1, 4)];
+                comm.wait_all(reqs)
+                    .into_iter()
+                    .map(|p| match p {
+                        Payload::F64(v) => v[0],
+                        other => panic!("expected F64, got {other:?}"),
+                    })
+                    .collect()
+            } else {
+                let _ = comm.isend(0, 4, Payload::F64(vec![comm.rank() as f64]));
+                vec![]
+            }
+        });
+        assert_eq!(r[0].value, vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn overlapped_clocks_are_deterministic() {
+        let run = || {
+            run_spmd(cfg(4), |comm| {
+                let right = (comm.rank() + 1) % comm.size();
+                let left = (comm.rank() + comm.size() - 1) % comm.size();
+                for _ in 0..4 {
+                    let _ = comm.isend(right, 9, Payload::F64(vec![1.0; 2000]));
+                    let req = comm.irecv(left, 9);
+                    comm.compute(Work::new(1e7, 0.0));
+                    let _ = comm.wait(req);
+                }
+                comm.clock()
+            })
+        };
+        let a = run();
+        let b = run();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.value, y.value);
+        }
     }
 }

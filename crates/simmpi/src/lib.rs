@@ -49,7 +49,7 @@ pub mod stats;
 pub mod topology;
 pub mod work;
 
-pub use comm::{Payload, SimComm};
+pub use comm::{Payload, RecvRequest, SendRequest, SimComm};
 pub use engine::{run_spmd, run_spmd_traced, run_spmd_with_faults, RankResult, SpmdConfig};
 pub use fault::{FaultPlan, RankFailed, SlowWindow};
 pub use hetero_trace::{Trace, TraceDetail, TraceSpec};

@@ -124,6 +124,32 @@ impl VirtualRank {
         }
     }
 
+    /// Charges a halo exchange whose transfers overlap with `interior`
+    /// compute, mirroring the threaded engine's post/compute/`wait_all`
+    /// sequence (`spmv_overlapped`): sends are posted up front, each
+    /// message's full transfer (latency + drain) then progresses while the
+    /// interior work runs, and the wait point only stalls for whatever the
+    /// compute did not cover.
+    pub fn halo_exchange_overlapped(&mut self, msgs: &[VirtualMsg], interior: Work) {
+        if msgs.is_empty() {
+            self.compute(interior);
+            return;
+        }
+        for m in msgs {
+            self.clock += SEND_OVERHEAD + (m.bytes + HEADER_BYTES) / self.env.net.intra_bw;
+        }
+        let depart = self.clock;
+        let mut avails = Vec::with_capacity(msgs.len());
+        for m in msgs {
+            let (latency, drain) = self.transfer(m.bytes, m.same_node, m.same_group, m.peer);
+            avails.push(depart + latency + drain);
+        }
+        self.compute(interior);
+        for a in avails {
+            self.clock = self.clock.max(a) + RECV_OVERHEAD;
+        }
+    }
+
     /// Charges a binomial-tree reduce + broadcast all-reduce of `n` doubles,
     /// mirroring [`crate::SimComm::allreduce`]. The modeled rank pays the
     /// worst-case tree depth on both phases. Tree edges at level `k`

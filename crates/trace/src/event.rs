@@ -90,6 +90,19 @@ pub enum EventKind {
         /// Modeled wire bytes.
         bytes: f64,
     },
+    /// Outcome of a nonblocking wait batch (instant): how much of the
+    /// posted transfers' wire time ran concurrently with compute charged
+    /// between post and wait (`hidden`) versus stalling the receiver at the
+    /// wait point (`exposed`). The rollup sums these to show how much
+    /// communication the overlapped solver paths actually hide.
+    Overlap {
+        /// Messages completed by the wait.
+        msgs: u32,
+        /// Transfer seconds hidden behind compute.
+        hidden: f64,
+        /// Seconds the receiver stalled at the wait point.
+        exposed: f64,
+    },
     /// Krylov iteration count of one time-step's solve (instant).
     Solver {
         /// Absolute time-step index.

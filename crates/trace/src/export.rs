@@ -54,6 +54,16 @@ fn kind_fields(out: &mut String, kind: &EventKind) {
             let _ = write!(out, ",\"ev\":\"recv\",\"peer\":{peer},\"bytes\":");
             num(out, *bytes);
         }
+        EventKind::Overlap {
+            msgs,
+            hidden,
+            exposed,
+        } => {
+            let _ = write!(out, ",\"ev\":\"overlap\",\"msgs\":{msgs},\"hidden\":");
+            num(out, *hidden);
+            out.push_str(",\"exposed\":");
+            num(out, *exposed);
+        }
         EventKind::Solver { step, iters } => {
             let _ = write!(out, ",\"ev\":\"solver\",\"step\":{step},\"iters\":{iters}");
         }
@@ -112,6 +122,7 @@ fn chrome_name(kind: &EventKind) -> String {
         EventKind::Collective { op, .. } => op.to_string(),
         EventKind::SendMsg { peer, .. } => format!("send->{peer}"),
         EventKind::RecvMsg { peer, .. } => format!("recv<-{peer}"),
+        EventKind::Overlap { msgs, .. } => format!("overlap({msgs})"),
         EventKind::Solver { .. } => "krylov".to_string(),
         EventKind::Checkpoint { .. } => "checkpoint".to_string(),
         EventKind::Revocation { node } => format!("revocation(node {node})"),
@@ -126,7 +137,7 @@ fn chrome_category(kind: &EventKind) -> &'static str {
     match kind {
         EventKind::Phase { .. } => "phase",
         EventKind::Collective { .. } => "collective",
-        EventKind::SendMsg { .. } | EventKind::RecvMsg { .. } => "p2p",
+        EventKind::SendMsg { .. } | EventKind::RecvMsg { .. } | EventKind::Overlap { .. } => "p2p",
         EventKind::Solver { .. } => "solver",
         EventKind::Checkpoint { .. }
         | EventKind::Revocation { .. }
@@ -183,6 +194,17 @@ fn args_json(out: &mut String, kind: &EventKind) {
         | EventKind::RecvMsg { bytes, .. } => {
             out.push_str("{\"bytes\":");
             num(out, *bytes);
+            out.push('}');
+        }
+        EventKind::Overlap {
+            msgs,
+            hidden,
+            exposed,
+        } => {
+            let _ = write!(out, "{{\"msgs\":{msgs},\"hidden\":");
+            num(out, *hidden);
+            out.push_str(",\"exposed\":");
+            num(out, *exposed);
             out.push('}');
         }
         EventKind::Solver { step, iters } => {

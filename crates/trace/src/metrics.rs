@@ -152,6 +152,16 @@ impl MetricsRegistry {
                 EventKind::RecvMsg { .. } => {
                     m.add("comm.p2p.recv_wait_seconds", e.dur);
                 }
+                EventKind::Overlap {
+                    msgs,
+                    hidden,
+                    exposed,
+                } => {
+                    m.add("comm.overlap.waits", 1.0);
+                    m.add("comm.overlap.msgs", f64::from(msgs));
+                    m.add("comm.overlap.hidden_seconds", hidden);
+                    m.add("comm.overlap.exposed_seconds", exposed);
+                }
                 EventKind::Solver { iters, .. } => {
                     m.add("solver.krylov_iters", f64::from(iters));
                     m.observe("solver.iters_per_step", ITERS_BUCKETS, f64::from(iters));
