@@ -35,7 +35,10 @@ use hetero_linalg::solver::{cg, SolveOptions, SolverVariant};
 use hetero_linalg::{fused_dots, DistMatrix, ExchangePlan};
 use hetero_mesh::{DistributedMesh, StructuredHexMesh};
 use hetero_partition::{BlockPartitioner, Partitioner};
-use hetero_simmpi::{run_spmd, ClusterTopology, ComputeModel, NetworkModel, SpmdConfig};
+use hetero_simmpi::{
+    run_spmd, run_spmd_opts, ClusterTopology, ComputeModel, EngineOpts, FaultPlan, NetworkModel,
+    Payload, SpmdConfig,
+};
 use std::hint::black_box;
 use std::sync::Arc;
 use std::time::Instant;
@@ -364,6 +367,66 @@ fn time_overlap_kernels(
     .value
 }
 
+struct EngineTimes {
+    spawn_cooperative: f64,
+    spawn_threads: f64,
+    pingpong: f64,
+}
+
+/// Times the engines themselves: spawning and joining `ranks` do-nothing
+/// ranks (coroutine creation + scheduling vs. OS-thread creation + join),
+/// and the cooperative scheduler's per-hop cost via a single-worker 2-rank
+/// ping-pong of `msgs` messages, where every message is one block and one
+/// resume on each side — two context switches per hop by construction.
+fn time_engine_kernels(ranks: usize, msgs: usize, samples: usize) -> EngineTimes {
+    let cfg = |size: usize| SpmdConfig {
+        size,
+        topo: ClusterTopology::uniform(size.div_ceil(16).max(1), 16),
+        net: NetworkModel::ideal(),
+        compute: ComputeModel::new(1e9, 4e9),
+        seed: 0,
+    };
+    let spawn = |opts: EngineOpts| {
+        let c = cfg(ranks);
+        median_ns(samples, 1, || {
+            let (r, _) =
+                run_spmd_opts(c.clone(), opts, FaultPlan::none(), None, |comm| comm.rank());
+            black_box(r.expect("no faults planned"));
+        })
+    };
+    let spawn_cooperative = spawn(EngineOpts::default());
+    let spawn_threads = spawn(EngineOpts::threads());
+
+    let c = cfg(2);
+    let pingpong = median_ns(samples, 1, || {
+        let (r, _) = run_spmd_opts(
+            c.clone(),
+            EngineOpts::cooperative(1),
+            FaultPlan::none(),
+            None,
+            move |comm| {
+                let peer = 1 - comm.rank();
+                for i in 0..msgs as u64 {
+                    if comm.rank() == 0 {
+                        comm.send(peer, i, Payload::Usize(vec![i as usize]));
+                        black_box(comm.recv_usize(peer, i));
+                    } else {
+                        black_box(comm.recv_usize(peer, i));
+                        comm.send(peer, i, Payload::Usize(vec![i as usize]));
+                    }
+                }
+            },
+        );
+        black_box(r.expect("no faults planned"));
+    });
+
+    EngineTimes {
+        spawn_cooperative,
+        spawn_threads,
+        pingpong,
+    }
+}
+
 struct Profile {
     schema: &'static str,
     out: &'static str,
@@ -381,6 +444,10 @@ struct Profile {
     dot_len: usize,
     /// Fixed iteration count for the classic-vs-pipelined CG timing.
     cg_iters: usize,
+    /// Rank count for the engine spawn/join timing.
+    spawn_ranks: usize,
+    /// Message count for the scheduler ping-pong timing.
+    pingpong_msgs: usize,
     /// Timing samples per kernel (the median is reported).
     samples: usize,
 }
@@ -395,6 +462,8 @@ const FULL: Profile = Profile {
     overlap_rows: 32_768,
     dot_len: 65_536,
     cg_iters: 50,
+    spawn_ranks: 256,
+    pingpong_msgs: 4096,
     samples: 9,
 };
 
@@ -411,6 +480,8 @@ const SMOKE: Profile = Profile {
     overlap_rows: 4096,
     dot_len: 8192,
     cg_iters: 20,
+    spawn_ranks: 64,
+    pingpong_msgs: 512,
     samples: 5,
 };
 
@@ -469,6 +540,9 @@ fn main() {
     // Trace-recording overhead on a full numerical run.
     let (untraced_ns, traced_ns) = time_trace_overhead(p.samples);
 
+    // Engine spawn/join and cooperative per-hop scheduling cost.
+    let eng = time_engine_kernels(p.spawn_ranks, p.pingpong_msgs, p.samples);
+
     let report = serde_json::json!({
         "schema": p.schema,
         "host_cores": host_cores,
@@ -526,6 +600,19 @@ fn main() {
             "untraced_ns": untraced_ns,
             "traced_messages_ns": traced_ns,
             "overhead_percent": (traced_ns / untraced_ns - 1.0) * 100.0,
+        }),
+        "engine_spawn": serde_json::json!({
+            "ranks": p.spawn_ranks,
+            "cooperative_ns": eng.spawn_cooperative,
+            "threads_ns": eng.spawn_threads,
+            "threads_over_cooperative": eng.spawn_threads / eng.spawn_cooperative,
+        }),
+        "scheduler_step": serde_json::json!({
+            "messages": p.pingpong_msgs,
+            "pingpong_ns": eng.pingpong,
+            // Not a gated `_ns` leaf: it is derived from `pingpong_ns` and
+            // gating both would double the flake surface.
+            "ns_per_hop": eng.pingpong / (2.0 * p.pingpong_msgs as f64),
         }),
     });
     let text = serde_json::to_string_pretty(&report).expect("the report is a finite JSON tree");

@@ -43,7 +43,7 @@ use hetero_platform::limits::LimitViolation;
 use hetero_platform::spot::{acquire_fleet, FleetAllocation, FleetStrategy};
 use hetero_platform::PlatformSpec;
 use hetero_simmpi::rng::splitmix64;
-use hetero_simmpi::{run_spmd_traced, run_spmd_with_faults, SimComm, SpmdConfig};
+use hetero_simmpi::{run_spmd_opts, EngineOpts, SimComm, SpmdConfig};
 use hetero_trace::{EventKind, Trace};
 use std::sync::{Arc, Mutex};
 
@@ -610,13 +610,12 @@ fn run_resilient_numerical(
         // discards, so its trace is dropped; only the completed attempt's
         // trace is kept, and felled attempts contribute campaign-level
         // incident events alone.
-        let (result, attempt_trace) = match req.trace {
-            Some(tspec) => {
-                let (r, t) = run_spmd_traced(cfg, timeline.to_plan(), tspec, body);
-                (r, Some(t))
-            }
-            None => (run_spmd_with_faults(cfg, timeline.to_plan(), body), None),
+        let opts = EngineOpts {
+            engine: req.engine,
+            workers: req.sched_workers,
+            ..EngineOpts::default()
         };
+        let (result, attempt_trace) = run_spmd_opts(cfg, opts, timeline.to_plan(), req.trace, body);
 
         match result {
             Ok(results) => {

@@ -12,7 +12,9 @@ use hetero_partition::block::near_cubic_factors;
 use hetero_partition::BlockLayout;
 use hetero_platform::limits::LimitViolation;
 use hetero_platform::{CostModel, PlatformSpec};
-use hetero_simmpi::{run_spmd, run_spmd_traced, ClusterTopology, FaultPlan, SpmdConfig};
+use hetero_simmpi::{
+    run_spmd_opts, ClusterTopology, EngineKind, EngineOpts, FaultPlan, SpmdConfig,
+};
 use hetero_trace::{EventKind, Phase as TracePhase, Trace, TraceEvent, TraceSpec};
 use std::sync::Arc;
 
@@ -52,6 +54,15 @@ pub struct RunRequest {
     /// parallelism is bitwise deterministic, so the computed report is
     /// identical at any value; only host wall time changes.
     pub threads_per_rank: usize,
+    /// SPMD engine for the numerical path: the M:N cooperative scheduler
+    /// (the default) or the legacy one-OS-thread-per-rank engine kept for
+    /// A/B pinning. The computed report is bitwise identical either way;
+    /// only host resource usage differs.
+    pub engine: EngineKind,
+    /// Worker threads for the cooperative scheduler (`0` = auto-size from
+    /// host parallelism). Ignored by the thread engine. Reports are bitwise
+    /// identical at any pool size.
+    pub sched_workers: usize,
     /// Engine selection.
     pub fidelity: Fidelity,
     /// Overrides the solver communication schedule of **every** Krylov
@@ -86,6 +97,8 @@ impl RunRequest {
             seed: 2012,
             discard: 0,
             threads_per_rank: 1,
+            engine: EngineKind::default(),
+            sched_workers: 0,
             fidelity: Fidelity::Auto,
             solver_variant: None,
             topology_override: None,
@@ -377,16 +390,13 @@ fn run_numerical(
             }
         })
     };
-    let (results, trace) = match req.trace {
-        Some(spec) => {
-            let (res, trace) = run_spmd_traced(cfg, FaultPlan::none(), spec, body);
-            (
-                res.expect("a trivial fault plan cannot fail a rank"),
-                Some(trace),
-            )
-        }
-        None => (run_spmd(cfg, body), None),
+    let opts = EngineOpts {
+        engine: req.engine,
+        workers: req.sched_workers,
+        ..EngineOpts::default()
     };
+    let (res, trace) = run_spmd_opts(cfg, opts, FaultPlan::none(), req.trace, body);
+    let results = res.expect("a trivial fault plan cannot fail a rank");
 
     // Critical-rank reduction: per-iteration max across ranks.
     let steps = results[0].value.iterations.len();

@@ -9,6 +9,7 @@ use hetero_platform::limits::LimitViolation;
 use hetero_platform::provision::{environment_of, plan, ProvisionPlan};
 use hetero_platform::spot::{acquire_fleet, FleetAllocation, FleetStrategy};
 use hetero_platform::{catalog, PlatformSpec};
+use hetero_simmpi::EngineKind;
 use hetero_trace::TraceSpec;
 
 /// Shared knobs for the scenario sweeps.
@@ -134,6 +135,8 @@ fn weak_scaling(app_for: impl Fn(usize) -> App, opts: &ScenarioOptions) -> WeakS
                 seed: opts.seed,
                 discard: opts.discard,
                 threads_per_rank: 1,
+                engine: EngineKind::default(),
+                sched_workers: 0,
                 fidelity: opts.fidelity,
                 solver_variant: None,
                 topology_override: None,
@@ -194,6 +197,8 @@ pub fn table2(opts: &ScenarioOptions) -> Vec<Table2Row> {
             seed: opts.seed,
             discard: opts.discard,
             threads_per_rank: 1,
+            engine: EngineKind::default(),
+            sched_workers: 0,
             fidelity: opts.fidelity,
             solver_variant: None,
             topology_override: None,
@@ -529,6 +534,8 @@ pub fn table3(opts: &ResilienceOptions) -> Vec<Table3Row> {
             seed: opts.base.seed,
             discard: opts.base.discard,
             threads_per_rank: 1,
+            engine: EngineKind::default(),
+            sched_workers: 0,
             fidelity: opts.base.fidelity,
             solver_variant: None,
             topology_override: None,

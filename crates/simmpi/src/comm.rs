@@ -100,10 +100,14 @@ pub(crate) struct SharedComm {
     /// Trace sink all ranks drain into; `None` disables recording (each
     /// rank then holds no tracer at all).
     pub(crate) trace: Option<Arc<TraceSink>>,
+    /// The M:N scheduler when this job runs on the cooperative engine;
+    /// `None` under the thread engine. Selects how blocking receives park
+    /// (coroutine yield vs condvar wait) and how senders wake them.
+    pub(crate) coop: Option<Arc<crate::sched::Scheduler>>,
     mailboxes: Vec<Mailbox>,
-    /// One flag per rank, raised when that rank's thread has exited (clean
-    /// return, injected fault, or panic). A receiver blocked on a message
-    /// unwinds only once its *sender* is gone — a virtual-time-determined
+    /// One flag per rank, raised when that rank has exited (clean return,
+    /// injected fault, or panic). A receiver blocked on a message unwinds
+    /// only once its *sender* is gone — a virtual-time-determined
     /// condition — never on a global "something failed" flag, which would
     /// make the survivors' progress (and any side effects like checkpoint
     /// commits) depend on wall-clock scheduling.
@@ -111,6 +115,7 @@ pub(crate) struct SharedComm {
 }
 
 impl SharedComm {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         size: usize,
         topo: ClusterTopology,
@@ -119,6 +124,7 @@ impl SharedComm {
         seed: u64,
         faults: FaultPlan,
         trace: Option<Arc<TraceSink>>,
+        coop: Option<Arc<crate::sched::Scheduler>>,
     ) -> Arc<Self> {
         assert!(size > 0, "job must have at least one rank");
         assert!(
@@ -138,6 +144,7 @@ impl SharedComm {
             nodes_active,
             faults,
             trace,
+            coop,
             mailboxes,
             terminated,
         })
@@ -147,7 +154,9 @@ impl SharedComm {
     /// every blocked receiver so those waiting on this rank can re-check.
     /// All of the rank's sends happen-before this store, so a receiver that
     /// observes the flag and still finds its queue empty knows the message
-    /// will never arrive.
+    /// will never arrive. Thread engine only: the condvar broadcast is
+    /// O(size), which the cooperative engine replaces with a targeted
+    /// scheduler wake (see [`Self::mark_terminated_quiet`]).
     pub(crate) fn mark_terminated(&self, rank: usize) {
         self.terminated[rank].store(true, Ordering::SeqCst);
         for m in &self.mailboxes {
@@ -159,8 +168,29 @@ impl SharedComm {
         }
     }
 
+    /// Raises `rank`'s termination flag without any condvar traffic. The
+    /// cooperative worker calls this *before* waking the dead rank's
+    /// waiters through the scheduler, so a woken receiver that still finds
+    /// its queue empty can safely conclude the message will never come.
+    pub(crate) fn mark_terminated_quiet(&self, rank: usize) {
+        self.terminated[rank].store(true, Ordering::SeqCst);
+    }
+
     pub(crate) fn rank_terminated(&self, rank: usize) -> bool {
         self.terminated[rank].load(Ordering::SeqCst)
+    }
+
+    /// Whether a message from `(src, tag)` is queued at `dst`'s mailbox.
+    /// Used by the scheduler's blocked-registration re-check; takes the
+    /// mailbox lock, so callers may hold the scheduler lock (the lock
+    /// order scheduler → mailbox is only ever taken in this direction —
+    /// senders release the mailbox lock before touching the scheduler).
+    pub(crate) fn has_queued(&self, dst: usize, src: usize, tag: u64) -> bool {
+        let queues = self.mailboxes[dst]
+            .queues
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        queues.get(&(src, tag)).is_some_and(|q| !q.is_empty())
     }
 }
 
@@ -171,7 +201,10 @@ pub struct SimComm {
     rank: usize,
     shared: Arc<SharedComm>,
     clock: f64,
-    send_seq: Vec<u64>,
+    /// Per-destination sequence counters, allocated on first use: a rank
+    /// typically talks to O(1) neighbours, and a dense `Vec` would cost
+    /// O(size²) across the job (ruinous at 10⁴–10⁵ ranks).
+    send_seq: HashMap<usize, u64>,
     stats: CommStats,
     pub(crate) coll_epoch: u64,
     /// This rank's topology node and its scheduled death time (cached from
@@ -186,7 +219,6 @@ pub struct SimComm {
 impl SimComm {
     pub(crate) fn new(rank: usize, shared: Arc<SharedComm>) -> Self {
         assert!(rank < shared.size);
-        let size = shared.size;
         let node = shared.topo.node_of_rank(rank);
         let down_at = shared.faults.down_time(node);
         let tracer = shared
@@ -197,7 +229,7 @@ impl SimComm {
             rank,
             shared,
             clock: 0.0,
-            send_seq: vec![0; size],
+            send_seq: HashMap::new(),
             stats: CommStats::default(),
             coll_epoch: 0,
             node,
@@ -309,8 +341,9 @@ impl SimComm {
         modeled_bytes: f64,
     ) {
         assert!(dst < self.shared.size, "destination rank out of range");
-        let seq = self.send_seq[dst];
-        self.send_seq[dst] += 1;
+        let counter = self.send_seq.entry(dst).or_insert(0);
+        let seq = *counter;
+        *counter += 1;
 
         // A dead sender must not enqueue: the message would teleport data
         // off a lost node. Check before the clock moves past the send.
@@ -344,14 +377,72 @@ impl SimComm {
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
             queues.entry((self.rank, tag)).or_default().push_back(env);
         }
-        mailbox.cv.notify_all();
+        // Wake the receiver *after* releasing the mailbox lock: under the
+        // cooperative engine this takes the scheduler lock, and the only
+        // permitted nesting is scheduler → mailbox (worker side), never the
+        // reverse.
+        match &self.shared.coop {
+            Some(sched) => sched.notify_send(self.rank, dst, tag),
+            None => mailbox.cv.notify_all(),
+        }
     }
 
-    /// Blocks the host thread until a message from `(src, tag)` is queued,
-    /// then pops it. Unwinds (poison panic) only once the sender is provably
-    /// gone — a virtual-time-determined condition shared by the blocking and
-    /// nonblocking receive paths.
+    /// Blocks until a message from `(src, tag)` is queued, then pops it —
+    /// by yielding this rank's coroutine to the M:N scheduler under the
+    /// cooperative engine, or by a condvar wait under the thread engine.
+    /// Either way the rank unwinds (poison panic) only once the sender is
+    /// provably gone — a virtual-time-determined condition shared by the
+    /// blocking and nonblocking receive paths.
     fn block_for_envelope(&mut self, src: usize, tag: u64) -> Envelope {
+        if self.shared.coop.is_some() {
+            self.coop_block_for_envelope(src, tag)
+        } else {
+            self.thread_block_for_envelope(src, tag)
+        }
+    }
+
+    /// Cooperative-engine blocking: this is the yield point. The coroutine
+    /// parks with its current virtual clock as its run-queue key; the
+    /// worker registers the block (re-checking the mailbox under the
+    /// scheduler lock, so no wakeup can be lost) and runs other ranks.
+    fn coop_block_for_envelope(&mut self, src: usize, tag: u64) -> Envelope {
+        loop {
+            {
+                let mut queues = self.shared.mailboxes[self.rank]
+                    .queues
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                if let Some(env) = queues.get_mut(&(src, tag)).and_then(|q| q.pop_front()) {
+                    return env;
+                }
+                // Unwind only when the *sender* is provably gone: whether a
+                // message is ever sent is a pure function of virtual time,
+                // so every survivor's unwind point is deterministic too.
+                // The termination flag is raised before the scheduler wake,
+                // and all of src's sends happen-before the flag, so "flag
+                // up + queue empty" (checked under the one mailbox lock)
+                // proves the message will never arrive.
+                if self.shared.rank_terminated(src) {
+                    panic!(
+                        "job poisoned: rank {} waited on ({src}, {tag}) but the sender is gone",
+                        self.rank
+                    );
+                }
+            }
+            // Lock released before yielding; the worker-side registration
+            // re-check closes the window between the look and the park.
+            match crate::sched::yield_blocked(src, tag, self.clock) {
+                crate::sched::Verdict::Retry => continue,
+                crate::sched::Verdict::Deadlock => panic!(
+                    "job poisoned: deadlock victim rank {} blocked on recv({src}, {tag})",
+                    self.rank
+                ),
+            }
+        }
+    }
+
+    /// Thread-engine blocking: a condvar wait on this rank's mailbox.
+    fn thread_block_for_envelope(&mut self, src: usize, tag: u64) -> Envelope {
         let mailbox = &self.shared.mailboxes[self.rank];
         let mut queues = mailbox
             .queues

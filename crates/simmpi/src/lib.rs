@@ -9,8 +9,12 @@
 //! virtualization artifacts. This crate reproduces that setting in
 //! simulation:
 //!
-//! * Each MPI rank runs as a real OS thread executing the *actual*
-//!   application code on real data ([`engine::run_spmd`]).
+//! * Each MPI rank runs as a cooperatively scheduled stackful coroutine
+//!   executing the *actual* application code on real data
+//!   ([`engine::run_spmd`]); an M:N scheduler multiplexes up to
+//!   [`engine::MAX_REAL_RANKS`] ranks onto a fixed worker pool. The legacy
+//!   one-OS-thread-per-rank engine remains available for A/B pinning
+//!   ([`engine::EngineKind::Threads`]).
 //! * Each rank carries a **virtual clock** (seconds of simulated platform
 //!   time). Computation advances it through a roofline model
 //!   ([`work::ComputeModel`]); messages advance it through a latency /
@@ -35,7 +39,9 @@
 //! [`engine::run_spmd_traced`]; see the `hetero-trace` crate for the event
 //! model and exporters.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the coroutine context switch in `sched`
+// needs a scoped `unsafe` island; everything else stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod collectives;
@@ -45,12 +51,17 @@ pub mod fault;
 pub mod modeled;
 pub mod network;
 pub mod rng;
+pub(crate) mod sched;
 pub mod stats;
 pub mod topology;
 pub mod work;
 
 pub use comm::{Payload, RecvRequest, SendRequest, SimComm};
-pub use engine::{run_spmd, run_spmd_traced, run_spmd_with_faults, RankResult, SpmdConfig};
+pub use engine::{
+    run_spmd, run_spmd_opts, run_spmd_traced, run_spmd_with_faults, EngineKind, EngineOpts,
+    RankResult, SpmdConfig, COOPERATIVE_SUPPORTED, DEFAULT_TASK_STACK_BYTES, MAX_REAL_RANKS,
+    MAX_THREAD_RANKS,
+};
 pub use fault::{FaultPlan, RankFailed, SlowWindow};
 pub use hetero_trace::{Trace, TraceDetail, TraceSpec};
 pub use network::{MsgContext, NetworkModel};

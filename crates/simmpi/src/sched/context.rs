@@ -1,0 +1,290 @@
+//! Stackful-coroutine primitives: heap-allocated task stacks and the
+//! register-level context switch the M:N scheduler is built on.
+//!
+//! This is the only module in the crate that needs `unsafe`. The surface is
+//! three tiny things:
+//!
+//! * [`Context`] — the callee-saved register file of a suspended execution
+//!   (stack pointer included). A context is only ever *entered* by the
+//!   matching [`ctx_swap`], which first saves the current execution into
+//!   another `Context`, so control flow forms a strict hand-off chain.
+//! * [`TaskStack`] — a 16-byte-aligned heap allocation used as a coroutine
+//!   stack, with a canary pattern at the low end that [`TaskStack::canary_ok`]
+//!   checks after every hand-off (a cheap heuristic for overflow, since heap
+//!   stacks have no guard page).
+//! * [`init_context`] — builds the initial `Context` of a not-yet-started
+//!   task: the first swap into it "returns" into a tiny assembly trampoline
+//!   that calls [`hetero_simmpi_task_entry`](super::hetero_simmpi_task_entry)
+//!   with the task's control block.
+//!
+//! Only the System-V-flavoured targets the workspace actually runs on are
+//! supported (`x86_64` and `aarch64` on non-Windows). The engine checks
+//! [`super::super::engine::COOPERATIVE_SUPPORTED`] and falls back to the
+//! thread-per-rank engine elsewhere, so nothing here is reached on other
+//! targets.
+//!
+//! # Safety argument
+//!
+//! A context switch moves execution between stacks on the *same* OS thread;
+//! the scheduler guarantees each task is resumed by exactly one worker at a
+//! time (hand-offs synchronize through the scheduler mutex, which provides
+//! the necessary happens-before edges when a task migrates between
+//! workers). Panics never cross a switch: every coroutine body runs under
+//! `catch_unwind` at the bottom of its own stack, and the trampoline frame
+//! below it is never unwound through.
+
+#![allow(unsafe_code)]
+
+use std::alloc::{alloc, dealloc, Layout};
+
+/// Number of saved registers in a [`Context`].
+#[cfg(target_arch = "x86_64")]
+const REG_COUNT: usize = 7; // rsp, rbx, rbp, r12..r15
+/// Number of saved registers in a [`Context`].
+#[cfg(target_arch = "aarch64")]
+const REG_COUNT: usize = 21; // sp, x19..x30, d8..d15
+/// Placeholder so the types compile on targets without a switch
+/// implementation; the engine never selects the cooperative path there.
+#[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+const REG_COUNT: usize = 1;
+
+/// Register index holding the stack pointer.
+#[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+const REG_SP: usize = 0;
+/// Register index that carries the task-control-block pointer into the
+/// entry trampoline (a callee-saved register the trampoline moves into the
+/// first-argument register).
+#[cfg(target_arch = "x86_64")]
+const REG_ARG: usize = 3; // r12
+#[cfg(target_arch = "aarch64")]
+const REG_ARG: usize = 1; // x19
+/// Register index the first swap "returns" through (the slot the trampoline
+/// address is planted in). On x86_64 the return address lives on the stack
+/// instead, so this is unused there.
+#[cfg(target_arch = "aarch64")]
+const REG_LR: usize = 12; // x30
+
+/// The callee-saved register file of a suspended execution.
+///
+/// `repr(C)` because the assembly addresses fields by byte offset.
+#[repr(C)]
+#[derive(Debug)]
+pub(crate) struct Context {
+    regs: [usize; REG_COUNT],
+}
+
+impl Context {
+    /// An empty context; a valid *save* target (its content is entirely
+    /// overwritten by the first [`ctx_swap`] that saves into it) but not a
+    /// valid *restore* source until it has been saved into or built by
+    /// [`init_context`].
+    pub(crate) fn new() -> Self {
+        Context {
+            regs: [0; REG_COUNT],
+        }
+    }
+}
+
+#[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+unsafe extern "C" {
+    /// Saves the current callee-saved register file into `save` and resumes
+    /// the execution captured in `restore`. Returns when something later
+    /// swaps back into `save`.
+    ///
+    /// # Safety
+    /// `restore` must have been produced by a prior save or by
+    /// [`init_context`]; both pointers must be valid and distinct; the
+    /// stack captured in `restore` must be live and not in use by any other
+    /// thread.
+    unsafe fn hetero_simmpi_ctx_swap(save: *mut Context, restore: *const Context);
+
+    /// The assembly entry trampoline (never called from Rust; its address
+    /// is planted in fresh task contexts).
+    fn hetero_simmpi_ctx_entry();
+}
+
+/// Saves the current execution into `save` and resumes `restore`.
+///
+/// # Safety
+/// See the extern declaration of `hetero_simmpi_ctx_swap`: `restore` must
+/// hold a suspended execution (prior save or [`init_context`]), both
+/// pointers must be valid and distinct, and the target stack must be live
+/// and unused by any other thread.
+#[inline]
+#[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+pub(crate) unsafe fn ctx_swap(save: *mut Context, restore: *const Context) {
+    unsafe { hetero_simmpi_ctx_swap(save, restore) }
+}
+
+/// Stub for targets without a switch implementation; unreachable because
+/// the engine never selects the cooperative path there.
+#[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+pub(crate) unsafe fn ctx_swap(_save: *mut Context, _restore: *const Context) {
+    unreachable!("cooperative engine is not supported on this target")
+}
+
+#[cfg(target_arch = "x86_64")]
+std::arch::global_asm!(
+    // Context layout: [rsp, rbx, rbp, r12, r13, r14, r15] at 8-byte stride.
+    ".text",
+    ".globl hetero_simmpi_ctx_swap",
+    ".p2align 4",
+    "hetero_simmpi_ctx_swap:",
+    "mov [rdi + 0x00], rsp",
+    "mov [rdi + 0x08], rbx",
+    "mov [rdi + 0x10], rbp",
+    "mov [rdi + 0x18], r12",
+    "mov [rdi + 0x20], r13",
+    "mov [rdi + 0x28], r14",
+    "mov [rdi + 0x30], r15",
+    "mov rsp, [rsi + 0x00]",
+    "mov rbx, [rsi + 0x08]",
+    "mov rbp, [rsi + 0x10]",
+    "mov r12, [rsi + 0x18]",
+    "mov r13, [rsi + 0x20]",
+    "mov r14, [rsi + 0x28]",
+    "mov r15, [rsi + 0x30]",
+    "ret",
+    // First entry into a fresh task: the initial context's r12 carries the
+    // task control block; move it into the argument register, terminate the
+    // frame-pointer chain, and call the Rust entry (which never returns).
+    ".globl hetero_simmpi_ctx_entry",
+    ".p2align 4",
+    "hetero_simmpi_ctx_entry:",
+    "mov rdi, r12",
+    "xor ebp, ebp",
+    "call hetero_simmpi_task_entry",
+    "ud2",
+);
+
+#[cfg(target_arch = "aarch64")]
+std::arch::global_asm!(
+    // Context layout: [sp, x19..x30, d8..d15] at 8-byte stride.
+    ".text",
+    ".globl hetero_simmpi_ctx_swap",
+    ".p2align 2",
+    "hetero_simmpi_ctx_swap:",
+    "mov x9, sp",
+    "str x9,       [x0, #0x00]",
+    "stp x19, x20, [x0, #0x08]",
+    "stp x21, x22, [x0, #0x18]",
+    "stp x23, x24, [x0, #0x28]",
+    "stp x25, x26, [x0, #0x38]",
+    "stp x27, x28, [x0, #0x48]",
+    "stp x29, x30, [x0, #0x58]",
+    "stp d8,  d9,  [x0, #0x68]",
+    "stp d10, d11, [x0, #0x78]",
+    "stp d12, d13, [x0, #0x88]",
+    "stp d14, d15, [x0, #0x98]",
+    "ldr x9,       [x1, #0x00]",
+    "mov sp, x9",
+    "ldp x19, x20, [x1, #0x08]",
+    "ldp x21, x22, [x1, #0x18]",
+    "ldp x23, x24, [x1, #0x28]",
+    "ldp x25, x26, [x1, #0x38]",
+    "ldp x27, x28, [x1, #0x48]",
+    "ldp x29, x30, [x1, #0x58]",
+    "ldp d8,  d9,  [x1, #0x68]",
+    "ldp d10, d11, [x1, #0x78]",
+    "ldp d12, d13, [x1, #0x88]",
+    "ldp d14, d15, [x1, #0x98]",
+    "ret",
+    ".globl hetero_simmpi_ctx_entry",
+    ".p2align 2",
+    "hetero_simmpi_ctx_entry:",
+    "mov x0, x19",
+    "mov x29, xzr",
+    "mov x30, xzr",
+    "bl hetero_simmpi_task_entry",
+    "brk #0",
+);
+
+/// Bytes of canary pattern written at the low (overflow) end of each stack.
+const CANARY_BYTES: usize = 64;
+/// The canary fill byte.
+const CANARY_FILL: u8 = 0x5A;
+
+/// A heap allocation used as a coroutine stack.
+///
+/// Allocated with 16-byte alignment (both supported ABIs require it) and a
+/// size rounded up to 16. Large allocations are lazily committed by the OS,
+/// so tens of thousands of mostly-idle stacks cost virtual address space,
+/// not resident memory.
+pub(crate) struct TaskStack {
+    base: *mut u8,
+    layout: Layout,
+}
+
+// The stack is only written through the coroutine that runs on it, and the
+// scheduler serializes access; the owning container just needs to move
+// between worker threads.
+unsafe impl Send for TaskStack {}
+
+impl TaskStack {
+    /// Allocates a stack of at least `bytes` bytes and plants the canary.
+    pub(crate) fn new(bytes: usize) -> Self {
+        let size = bytes.max(4096).next_multiple_of(16);
+        let layout = Layout::from_size_align(size, 16).expect("valid stack layout");
+        // SAFETY: layout has non-zero size.
+        let base = unsafe { alloc(layout) };
+        assert!(!base.is_null(), "task stack allocation failed");
+        // SAFETY: base..base+CANARY_BYTES is inside the fresh allocation.
+        unsafe { std::ptr::write_bytes(base, CANARY_FILL, CANARY_BYTES) };
+        TaskStack { base, layout }
+    }
+
+    /// One past the highest usable address; 16-byte aligned.
+    pub(crate) fn top(&self) -> usize {
+        self.base as usize + self.layout.size()
+    }
+
+    /// Whether the low-end canary is intact. A dead canary means the task
+    /// overflowed its stack into the canary region (and possibly beyond).
+    pub(crate) fn canary_ok(&self) -> bool {
+        // SAFETY: the canary region is inside the live allocation.
+        unsafe { std::slice::from_raw_parts(self.base, CANARY_BYTES) }
+            .iter()
+            .all(|&b| b == CANARY_FILL)
+    }
+}
+
+impl Drop for TaskStack {
+    fn drop(&mut self) {
+        // SAFETY: base/layout came from `alloc` in `new`.
+        unsafe { dealloc(self.base, self.layout) };
+    }
+}
+
+/// Builds the initial context of a fresh task on `stack`: the first swap
+/// into it enters the assembly trampoline, which calls
+/// `hetero_simmpi_task_entry(ctl)`.
+#[cfg_attr(
+    not(any(target_arch = "x86_64", target_arch = "aarch64")),
+    allow(unused_variables, unused_mut)
+)]
+pub(crate) fn init_context(stack: &TaskStack, ctl: *mut ()) -> Context {
+    let mut ctx = Context::new();
+    let top = stack.top();
+    debug_assert_eq!(top % 16, 0);
+    #[cfg(target_arch = "x86_64")]
+    {
+        // Plant the trampoline address as the "return address" the first
+        // swap's `ret` pops. rsp % 16 == 8 at that point, which is exactly
+        // the ABI state on function entry, so the trampoline's `call` lands
+        // in `hetero_simmpi_task_entry` with a conformant stack.
+        let slot = (top - 8) as *mut usize;
+        // SAFETY: top-8 is inside the stack allocation and 8-aligned.
+        unsafe { *slot = hetero_simmpi_ctx_entry as *const () as usize };
+        ctx.regs[REG_SP] = top - 8;
+        ctx.regs[REG_ARG] = ctl as usize;
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        // The swap's `ret` branches to the restored link register; sp must
+        // stay 16-aligned at all times on aarch64.
+        ctx.regs[REG_SP] = top;
+        ctx.regs[REG_ARG] = ctl as usize;
+        ctx.regs[REG_LR] = hetero_simmpi_ctx_entry as *const () as usize;
+    }
+    ctx
+}

@@ -4,7 +4,8 @@ use hetero_simmpi::collectives::ReduceOp;
 use hetero_simmpi::modeled::{VirtualEnv, VirtualMsg, VirtualRank};
 use hetero_simmpi::rng::{jitter_factor, to_unit};
 use hetero_simmpi::{
-    run_spmd, ClusterTopology, ComputeModel, MsgContext, NetworkModel, Payload, SpmdConfig, Work,
+    run_spmd, run_spmd_opts, ClusterTopology, ComputeModel, EngineOpts, FaultPlan, MsgContext,
+    NetworkModel, Payload, SimComm, SpmdConfig, Work,
 };
 use proptest::prelude::*;
 
@@ -180,4 +181,179 @@ proptest! {
             prop_assert_eq!(v, &expect);
         }
     }
+}
+
+// ---- M:N cooperative-scheduler properties ----
+
+/// One round of a randomly generated but deadlock-free SPMD program: every
+/// rank executes the same round list, so every send has a matching recv.
+#[derive(Debug, Clone, Copy)]
+enum Round {
+    /// Shift a payload of `len` f64s around the ring under `tag`.
+    RingShift { tag: u64, len: usize },
+    /// Same, in the other direction.
+    ReverseShift { tag: u64, len: usize },
+    /// A scalar sum allreduce.
+    Allreduce,
+    /// A dissemination barrier.
+    Barrier,
+    /// Local compute (advances the virtual clock without traffic).
+    Compute { flops: u64 },
+}
+
+fn round_strategy() -> impl Strategy<Value = Round> {
+    prop_oneof![
+        (0u64..5, 1usize..64).prop_map(|(tag, len)| Round::RingShift { tag, len }),
+        (0u64..5, 1usize..64).prop_map(|(tag, len)| Round::ReverseShift { tag, len }),
+        Just(Round::Allreduce),
+        Just(Round::Barrier),
+        (1u64..50_000_000).prop_map(|flops| Round::Compute { flops }),
+    ]
+}
+
+/// Executes the round list and returns a bitwise fingerprint of everything
+/// observable: every received value, the running clock after each round,
+/// and the final communication stats.
+fn run_rounds(rounds: &[Round], comm: &mut SimComm) -> Vec<u64> {
+    let size = comm.size();
+    let mut fp = Vec::new();
+    for r in rounds {
+        match *r {
+            Round::RingShift { tag, len } => {
+                let next = (comm.rank() + 1) % size;
+                let prev = (comm.rank() + size - 1) % size;
+                comm.send(next, tag, Payload::F64(vec![comm.rank() as f64; len]));
+                for v in comm.recv_f64(prev, tag) {
+                    fp.push(v.to_bits());
+                }
+            }
+            Round::ReverseShift { tag, len } => {
+                let next = (comm.rank() + 1) % size;
+                let prev = (comm.rank() + size - 1) % size;
+                comm.send(prev, tag, Payload::F64(vec![comm.clock(); len]));
+                for v in comm.recv_f64(next, tag) {
+                    fp.push(v.to_bits());
+                }
+            }
+            Round::Allreduce => {
+                let s = comm.allreduce_scalar(ReduceOp::Sum, comm.rank() as f64 + 0.5);
+                fp.push(s.to_bits());
+            }
+            Round::Barrier => comm.barrier(),
+            Round::Compute { flops } => comm.compute(Work::new(flops as f64, 1e6)),
+        }
+        fp.push(comm.clock().to_bits());
+    }
+    fp.push(comm.stats().bytes_received.to_bits());
+    fp
+}
+
+/// Fingerprints of all ranks under the given engine options.
+fn fingerprint(cfg: &SpmdConfig, opts: EngineOpts, rounds: &[Round]) -> Vec<(Vec<u64>, u64)> {
+    let rounds = rounds.to_vec();
+    let (res, _) = run_spmd_opts(cfg.clone(), opts, FaultPlan::none(), None, move |comm| {
+        run_rounds(&rounds, comm)
+    });
+    res.expect("no faults planned")
+        .into_iter()
+        .map(|r| (r.value, r.clock.to_bits()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random interleavings of sends, recvs, and collectives over random
+    /// rank counts produce the identical message order and final clocks on
+    /// the thread engine and on the cooperative engine at every pool size.
+    #[test]
+    fn random_programs_agree_across_engines_and_pools(
+        size in 2usize..12,
+        seed in 0u64..1000,
+        rounds in prop::collection::vec(round_strategy(), 1..6),
+    ) {
+        let c = cfg(size, seed);
+        let threads = fingerprint(&c, EngineOpts::threads(), &rounds);
+        for workers in [1usize, 4] {
+            let coop = fingerprint(&c, EngineOpts::cooperative(workers), &rounds);
+            prop_assert_eq!(&coop, &threads,
+                "pool of {} diverged on {:?}", workers, rounds);
+        }
+    }
+}
+
+#[test]
+fn random_program_agrees_across_pools_past_the_thread_ceiling() {
+    // The same property at a rank count the thread engine refuses
+    // (> 4096): pool sizes cannot change anything observable.
+    let size = 4523;
+    let c = SpmdConfig {
+        size,
+        topo: ClusterTopology::uniform(size.div_ceil(16), 16),
+        net: NetworkModel::gigabit_ethernet(),
+        compute: ComputeModel::new(1e9, 4e9),
+        seed: 17,
+    };
+    let rounds = [
+        Round::RingShift { tag: 1, len: 8 },
+        Round::Compute { flops: 1_000_000 },
+        Round::ReverseShift { tag: 2, len: 4 },
+        Round::Allreduce,
+    ];
+    let one = fingerprint(&c, EngineOpts::cooperative(1), &rounds);
+    let four = fingerprint(&c, EngineOpts::cooperative(4), &rounds);
+    assert_eq!(one, four);
+}
+
+/// Runs `f` on a fresh thread and panics if it does not finish within
+/// `secs` — the scheduler must *detect* deadlocks, never hang on them.
+fn with_watchdog<T: Send + 'static>(secs: u64, f: impl FnOnce() -> T + Send + 'static) -> T {
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    rx.recv_timeout(std::time::Duration::from_secs(secs))
+        .expect("deadlock detection must report, not hang")
+}
+
+#[test]
+fn cyclic_recv_deadlock_surfaces_as_deterministic_error() {
+    // Every rank waits on its left neighbour before sending: a recv cycle
+    // with no message in flight. The run must fail fast with a stable,
+    // structural report — identical across runs and pool sizes.
+    let report = |workers: usize| -> String {
+        with_watchdog(120, move || {
+            let c = SpmdConfig {
+                size: 5,
+                topo: ClusterTopology::uniform(5, 1),
+                net: NetworkModel::ideal(),
+                compute: ComputeModel::new(1e9, 1e9),
+                seed: 0,
+            };
+            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run_spmd_opts(
+                    c,
+                    EngineOpts::cooperative(workers),
+                    FaultPlan::none(),
+                    None,
+                    |comm| {
+                        let prev = (comm.rank() + comm.size() - 1) % comm.size();
+                        let _ = comm.recv_f64(prev, 9);
+                    },
+                )
+            }))
+            .expect_err("a recv cycle must fail the job");
+            err.downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_else(|| "non-string panic".into())
+        })
+    };
+    let first = report(1);
+    assert!(first.contains("job deadlocked"), "got: {first}");
+    assert!(
+        first.contains("rank 0 waits on recv(src=4, tag=9)"),
+        "got: {first}"
+    );
+    assert_eq!(first, report(1), "deadlock report must reproduce");
+    assert_eq!(first, report(4), "deadlock report must be pool-independent");
 }

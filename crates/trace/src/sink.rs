@@ -129,19 +129,26 @@ pub struct RankTracer {
     rank: u32,
     seq: u64,
     detail: TraceDetail,
+    /// Staging-buffer capacity in events. Kept separately from
+    /// `staged.capacity()` so the buffer can start unallocated: with tens of
+    /// thousands of ranks, eagerly preallocating 4096 events per rank costs
+    /// hundreds of megabytes before a single event is recorded.
+    cap: usize,
     staged: Vec<TraceEvent>,
     sink: Arc<TraceSink>,
 }
 
 impl RankTracer {
-    /// Creates the tracer for `rank`, preallocating its staging buffer.
+    /// Creates the tracer for `rank`. The staging buffer is allocated lazily
+    /// on the first [`Self::record`], so idle tracers cost nothing.
     pub fn new(rank: u32, sink: Arc<TraceSink>) -> Self {
         let spec = sink.spec();
         RankTracer {
             rank,
             seq: 0,
             detail: spec.detail,
-            staged: Vec::with_capacity(spec.buffer_events.max(16)),
+            cap: spec.buffer_events.max(16),
+            staged: Vec::new(),
             sink,
         }
     }
@@ -159,9 +166,13 @@ impl RankTracer {
     pub fn record(&mut self, at: f64, dur: f64, kind: EventKind) {
         let seq = self.seq;
         self.seq += 1;
-        // Drain *before* pushing at capacity so the push itself never
-        // reallocates the staging buffer.
-        if self.staged.len() == self.staged.capacity() {
+        if self.staged.capacity() == 0 {
+            // First event: allocate the full staging buffer once, so
+            // steady-state recording never reallocates.
+            self.staged.reserve_exact(self.cap);
+        } else if self.staged.len() == self.cap {
+            // Drain *before* pushing at capacity so the push itself never
+            // reallocates the staging buffer.
             self.sink.absorb(&mut self.staged);
         }
         self.staged.push(TraceEvent {

@@ -1,0 +1,125 @@
+//! Stress and soak coverage for the M:N cooperative engine — `#[ignore]`d
+//! by default (a dedicated CI job runs them with `-- --ignored`) so the
+//! ordinary test wall stays fast.
+//!
+//! The interesting claims at this scale are *resource* claims: 32768
+//! coroutine ranks must actually complete (the old thread engine refused
+//! above 4096), inside a wall-clock budget, without resident memory
+//! exploding — coroutine stacks are lazily committed, so tens of
+//! thousands of mostly-idle ranks cost address space, not RAM.
+
+use hetero_simmpi::{
+    run_spmd_opts, ClusterTopology, ComputeModel, EngineKind, EngineOpts, FaultPlan, NetworkModel,
+    Payload, SpmdConfig,
+};
+use std::time::{Duration, Instant};
+
+/// An InfiniBand-flavoured config (the ellipse grid's fabric) at `size`
+/// ranks packed 16 per node.
+fn big_cfg(size: usize) -> SpmdConfig {
+    SpmdConfig {
+        size,
+        topo: ClusterTopology::uniform(size.div_ceil(16), 16),
+        net: NetworkModel::infiniband_ddr(),
+        compute: ComputeModel::new(1e9, 2e9),
+        seed: 11,
+    }
+}
+
+/// Peak resident set size of this process in bytes (Linux `VmHWM`).
+#[cfg(target_os = "linux")]
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kib: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kib * 1024)
+}
+
+/// A nearest-neighbour exchange: enough real traffic that every rank
+/// blocks and resumes several times, with a final value that proves the
+/// messages actually flowed in order.
+fn neighbour_body(comm: &mut hetero_simmpi::SimComm) -> usize {
+    let next = (comm.rank() + 1) % comm.size();
+    let prev = (comm.rank() + comm.size() - 1) % comm.size();
+    let mut token = comm.rank();
+    for step in 0..3u64 {
+        comm.send(next, step, Payload::Usize(vec![token]));
+        token = comm.recv_usize(prev, step)[0];
+    }
+    token
+}
+
+#[test]
+#[ignore = "soak: 32768 ranks; run with -- --ignored"]
+fn soak_32768_rank_cooperative_smoke_within_budget() {
+    let size = 32768;
+    let start = Instant::now();
+    let (res, _) = run_spmd_opts(
+        big_cfg(size),
+        EngineOpts::default(),
+        FaultPlan::none(),
+        None,
+        neighbour_body,
+    );
+    let res = res.expect("no faults planned");
+    let elapsed = start.elapsed();
+    assert_eq!(res.len(), size);
+    // Three shifts around the ring: rank r ends holding rank (r - 3)'s
+    // token.
+    for (r, out) in res.iter().enumerate() {
+        assert_eq!(out.value, (r + size - 3) % size);
+        assert!(out.clock > 0.0);
+    }
+    // Generous budget: the run takes seconds in release, and the CI job
+    // runs release. The assert exists to catch quadratic blowups, not to
+    // benchmark.
+    assert!(
+        elapsed < Duration::from_secs(600),
+        "32768-rank smoke took {elapsed:?}"
+    );
+}
+
+#[test]
+#[ignore = "soak: peak-RSS comparison; run with -- --ignored"]
+#[cfg(target_os = "linux")]
+fn rss_at_32768_cooperative_ranks_stays_sane() {
+    // Run the *thread* engine at 1000 ranks first to establish that the
+    // measurement machinery works, then the cooperative engine at 32x that
+    // scale. VmHWM is a process-lifetime high-water mark, so the final
+    // reading bounds the cooperative run too: 32768 ranks must fit in a
+    // budget a thread-per-rank design could not meet (32768 OS threads
+    // at the default 8 MiB stack reservation would ask for 256 GiB of
+    // address space and tens of GiB resident just for stacks and kernel
+    // bookkeeping).
+    let (res, _) = run_spmd_opts(
+        big_cfg(1000),
+        EngineOpts {
+            engine: EngineKind::Threads,
+            ..EngineOpts::default()
+        },
+        FaultPlan::none(),
+        None,
+        neighbour_body,
+    );
+    assert_eq!(res.expect("no faults planned").len(), 1000);
+    let after_threads = peak_rss_bytes().expect("/proc/self/status readable");
+
+    let (res, _) = run_spmd_opts(
+        big_cfg(32768),
+        EngineOpts::default(),
+        FaultPlan::none(),
+        None,
+        neighbour_body,
+    );
+    assert_eq!(res.expect("no faults planned").len(), 32768);
+    let after_coop = peak_rss_bytes().expect("/proc/self/status readable");
+
+    // 32768 x 1 MiB stacks are 32 GiB of *virtual* space; resident growth
+    // must stay far below that because idle stack pages are never touched.
+    let budget = 24u64 << 30;
+    assert!(
+        after_coop < budget,
+        "peak RSS {after_coop} exceeds {budget} after the 32768-rank run \
+         (thread engine at 1000 ranks peaked at {after_threads})"
+    );
+}
