@@ -4,7 +4,10 @@
 //! rebuild split, and SpMV at explicit pool sizes — plus the fault-path
 //! kernels of the PR-3 recovery loop (checkpoint capture/serialize and
 //! parse/restore) and the PR-4 trace-recording overhead (a full numerical
-//! run with the event sink off vs. on).
+//! run with the event sink off vs. on). The PR-7 kernel-floor additions:
+//! SELL-C-σ / blocked-CSR SpMV (SIMD when built with `--features simd`),
+//! the matrix-free per-step operator refresh, and incremental dirty-block
+//! checkpoint deltas.
 //!
 //! Run from the repo root so the snapshot lands next to the other artifacts:
 //!
@@ -28,11 +31,11 @@
 use hetero_fem::assembly::{assemble_matrix, scalar_kernels, MatrixAssembly};
 use hetero_fem::dofmap::DofMap;
 use hetero_fem::element::ElementOrder;
-use hetero_hpc::snapshot::Snapshot;
+use hetero_hpc::snapshot::{Snapshot, SnapshotDelta};
 use hetero_linalg::csr::TripletBuilder;
 use hetero_linalg::precond::Identity;
 use hetero_linalg::solver::{cg, SolveOptions, SolverVariant};
-use hetero_linalg::{fused_dots, DistMatrix, ExchangePlan};
+use hetero_linalg::{fused_dots, sell, BlockedCsr, DistMatrix, ExchangePlan, SellCs};
 use hetero_mesh::{DistributedMesh, StructuredHexMesh};
 use hetero_partition::{BlockPartitioner, Partitioner};
 use hetero_simmpi::{
@@ -156,12 +159,79 @@ fn time_assembly(n: usize, samples: usize) -> AssemblyTimes {
     .value
 }
 
+struct MatFreeTimes {
+    assembled: f64,
+    matrix_free: f64,
+}
+
+/// Times one solve-step operator refresh of an RD-style Q2 system
+/// (`m_coeff·M + k_coeff·K`, coefficients varying per step) two ways: the
+/// assembled path (`MatrixAssembly::assemble`, which allocates a fresh
+/// matrix every step) against the matrix-free backend
+/// (`assemble_in_place`, quadrature-fused refresh of the retained
+/// operator) — the per-step cost difference `KernelBackend::MatrixFree`
+/// buys in the BDF loops.
+fn time_matfree(n: usize, samples: usize) -> MatFreeTimes {
+    let cfg = SpmdConfig {
+        size: 1,
+        topo: ClusterTopology::uniform(1, 1),
+        net: NetworkModel::ideal(),
+        compute: ComputeModel::new(1e9, 4e9),
+        seed: 0,
+    };
+    let mesh = StructuredHexMesh::unit_cube(n);
+    let assignment = Arc::new(BlockPartitioner.partition(&mesh, 1));
+    run_spmd(cfg, move |comm| {
+        let dmesh = DistributedMesh::new(mesh.clone(), Arc::clone(&assignment), 0, 1);
+        let dm = DofMap::build(&dmesh, ElementOrder::Q2, comm);
+        let kern = scalar_kernels(ElementOrder::Q2, mesh.cell_size());
+        // Step-dependent coefficients so neither path can cache values.
+        let mut step = 0usize;
+        let kern = &kern;
+        let cell_for = |step: usize| {
+            let m_coeff = 1.0 + step as f64 * 0.125;
+            let k_coeff = 0.75 + step as f64 * 0.0625;
+            move |_i: usize, out: &mut [f64]| {
+                for (o, (m, k)) in out.iter_mut().zip(kern.mass.iter().zip(&kern.stiffness)) {
+                    *o = m_coeff * m + k_coeff * k;
+                }
+            }
+        };
+
+        let mut asm = MatrixAssembly::new(2);
+        let assembled = median_ns(samples, 2, || {
+            step += 1;
+            black_box(asm.assemble(&dm, &dm, comm, cell_for(step)));
+        });
+
+        let mut asm_ip = MatrixAssembly::new(2);
+        let matrix_free = median_ns(samples, 2, || {
+            step += 1;
+            black_box(asm_ip.assemble_in_place(&dm, &dm, comm, cell_for(step)));
+        });
+
+        MatFreeTimes {
+            assembled,
+            matrix_free,
+        }
+    })
+    .pop()
+    .expect("one rank was launched")
+    .value
+}
+
 struct CheckpointTimes {
     capture: f64,
     serialize: f64,
     parse: f64,
     restore: f64,
     bytes: usize,
+    /// Incremental path: diff against the last committed snapshot plus
+    /// delta serialization (the per-commit host cost after the base).
+    delta_write: f64,
+    /// Incremental restart: parse the delta record and apply it to the base.
+    delta_restore: f64,
+    delta_bytes: usize,
 }
 
 /// Times the recovery-loop kernels on a Q2 field over an `n^3`-cell mesh:
@@ -203,12 +273,33 @@ fn time_checkpoint(n: usize, samples: usize) -> CheckpointTimes {
             black_box(restored.restore("u", &dm, comm));
         });
 
+        // Incremental dirty-block checkpoint: the next step's field against
+        // the committed one. A time stepper touches every dof, so this is
+        // the worst case for the delta — fully dirty — and the win has to
+        // come from the cheap bit-pattern wire form alone.
+        let u2 = dm.interpolate(|p| (p.x + 2.0 * p.y).sin() * (3.0 * p.z).cos() * 1.0625 + 0.125);
+        let mut snap2 = Snapshot::new("RD", 0.25, 1);
+        snap2.capture("u", &dm, &u2, comm);
+        let delta_write = median_ns(samples, 4, || {
+            let delta = SnapshotDelta::diff(&snap, &snap2);
+            black_box(delta.to_json());
+        });
+        let delta_disk = SnapshotDelta::diff(&snap, &snap2).to_json();
+        let delta_restore = median_ns(samples, 4, || {
+            let delta =
+                SnapshotDelta::from_json(black_box(&delta_disk)).expect("delta record parses");
+            black_box(delta.apply(&snap));
+        });
+
         CheckpointTimes {
             capture,
             serialize,
             parse,
             restore,
             bytes: on_disk.len(),
+            delta_write,
+            delta_restore,
+            delta_bytes: delta_disk.len(),
         }
     })
     .pop()
@@ -453,7 +544,7 @@ struct Profile {
 }
 
 const FULL: Profile = Profile {
-    schema: "hetero-hpc/bench-kernels/v2",
+    schema: "hetero-hpc/bench-kernels/v3",
     out: "BENCH_kernels.json",
     assembly_n: 6,
     rebuild_n: 20,
@@ -471,7 +562,7 @@ const FULL: Profile = Profile {
 /// seconds, and the committed smoke baseline is compared against smoke
 /// remeasurements only.
 const SMOKE: Profile = Profile {
-    schema: "hetero-hpc/bench-kernels-smoke/v2",
+    schema: "hetero-hpc/bench-kernels-smoke/v3",
     out: "BENCH_kernels_smoke.json",
     assembly_n: 4,
     rebuild_n: 12,
@@ -530,6 +621,23 @@ fn main() {
     let spmv_1t = spmv_at(1);
     let spmv_4t = spmv_at(4);
 
+    // Reordered-layout SpMV on the same matrix, serially (one lane per
+    // row, no FMA — bitwise-pinned to the CSR result by construction).
+    // With the `simd` feature the chunk kernel runs on core::arch vector
+    // intrinsics; without it, the unrolled scalar fallback.
+    let sell = SellCs::from_csr(a.local(), 8, sell::DEFAULT_SIGMA);
+    let blocked = BlockedCsr::from_csr(a.local());
+    let mut ys = vec![0.0f64; a.n_owned()];
+    let sell_ns = median_ns(p.samples, 8, || {
+        sell.spmv(black_box(&x), &mut ys);
+    });
+    let blocked_ns = median_ns(p.samples, 8, || {
+        blocked.spmv(black_box(&x), &mut ys);
+    });
+
+    // Per-step matrix-free operator refresh vs. assembled rebuild.
+    let mf = time_matfree(p.assembly_n, p.samples);
+
     // Recovery-loop kernels: one Q2 checkpoint on ckpt_n^3 cells.
     let ckpt = time_checkpoint(p.ckpt_n, p.samples);
 
@@ -567,6 +675,26 @@ fn main() {
             "pool_4threads_ns": spmv_4t,
             "thread_scaling_4_over_1": spmv_1t / spmv_4t,
         }),
+        "spmv_sell": serde_json::json!({
+            "rows": p.spmv_n * p.spmv_n * p.spmv_n,
+            "simd": cfg!(feature = "simd"),
+            "note": "SpMV is memory/gather-bound: on the SSE2 baseline (2 lanes, \
+                     scalar column gathers) the layout win is well below the 2x \
+                     lane count; wider ISAs and denser rows move the ratio up",
+            "chunk_height": sell.chunk_height(),
+            "padding_ratio": sell.padding_ratio(a.local().nnz()),
+            "sell_c8_ns": sell_ns,
+            "blocked_csr_ns": blocked_ns,
+            // Ratios against the serial CSR leaf above; derived, not gated.
+            "sell_speedup_over_csr": spmv_1t / sell_ns,
+            "blocked_speedup_over_csr": spmv_1t / blocked_ns,
+        }),
+        "matfree_apply_q2": serde_json::json!({
+            "cells": p.assembly_n * p.assembly_n * p.assembly_n,
+            "assembled_ns": mf.assembled,
+            "matrix_free_ns": mf.matrix_free,
+            "per_step_speedup": mf.assembled / mf.matrix_free,
+        }),
         "checkpoint_q2": serde_json::json!({
             "cells": p.ckpt_n * p.ckpt_n * p.ckpt_n,
             "capture_ns": ckpt.capture,
@@ -576,6 +704,19 @@ fn main() {
             "on_disk_bytes": ckpt.bytes,
             "write_path_ns": ckpt.capture + ckpt.serialize,
             "restart_path_ns": ckpt.parse + ckpt.restore,
+        }),
+        "checkpoint_incremental": serde_json::json!({
+            "cells": p.ckpt_n * p.ckpt_n * p.ckpt_n,
+            // Fully-dirty delta (a time stepper touches every dof): the
+            // worst case for the incremental path. The monolithic reference
+            // is `checkpoint_q2.serialize_ns`; repeated here without the
+            // `_ns` suffix so the gate does not check the same number twice.
+            "serialize_full_reference": ckpt.serialize,
+            "serialize_delta_ns": ckpt.delta_write,
+            "restore_delta_ns": ckpt.delta_restore,
+            "delta_bytes": ckpt.delta_bytes,
+            "full_bytes": ckpt.bytes,
+            "delta_write_speedup": ckpt.serialize / ckpt.delta_write,
         }),
         "spmv_overlapped": serde_json::json!({
             "rows_per_rank": p.overlap_rows,

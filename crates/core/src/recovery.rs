@@ -27,7 +27,7 @@ use crate::modeled::{run_modeled, ModeledRun};
 use crate::run::{
     resolve_fidelity, synthesize_phase_trace, Fidelity, RunOutcome, RunRequest, Verification,
 };
-use crate::snapshot::Snapshot;
+use crate::snapshot::{Snapshot, SnapshotDelta};
 use hetero_fault::{
     replay_campaign_observed, AttemptEnv, CampaignEvent, CrashProcess, FaultKind, FaultModel,
     FaultTimeline, RecoveryStats, ResiliencePolicy, SpotMarket,
@@ -57,6 +57,13 @@ pub struct ResilienceSpec {
     pub faults: FaultModel,
     /// How each attempt's fleet is acquired.
     pub strategy: FleetStrategy,
+    /// Incremental dirty-block checkpoints: after the first full snapshot,
+    /// each commit serializes only a [`SnapshotDelta`] against the last
+    /// committed state, and restarts replay the base-plus-deltas chain from
+    /// the serialized log. The restored state is bitwise identical to the
+    /// monolithic path (so every report stays byte-identical too); only the
+    /// host-side serialization cost shrinks.
+    pub incremental_checkpoints: bool,
 }
 
 impl ResilienceSpec {
@@ -73,6 +80,7 @@ impl ResilienceSpec {
                 degradation: None,
             },
             strategy: FleetStrategy::OnDemandSingleGroup,
+            incremental_checkpoints: false,
         }
     }
 
@@ -94,7 +102,15 @@ impl ResilienceSpec {
                 degradation: None,
             },
             strategy: FleetStrategy::SpotMix { groups: 4, max_bid },
+            incremental_checkpoints: false,
         }
+    }
+
+    /// Switches the checkpoint path to incremental dirty-block deltas.
+    #[must_use]
+    pub fn with_incremental_checkpoints(mut self) -> Self {
+        self.incremental_checkpoints = true;
+        self
     }
 }
 
@@ -164,11 +180,13 @@ fn on_demand_node_hour(platform: &PlatformSpec) -> f64 {
 /// immediately — bounded backoff never retries a structurally impossible
 /// launch.
 pub fn execute_resilient(req: &RunRequest) -> Result<ResilienceOutcome, LimitViolation> {
-    // Fold the solver-variant override into the app config (as `execute`
-    // does) so every attempt and probe sees the same schedule.
+    // Fold the solver-variant and kernel-backend overrides into the app
+    // config (as `execute` does) so every attempt and probe sees the same
+    // schedule and operator path.
     let req = &RunRequest {
         app: req.resolved_app(),
         solver_variant: None,
+        kernel_backend: None,
         ..req.clone()
     };
     let spec = req
@@ -396,7 +414,13 @@ fn push_time_accounts(trace: &mut Trace, stats: &RecoveryStats) {
 /// shared storage play for LifeV restarts).
 #[derive(Default)]
 struct CheckpointStore {
+    /// Last durable checkpoint, materialized (the base the next
+    /// incremental diff is taken against).
     latest: Option<(usize, Snapshot)>,
+    /// The serialized artifacts the shared filesystem holds in incremental
+    /// mode: the full base followed by one delta record per later commit.
+    /// Restarts replay this log; empty in monolithic mode.
+    incremental_log: Vec<String>,
     writes: usize,
     /// Rank 0's virtual clock right after the last durable write of the
     /// *current* attempt (0 when the attempt has written nothing yet).
@@ -411,7 +435,22 @@ enum ResumeState {
 
 fn build_resume(app: &App, store: &Mutex<CheckpointStore>) -> ResumeState {
     let guard = store.lock().expect("checkpoint store never poisoned");
-    let Some((step, snap)) = &guard.latest else {
+    // Incremental mode restores from the serialized base-plus-deltas log —
+    // exactly what the shared filesystem durably holds — not from the
+    // in-memory materialization.
+    let replayed: Option<(usize, Snapshot)> = if guard.incremental_log.is_empty() {
+        None
+    } else {
+        let mut it = guard.incremental_log.iter();
+        let mut acc =
+            Snapshot::from_json(it.next().expect("non-empty log")).expect("base checkpoint parses");
+        for rec in it {
+            let delta = SnapshotDelta::from_json(rec).expect("delta record parses");
+            acc = delta.apply(&acc);
+        }
+        Some((acc.step, acc))
+    };
+    let Some((step, snap)) = replayed.as_ref().or(guard.latest.as_ref()) else {
         return ResumeState::Fresh;
     };
     let dense = |name: &str| -> Vec<f64> {
@@ -537,6 +576,7 @@ fn run_resilient_numerical(
         let resume_c = Arc::clone(&resume);
         let pool_c = Arc::clone(&pool);
         let policy = spec.policy;
+        let incremental = spec.incremental_checkpoints;
 
         let body = move |comm: &mut SimComm| {
             pool_c.install(|| {
@@ -550,7 +590,15 @@ fn run_resilient_numerical(
                             for (j, v) in view.history.iter().enumerate() {
                                 snap.capture(&format!("h{j}"), view.dm, v, comm);
                             }
-                            commit(&store_c, io_seconds, ckpt_bytes, view.step, snap, comm);
+                            commit(
+                                &store_c,
+                                io_seconds,
+                                ckpt_bytes,
+                                view.step,
+                                snap,
+                                incremental,
+                                comm,
+                            );
                         };
                         let mut obs = |view: &RdStepView<'_>, comm: &mut SimComm| {
                             if policy.checkpoint_due(view.step, total_steps) {
@@ -581,7 +629,15 @@ fn run_resilient_numerical(
                                 }
                             }
                             snap.capture("p", view.pmap, view.pressure, comm);
-                            commit(&store_c, io_seconds, ckpt_bytes, view.step, snap, comm);
+                            commit(
+                                &store_c,
+                                io_seconds,
+                                ckpt_bytes,
+                                view.step,
+                                snap,
+                                incremental,
+                                comm,
+                            );
                         };
                         let mut obs = |view: &NsStepView<'_>, comm: &mut SimComm| {
                             if policy.checkpoint_due(view.step, total_steps) {
@@ -738,17 +794,33 @@ fn run_resilient_numerical(
 /// Charges the durable write to every rank's virtual clock and commits it
 /// on rank 0. A rank felled *during* the charge unwinds before the commit,
 /// so an interrupted checkpoint is never durable.
+///
+/// In incremental mode the first commit serializes the full snapshot and
+/// every later one appends only a [`SnapshotDelta`] record; the simulated
+/// store bandwidth charge is unchanged (the model prices the dense state
+/// either way), so both modes produce byte-identical reports while the
+/// host-side serialization work shrinks to the dirty blocks.
 fn commit(
     store: &Mutex<CheckpointStore>,
     io_seconds: f64,
     bytes: f64,
     step: usize,
     snap: Snapshot,
+    incremental: bool,
     comm: &mut SimComm,
 ) {
     comm.advance(io_seconds);
     if comm.rank() == 0 {
         let mut s = store.lock().expect("checkpoint store never poisoned");
+        if incremental {
+            match &s.latest {
+                None => s.incremental_log.push(snap.to_json()),
+                Some((_, base)) => {
+                    let delta = SnapshotDelta::diff(base, &snap);
+                    s.incremental_log.push(delta.to_json());
+                }
+            }
+        }
         s.latest = Some((step, snap));
         s.writes += 1;
         s.attempt_ckpt_clock = comm.clock();
@@ -794,6 +866,7 @@ mod tests {
                 groups: 2,
                 max_bid: 1.0,
             },
+            incremental_checkpoints: false,
         };
         RunRequest {
             fidelity: Fidelity::Numerical,
@@ -846,6 +919,56 @@ mod tests {
             ff.linf
         );
         assert!((v.l2 - ff.l2).abs() <= 1e-12, "{} vs {}", v.l2, ff.l2);
+    }
+
+    #[test]
+    fn incremental_checkpoints_restore_bitwise_under_fault_injection() {
+        // Same nasty market as `revoked_run_recovers_with_exact_accuracy`,
+        // but every durable write after the first is a dirty-block delta
+        // and every restart replays the serialized base-plus-deltas chain.
+        // The campaign must be byte-identical to the monolithic store.
+        let mono = small_spot_req(6, 1, 0.012, 0.35);
+        let mut incr = mono.clone();
+        if let Some(spec) = &mut incr.resilience {
+            spec.incremental_checkpoints = true;
+        }
+        let a = execute_resilient(&mono).unwrap();
+        let b = execute_resilient(&incr).unwrap();
+        assert!(
+            b.stats.faults_injected >= 1,
+            "market never fired: {:?}",
+            b.stats
+        );
+        assert!(
+            b.stats.checkpoints_written >= 2,
+            "need at least one delta after the base: {:?}",
+            b.stats
+        );
+        assert_eq!(format!("{:?}", a.stats), format!("{:?}", b.stats));
+        assert_eq!(
+            format!("{:?}", a.outcome),
+            format!("{:?}", b.outcome),
+            "delta-chain restore must not change a byte of the outcome"
+        );
+    }
+
+    #[test]
+    fn incremental_checkpoints_restore_ns_bitwise() {
+        // The four-field NS state (3 velocity components x BDF levels +
+        // pressure) through the delta chain, against the monolithic store.
+        let spec = |incremental: bool| {
+            let mut s = small_spot_req(4, 1, 0.03, 0.4);
+            s.app = App::paper_ns(4);
+            if let Some(r) = &mut s.resilience {
+                r.incremental_checkpoints = incremental;
+            }
+            s
+        };
+        let a = execute_resilient(&spec(false)).unwrap();
+        let b = execute_resilient(&spec(true)).unwrap();
+        assert!(b.stats.checkpoints_written >= 2, "{:?}", b.stats);
+        assert_eq!(format!("{:?}", a.stats), format!("{:?}", b.stats));
+        assert_eq!(format!("{:?}", a.outcome), format!("{:?}", b.outcome));
     }
 
     #[test]

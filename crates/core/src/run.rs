@@ -6,7 +6,7 @@ use crate::recovery::ResilienceSpec;
 use hetero_fem::ns::solve_ns;
 use hetero_fem::phase::{summarize, PhaseTimes};
 use hetero_fem::rd::solve_rd;
-use hetero_linalg::SolverVariant;
+use hetero_linalg::{KernelBackend, SolverVariant};
 use hetero_mesh::{DistributedMesh, StructuredHexMesh};
 use hetero_partition::block::near_cubic_factors;
 use hetero_partition::BlockLayout;
@@ -70,6 +70,14 @@ pub struct RunRequest {
     /// app's own [`hetero_linalg::SolveOptions`] say — the default blocking
     /// schedule unless the config was built otherwise.
     pub solver_variant: Option<SolverVariant>,
+    /// Overrides the per-step operator backend of **every** assembled
+    /// system in the app (see [`KernelBackend`]). `None` keeps whatever the
+    /// app's own [`hetero_linalg::SolveOptions`] say — the default
+    /// assemble-from-scratch path unless the config was built otherwise.
+    /// Both backends produce bitwise-identical reports; `MatrixFree`
+    /// refreshes a retained operator in place and skips the per-step
+    /// matrix construction on the host.
+    pub kernel_backend: Option<KernelBackend>,
     /// Replaces the platform's default topology (placement-group fleets).
     pub topology_override: Option<ClusterTopology>,
     /// Replaces the platform's cost model (spot pricing).
@@ -101,6 +109,7 @@ impl RunRequest {
             sched_workers: 0,
             fidelity: Fidelity::Auto,
             solver_variant: None,
+            kernel_backend: None,
             topology_override: None,
             cost_override: None,
             resilience: None,
@@ -108,12 +117,17 @@ impl RunRequest {
         }
     }
 
-    /// The app with [`RunRequest::solver_variant`] applied (identity when
+    /// The app with [`RunRequest::solver_variant`] and
+    /// [`RunRequest::kernel_backend`] applied (identity when both are
     /// `None`).
     pub fn resolved_app(&self) -> App {
-        match self.solver_variant {
+        let app = match self.solver_variant {
             Some(v) => self.app.with_solver_variant(v),
             None => self.app.clone(),
+        };
+        match self.kernel_backend {
+            Some(b) => app.with_kernel_backend(b),
+            None => app,
         }
     }
 }
@@ -178,11 +192,13 @@ pub(crate) fn resolve_fidelity(req: &RunRequest) -> Fidelity {
 /// above 125 of the ladder), launcher failure (ellipse above 512), adapter
 /// volume cap (lagrange above 343).
 pub fn execute(req: &RunRequest) -> Result<RunOutcome, LimitViolation> {
-    // Normalize the solver-variant override into the app config so both
-    // engines see it through the ordinary SolveOptions path.
+    // Normalize the solver-variant and kernel-backend overrides into the
+    // app config so both engines see them through the ordinary
+    // SolveOptions path.
     let req = &RunRequest {
         app: req.resolved_app(),
         solver_variant: None,
+        kernel_backend: None,
         ..req.clone()
     };
     // Capacity and launcher limits are independent of traffic: check them

@@ -139,6 +139,7 @@ fn weak_scaling(app_for: impl Fn(usize) -> App, opts: &ScenarioOptions) -> WeakS
                 sched_workers: 0,
                 fidelity: opts.fidelity,
                 solver_variant: None,
+                kernel_backend: None,
                 topology_override: None,
                 cost_override: None,
                 resilience: None,
@@ -201,6 +202,7 @@ pub fn table2(opts: &ScenarioOptions) -> Vec<Table2Row> {
             sched_workers: 0,
             fidelity: opts.fidelity,
             solver_variant: None,
+            kernel_backend: None,
             topology_override: None,
             cost_override: None,
             resilience: None,
@@ -538,6 +540,7 @@ pub fn table3(opts: &ResilienceOptions) -> Vec<Table3Row> {
             sched_workers: 0,
             fidelity: opts.base.fidelity,
             solver_variant: None,
+            kernel_backend: None,
             topology_override: None,
             cost_override: None,
             resilience: None,

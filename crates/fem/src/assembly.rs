@@ -232,6 +232,12 @@ struct AssemblyStructure {
 pub struct MatrixAssembly {
     charged_ops: usize,
     structure: Option<AssemblyStructure>,
+    /// The live operator of the in-place path ([`Self::assemble_in_place`]):
+    /// kept across steps so refreshes reuse its value buffer, exchange plan,
+    /// and interior/boundary row split instead of rebuilding them.
+    retained: Option<DistMatrix>,
+    /// Reusable triplet-value staging for the in-place path.
+    tvals: Vec<f64>,
 }
 
 impl MatrixAssembly {
@@ -241,6 +247,8 @@ impl MatrixAssembly {
         MatrixAssembly {
             charged_ops,
             structure: None,
+            retained: None,
+            tvals: Vec::new(),
         }
     }
 
@@ -407,6 +415,99 @@ impl MatrixAssembly {
             col_map.plan().clone(),
             col_map.n_owned(),
         )
+    }
+
+    /// The quadrature-fused `KernelBackend::MatrixFree` path: assembles
+    /// into a matrix *retained across calls*, so solve-heavy steps skip
+    /// the global CSR rebuild entirely — no value-array allocation, no
+    /// pattern `row_ptr`/`col_idx` clones, no exchange-plan clone, no
+    /// interior/boundary row rescan. Per-cell local matrices flow from the
+    /// chunked integration straight into the live value buffer through the
+    /// frozen sorted scatter ([`SparsityPattern::numeric_into`]).
+    ///
+    /// The cell chunking, the per-neighbour wire traffic, and the charged
+    /// quadrature work are exactly those of [`Self::assemble`], and the
+    /// scatter accumulates in the same sorted order, so the refreshed
+    /// operator — and every simulated clock — is bitwise identical to the
+    /// assembled path at any thread count. Callers may constrain the
+    /// returned matrix freely (Dirichlet row/column surgery); the next
+    /// refresh overwrites every stored value.
+    pub fn assemble_in_place<F>(
+        &mut self,
+        row_map: &DofMap,
+        col_map: &DofMap,
+        comm: &mut SimComm,
+        cell_matrix: F,
+    ) -> &mut DistMatrix
+    where
+        F: Fn(usize, &mut [f64]) + Sync,
+    {
+        let rank = comm.rank();
+        assert_eq!(
+            row_map.num_cells(),
+            col_map.num_cells(),
+            "maps must share the mesh partition"
+        );
+        let ncells = row_map.num_cells();
+        let first = self.structure.is_none() || self.retained.is_none();
+        let chunks = integrate_matrix_chunks(row_map, col_map, rank, first, &cell_matrix);
+
+        comm.compute(
+            profile::assembly_matrix_work(row_map.order(), col_map.order(), self.charged_ops)
+                * ncells as f64,
+        );
+
+        if first {
+            let m = self.assemble_first(row_map, col_map, comm, chunks);
+            self.retained = Some(m);
+        } else {
+            let s = self
+                .structure
+                .as_ref()
+                .expect("structure cached by the first call");
+            assert_eq!(
+                s.ncells,
+                row_map.num_cells(),
+                "cached assembly reused with a different mesh partition"
+            );
+            let neighbors = &row_map.plan().neighbors;
+            self.tvals.clear();
+            let mut send_vals: Vec<Vec<f64>> = vec![Vec::new(); neighbors.len()];
+            for mut ch in chunks {
+                self.tvals.append(&mut ch.vals);
+                for (dst, src) in send_vals.iter_mut().zip(&mut ch.remote_vals) {
+                    dst.append(src);
+                }
+            }
+            for (i, &nb) in neighbors.iter().enumerate() {
+                comm.send(nb, TAG_MAT_IDX, Payload::Usize(s.send_idx[i].clone()));
+                comm.send(
+                    nb,
+                    TAG_MAT_VAL,
+                    Payload::F64(std::mem::take(&mut send_vals[i])),
+                );
+            }
+            for (i, &nb) in neighbors.iter().enumerate() {
+                let idx = comm.recv_usize(nb, TAG_MAT_IDX);
+                let vals = comm.recv_f64(nb, TAG_MAT_VAL);
+                assert_eq!(idx.len(), 2 * vals.len());
+                assert_eq!(
+                    vals.len(),
+                    s.recv_counts[i],
+                    "cached assembly structure changed between calls"
+                );
+                self.tvals.extend_from_slice(&vals);
+            }
+            let m = self
+                .retained
+                .as_mut()
+                .expect("retained operator exists after the first call");
+            s.pattern
+                .numeric_into(&self.tvals, m.local_mut().values_mut());
+        }
+        self.retained
+            .as_mut()
+            .expect("retained operator exists after the first call")
     }
 }
 
@@ -848,6 +949,78 @@ mod tests {
                 assert_eq!((r1, c1, v1.to_bits()), (r2, c2, v2.to_bits()));
             }
         });
+    }
+
+    #[test]
+    fn in_place_assembly_matches_from_scratch_bitwise() {
+        // The matrix-free refresh path must reproduce a from-scratch build
+        // exactly on every step, including the structural first one.
+        let order = ElementOrder::Q1;
+        run_fem(3, 2, order, move |dm, comm| {
+            let kern = scalar_kernels(order, Point3::splat(1.0 / 3.0));
+            let mut asm = MatrixAssembly::new(2);
+            for step in 0..3 {
+                let mc = 1.0 + 0.75 * step as f64;
+                let kc = 0.5 - 0.125 * step as f64;
+                let cell = |_i: usize, out: &mut [f64]| {
+                    for (o, (m, k)) in out.iter_mut().zip(kern.mass.iter().zip(&kern.stiffness)) {
+                        *o = mc * m + kc * k;
+                    }
+                };
+                let scratch = assemble_matrix(dm, dm, comm, 2, cell);
+                let retained = asm.assemble_in_place(dm, dm, comm, cell);
+                let (a, b) = (retained.local(), scratch.local());
+                assert_eq!(a.nnz(), b.nnz());
+                for ((r1, c1, v1), (r2, c2, v2)) in a.iter().zip(b.iter()) {
+                    assert_eq!(
+                        (r1, c1, v1.to_bits()),
+                        (r2, c2, v2.to_bits()),
+                        "step {step}"
+                    );
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn in_place_assembly_is_bitwise_identical_across_thread_counts() {
+        // The refresh path reuses the same fixed-chunk cell loop, so its
+        // scattered values are a function of the data alone.
+        let order = ElementOrder::Q1;
+        let bits = |threads: usize| -> Vec<Vec<Vec<u64>>> {
+            run_fem(4, 2, order, move |dm, comm| {
+                let kern = scalar_kernels(order, Point3::splat(0.25));
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(threads)
+                    .build()
+                    .unwrap();
+                pool.install(|| {
+                    let mut asm = MatrixAssembly::new(2);
+                    let mut out = Vec::new();
+                    for step in 0..2 {
+                        let mc = 2.0 + step as f64;
+                        let a = asm.assemble_in_place(dm, dm, comm, |_i, vals| {
+                            for (o, (m, k)) in
+                                vals.iter_mut().zip(kern.mass.iter().zip(&kern.stiffness))
+                            {
+                                *o = mc * m + 0.25 * k;
+                            }
+                        });
+                        out.push(
+                            a.local()
+                                .iter()
+                                .map(|(_, _, x)| x.to_bits())
+                                .collect::<Vec<u64>>(),
+                        );
+                    }
+                    out
+                })
+            })
+        };
+        let serial = bits(1);
+        for t in [2usize, 4] {
+            assert_eq!(serial, bits(t), "threads = {t}");
+        }
     }
 
     #[test]

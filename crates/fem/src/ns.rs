@@ -33,9 +33,9 @@ use crate::phase::{PhaseRecorder, PhaseTimes};
 use crate::quadrature::{GaussRule3d, ShapeTable};
 use crate::rd::PrecondKind;
 use hetero_linalg::solver::{
-    bicgstab_with_workspace, cg, gmres_with_workspace, SolveOptions, SolverWorkspace,
+    bicgstab_with_workspace, cg, gmres_with_workspace, KernelBackend, SolveOptions, SolverWorkspace,
 };
-use hetero_linalg::DistVector;
+use hetero_linalg::{DistMatrix, DistVector};
 use hetero_mesh::DistributedMesh;
 use hetero_simmpi::SimComm;
 use hetero_trace::{EventKind, Phase as TracePhase};
@@ -312,7 +312,7 @@ pub fn solve_ns_with(
         // plus the gradient/divergence coupling — even though the projection
         // scheme shares one scalar block across components.
         let m_coeff = cfg.rho * alpha / cfg.dt;
-        let mut a_v = momentum_asm.assemble(&vmap, &vmap, comm, |i, out| {
+        let momentum_cell = |i: usize, out: &mut [f64]| {
             for (o, (m, k)) in out
                 .iter_mut()
                 .zip(kern_v.mass.iter().zip(&kern_v.stiffness))
@@ -341,13 +341,31 @@ pub fn solve_ns_with(
                     }
                 }
             }
-        });
+        };
+        let mut a_v_owned;
+        let a_v: &mut DistMatrix = match cfg.solve_vel.backend {
+            KernelBackend::MatrixFree => {
+                momentum_asm.assemble_in_place(&vmap, &vmap, comm, momentum_cell)
+            }
+            KernelBackend::Assembled => {
+                a_v_owned = momentum_asm.assemble(&vmap, &vmap, comm, momentum_cell);
+                &mut a_v_owned
+            }
+        };
 
         // Pressure Laplacian (assembled per step, as a general-coefficient
         // code would; values are constant here).
-        let mut l_p = pressure_asm.assemble(&pmap, &pmap, comm, |_i, out| {
-            out.copy_from_slice(&kern_p.stiffness);
-        });
+        let pressure_cell = |_i: usize, out: &mut [f64]| out.copy_from_slice(&kern_p.stiffness);
+        let mut l_p_owned;
+        let l_p: &mut DistMatrix = match cfg.solve_p.backend {
+            KernelBackend::MatrixFree => {
+                pressure_asm.assemble_in_place(&pmap, &pmap, comm, pressure_cell)
+            }
+            KernelBackend::Assembled => {
+                l_p_owned = pressure_asm.assemble(&pmap, &pmap, comm, pressure_cell);
+                &mut l_p_owned
+            }
+        };
 
         // Momentum right-hand sides.
         let mut rhs: Vec<DistVector> = Vec::with_capacity(3);
@@ -386,7 +404,7 @@ pub fn solve_ns_with(
                 rhs_iter.next().unwrap(),
             );
             constrain_system_multi(
-                &mut a_v,
+                &mut *a_v,
                 &mut [(r0, &values[0]), (r1, &values[1]), (r2, &values[2])],
                 &mask,
                 comm,
@@ -404,7 +422,7 @@ pub fn solve_ns_with(
 
         // -- Preconditioner (iiia) -------------------------------------------
         let seg = rec.mark();
-        let pre_v = cfg.precond_vel.build(&a_v, comm);
+        let pre_v = cfg.precond_vel.build(&*a_v, comm);
         rec.end_precond(comm.clock());
         comm.trace_span(
             seg,
@@ -423,7 +441,7 @@ pub fn solve_ns_with(
             x.copy_from(&hist[0][i], comm);
             let stats = match cfg.momentum_solver {
                 MomentumSolver::BiCgStab => bicgstab_with_workspace(
-                    &a_v,
+                    &*a_v,
                     rhs_i,
                     &mut x,
                     pre_v.as_ref(),
@@ -432,7 +450,7 @@ pub fn solve_ns_with(
                     comm,
                 ),
                 MomentumSolver::Gmres { restart } => gmres_with_workspace(
-                    &a_v,
+                    &*a_v,
                     rhs_i,
                     &mut x,
                     pre_v.as_ref(),
@@ -467,11 +485,11 @@ pub fn solve_ns_with(
                 mask[l] = true;
                 values[l] = pin_value;
             }
-            constrain_system(&mut l_p, &mut rhs_p, &mask, &values, comm);
+            constrain_system(&mut *l_p, &mut rhs_p, &mask, &values, comm);
         }
-        let pre_p = cfg.precond_p.build(&l_p, comm);
+        let pre_p = cfg.precond_p.build(&*l_p, comm);
         let mut phi = pmap.new_vector();
-        let stats_p = cg(&l_p, &rhs_p, &mut phi, pre_p.as_ref(), cfg.solve_p, comm);
+        let stats_p = cg(&*l_p, &rhs_p, &mut phi, pre_p.as_ref(), cfg.solve_p, comm);
         assert!(
             stats_p.converged,
             "NS pressure solve failed at step {step}: {stats_p:?}"

@@ -20,7 +20,7 @@ use crate::element::ElementOrder;
 use crate::exact::RdExact;
 use crate::phase::{PhaseRecorder, PhaseTimes};
 use hetero_linalg::precond::{Identity, IluZero, Jacobi, Preconditioner, Ssor};
-use hetero_linalg::solver::{cg, SolveOptions};
+use hetero_linalg::solver::{cg, KernelBackend, SolveOptions};
 use hetero_linalg::{DistMatrix, DistVector};
 use hetero_mesh::DistributedMesh;
 use hetero_simmpi::SimComm;
@@ -207,13 +207,24 @@ pub fn solve_rd_with(
         let mut rec = PhaseRecorder::start(comm.clock());
 
         // -- Assembly (ii): system matrix, history term, source, BCs.
+        // `MatrixFree` refreshes a retained operator in place (identical
+        // wire traffic, work charges, and bits — see `assemble_in_place`);
+        // `Assembled` rebuilds a fresh one through the cached pattern.
         let m_coeff = alpha / cfg.dt + ex.reaction(t);
         let k_coeff = ex.diffusion(t);
-        let mut a = system_asm.assemble(&dm, &dm, comm, |_i, out| {
+        let cell = |_i: usize, out: &mut [f64]| {
             for (o, (m, k)) in out.iter_mut().zip(kern.mass.iter().zip(&kern.stiffness)) {
                 *o = m_coeff * m + k_coeff * k;
             }
-        });
+        };
+        let mut assembled;
+        let a: &mut DistMatrix = match cfg.solve.backend {
+            KernelBackend::MatrixFree => system_asm.assemble_in_place(&dm, &dm, comm, cell),
+            KernelBackend::Assembled => {
+                assembled = system_asm.assemble(&dm, &dm, comm, cell);
+                &mut assembled
+            }
+        };
         // w = sum_j c_j u^{n-j} / dt, combined over owned + ghost slots so
         // the mass SpMV sees consistent data.
         let mut w = dm.new_vector();
@@ -234,7 +245,7 @@ pub fn solve_rd_with(
             }
         });
         b.axpy(1.0, &source, comm);
-        apply_dirichlet(&mut a, &mut b, &dm, |p| ex.u(p, t), comm);
+        apply_dirichlet(&mut *a, &mut b, &dm, |p| ex.u(p, t), comm);
         let seg = rec.mark();
         rec.end_assembly(comm.clock());
         comm.trace_span(
@@ -247,7 +258,7 @@ pub fn solve_rd_with(
 
         // -- Preconditioner (iiia).
         let seg = rec.mark();
-        let precond = cfg.precond.build(&a, comm);
+        let precond = cfg.precond.build(&*a, comm);
         rec.end_precond(comm.clock());
         comm.trace_span(
             seg,
@@ -259,7 +270,7 @@ pub fn solve_rd_with(
 
         // -- Solve (iiib). Warm start from the previous solution.
         u.copy_from(&history[0], comm);
-        let stats = cg(&a, &b, &mut u, precond.as_ref(), cfg.solve, comm);
+        let stats = cg(&*a, &b, &mut u, precond.as_ref(), cfg.solve, comm);
         assert!(
             stats.converged,
             "RD solve failed at step {step}: {stats:?} (t = {t})"

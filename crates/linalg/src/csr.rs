@@ -218,21 +218,41 @@ impl SparsityPattern {
     /// Panics if `triplet_values.len()` differs from the triplet count the
     /// pattern was built from.
     pub fn numeric(&self, triplet_values: &[f64]) -> CsrMatrix {
-        assert_eq!(
-            triplet_values.len(),
-            self.perm.len(),
-            "value array does not match the pattern's triplet count"
-        );
         let mut values = vec![0.0; self.col_idx.len()];
-        for (&k, &s) in self.perm.iter().zip(&self.slot) {
-            values[s] += triplet_values[k];
-        }
+        self.numeric_into(triplet_values, &mut values);
         CsrMatrix {
             num_rows: self.num_rows,
             num_cols: self.num_cols,
             row_ptr: self.row_ptr.clone(),
             col_idx: self.col_idx.clone(),
             values,
+        }
+    }
+
+    /// The allocation-free numeric phase: scatters `triplet_values` into an
+    /// existing value buffer of a matrix previously built from this pattern
+    /// (obtained via [`CsrMatrix::values_mut`]). The scatter runs in the
+    /// same sorted order as [`Self::numeric`], so the refreshed values are
+    /// bitwise identical to a full rebuild — without reallocating the value
+    /// array or recloning the pattern.
+    ///
+    /// # Panics
+    /// Panics if `triplet_values.len()` differs from the triplet count the
+    /// pattern was built from, or `values.len()` from the pattern's nnz.
+    pub fn numeric_into(&self, triplet_values: &[f64], values: &mut [f64]) {
+        assert_eq!(
+            triplet_values.len(),
+            self.perm.len(),
+            "value array does not match the pattern's triplet count"
+        );
+        assert_eq!(
+            values.len(),
+            self.col_idx.len(),
+            "destination does not match the pattern's stored-entry count"
+        );
+        values.fill(0.0);
+        for (&k, &s) in self.perm.iter().zip(&self.slot) {
+            values[s] += triplet_values[k];
         }
     }
 }
@@ -273,6 +293,15 @@ impl CsrMatrix {
         let lo = self.row_ptr[r];
         let hi = self.row_ptr[r + 1];
         (&self.col_idx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// All stored values, mutable, in row-major slot order (the column
+    /// structure is fixed). This is the in-place refresh hook for
+    /// [`SparsityPattern::numeric_into`]: time steppers overwrite the
+    /// values of a retained matrix instead of allocating a new one.
+    #[inline]
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
     }
 
     /// Mutable values of row `r` (column structure is fixed).

@@ -1,0 +1,552 @@
+//! Cache- and SIMD-friendly sparse storage: SELL-C-σ and blocked CSR.
+//!
+//! [`CsrMatrix::spmv`](crate::CsrMatrix::spmv) walks one row at a time, so
+//! every lane of a vector unit would have to share a single sequential
+//! accumulation — the format, not the hardware, is the bottleneck. The
+//! SELL-C-σ format (Kreutzer et al.) transposes the problem: rows are
+//! grouped into chunks of `C`, stored *slot-major* (entry `s` of every row
+//! in the chunk is adjacent in memory), and each vector lane owns one row.
+//! Lane `l` then performs exactly the sequential `acc += v * x[col]` walk
+//! the scalar kernel performs for its row — same order, same operations —
+//! so the product is **bitwise identical** to scalar CSR SpMV while the
+//! chunk as a whole issues `C`-wide multiplies and adds.
+//!
+//! Determinism contract (see DESIGN.md §10 for the full argument):
+//!
+//! * per lane, real entries are stored in CSR column order, so the partial
+//!   sums associate exactly as [`CsrMatrix::row_dot`] would;
+//! * padding slots hold `(col 0, value 0.0)`; the accumulator of a lane is
+//!   never `-0.0` when a pad is added (a round-to-nearest sum is `-0.0`
+//!   only if both operands are), and adding `±0.0` to such an accumulator
+//!   is the identity, so pads do not perturb a single bit for finite `x`;
+//! * the σ-window length sort uses a *stable* sort on `(window, len)`, so
+//!   the row permutation is a pure function of the sparsity pattern.
+//!
+//! [`BlockedCsr`] is the register-blocked sibling: each row's entry list is
+//! padded to a multiple of the block width so the inner loop is a fixed-size
+//! unrolled block with no per-element bounds checks. Accumulation stays
+//! sequential per row (anything wider would reassociate the sum), so it
+//! shares the bitwise contract; its speedup comes from loop overhead and
+//! bounds-check elimination, not lane parallelism — the honest reason
+//! SELL-C-σ is the vector format of the two.
+//!
+//! With the `simd` cargo feature the chunk kernel uses stable `core::arch`
+//! intrinsics (SSE2 on x86_64, NEON on aarch64), two f64 lanes per vector
+//! register, explicitly *without* FMA — fused multiply-add rounds once
+//! where the scalar kernel rounds twice, which would break bit equality.
+//! Without the feature an unrolled scalar kernel with fixed-width lane
+//! loops gives the autovectorizer the same freedom.
+
+use crate::csr::CsrMatrix;
+
+/// Default sorting-window length (in rows) for [`SellCs::from_csr`]
+/// callers that have no better estimate: long enough to group similar row
+/// lengths, short enough to keep the output permutation cache-local.
+pub const DEFAULT_SIGMA: usize = 256;
+
+/// A sparse matrix in SELL-C-σ layout, convertible from CSR without
+/// changing a single result bit of SpMV.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SellCs {
+    num_rows: usize,
+    num_cols: usize,
+    /// Chunk height `C` (rows per chunk, one vector lane each).
+    c: usize,
+    /// Sorting window σ the conversion used (recorded for reporting).
+    sigma: usize,
+    /// Per chunk: offset of its slot-major `(col_idx, values)` block.
+    /// `chunk_ptr[k + 1] - chunk_ptr[k] == width(k) * c`.
+    chunk_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+    /// Sorted lane position -> original row index (`len == num_rows`;
+    /// lanes `>= num_rows` in the tail chunk are padding and produce no
+    /// output).
+    row_perm: Vec<usize>,
+}
+
+impl SellCs {
+    /// Converts a CSR matrix into SELL-C-σ form.
+    ///
+    /// Rows are sorted by descending entry count inside windows of `sigma`
+    /// rows (stable, so equal lengths keep their original order), grouped
+    /// into chunks of `c`, and stored slot-major padded to each chunk's
+    /// longest row. `sigma <= 1` disables sorting (plain SELL-C).
+    ///
+    /// # Panics
+    /// Panics if `c == 0`.
+    pub fn from_csr(a: &CsrMatrix, c: usize, sigma: usize) -> Self {
+        assert!(c > 0, "chunk height must be positive");
+        let n = a.num_rows();
+        let len = |r: usize| a.row(r).0.len();
+
+        // σ-window stable length sort: descending length within each window.
+        let mut row_perm: Vec<usize> = (0..n).collect();
+        if sigma > 1 {
+            for window in row_perm.chunks_mut(sigma) {
+                window.sort_by_key(|&r| std::cmp::Reverse(len(r)));
+            }
+        }
+
+        let nchunks = n.div_ceil(c);
+        let mut chunk_ptr = Vec::with_capacity(nchunks + 1);
+        chunk_ptr.push(0);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        for k in 0..nchunks {
+            let lanes = &row_perm[k * c..((k + 1) * c).min(n)];
+            let width = lanes.iter().map(|&r| len(r)).max().unwrap_or(0);
+            let base = col_idx.len();
+            col_idx.resize(base + width * c, 0);
+            values.resize(base + width * c, 0.0);
+            for (l, &r) in lanes.iter().enumerate() {
+                let (cols, vals) = a.row(r);
+                for (s, (&col, &v)) in cols.iter().zip(vals).enumerate() {
+                    col_idx[base + s * c + l] = col;
+                    values[base + s * c + l] = v;
+                }
+            }
+            chunk_ptr.push(col_idx.len());
+        }
+
+        SellCs {
+            num_rows: n,
+            num_cols: a.num_cols(),
+            c,
+            sigma,
+            chunk_ptr,
+            col_idx,
+            values,
+            row_perm,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn num_cols(&self) -> usize {
+        self.num_cols
+    }
+
+    /// Chunk height `C`.
+    #[inline]
+    pub fn chunk_height(&self) -> usize {
+        self.c
+    }
+
+    /// Sorting window σ used by the conversion.
+    #[inline]
+    pub fn sigma(&self) -> usize {
+        self.sigma
+    }
+
+    /// Stored slots including padding (the memory footprint).
+    #[inline]
+    pub fn stored_slots(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Fraction of stored slots that are padding, in `[0, 1)` — the price
+    /// σ-sorting exists to minimise.
+    pub fn padding_ratio(&self, nnz: usize) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            1.0 - nnz as f64 / self.values.len() as f64
+        }
+    }
+
+    /// `y = A * x`, bitwise identical to [`CsrMatrix::spmv`] on the source
+    /// matrix for finite `x`. Chunks are independent, so the kernel runs
+    /// serially per rank; intra-rank determinism needs no chunk ordering.
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.num_cols);
+        assert_eq!(y.len(), self.num_rows);
+        let mut acc = vec![0.0f64; self.c];
+        let nchunks = self.chunk_ptr.len() - 1;
+        for k in 0..nchunks {
+            let base = self.chunk_ptr[k];
+            let end = self.chunk_ptr[k + 1];
+            let width = (end - base) / self.c;
+            kernel::chunk_spmv(
+                self.c,
+                width,
+                &self.col_idx[base..end],
+                &self.values[base..end],
+                x,
+                &mut acc,
+            );
+            let lanes = &self.row_perm[k * self.c..((k + 1) * self.c).min(self.num_rows)];
+            for (l, &r) in lanes.iter().enumerate() {
+                y[r] = acc[l];
+            }
+        }
+    }
+}
+
+/// CSR with each row's entry list padded to a multiple of
+/// [`BlockedCsr::BLOCK`] slots, so the inner product loop runs in fixed
+/// fully-unrolled blocks with no per-element bounds checks. Accumulation
+/// order per row is CSR order with identity `±0.0` pads — bitwise equal to
+/// [`CsrMatrix::spmv`] for finite `x`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockedCsr {
+    num_rows: usize,
+    num_cols: usize,
+    /// Row starts in blocks-of-`BLOCK` units times `BLOCK` (always aligned).
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl BlockedCsr {
+    /// Entries per unrolled inner block.
+    pub const BLOCK: usize = 4;
+
+    /// Converts a CSR matrix, padding every row to a multiple of
+    /// [`Self::BLOCK`] entries with `(col 0, 0.0)` slots.
+    pub fn from_csr(a: &CsrMatrix) -> Self {
+        let n = a.num_rows();
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        row_ptr.push(0);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        for r in 0..n {
+            let (cols, vals) = a.row(r);
+            col_idx.extend_from_slice(cols);
+            values.extend_from_slice(vals);
+            let padded = cols.len().div_ceil(Self::BLOCK) * Self::BLOCK;
+            col_idx.resize(row_ptr[r] + padded, 0);
+            values.resize(row_ptr[r] + padded, 0.0);
+            row_ptr.push(col_idx.len());
+        }
+        BlockedCsr {
+            num_rows: n,
+            num_cols: a.num_cols(),
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn num_cols(&self) -> usize {
+        self.num_cols
+    }
+
+    /// Stored slots including padding.
+    #[inline]
+    pub fn stored_slots(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `y = A * x`, bitwise identical to [`CsrMatrix::spmv`] on the source
+    /// matrix for finite `x`.
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.num_cols);
+        assert_eq!(y.len(), self.num_rows);
+        const B: usize = BlockedCsr::BLOCK;
+        for (r, out) in y.iter_mut().enumerate() {
+            let lo = self.row_ptr[r];
+            let hi = self.row_ptr[r + 1];
+            let mut acc = 0.0f64;
+            // Exact-size chunks: the padding guarantees hi - lo is a
+            // multiple of B, so `chunks_exact` covers every entry and the
+            // block body indexes with compile-time-constant offsets.
+            for (cb, vb) in self.col_idx[lo..hi]
+                .chunks_exact(B)
+                .zip(self.values[lo..hi].chunks_exact(B))
+            {
+                acc += vb[0] * x[cb[0]];
+                acc += vb[1] * x[cb[1]];
+                acc += vb[2] * x[cb[2]];
+                acc += vb[3] * x[cb[3]];
+            }
+            *out = acc;
+        }
+    }
+}
+
+/// The per-chunk SELL kernel: scalar unrolled by default, `core::arch`
+/// SIMD behind the `simd` feature on x86_64 (SSE2) and aarch64 (NEON).
+mod kernel {
+    /// Computes `acc[l] = Σ_s values[s*c + l] * x[col_idx[s*c + l]]` for
+    /// each of the `c` lanes — every lane a sequential CSR-order walk.
+    #[inline]
+    pub fn chunk_spmv(
+        c: usize,
+        width: usize,
+        col_idx: &[usize],
+        values: &[f64],
+        x: &[f64],
+        acc: &mut [f64],
+    ) {
+        acc.fill(0.0);
+        #[cfg(all(feature = "simd", any(target_arch = "x86_64", target_arch = "aarch64")))]
+        if c.is_multiple_of(2) {
+            simd::chunk_spmv_pairs(c, width, col_idx, values, x, acc);
+            return;
+        }
+        match c {
+            4 => chunk_spmv_scalar::<4>(width, col_idx, values, x, acc),
+            8 => chunk_spmv_scalar::<8>(width, col_idx, values, x, acc),
+            _ => {
+                for s in 0..width {
+                    let o = s * c;
+                    for l in 0..c {
+                        acc[l] += values[o + l] * x[col_idx[o + l]];
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fixed-lane-count scalar kernel: the `C`-wide inner loop has a
+    /// compile-time trip count, which is what the autovectorizer needs.
+    #[inline]
+    fn chunk_spmv_scalar<const C: usize>(
+        width: usize,
+        col_idx: &[usize],
+        values: &[f64],
+        x: &[f64],
+        acc: &mut [f64],
+    ) {
+        let acc: &mut [f64] = &mut acc[..C];
+        for s in 0..width {
+            let o = s * C;
+            let cols = &col_idx[o..o + C];
+            let vals = &values[o..o + C];
+            for l in 0..C {
+                acc[l] += vals[l] * x[cols[l]];
+            }
+        }
+    }
+
+    /// Explicit two-lane vector kernels. Multiplies and adds are issued as
+    /// separate instructions (`mul` then `add`, never FMA): the scalar
+    /// kernel rounds after the multiply and again after the add, and the
+    /// vector kernel must round in exactly the same places to stay
+    /// bitwise. Gathers of `x[col]` are scalar loads packed into a
+    /// register — SSE2/NEON have no hardware f64 gather, and a scalar
+    /// pack keeps the loads identical to the fallback's.
+    #[cfg(all(feature = "simd", any(target_arch = "x86_64", target_arch = "aarch64")))]
+    #[allow(unsafe_code)]
+    mod simd {
+        #[cfg(target_arch = "aarch64")]
+        use core::arch::aarch64::{vaddq_f64, vld1q_f64, vmulq_f64, vst1q_f64};
+        #[cfg(target_arch = "x86_64")]
+        use core::arch::x86_64::{
+            _mm_add_pd, _mm_loadu_pd, _mm_mul_pd, _mm_set_pd, _mm_setzero_pd, _mm_storeu_pd,
+        };
+
+        /// `c`-lane chunk kernel for even `c`: lanes processed as `c / 2`
+        /// register pairs, slots walked in order per pair so each lane's
+        /// accumulation order matches the scalar kernel exactly.
+        #[inline]
+        pub fn chunk_spmv_pairs(
+            c: usize,
+            width: usize,
+            col_idx: &[usize],
+            values: &[f64],
+            x: &[f64],
+            acc: &mut [f64],
+        ) {
+            debug_assert!(c.is_multiple_of(2));
+            debug_assert!(col_idx.len() >= width * c && values.len() >= width * c);
+            for pair in 0..c / 2 {
+                let l = 2 * pair;
+                // SAFETY: all loads are in bounds — `values`/`col_idx`
+                // hold `width * c` entries with `o + 1 < width * c`, the
+                // conversion guarantees every stored column (pads
+                // included) is `< x.len()`, and `acc` has `c` slots.
+                unsafe {
+                    #[cfg(target_arch = "x86_64")]
+                    {
+                        let mut a = _mm_setzero_pd();
+                        for s in 0..width {
+                            let o = s * c + l;
+                            let v = _mm_loadu_pd(values.as_ptr().add(o));
+                            let xs = _mm_set_pd(
+                                *x.get_unchecked(*col_idx.get_unchecked(o + 1)),
+                                *x.get_unchecked(*col_idx.get_unchecked(o)),
+                            );
+                            a = _mm_add_pd(a, _mm_mul_pd(v, xs));
+                        }
+                        _mm_storeu_pd(acc.as_mut_ptr().add(l), a);
+                    }
+                    #[cfg(target_arch = "aarch64")]
+                    {
+                        let mut a = vld1q_f64([0.0f64, 0.0].as_ptr());
+                        for s in 0..width {
+                            let o = s * c + l;
+                            let v = vld1q_f64(values.as_ptr().add(o));
+                            let g = [
+                                *x.get_unchecked(*col_idx.get_unchecked(o)),
+                                *x.get_unchecked(*col_idx.get_unchecked(o + 1)),
+                            ];
+                            let xs = vld1q_f64(g.as_ptr());
+                            a = vaddq_f64(a, vmulq_f64(v, xs));
+                        }
+                        vst1q_f64(acc.as_mut_ptr().add(l), a);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::TripletBuilder;
+
+    /// A deterministic messy matrix: varying row lengths, duplicates,
+    /// empty rows.
+    fn messy(n: usize, seed: u64) -> CsrMatrix {
+        let mut state = seed;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut b = TripletBuilder::new(n, n);
+        for r in 0..n {
+            let k = (next() as usize) % 9; // 0..=8 entries, some rows empty
+            for _ in 0..k {
+                let c = (next() as usize) % n;
+                let v = (next() as f64 / 2f64.powi(31)) - 1.0;
+                b.add(r, c, v);
+            }
+        }
+        b.build()
+    }
+
+    fn spmv_csr(a: &CsrMatrix, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; a.num_rows()];
+        a.spmv(x, &mut y);
+        y
+    }
+
+    #[test]
+    fn sell_matches_csr_bitwise_on_messy_matrices() {
+        for seed in [1u64, 7, 23] {
+            let n = 37;
+            let a = messy(n, seed);
+            let x: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.61).sin()).collect();
+            let want = spmv_csr(&a, &x);
+            for c in [1usize, 2, 4, 8] {
+                for sigma in [1usize, 4, 16, 64] {
+                    let s = SellCs::from_csr(&a, c, sigma);
+                    let mut y = vec![f64::NAN; n];
+                    s.spmv(&x, &mut y);
+                    for (r, (w, g)) in want.iter().zip(&y).enumerate() {
+                        assert_eq!(
+                            w.to_bits(),
+                            g.to_bits(),
+                            "row {r}, C={c}, sigma={sigma}, seed={seed}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_matches_csr_bitwise_on_messy_matrices() {
+        for seed in [2u64, 11, 31] {
+            let n = 41;
+            let a = messy(n, seed);
+            let x: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.37).cos()).collect();
+            let want = spmv_csr(&a, &x);
+            let blk = BlockedCsr::from_csr(&a);
+            let mut y = vec![f64::NAN; n];
+            blk.spmv(&x, &mut y);
+            for (w, g) in want.iter().zip(&y) {
+                assert_eq!(w.to_bits(), g.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn negative_zero_in_x_does_not_leak_through_padding() {
+        // x[0] < 0 makes every pad product -0.0; x[0] = -0.0 makes it
+        // +0.0·-0.0 = -0.0 as well. Neither may change any output bit.
+        let mut b = TripletBuilder::new(6, 6);
+        b.add(0, 1, 2.0);
+        b.add(1, 0, -1.0);
+        b.add(1, 2, 3.0);
+        b.add(4, 4, -0.5);
+        let a = b.build();
+        for x0 in [-1.0f64, -0.0, 0.0, 2.0] {
+            let mut x = vec![0.5f64; 6];
+            x[0] = x0;
+            let want = spmv_csr(&a, &x);
+            let s = SellCs::from_csr(&a, 4, 2);
+            let mut y = vec![f64::NAN; 6];
+            s.spmv(&x, &mut y);
+            let blk = BlockedCsr::from_csr(&a);
+            let mut yb = vec![f64::NAN; 6];
+            blk.spmv(&x, &mut yb);
+            for ((w, g), gb) in want.iter().zip(&y).zip(&yb) {
+                assert_eq!(w.to_bits(), g.to_bits(), "sell, x0={x0}");
+                assert_eq!(w.to_bits(), gb.to_bits(), "blocked, x0={x0}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_matrix_and_empty_rows() {
+        let a = CsrMatrix::zero(5, 5);
+        let s = SellCs::from_csr(&a, 4, 8);
+        let mut y = vec![f64::NAN; 5];
+        s.spmv(&[1.0; 5], &mut y);
+        assert!(y.iter().all(|v| v.to_bits() == 0.0f64.to_bits()));
+        let blk = BlockedCsr::from_csr(&a);
+        let mut yb = vec![f64::NAN; 5];
+        blk.spmv(&[1.0; 5], &mut yb);
+        assert!(yb.iter().all(|v| v.to_bits() == 0.0f64.to_bits()));
+    }
+
+    #[test]
+    fn sigma_sorting_reduces_padding() {
+        // Alternating long/short rows: unsorted chunks pad every short row
+        // to the long width; σ-sorted windows group like lengths.
+        let n = 64;
+        let mut b = TripletBuilder::new(n, n);
+        for r in 0..n {
+            let k = if r % 2 == 0 { 8 } else { 1 };
+            for j in 0..k {
+                b.add(r, (r + j) % n, 1.0);
+            }
+        }
+        let a = b.build();
+        let nnz = a.nnz();
+        let unsorted = SellCs::from_csr(&a, 8, 1);
+        let sorted = SellCs::from_csr(&a, 8, 64);
+        assert!(sorted.stored_slots() < unsorted.stored_slots());
+        assert!(sorted.padding_ratio(nnz) < unsorted.padding_ratio(nnz));
+        // And σ-sorting never changes the product bits.
+        let x: Vec<f64> = (0..n).map(|i| ((i as f64) * 1.3).sin()).collect();
+        let want = spmv_csr(&a, &x);
+        for s in [&unsorted, &sorted] {
+            let mut y = vec![f64::NAN; n];
+            s.spmv(&x, &mut y);
+            for (w, g) in want.iter().zip(&y) {
+                assert_eq!(w.to_bits(), g.to_bits());
+            }
+        }
+    }
+}

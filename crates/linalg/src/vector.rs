@@ -336,8 +336,46 @@ impl DistVector {
 /// latency. The tree combines element-wise in the same rank order as k
 /// scalar all-reduces, so each returned value is bitwise-identical to the
 /// corresponding `a.dot(b, comm)`.
+///
+/// The local partials are computed in one pass over the data: for each
+/// [`REDUCE_CHUNK`] range, every pair's chunk partial is accumulated while
+/// the range is hot in cache — pipelined solvers pass the same vector in
+/// several pairs, and the per-pair sweep of the old implementation reloaded
+/// it from memory k times. Each pair's partial still sums its chunk
+/// partials in chunk order (and each chunk partial is the same zipped
+/// sequential fold [`DistVector::dot_local`] computes), so every value is
+/// bitwise what k separate `dot_local` calls produce, at any thread count.
+/// The virtual-time charge is identical too: one `dot(n)` per pair, in
+/// pair order.
 pub fn fused_dots(pairs: &[(&DistVector, &DistVector)], comm: &mut SimComm) -> Vec<f64> {
-    let locals: Vec<f64> = pairs.iter().map(|(a, b)| a.dot_local(b, comm)).collect();
+    let Some(&(first, _)) = pairs.first() else {
+        return comm.allreduce_vec(ReduceOp::Sum, &[]);
+    };
+    let n = first.n_owned;
+    if pairs.iter().any(|(a, b)| a.n_owned != n || b.n_owned != n) {
+        // Mixed layouts cannot share chunk boundaries; keep the per-pair
+        // sweep (bitwise the same, just colder in cache).
+        let locals: Vec<f64> = pairs.iter().map(|(a, b)| a.dot_local(b, comm)).collect();
+        return comm.allreduce_vec(ReduceOp::Sum, &locals);
+    }
+    let mut locals = vec![0.0f64; pairs.len()];
+    let mut s = 0;
+    while s < n {
+        let e = (s + REDUCE_CHUNK).min(n);
+        for ((a, b), t) in pairs.iter().zip(&mut locals) {
+            // Zipped equal-length subslices: the bounds checks hoist out of
+            // the loop, leaving a pure multiply-add stream.
+            let mut p = 0.0;
+            for (x, y) in a.values[s..e].iter().zip(&b.values[s..e]) {
+                p += x * y;
+            }
+            *t += p;
+        }
+        s = e;
+    }
+    for _ in pairs {
+        comm.compute(work_costs::dot(n));
+    }
     comm.allreduce_vec(ReduceOp::Sum, &locals)
 }
 
