@@ -43,8 +43,9 @@ fn main() -> ExitCode {
     }
     if report.passed() {
         println!(
-            "bench_gate: PASS ({} kernels within tolerance)",
-            report.checks.len()
+            "bench_gate: PASS ({} kernels within tolerance, {} skipped)",
+            report.checks.len(),
+            report.skipped.len()
         );
         ExitCode::SUCCESS
     } else {

@@ -518,6 +518,60 @@ fn time_engine_kernels(ranks: usize, msgs: usize, samples: usize) -> EngineTimes
     }
 }
 
+struct ServeTimes {
+    cache_hit: f64,
+    queue_per_job: f64,
+}
+
+/// Times the serving layer of PR 8: a content-addressed cache hit (the
+/// hot path a repeated campaign submission takes — canonical key, index
+/// probe, artifact verify, deserialize) and the end-to-end per-job cost of
+/// pushing unique-key jobs through journal, queue, worker pool, and cache
+/// write. The jobs themselves are the smallest real numerical run the
+/// harness has, so the throughput leaf tracks the service machinery plus a
+/// floor of real work, not an empty no-op loop.
+fn time_serve(jobs: usize, samples: usize) -> ServeTimes {
+    use hetero_hpc::{App, RunRequest};
+    use hetero_platform::catalog;
+    use hetero_serve::{ServeConfig, ServeHandle};
+
+    let dir = std::env::temp_dir().join(format!("hetero-serve-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let serve = ServeHandle::open(ServeConfig::new(&dir).with_workers(2)).expect("serve opens");
+    let hot = RunRequest {
+        seed: 424_242,
+        ..RunRequest::new(catalog::puma(), App::smoke_rd(1), 1, 2)
+    };
+    serve.submit_wait(&hot).expect("within puma's limits");
+    let cache_hit = median_ns(samples, 8, || {
+        black_box(serve.submit_wait(&hot).expect("a verified cache hit"));
+    });
+
+    let mut next_seed = 1_000_000u64;
+    let queue_per_job = median_ns(samples, 1, || {
+        let ids: Vec<u64> = (0..jobs)
+            .map(|_| {
+                next_seed += 1;
+                let req = RunRequest {
+                    seed: next_seed,
+                    ..hot.clone()
+                };
+                serve.submit(&req).expect("accepting")
+            })
+            .collect();
+        for id in ids {
+            black_box(serve.wait(id).expect("completes"));
+        }
+    }) / jobs as f64;
+
+    serve.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+    ServeTimes {
+        cache_hit,
+        queue_per_job,
+    }
+}
+
 struct Profile {
     schema: &'static str,
     out: &'static str,
@@ -539,12 +593,14 @@ struct Profile {
     spawn_ranks: usize,
     /// Message count for the scheduler ping-pong timing.
     pingpong_msgs: usize,
+    /// Unique-key jobs per round for the serve queue-throughput timing.
+    serve_jobs: usize,
     /// Timing samples per kernel (the median is reported).
     samples: usize,
 }
 
 const FULL: Profile = Profile {
-    schema: "hetero-hpc/bench-kernels/v3",
+    schema: "hetero-hpc/bench-kernels/v4",
     out: "BENCH_kernels.json",
     assembly_n: 6,
     rebuild_n: 20,
@@ -555,6 +611,7 @@ const FULL: Profile = Profile {
     cg_iters: 50,
     spawn_ranks: 256,
     pingpong_msgs: 4096,
+    serve_jobs: 32,
     samples: 9,
 };
 
@@ -562,7 +619,7 @@ const FULL: Profile = Profile {
 /// seconds, and the committed smoke baseline is compared against smoke
 /// remeasurements only.
 const SMOKE: Profile = Profile {
-    schema: "hetero-hpc/bench-kernels-smoke/v3",
+    schema: "hetero-hpc/bench-kernels-smoke/v4",
     out: "BENCH_kernels_smoke.json",
     assembly_n: 4,
     rebuild_n: 12,
@@ -573,6 +630,7 @@ const SMOKE: Profile = Profile {
     cg_iters: 20,
     spawn_ranks: 64,
     pingpong_msgs: 512,
+    serve_jobs: 8,
     samples: 5,
 };
 
@@ -650,6 +708,9 @@ fn main() {
 
     // Engine spawn/join and cooperative per-hop scheduling cost.
     let eng = time_engine_kernels(p.spawn_ranks, p.pingpong_msgs, p.samples);
+
+    // Serving layer: cache-hit latency and queue throughput.
+    let srv = time_serve(p.serve_jobs, p.samples);
 
     let report = serde_json::json!({
         "schema": p.schema,
@@ -754,6 +815,17 @@ fn main() {
             // Not a gated `_ns` leaf: it is derived from `pingpong_ns` and
             // gating both would double the flake surface.
             "ns_per_hop": eng.pingpong / (2.0 * p.pingpong_msgs as f64),
+        }),
+        "serve_cache_hit": serde_json::json!({
+            "cache_hit_ns": srv.cache_hit,
+            "note": "submit_wait of an already-cached key: canonical key + \
+                     artifact verify + deserialize, no journal traffic",
+        }),
+        "serve_queue_throughput": serde_json::json!({
+            "jobs": p.serve_jobs,
+            "per_job_ns": srv.queue_per_job,
+            // Derived from per_job_ns; not an independently gated leaf.
+            "jobs_per_sec": 1e9 / srv.queue_per_job,
         }),
     });
     let text = serde_json::to_string_pretty(&report).expect("the report is a finite JSON tree");

@@ -49,6 +49,18 @@ impl KernelCheck {
     }
 }
 
+/// A baseline timing leaf the gate deliberately did not compare, with the
+/// reason. Skips are rare and always host-shape driven; listing them keeps
+/// "this leaf was judged un-gateable here" distinguishable from "this leaf
+/// was enforced and passed" in the CI log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkippedCheck {
+    /// Dotted path of the leaf, e.g. `"spmv.pool_4threads_ns"`.
+    pub key: String,
+    /// Why the gate refused to compare it.
+    pub reason: String,
+}
+
 /// The outcome of comparing two snapshots.
 #[derive(Debug, Clone)]
 pub struct GateReport {
@@ -56,6 +68,8 @@ pub struct GateReport {
     pub tolerance: f64,
     /// Every `_ns` leaf of the baseline, in baseline order.
     pub checks: Vec<KernelCheck>,
+    /// Baseline `_ns` leaves excluded from gating, with reasons.
+    pub skipped: Vec<SkippedCheck>,
 }
 
 impl GateReport {
@@ -94,6 +108,9 @@ impl GateReport {
                 c.key, c.baseline_ns
             ));
         }
+        for s in &self.skipped {
+            out.push_str(&format!("  {:<55} SKIPPED: {}\n", s.key, s.reason));
+        }
         out
     }
 }
@@ -105,8 +122,20 @@ pub fn compare_snapshots(baseline: &Value, current: &Value, tolerance: f64) -> G
     // A 1-core baseline host cannot meaningfully time a 4-thread pool.
     let single_core = baseline.field("host_cores").as_u64() == Some(1);
     let mut checks = Vec::new();
-    walk(baseline, current, "", single_core, &mut checks);
-    GateReport { tolerance, checks }
+    let mut skipped = Vec::new();
+    walk(
+        baseline,
+        current,
+        "",
+        single_core,
+        &mut checks,
+        &mut skipped,
+    );
+    GateReport {
+        tolerance,
+        checks,
+        skipped,
+    }
 }
 
 /// Whether a leaf's timing only makes sense with real hardware parallelism.
@@ -122,6 +151,7 @@ fn walk(
     path: &str,
     single_core: bool,
     out: &mut Vec<KernelCheck>,
+    skipped: &mut Vec<SkippedCheck>,
 ) {
     let Some(entries) = baseline.as_object() else {
         return;
@@ -133,9 +163,15 @@ fn walk(
             format!("{path}.{key}")
         };
         if b.as_object().is_some() {
-            walk(b, current.field(key), &sub, single_core, out);
+            walk(b, current.field(key), &sub, single_core, out, skipped);
         } else if key.ends_with("_ns") {
             if single_core && needs_multicore(path, key) {
+                skipped.push(SkippedCheck {
+                    key: sub,
+                    reason: "baseline host_cores=1: multi-thread pool timing is \
+                             scheduler noise on a single hardware thread"
+                        .to_string(),
+                });
                 continue;
             }
             if let Some(baseline_ns) = b.as_f64() {
@@ -235,6 +271,26 @@ mod tests {
         );
         // The serial leaf stays gated.
         assert!(r.checks.iter().any(|c| c.key == "spmv.pool_1thread_ns"));
+        // The skip is reported, not silent: both excluded leaves appear
+        // with a reason, and the rendering names them.
+        let skipped: Vec<&str> = r.skipped.iter().map(|s| s.key.as_str()).collect();
+        assert_eq!(
+            skipped,
+            vec![
+                "spmv.pool_4threads_ns",
+                "thread_scaling.spmv_4threads_over_1_ns"
+            ]
+        );
+        assert!(r.skipped.iter().all(|s| s.reason.contains("host_cores=1")));
+        assert!(r.render().contains("SKIPPED"));
+    }
+
+    #[test]
+    fn multicore_baseline_skips_nothing() {
+        let base = threaded_snap(8, 80.0);
+        let r = compare_snapshots(&base, &threaded_snap(8, 80.0), 0.25);
+        assert!(r.skipped.is_empty());
+        assert!(!r.render().contains("SKIPPED"));
     }
 
     #[test]

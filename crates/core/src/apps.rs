@@ -4,9 +4,10 @@ use hetero_fem::element::ElementOrder;
 use hetero_fem::ns::NsConfig;
 use hetero_fem::rd::{PrecondKind, RdConfig};
 use hetero_linalg::{KernelBackend, SolverVariant};
+use serde::{Deserialize, Serialize};
 
 /// One of the paper's applications with its configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum App {
     /// The reaction–diffusion test (paper Section IV-A).
     Rd(RdConfig),

@@ -55,6 +55,7 @@
 #![warn(missing_docs)]
 
 pub mod apps;
+pub mod canon;
 pub mod expense;
 pub mod modeled;
 pub mod recovery;

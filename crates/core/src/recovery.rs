@@ -45,11 +45,12 @@ use hetero_platform::PlatformSpec;
 use hetero_simmpi::rng::splitmix64;
 use hetero_simmpi::{run_spmd_opts, EngineOpts, SimComm, SpmdConfig};
 use hetero_trace::{EventKind, Trace};
+use serde::{Deserialize, Serialize, Value};
 use std::sync::{Arc, Mutex};
 
 /// How a run acquires its fleet, what can go wrong, and what it does about
 /// it. Attached to [`RunRequest::resilience`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ResilienceSpec {
     /// Checkpoint cadence, restart budget, backoff, and store bandwidth.
     pub policy: ResiliencePolicy,
@@ -136,6 +137,36 @@ pub struct ResilienceOutcome {
     /// spans describe work the rollback discarded, so the campaign keeps
     /// just the incident record.
     pub trace: Option<Trace>,
+}
+
+// Hand-written for the same reason as `RunOutcome`: the campaign trace
+// holds borrowed labels and is a replay artifact, so it serializes as
+// `null` and reads back as `None`.
+impl Serialize for ResilienceOutcome {
+    fn serialize_value(&self) -> Value {
+        Value::Object(vec![
+            ("outcome".to_string(), self.outcome.serialize_value()),
+            ("stats".to_string(), self.stats.serialize_value()),
+            (
+                "first_attempt_spot_nodes".to_string(),
+                self.first_attempt_spot_nodes.serialize_value(),
+            ),
+            ("trace".to_string(), Value::Null),
+        ])
+    }
+}
+
+impl Deserialize for ResilienceOutcome {
+    fn deserialize_value(v: &Value) -> Result<Self, serde::Error> {
+        Ok(ResilienceOutcome {
+            outcome: Option::<RunOutcome>::deserialize_value(v.field("outcome"))?,
+            stats: RecoveryStats::deserialize_value(v.field("stats"))?,
+            first_attempt_spot_nodes: usize::deserialize_value(
+                v.field("first_attempt_spot_nodes"),
+            )?,
+            trace: None,
+        })
+    }
 }
 
 /// Seed for restart attempt `attempt` (0 = the initial launch). Each

@@ -16,10 +16,11 @@ use hetero_simmpi::{
     run_spmd_opts, ClusterTopology, EngineKind, EngineOpts, FaultPlan, SpmdConfig,
 };
 use hetero_trace::{EventKind, Phase as TracePhase, Trace, TraceEvent, TraceSpec};
+use serde::{Deserialize, Serialize, Value};
 use std::sync::Arc;
 
 /// Which engine to use.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Fidelity {
     /// Real distributed numerics on OS threads (verifiable, small scale).
     Numerical,
@@ -35,7 +36,7 @@ pub const AUTO_MAX_NUMERICAL_RANKS: usize = 27;
 pub const AUTO_MAX_NUMERICAL_AXIS: usize = 5;
 
 /// A run request: application x platform x size.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunRequest {
     /// Target platform.
     pub platform: PlatformSpec,
@@ -133,7 +134,7 @@ impl RunRequest {
 }
 
 /// Numerical verification against the exact solution.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Verification {
     /// Nodal max error.
     pub linf: f64,
@@ -169,6 +170,74 @@ pub struct RunOutcome {
     /// The structured event trace, when [`RunRequest::trace`] asked for
     /// one. Deterministic: a pure function of the request.
     pub trace: Option<Trace>,
+}
+
+// Hand-written because `app` is a `&'static str` (interned "RD"/"NS") and
+// `trace` holds borrowed event labels that cannot round-trip through JSON.
+// A trace is a deterministic replay artifact, not part of the measured
+// report, so serialization always writes `trace: null` and deserialization
+// restores `None`; callers that persist outcomes (the serve cache) must
+// strip traces from the request first.
+impl Serialize for RunOutcome {
+    fn serialize_value(&self) -> Value {
+        Value::Object(vec![
+            ("platform".to_string(), self.platform.serialize_value()),
+            ("app".to_string(), Value::String(self.app.to_string())),
+            ("ranks".to_string(), self.ranks.serialize_value()),
+            ("nodes".to_string(), self.nodes.serialize_value()),
+            ("fidelity".to_string(), self.fidelity.serialize_value()),
+            ("phases".to_string(), self.phases.serialize_value()),
+            (
+                "cost_per_iteration".to_string(),
+                self.cost_per_iteration.serialize_value(),
+            ),
+            (
+                "queue_wait_seconds".to_string(),
+                self.queue_wait_seconds.serialize_value(),
+            ),
+            (
+                "krylov_iters".to_string(),
+                self.krylov_iters.serialize_value(),
+            ),
+            (
+                "verification".to_string(),
+                self.verification.serialize_value(),
+            ),
+            (
+                "bytes_per_iteration".to_string(),
+                self.bytes_per_iteration.serialize_value(),
+            ),
+            ("trace".to_string(), Value::Null),
+        ])
+    }
+}
+
+impl Deserialize for RunOutcome {
+    fn deserialize_value(v: &Value) -> Result<Self, serde::Error> {
+        let app = match v.field("app").as_str() {
+            Some("RD") => "RD",
+            Some("NS") => "NS",
+            other => {
+                return Err(serde::Error::new(format!(
+                    "unknown application name {other:?} (expected \"RD\" or \"NS\")"
+                )))
+            }
+        };
+        Ok(RunOutcome {
+            platform: String::deserialize_value(v.field("platform"))?,
+            app,
+            ranks: usize::deserialize_value(v.field("ranks"))?,
+            nodes: usize::deserialize_value(v.field("nodes"))?,
+            fidelity: Fidelity::deserialize_value(v.field("fidelity"))?,
+            phases: PhaseTimes::deserialize_value(v.field("phases"))?,
+            cost_per_iteration: f64::deserialize_value(v.field("cost_per_iteration"))?,
+            queue_wait_seconds: f64::deserialize_value(v.field("queue_wait_seconds"))?,
+            krylov_iters: f64::deserialize_value(v.field("krylov_iters"))?,
+            verification: Option::<Verification>::deserialize_value(v.field("verification"))?,
+            bytes_per_iteration: f64::deserialize_value(v.field("bytes_per_iteration"))?,
+            trace: None,
+        })
+    }
 }
 
 pub(crate) fn resolve_fidelity(req: &RunRequest) -> Fidelity {

@@ -11,8 +11,10 @@
 //! extrapolation `u* = sum_j e_j u^{n-j}` (BDF2: `e = [2, -1]`), second-order
 //! accurate.
 
+use serde::{Deserialize, Serialize};
+
 /// Order of the BDF scheme.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum BdfOrder {
     /// Backward Euler.
     One,

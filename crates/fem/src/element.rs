@@ -5,10 +5,12 @@
 //! index `a + (q+1) (b + (q+1) c)`, matching the global lattice ordering
 //! used by [`crate::dofmap`].
 
+use serde::{Deserialize, Serialize};
+
 /// Polynomial order of the element space. The paper's applications use
 /// "the FEM of order 2" for the RD unknown and the velocity, and order 1 for
 /// the pressure.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ElementOrder {
     /// Trilinear (8-node) hexahedron.
     Q1,

@@ -39,10 +39,11 @@ use hetero_linalg::{DistMatrix, DistVector};
 use hetero_mesh::DistributedMesh;
 use hetero_simmpi::SimComm;
 use hetero_trace::{EventKind, Phase as TracePhase};
+use serde::{Deserialize, Serialize};
 
 /// Krylov method used for the nonsymmetric momentum systems — the choice an
 /// AztecOO user makes in the paper's stack.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum MomentumSolver {
     /// BiCGStab: two SpMVs per iteration, short recurrences.
     BiCgStab,
@@ -55,7 +56,7 @@ pub enum MomentumSolver {
 }
 
 /// Configuration of an NS run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct NsConfig {
     /// Velocity element order (paper: order 2).
     pub vel_order: ElementOrder,

@@ -25,9 +25,10 @@ use hetero_linalg::{DistMatrix, DistVector};
 use hetero_mesh::DistributedMesh;
 use hetero_simmpi::SimComm;
 use hetero_trace::{EventKind, Phase as TracePhase};
+use serde::{Deserialize, Serialize};
 
 /// Preconditioner selector for the applications.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum PrecondKind {
     /// No preconditioning.
     None,
@@ -52,7 +53,7 @@ impl PrecondKind {
 }
 
 /// Configuration of an RD run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RdConfig {
     /// Element order (the paper uses order 2).
     pub order: ElementOrder,

@@ -10,13 +10,14 @@ use crate::distmat::DistMatrix;
 use crate::precond::Preconditioner;
 use crate::vector::{fused_dots, DistVector};
 use hetero_simmpi::SimComm;
+use serde::{Deserialize, Serialize};
 
 /// Communication schedule used by the Krylov solvers.
 ///
 /// `Blocking` reproduces the original solver schedule byte-for-byte; the
 /// other two spend the same arithmetic but expose less communication time
 /// on latency-bound fabrics (the paper's 1 GbE platforms).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum SolverVariant {
     /// Blocking halo exchange in each SpMV and one scalar all-reduce per
     /// inner product — the baseline schedule.
@@ -41,7 +42,7 @@ pub enum SolverVariant {
 /// clocks; `MatrixFree` only removes per-step host allocation and
 /// structure-rescan cost (see `MatrixAssembly::assemble_in_place` in
 /// `hetero-fem` and DESIGN.md §10).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum KernelBackend {
     /// Rebuild a fresh CSR operator every solve-heavy step via the cached
     /// symbolic structure — the baseline path.
@@ -56,7 +57,7 @@ pub enum KernelBackend {
 }
 
 /// Convergence controls.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct SolveOptions {
     /// Relative residual tolerance (`||r|| <= rel_tol * ||b||`).
     pub rel_tol: f64,

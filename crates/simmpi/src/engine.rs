@@ -17,6 +17,7 @@ use crate::stats::CommStats;
 use crate::topology::ClusterTopology;
 use crate::work::ComputeModel;
 use hetero_trace::{Trace, TraceSink, TraceSpec};
+use serde::{Deserialize, Serialize};
 use std::panic::AssertUnwindSafe;
 use std::sync::{Arc, Mutex};
 
@@ -41,7 +42,7 @@ pub const COOPERATIVE_SUPPORTED: bool = cfg!(all(
 ));
 
 /// Which SPMD engine executes the ranks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum EngineKind {
     /// M:N scheduler: ranks are cooperative tasks on a fixed worker pool.
     #[default]

@@ -13,10 +13,11 @@ use crate::event::{cmp_events, EventKind, TraceEvent};
 use crate::export;
 use crate::metrics::MetricsRegistry;
 use crate::rollup::{rollup, PhaseRollup};
+use serde::{Deserialize, Serialize};
 use std::sync::{Arc, Mutex};
 
 /// How much of the stack to record.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum TraceDetail {
     /// FEM phase spans, solver counts, and fault/recovery/expense events.
     Phases,
@@ -28,7 +29,7 @@ pub enum TraceDetail {
 }
 
 /// Tracing configuration carried by a run request.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TraceSpec {
     /// Recording granularity.
     pub detail: TraceDetail,
