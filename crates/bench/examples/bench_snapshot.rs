@@ -38,6 +38,7 @@ use hetero_linalg::solver::{cg, SolveOptions, SolverVariant};
 use hetero_linalg::{fused_dots, sell, BlockedCsr, DistMatrix, ExchangePlan, SellCs};
 use hetero_mesh::{DistributedMesh, StructuredHexMesh};
 use hetero_partition::{BlockPartitioner, Partitioner};
+use hetero_plan::load_str;
 use hetero_simmpi::{
     run_spmd, run_spmd_opts, ClusterTopology, ComputeModel, EngineOpts, FaultPlan, NetworkModel,
     Payload, SpmdConfig,
@@ -600,7 +601,7 @@ struct Profile {
 }
 
 const FULL: Profile = Profile {
-    schema: "hetero-hpc/bench-kernels/v4",
+    schema: "hetero-hpc/bench-kernels/v5",
     out: "BENCH_kernels.json",
     assembly_n: 6,
     rebuild_n: 20,
@@ -619,7 +620,7 @@ const FULL: Profile = Profile {
 /// seconds, and the committed smoke baseline is compared against smoke
 /// remeasurements only.
 const SMOKE: Profile = Profile {
-    schema: "hetero-hpc/bench-kernels-smoke/v4",
+    schema: "hetero-hpc/bench-kernels-smoke/v5",
     out: "BENCH_kernels_smoke.json",
     assembly_n: 4,
     rebuild_n: 12,
@@ -711,6 +712,19 @@ fn main() {
 
     // Serving layer: cache-hit latency and queue throughput.
     let srv = time_serve(p.serve_jobs, p.samples);
+
+    // Campaign-plan front end: parse + sweep expansion + DAG resolution of
+    // the largest checked-in plan (Table III: 72 instances across four
+    // stages). This is the fixed cost `plan_run` pays before any stage
+    // executes, and the path the `plans` CI lane leans on.
+    let plan_doc = include_str!("../../../plans/table3.toml");
+    let plan_instances = load_str(plan_doc)
+        .expect("the checked-in plan resolves")
+        .instances
+        .len();
+    let plan_resolve_ns = median_ns(p.samples, 8, || {
+        black_box(load_str(black_box(plan_doc)).expect("the checked-in plan resolves"));
+    });
 
     let report = serde_json::json!({
         "schema": p.schema,
@@ -826,6 +840,11 @@ fn main() {
             "per_job_ns": srv.queue_per_job,
             // Derived from per_job_ns; not an independently gated leaf.
             "jobs_per_sec": 1e9 / srv.queue_per_job,
+        }),
+        "plan_resolve": serde_json::json!({
+            "plan": "plans/table3.toml",
+            "instances": plan_instances,
+            "parse_resolve_ns": plan_resolve_ns,
         }),
     });
     let text = serde_json::to_string_pretty(&report).expect("the report is a finite JSON tree");

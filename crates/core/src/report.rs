@@ -1,7 +1,9 @@
 //! Text/CSV/JSON renderers for the reproduced tables and figures.
 
 use crate::run::RunOutcome;
-use crate::scenarios::{CostCurve, Table1, Table2Row, Table3Row, WeakScalingTable};
+use crate::scenarios::{
+    CostCurve, SolverVariantRow, Table1, Table2Row, Table3Row, WeakScalingTable,
+};
 use hetero_platform::catalog;
 use hetero_platform::cost::Billing;
 use hetero_trace::Trace;
@@ -203,6 +205,29 @@ pub fn table3_json(rows: &[Table3Row]) -> serde_json::Value {
             })
         }).collect::<Vec<_>>(),
     })
+}
+
+/// Renders the solver-schedule comparison (the "Communication overlap"
+/// table) in the exact layout the `solver_variants` example prints.
+pub fn render_solver_variants(rows: &[SolverVariantRow]) -> String {
+    let mut out = String::new();
+    out.push_str("RD solve phase, s/iteration (paper sizing: 20^3 elements/rank, seed 2012)\n");
+    out.push('\n');
+    out.push_str("| platform | ranks | blocking | overlapped | pipelined | best saving |\n");
+    out.push_str("|----------|------:|---------:|-----------:|----------:|------------:|\n");
+    for r in rows {
+        let best = r.times[1].min(r.times[2]);
+        out.push_str(&format!(
+            "| {} | {} | {:.3} | {:.3} | {:.3} | {:.1}% |\n",
+            r.platform,
+            r.ranks,
+            r.times[0],
+            r.times[1],
+            r.times[2],
+            (1.0 - best / r.times[0]) * 100.0
+        ));
+    }
+    out
 }
 
 /// Renders a cost figure (Figure 6 / 7) as a text table.

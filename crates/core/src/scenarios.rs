@@ -5,12 +5,14 @@ use crate::apps::App;
 use crate::recovery::{execute_resilient, ResilienceSpec};
 use crate::run::{execute, Fidelity, RunOutcome, RunRequest};
 use hetero_fault::ResiliencePolicy;
+use hetero_linalg::SolverVariant;
 use hetero_platform::limits::LimitViolation;
 use hetero_platform::provision::{environment_of, plan, ProvisionPlan};
 use hetero_platform::spot::{acquire_fleet, FleetAllocation, FleetStrategy};
 use hetero_platform::{catalog, PlatformSpec};
-use hetero_simmpi::EngineKind;
+use hetero_simmpi::{ClusterTopology, EngineKind};
 use hetero_trace::TraceSpec;
+use serde::{Deserialize, Serialize};
 
 /// Shared knobs for the scenario sweeps.
 #[derive(Debug, Clone)]
@@ -440,7 +442,7 @@ impl ResilienceOptions {
 }
 
 /// One campaign configuration's expected outcome, averaged over the seeds.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Table3Cell {
     /// Mean campaign wall-clock (waits + backoff + all attempts), seconds.
     pub expected_seconds: f64,
@@ -572,6 +574,83 @@ pub fn table3(opts: &ResilienceOptions) -> Vec<Table3Row> {
             on_demand,
             spot,
         });
+    }
+    rows
+}
+
+/// The per-iteration phase times of one *what-if* cell: the application
+/// driven through the modeled engine on an uncapped uniform topology —
+/// enough nodes for the rank count even where the real platform tops out.
+/// The question such a cell answers is what the platform's *interconnect*
+/// would do, not whether its machine room has the nodes (capacity limits,
+/// queue waits, and billing are all skipped).
+pub fn uncapped_cell(
+    platform: &PlatformSpec,
+    app: &App,
+    ranks: usize,
+    opts: &ScenarioOptions,
+) -> hetero_fem::phase::PhaseTimes {
+    let topo = ClusterTopology::uniform(
+        ranks.div_ceil(platform.cores_per_node),
+        platform.cores_per_node,
+    );
+    let m = crate::modeled::run_modeled(
+        app,
+        ranks,
+        opts.per_rank_axis,
+        &topo,
+        &platform.network,
+        platform.compute,
+        opts.seed,
+    );
+    hetero_fem::phase::summarize(&m.iterations, opts.discard)
+        .expect("the modeled engine keeps at least one iteration past the discard")
+}
+
+/// One row of the solver-schedule comparison table (the "Communication
+/// overlap" extension): RD solve time per iteration for the blocking,
+/// overlapped, and pipelined schedules on one platform at one rank count.
+#[derive(Debug, Clone)]
+pub struct SolverVariantRow {
+    /// Platform key.
+    pub platform: String,
+    /// MPI ranks.
+    pub ranks: usize,
+    /// Solve seconds per iteration: `[blocking, overlapped, pipelined]`.
+    pub times: [f64; 3],
+}
+
+/// The solve-phase time of one solver-variant what-if cell (see
+/// [`uncapped_cell`]).
+pub fn solver_variant_cell(
+    platform: &PlatformSpec,
+    ranks: usize,
+    variant: SolverVariant,
+    opts: &ScenarioOptions,
+) -> f64 {
+    let app = App::paper_rd(opts.steps).with_solver_variant(variant);
+    uncapped_cell(platform, &app, ranks, opts).solve
+}
+
+/// The solver-schedule comparison behind EXPERIMENTS.md's "Communication
+/// overlap" table: every catalog platform crossed with `ranks_list` and the
+/// three solver schedules.
+pub fn solver_variants(ranks_list: &[usize], opts: &ScenarioOptions) -> Vec<SolverVariantRow> {
+    let variants = [
+        SolverVariant::Blocking,
+        SolverVariant::Overlapped,
+        SolverVariant::Pipelined,
+    ];
+    let mut rows = Vec::new();
+    for p in catalog::all_platforms() {
+        for &ranks in ranks_list {
+            let times = variants.map(|v| solver_variant_cell(&p, ranks, v, opts));
+            rows.push(SolverVariantRow {
+                platform: p.key.clone(),
+                ranks,
+                times,
+            });
+        }
     }
     rows
 }

@@ -1,0 +1,71 @@
+//! Lints campaign plans: parse + schema-extract (unknown keys denied) +
+//! resolve (references, cycles, sweep expansion) every file named on the
+//! command line, or every `*.toml` under `plans/` when none is named.
+//!
+//! ```text
+//! cargo run --release -p hetero-plan --example plan_lint
+//! cargo run --release -p hetero-plan --example plan_lint -- plans/fig4.toml
+//! ```
+//!
+//! Exits non-zero on the first invalid plan, printing
+//! `file: line L, column C: message`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut files: Vec<PathBuf> = std::env::args().skip(1).map(PathBuf::from).collect();
+    if files.is_empty() {
+        let dir = PathBuf::from("plans");
+        let entries = match std::fs::read_dir(&dir) {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("plan_lint: cannot read {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().and_then(|s| s.to_str()) == Some("toml") {
+                files.push(path);
+            }
+        }
+        files.sort();
+        if files.is_empty() {
+            eprintln!("plan_lint: no *.toml files under {}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let mut failed = false;
+    for file in &files {
+        let doc = match std::fs::read_to_string(file) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("{}: {e}", file.display());
+                failed = true;
+                continue;
+            }
+        };
+        match hetero_plan::load_str(&doc) {
+            Ok(rp) => {
+                let stages = rp.plan.stages.len();
+                println!(
+                    "{}: ok — plan `{}`, {stages} stages, {} instances",
+                    file.display(),
+                    rp.plan.name,
+                    rp.instances.len()
+                );
+            }
+            Err(e) => {
+                eprintln!("{}: {e}", file.display());
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,118 @@
+//! Executes a campaign plan and prints its rendered reports to stdout —
+//! the EXPERIMENTS.md tables regenerate from here.
+//!
+//! ```text
+//! cargo run --release -p hetero-plan --example plan_run -- plans/fig4.toml
+//! cargo run --release -p hetero-plan --example plan_run -- plans/table3_smoke.toml \
+//!     --cache-dir target/plan-cache --check-experiments EXPERIMENTS.md
+//! ```
+//!
+//! Stdout carries exactly the concatenated report texts (byte-identical to
+//! the legacy `core::scenarios` renderers, pinned by test); progress and
+//! cache statistics go to stderr. With `--check-experiments FILE`, every
+//! report must appear verbatim inside FILE or the run exits non-zero —
+//! the CI drift gate for checked-in plan output.
+
+use hetero_plan::exec::{execute_plan, ExecOptions};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut plan_file: Option<PathBuf> = None;
+    let mut opts = ExecOptions::default();
+    let mut check: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--cache-dir" => match args.next() {
+                Some(d) => opts.cache_dir = Some(PathBuf::from(d)),
+                None => return usage("--cache-dir needs a directory"),
+            },
+            "--workers" => match args.next().and_then(|w| w.parse().ok()) {
+                Some(w) => opts.workers = w,
+                None => return usage("--workers needs a number"),
+            },
+            "--check-experiments" => match args.next() {
+                Some(f) => check = Some(PathBuf::from(f)),
+                None => return usage("--check-experiments needs a file"),
+            },
+            _ if plan_file.is_none() => plan_file = Some(PathBuf::from(arg)),
+            other => return usage(&format!("unexpected argument `{other}`")),
+        }
+    }
+    let Some(plan_file) = plan_file else {
+        return usage("no plan file named");
+    };
+
+    let doc = match std::fs::read_to_string(&plan_file) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("plan_run: {}: {e}", plan_file.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let rp = match hetero_plan::load_str(&doc) {
+        Ok(rp) => rp,
+        Err(e) => {
+            eprintln!("plan_run: {}: {e}", plan_file.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "plan_run: `{}` — {} stages, {} instances",
+        rp.plan.name,
+        rp.plan.stages.len(),
+        rp.instances.len()
+    );
+
+    let out = match execute_plan(&rp, &opts) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("plan_run: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cached = out.results.iter().filter(|r| r.cached).count();
+    eprintln!(
+        "plan_run: {} instances executed, {cached} served from cache",
+        out.results.len()
+    );
+
+    for (_, text) in &out.reports {
+        print!("{text}");
+    }
+
+    if let Some(check) = check {
+        let experiments = match std::fs::read_to_string(&check) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("plan_run: {}: {e}", check.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        for (name, text) in &out.reports {
+            if !experiments.contains(text.as_str()) {
+                eprintln!(
+                    "plan_run: report `{name}` of plan `{}` drifted from {} — \
+                     regenerate the section with this command and commit it",
+                    rp.plan.name,
+                    check.display()
+                );
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "plan_run: report `{name}` matches {} byte-for-byte",
+                check.display()
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("plan_run: {msg}");
+    eprintln!(
+        "usage: plan_run <plan.toml> [--cache-dir DIR] [--workers N] [--check-experiments FILE]"
+    );
+    ExitCode::FAILURE
+}

@@ -1,0 +1,661 @@
+//! A span-tracking parser for the TOML subset campaign plans use.
+//!
+//! The build environment vendors no TOML crate, so the subset the plan
+//! schema needs is parsed here by hand: `[table]` and `[[array-of-table]]`
+//! headers (with dotted paths), `key = value` pairs with basic strings,
+//! integers, floats, booleans, and (possibly multi-line) arrays. Every key
+//! and value carries its source position, so schema errors can point at
+//! the offending line and column instead of describing the file in the
+//! abstract. Unsupported TOML (inline tables, dotted keys in assignments,
+//! literal strings) fails with an explicit message rather than a silent
+//! misparse.
+
+use std::fmt;
+
+/// A source position (1-based line and column).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Span {
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number.
+    pub col: usize,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, column {}", self.line, self.col)
+    }
+}
+
+/// A parse or schema error, located at a [`Span`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TomlError {
+    /// Where the problem is.
+    pub span: Span,
+    /// What the problem is.
+    pub msg: String,
+}
+
+impl fmt::Display for TomlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.span, self.msg)
+    }
+}
+
+impl std::error::Error for TomlError {}
+
+fn err<T>(span: Span, msg: impl Into<String>) -> Result<T, TomlError> {
+    Err(TomlError {
+        span,
+        msg: msg.into(),
+    })
+}
+
+/// A parsed TOML value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A basic string.
+    Str(String),
+    /// An integer.
+    Int(i64),
+    /// A float.
+    Float(f64),
+    /// A boolean.
+    Bool(bool),
+    /// An array of values.
+    Array(Vec<Spanned>),
+    /// A sub-table (from a `[header]`).
+    Table(Table),
+    /// An array of tables (from `[[header]]`s).
+    TableArray(Vec<Table>),
+}
+
+impl Value {
+    /// Human name of the value's type, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Str(_) => "string",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Bool(_) => "boolean",
+            Value::Array(_) => "array",
+            Value::Table(_) => "table",
+            Value::TableArray(_) => "array of tables",
+        }
+    }
+}
+
+/// A value together with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The value.
+    pub value: Value,
+    /// Where the value starts.
+    pub span: Span,
+}
+
+/// An ordered table: keys in file order, each with the span of its key.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Table {
+    /// `(key, key span, value)` in declaration order.
+    pub entries: Vec<(String, Span, Spanned)>,
+    /// Span of the table's header (or 1:1 for the root).
+    pub span: Span,
+}
+
+impl Table {
+    /// Looks a key up.
+    pub fn get(&self, key: &str) -> Option<&Spanned> {
+        self.entries
+            .iter()
+            .find(|(k, _, _)| k == key)
+            .map(|(_, _, v)| v)
+    }
+
+    /// Looks a key up together with the key's span.
+    pub fn get_with_span(&self, key: &str) -> Option<(Span, &Spanned)> {
+        self.entries
+            .iter()
+            .find(|(k, _, _)| k == key)
+            .map(|(_, s, v)| (*s, v))
+    }
+
+    fn insert(&mut self, key: String, key_span: Span, value: Spanned) -> Result<(), TomlError> {
+        if self.get(&key).is_some() {
+            return err(key_span, format!("duplicate key `{key}`"));
+        }
+        self.entries.push((key, key_span, value));
+        Ok(())
+    }
+}
+
+/// Parses a TOML document into its root [`Table`].
+pub fn parse(input: &str) -> Result<Table, TomlError> {
+    let mut p = Parser::new(input);
+    p.parse_document()?;
+    Ok(p.root)
+}
+
+struct Parser<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    col: usize,
+    root: Table,
+    /// Path of the table the current `key = value` lines attach to.
+    current: Vec<String>,
+    _input: std::marker::PhantomData<&'a str>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser {
+            chars: input.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            root: Table {
+                entries: Vec::new(),
+                span: Span { line: 1, col: 1 },
+            },
+            current: Vec::new(),
+            _input: std::marker::PhantomData,
+        }
+    }
+
+    fn span(&self) -> Span {
+        Span {
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    /// Skips spaces and tabs (not newlines).
+    fn skip_inline_ws(&mut self) {
+        while matches!(self.peek(), Some(' ') | Some('\t')) {
+            self.bump();
+        }
+    }
+
+    /// Skips whitespace, newlines, and comments.
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(' ') | Some('\t') | Some('\n') | Some('\r') => {
+                    self.bump();
+                }
+                Some('#') => {
+                    while !matches!(self.peek(), None | Some('\n')) {
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Requires end-of-line (allowing trailing whitespace and a comment).
+    fn expect_eol(&mut self) -> Result<(), TomlError> {
+        self.skip_inline_ws();
+        if self.peek() == Some('#') {
+            while !matches!(self.peek(), None | Some('\n')) {
+                self.bump();
+            }
+        }
+        match self.peek() {
+            None => Ok(()),
+            Some('\n') => {
+                self.bump();
+                Ok(())
+            }
+            Some('\r') => {
+                self.bump();
+                if self.peek() == Some('\n') {
+                    self.bump();
+                }
+                Ok(())
+            }
+            Some(c) => err(self.span(), format!("expected end of line, found `{c}`")),
+        }
+    }
+
+    fn parse_document(&mut self) -> Result<(), TomlError> {
+        loop {
+            self.skip_trivia();
+            match self.peek() {
+                None => return Ok(()),
+                Some('[') => self.parse_header()?,
+                Some(_) => self.parse_key_value()?,
+            }
+        }
+    }
+
+    fn parse_key(&mut self) -> Result<(String, Span), TomlError> {
+        let span = self.span();
+        match self.peek() {
+            Some('"') => {
+                let s = self.parse_basic_string()?;
+                Ok((s, span))
+            }
+            Some(c) if c.is_ascii_alphanumeric() || c == '_' || c == '-' => {
+                let mut s = String::new();
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' || c == '-' {
+                        s.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                Ok((s, span))
+            }
+            Some(c) => err(span, format!("expected a key, found `{c}`")),
+            None => err(span, "expected a key, found end of file"),
+        }
+    }
+
+    fn parse_header(&mut self) -> Result<(), TomlError> {
+        let header_span = self.span();
+        self.bump(); // '['
+        let is_array = self.peek() == Some('[');
+        if is_array {
+            self.bump();
+        }
+        let mut path = Vec::new();
+        loop {
+            self.skip_inline_ws();
+            let (key, _) = self.parse_key()?;
+            path.push(key);
+            self.skip_inline_ws();
+            match self.peek() {
+                Some('.') => {
+                    self.bump();
+                }
+                Some(']') => {
+                    self.bump();
+                    break;
+                }
+                Some(c) => {
+                    return err(self.span(), format!("expected `.` or `]`, found `{c}`"));
+                }
+                None => return err(self.span(), "unterminated table header"),
+            }
+        }
+        if is_array {
+            match self.peek() {
+                Some(']') => {
+                    self.bump();
+                }
+                _ => {
+                    return err(
+                        self.span(),
+                        "expected `]]` to close the array-of-tables header",
+                    )
+                }
+            }
+        }
+        self.expect_eol()?;
+        // Materialize the path: intermediate segments descend into the last
+        // element of an array of tables.
+        self.open_table(&path, is_array, header_span)?;
+        self.current = path;
+        Ok(())
+    }
+
+    fn open_table(&mut self, path: &[String], is_array: bool, span: Span) -> Result<(), TomlError> {
+        let mut table = &mut self.root;
+        for (i, seg) in path.iter().enumerate() {
+            let last = i + 1 == path.len();
+            let exists = table.get(seg).is_some();
+            if !exists {
+                let fresh = if last && is_array {
+                    Value::TableArray(vec![Table {
+                        entries: Vec::new(),
+                        span,
+                    }])
+                } else {
+                    Value::Table(Table {
+                        entries: Vec::new(),
+                        span,
+                    })
+                };
+                table.insert(seg.clone(), span, Spanned { value: fresh, span })?;
+                // Descend into what was just created.
+            } else if last {
+                // Re-opening an existing entry.
+                let entry = table
+                    .entries
+                    .iter_mut()
+                    .find(|(k, _, _)| k == seg)
+                    .expect("checked above");
+                match &mut entry.2.value {
+                    Value::TableArray(ts) if is_array => {
+                        ts.push(Table {
+                            entries: Vec::new(),
+                            span,
+                        });
+                    }
+                    Value::TableArray(_) => {
+                        return err(
+                            span,
+                            format!("`{seg}` is an array of tables; use `[[{seg}]]`"),
+                        );
+                    }
+                    Value::Table(_) => {
+                        return err(span, format!("table `{seg}` defined twice"));
+                    }
+                    other => {
+                        return err(span, format!("`{seg}` is already a {}", other.type_name()));
+                    }
+                }
+            }
+            let entry = table
+                .entries
+                .iter_mut()
+                .find(|(k, _, _)| k == seg)
+                .expect("inserted or found above");
+            table = match &mut entry.2.value {
+                Value::Table(t) => t,
+                Value::TableArray(ts) => ts.last_mut().expect("table arrays are never empty"),
+                other => {
+                    return err(
+                        span,
+                        format!("`{seg}` is a {}, not a table", other.type_name()),
+                    );
+                }
+            };
+        }
+        Ok(())
+    }
+
+    fn parse_key_value(&mut self) -> Result<(), TomlError> {
+        let (key, key_span) = self.parse_key()?;
+        self.skip_inline_ws();
+        if self.peek() == Some('.') {
+            return err(
+                self.span(),
+                format!("dotted keys are not supported; use a `[{key}.…]` table header"),
+            );
+        }
+        match self.peek() {
+            Some('=') => {
+                self.bump();
+            }
+            _ => return err(self.span(), format!("expected `=` after key `{key}`")),
+        }
+        self.skip_inline_ws();
+        let value = self.parse_value()?;
+        self.expect_eol()?;
+        let path = self.current.clone();
+        let table = self.current_table_mut(&path, key_span)?;
+        table.insert(key, key_span, value)
+    }
+
+    fn current_table_mut(&mut self, path: &[String], span: Span) -> Result<&mut Table, TomlError> {
+        let mut table = &mut self.root;
+        for seg in path {
+            let entry = table
+                .entries
+                .iter_mut()
+                .find(|(k, _, _)| k == seg)
+                .expect("the header materialized this path");
+            table = match &mut entry.2.value {
+                Value::Table(t) => t,
+                Value::TableArray(ts) => ts.last_mut().expect("table arrays are never empty"),
+                other => {
+                    return err(
+                        span,
+                        format!("`{seg}` is a {}, not a table", other.type_name()),
+                    );
+                }
+            };
+        }
+        Ok(table)
+    }
+
+    fn parse_value(&mut self) -> Result<Spanned, TomlError> {
+        let span = self.span();
+        match self.peek() {
+            Some('"') => {
+                let s = self.parse_basic_string()?;
+                Ok(Spanned {
+                    value: Value::Str(s),
+                    span,
+                })
+            }
+            Some('\'') => err(span, "literal strings are not supported; use \"…\""),
+            Some('[') => {
+                self.bump();
+                let mut items = Vec::new();
+                loop {
+                    self.skip_trivia();
+                    match self.peek() {
+                        Some(']') => {
+                            self.bump();
+                            break;
+                        }
+                        None => return err(self.span(), "unterminated array"),
+                        _ => {}
+                    }
+                    items.push(self.parse_value()?);
+                    self.skip_trivia();
+                    match self.peek() {
+                        Some(',') => {
+                            self.bump();
+                        }
+                        Some(']') => {
+                            self.bump();
+                            break;
+                        }
+                        Some(c) => {
+                            return err(
+                                self.span(),
+                                format!("expected `,` or `]` in array, found `{c}`"),
+                            );
+                        }
+                        None => return err(self.span(), "unterminated array"),
+                    }
+                }
+                Ok(Spanned {
+                    value: Value::Array(items),
+                    span,
+                })
+            }
+            Some('{') => err(span, "inline tables are not supported; use a table header"),
+            Some('t') | Some('f') => {
+                let word = self.parse_bare_word();
+                match word.as_str() {
+                    "true" => Ok(Spanned {
+                        value: Value::Bool(true),
+                        span,
+                    }),
+                    "false" => Ok(Spanned {
+                        value: Value::Bool(false),
+                        span,
+                    }),
+                    other => err(span, format!("expected a value, found `{other}`")),
+                }
+            }
+            Some(c) if c.is_ascii_digit() || c == '-' || c == '+' => self.parse_number(span),
+            Some(c) => err(span, format!("expected a value, found `{c}`")),
+            None => err(span, "expected a value, found end of file"),
+        }
+    }
+
+    fn parse_bare_word(&mut self) -> String {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        s
+    }
+
+    fn parse_number(&mut self, span: Span) -> Result<Spanned, TomlError> {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E' | '_') {
+                if c != '_' {
+                    s.push(c);
+                }
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let is_float = s.contains('.') || s.contains('e') || s.contains('E');
+        if is_float {
+            match s.parse::<f64>() {
+                Ok(v) => Ok(Spanned {
+                    value: Value::Float(v),
+                    span,
+                }),
+                Err(_) => err(span, format!("invalid float `{s}`")),
+            }
+        } else {
+            match s.parse::<i64>() {
+                Ok(v) => Ok(Spanned {
+                    value: Value::Int(v),
+                    span,
+                }),
+                Err(_) => err(span, format!("invalid integer `{s}`")),
+            }
+        }
+    }
+
+    fn parse_basic_string(&mut self) -> Result<String, TomlError> {
+        let open = self.span();
+        self.bump(); // '"'
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None | Some('\n') => return err(open, "unterminated string"),
+                Some('"') => return Ok(s),
+                Some('\\') => match self.bump() {
+                    Some('"') => s.push('"'),
+                    Some('\\') => s.push('\\'),
+                    Some('n') => s.push('\n'),
+                    Some('t') => s.push('\t'),
+                    Some('r') => s.push('\r'),
+                    Some(c) => return err(self.span(), format!("unsupported escape `\\{c}`")),
+                    None => return err(open, "unterminated string"),
+                },
+                Some(c) => s.push(c),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_tables_arrays_and_scalars() {
+        let doc = r#"
+# a comment
+[plan]
+name = "fig4"
+steps = 8
+bid = 1.5
+smoke = false
+ranks = [1, 8, 27]
+
+[[stage]]
+name = "run"
+
+[stage.sweep]
+platform = ["ec2", "puma"]
+
+[[stage]]
+name = "report"
+"#;
+        let t = parse(doc).expect("parses");
+        let plan = match &t.get("plan").unwrap().value {
+            Value::Table(t) => t,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(plan.get("name").unwrap().value, Value::Str("fig4".into()));
+        assert_eq!(plan.get("steps").unwrap().value, Value::Int(8));
+        assert_eq!(plan.get("bid").unwrap().value, Value::Float(1.5));
+        assert_eq!(plan.get("smoke").unwrap().value, Value::Bool(false));
+        let stages = match &t.get("stage").unwrap().value {
+            Value::TableArray(ts) => ts,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(stages.len(), 2);
+        let sweep = match &stages[0].get("sweep").unwrap().value {
+            Value::Table(t) => t,
+            other => panic!("{other:?}"),
+        };
+        assert!(matches!(
+            sweep.get("platform").unwrap().value,
+            Value::Array(_)
+        ));
+        assert!(stages[1].get("sweep").is_none());
+    }
+
+    #[test]
+    fn errors_carry_line_and_column() {
+        let e = parse("[plan]\nname <- \"x\"\n").unwrap_err();
+        assert_eq!(e.span.line, 2);
+        assert_eq!(e.span.col, 6);
+        assert!(e.msg.contains("expected `=` after key `name`"), "{e}");
+    }
+
+    #[test]
+    fn duplicate_keys_are_rejected() {
+        let e = parse("a = 1\na = 2\n").unwrap_err();
+        assert_eq!(e.span.line, 2);
+        assert!(e.msg.contains("duplicate key `a`"), "{e}");
+    }
+
+    #[test]
+    fn unsupported_toml_fails_loudly() {
+        assert!(parse("x = { a = 1 }\n")
+            .unwrap_err()
+            .msg
+            .contains("inline tables"));
+        assert!(parse("x = 'literal'\n")
+            .unwrap_err()
+            .msg
+            .contains("literal strings"));
+        assert!(parse("a.b = 1\n").unwrap_err().msg.contains("dotted keys"));
+    }
+
+    #[test]
+    fn multiline_arrays_parse() {
+        let doc = "xs = [\n  1,\n  2, # comment\n  3,\n]\n";
+        let t = parse(doc).unwrap();
+        match &t.get("xs").unwrap().value {
+            Value::Array(items) => assert_eq!(items.len(), 3),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn reopening_a_table_is_an_error() {
+        let e = parse("[a]\nx = 1\n[a]\ny = 2\n").unwrap_err();
+        assert!(e.msg.contains("table `a` defined twice"), "{e}");
+    }
+}

@@ -1,0 +1,71 @@
+//! Byte-identity pins: the checked-in campaign plans must regenerate the
+//! exact report text the legacy `core::scenarios` entry points produce.
+//! These are the tests the CI `plans` lane leans on — if a plan, the
+//! resolver, or the executor drifts from the hand-rolled experiment
+//! drivers, the diff shows up here first.
+
+use hetero_hpc::report::{render_solver_variants, render_table3, render_weak_scaling};
+use hetero_hpc::scenarios::{fig4, solver_variants, table3, ResilienceOptions, ScenarioOptions};
+use hetero_plan::exec::{execute_plan, ExecOptions, PlanOutcome};
+use hetero_plan::load_str;
+
+fn run_repo_plan(file: &str) -> PlanOutcome {
+    let path = format!("{}/../../plans/{file}", env!("CARGO_MANIFEST_DIR"));
+    let doc = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    let rp = load_str(&doc).unwrap_or_else(|e| panic!("{file}: line {}: {}", e.span.line, e.msg));
+    execute_plan(&rp, &ExecOptions::default()).unwrap_or_else(|e| panic!("{file}: {e:?}"))
+}
+
+fn report_text(outcome: &PlanOutcome, stage: &str) -> String {
+    outcome
+        .reports
+        .iter()
+        .find(|(name, _)| name == stage)
+        .unwrap_or_else(|| panic!("no report from stage `{stage}`"))
+        .1
+        .clone()
+}
+
+#[test]
+fn fig4_smoke_plan_matches_legacy_scenario_bytes() {
+    let outcome = run_repo_plan("fig4_smoke.toml");
+    let expected = render_weak_scaling(&fig4(&ScenarioOptions::smoke()));
+    assert_eq!(report_text(&outcome, "figure"), expected);
+}
+
+#[test]
+fn table3_smoke_plan_matches_legacy_scenario_bytes() {
+    let outcome = run_repo_plan("table3_smoke.toml");
+    let expected = render_table3(&table3(&ResilienceOptions::smoke()));
+    assert_eq!(report_text(&outcome, "table"), expected);
+}
+
+#[test]
+fn solver_variants_plan_matches_legacy_example_bytes() {
+    let outcome = run_repo_plan("solver_variants.toml");
+    let opts = ScenarioOptions {
+        steps: 4,
+        discard: 1,
+        ..ScenarioOptions::paper()
+    };
+    let expected = render_solver_variants(&solver_variants(&[27, 216, 1000], &opts));
+    assert_eq!(report_text(&outcome, "table"), expected);
+}
+
+#[test]
+fn fig4_paper_plan_matches_legacy_scenario_bytes() {
+    let outcome = run_repo_plan("fig4.toml");
+    let expected = render_weak_scaling(&fig4(&ScenarioOptions::paper()));
+    assert_eq!(report_text(&outcome, "figure"), expected);
+}
+
+/// The full paper-sized Table III (600-step campaigns, five cadences, eight
+/// seeds per cell) — heavy, so the CI plans lane runs it explicitly with
+/// `--ignored` in release.
+#[test]
+#[ignore = "paper-sized resilience campaign; run in release via the CI plans lane"]
+fn table3_paper_plan_matches_legacy_scenario_bytes() {
+    let outcome = run_repo_plan("table3.toml");
+    let expected = render_table3(&table3(&ResilienceOptions::paper()));
+    assert_eq!(report_text(&outcome, "table"), expected);
+}

@@ -1,0 +1,71 @@
+//! Every checked-in plan under `plans/` must lint clean and resolve to the
+//! shape the experiment sections advertise. This is the same pass the CI
+//! `plans` lane runs through the `plan_lint` example.
+
+use hetero_plan::load_str;
+use hetero_plan::resolver::ResolvedPlan;
+use std::collections::BTreeMap;
+
+fn load_all() -> BTreeMap<String, ResolvedPlan> {
+    let dir = format!("{}/../../plans", env!("CARGO_MANIFEST_DIR"));
+    let mut plans = BTreeMap::new();
+    for entry in std::fs::read_dir(&dir).expect("plans/ exists") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("toml") {
+            continue;
+        }
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .expect("utf-8 file name")
+            .to_string();
+        let doc = std::fs::read_to_string(&path).expect("readable plan");
+        let rp = load_str(&doc).unwrap_or_else(|e| {
+            panic!(
+                "{name}: line {}, column {}: {}",
+                e.span.line, e.span.col, e.msg
+            )
+        });
+        plans.insert(name, rp);
+    }
+    plans
+}
+
+#[test]
+fn all_checked_in_plans_resolve() {
+    let plans = load_all();
+    assert!(
+        plans.len() >= 5,
+        "expected the five checked-in plans, found {}",
+        plans.len()
+    );
+    // Plan names are unique across the directory (cache keys fold the
+    // request, not the plan name, but reports cite them).
+    let mut names: Vec<&str> = plans.values().map(|rp| rp.plan.name.as_str()).collect();
+    names.sort_unstable();
+    let before = names.len();
+    names.dedup();
+    assert_eq!(before, names.len(), "duplicate plan names");
+}
+
+#[test]
+fn checked_in_plans_have_the_advertised_shape() {
+    let plans = load_all();
+    let count = |file: &str| {
+        plans
+            .get(file)
+            .unwrap_or_else(|| panic!("missing {file}"))
+            .instances
+            .len()
+    };
+    // partition(10) + 4 platforms x 10 rungs + compare + report
+    assert_eq!(count("fig4.toml"), 52);
+    // partition(2) + 4 platforms x 2 rungs + compare + report
+    assert_eq!(count("fig4_smoke.toml"), 12);
+    // partition(10) + on-demand(10) + spot(10 x 5 cadences) + compare + report
+    assert_eq!(count("table3.toml"), 72);
+    // partition(2) + on-demand(2) + spot(2 x 3 cadences) + compare + report
+    assert_eq!(count("table3_smoke.toml"), 12);
+    // 4 platforms x 3 rank counts x 3 variants + report
+    assert_eq!(count("solver_variants.toml"), 37);
+}

@@ -1,0 +1,143 @@
+//! Property-based tests of the resolver's contracts: sweep expansion
+//! count identities, deterministic topological order, and cycle /
+//! self-dependency detection with exact error text.
+
+use hetero_plan::load_str;
+use proptest::prelude::*;
+
+/// Builds a two-stage plan (run + report) whose run stage sweeps the axis
+/// subsets selected by the bit masks.
+fn doc_with_axes(rank_mask: u16, platform_mask: u8, variant_mask: u8) -> (String, usize) {
+    let ranks: Vec<u64> = (1..=10u64)
+        .filter(|k| rank_mask & (1 << (k - 1)) != 0)
+        .map(|k| k * k * k)
+        .collect();
+    let platforms: Vec<&str> = ["puma", "ellipse", "lagrange", "ec2"]
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| platform_mask & (1 << i) != 0)
+        .map(|(_, p)| p)
+        .collect();
+    let variants: Vec<&str> = ["blocking", "overlapped", "pipelined"]
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| variant_mask & (1 << i) != 0)
+        .map(|(_, v)| v)
+        .collect();
+    let product = ranks.len() * platforms.len() * variants.len();
+    let quote = |xs: &[&str]| {
+        xs.iter()
+            .map(|x| format!("\"{x}\""))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let doc = format!(
+        r#"
+[plan]
+name = "prop"
+description = "sweep expansion property"
+
+[[stage]]
+name = "sweep"
+kind = "run"
+app = "rd"
+
+[stage.sweep]
+ranks = [{}]
+platform = [{}]
+variant = [{}]
+
+[[stage]]
+name = "report"
+kind = "report"
+template = "weak-scaling"
+needs = ["sweep"]
+"#,
+        ranks
+            .iter()
+            .map(|r| r.to_string())
+            .collect::<Vec<_>>()
+            .join(", "),
+        quote(&platforms),
+        quote(&variants),
+    );
+    (doc, product)
+}
+
+/// A linear chain of `n` partition stages, each needing the next, with the
+/// last one closed back onto the first.
+fn cycle_doc(n: usize) -> String {
+    let mut doc = String::from("[plan]\nname = \"cyc\"\ndescription = \"cycle\"\n");
+    for i in 0..n {
+        let needs = if i + 1 < n {
+            format!("needs = [\"s{}\"]\n", i + 1)
+        } else {
+            "needs = [\"s0\"]\n".to_string()
+        };
+        doc.push_str(&format!(
+            "\n[[stage]]\nname = \"s{i}\"\nkind = \"partition\"\n{needs}\n[stage.sweep]\nranks = [1]\n"
+        ));
+    }
+    doc
+}
+
+proptest! {
+    #[test]
+    fn sweep_expansion_count_is_the_axis_product(
+        rank_mask in 1u16..1024,
+        platform_mask in 1u8..16,
+        variant_mask in 1u8..8,
+    ) {
+        let (doc, product) = doc_with_axes(rank_mask, platform_mask, variant_mask);
+        let rp = load_str(&doc).expect("valid plan");
+        // |axes product| == resolved run-stage count; +1 for the report.
+        prop_assert_eq!(rp.instances.len(), product + 1);
+        prop_assert_eq!(rp.topo.len(), rp.instances.len());
+    }
+
+    #[test]
+    fn topological_order_is_deterministic_and_valid(
+        rank_mask in 1u16..1024,
+        platform_mask in 1u8..16,
+    ) {
+        let (doc, _) = doc_with_axes(rank_mask, platform_mask, 1);
+        let a = load_str(&doc).expect("valid plan");
+        let b = load_str(&doc).expect("valid plan");
+        // Resolution is a pure function of the document.
+        prop_assert_eq!(&a.topo, &b.topo);
+        // The order is a valid linearization of the instance DAG.
+        let mut seen = vec![false; a.instances.len()];
+        for &i in &a.topo {
+            for &d in &a.instances[i].deps {
+                prop_assert!(seen[d], "dep {d} scheduled after {i}");
+            }
+            seen[i] = true;
+        }
+    }
+
+    #[test]
+    fn dependency_cycles_report_exact_rank_ordered_text(n in 2usize..6) {
+        let e = load_str(&cycle_doc(n)).expect_err("cycle must be rejected");
+        let mut names: Vec<String> = (0..n).map(|i| format!("s{i}")).collect();
+        names.push("s0".to_string());
+        prop_assert_eq!(e.msg, format!("dependency cycle: {}", names.join(" -> ")));
+    }
+
+    #[test]
+    fn self_dependencies_report_exact_text(i in 0usize..4) {
+        // Four independent stages; stage i also needs itself.
+        let mut doc = String::from("[plan]\nname = \"selfdep\"\ndescription = \"self\"\n");
+        for j in 0..4 {
+            let needs = if j == i {
+                format!("needs = [\"s{j}\"]\n")
+            } else {
+                String::new()
+            };
+            doc.push_str(&format!(
+                "\n[[stage]]\nname = \"s{j}\"\nkind = \"partition\"\n{needs}\n[stage.sweep]\nranks = [1]\n"
+            ));
+        }
+        let e = load_str(&doc).expect_err("self-dependency must be rejected");
+        prop_assert_eq!(e.msg, format!("stage `s{i}` depends on itself"));
+    }
+}

@@ -9,57 +9,25 @@
 //! question is what the *interconnect* would do to each schedule, not
 //! whether the machine room has the nodes.
 //!
+//! The same table regenerates declaratively from `plans/solver_variants.toml`
+//! (`cargo run --release -p hetero-plan --example plan_run -- plans/solver_variants.toml`);
+//! a pinning test keeps the two paths byte-identical.
+//!
 //! ```text
 //! cargo run --release -p hetero-hpc --example solver_variants
 //! ```
 
-use hetero_fem::phase::summarize;
-use hetero_hpc::modeled::run_modeled;
-use hetero_hpc::App;
-use hetero_linalg::SolverVariant;
-use hetero_platform::catalog;
-use hetero_simmpi::ClusterTopology;
+use hetero_hpc::report::render_solver_variants;
+use hetero_hpc::scenarios::{solver_variants, ScenarioOptions};
 
 fn main() {
-    let platforms = [
-        catalog::puma(),
-        catalog::ellipse(),
-        catalog::lagrange(),
-        catalog::ec2(),
-    ];
-    let variants = [
-        SolverVariant::Blocking,
-        SolverVariant::Overlapped,
-        SolverVariant::Pipelined,
-    ];
-    println!("RD solve phase, s/iteration (paper sizing: 20^3 elements/rank, seed 2012)");
-    println!();
-    println!("| platform | ranks | blocking | overlapped | pipelined | best saving |");
-    println!("|----------|------:|---------:|-----------:|----------:|------------:|");
-    for p in &platforms {
-        for ranks in [27usize, 216, 1000] {
-            let solve = |variant: SolverVariant| -> f64 {
-                let app = App::paper_rd(4).with_solver_variant(variant);
-                // Enough uniform nodes for the rank count, even where the
-                // real platform tops out.
-                let topo =
-                    ClusterTopology::uniform(ranks.div_ceil(p.cores_per_node), p.cores_per_node);
-                let m = run_modeled(&app, ranks, 20, &topo, &p.network, p.compute, 2012);
-                summarize(&m.iterations, 1)
-                    .expect("4 steps, 1 discarded")
-                    .solve
-            };
-            let times: Vec<f64> = variants.iter().map(|&v| solve(v)).collect();
-            let best = times[1].min(times[2]);
-            println!(
-                "| {} | {} | {:.3} | {:.3} | {:.3} | {:.1}% |",
-                p.key,
-                ranks,
-                times[0],
-                times[1],
-                times[2],
-                (1.0 - best / times[0]) * 100.0
-            );
-        }
-    }
+    let opts = ScenarioOptions {
+        steps: 4,
+        discard: 1,
+        ..ScenarioOptions::paper()
+    };
+    print!(
+        "{}",
+        render_solver_variants(&solver_variants(&[27, 216, 1000], &opts))
+    );
 }
