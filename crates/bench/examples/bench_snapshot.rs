@@ -333,6 +333,77 @@ fn time_trace_overhead(samples: usize) -> (f64, f64) {
     (untraced, traced)
 }
 
+struct PrepTimes {
+    fresh_ns: f64,
+    hit_ns: f64,
+    sweep_off_ns: f64,
+    sweep_on_ns: f64,
+}
+
+/// Times the prepared-scenario cache (DESIGN.md §13) two ways. First the
+/// single-run setup-reuse latency: the same numerical request with the
+/// process-wide scenario cache bypassed vs warm — the delta is the mesh /
+/// DofMap / symbolic-assembly setup the cache shares. Then the plans-lane
+/// shape: a checkpoint-cadence sweep of modeled resilient runs, sharing
+/// off vs on — with sharing on, all cadences of a `(platform, seed,
+/// strategy)` cell reuse one memoized failure-free profile. Reports are
+/// byte-identical either way (pinned by `tests/prep_sharing.rs`); only
+/// wall-clock moves.
+fn time_prep(ranks: usize, steps: usize, samples: usize) -> PrepTimes {
+    use hetero_hpc::recovery::execute_resilient;
+    use hetero_hpc::{execute, prep, App, Fidelity, ResilienceSpec, RunRequest};
+    use hetero_platform::catalog;
+
+    let numreq = RunRequest {
+        fidelity: Fidelity::Numerical,
+        ..RunRequest::new(catalog::puma(), App::paper_rd(2), 8, 3)
+    };
+    let fresh_ns = median_ns(samples, 1, || {
+        let _off = prep::disable_sharing_scoped();
+        black_box(execute(&numreq).expect("8 ranks fit on puma"));
+    });
+    prep::clear_cache();
+    // `median_ns` warms once untimed, so every timed call resolves a fully
+    // populated scenario (geometry, rank preps) from the cache.
+    let hit_ns = median_ns(samples, 1, || {
+        black_box(execute(&numreq).expect("8 ranks fit on puma"));
+    });
+
+    let sweep = |share: bool| {
+        let base = RunRequest {
+            fidelity: Fidelity::Modeled,
+            ..RunRequest::new(catalog::ec2(), App::paper_rd(steps), ranks, 20)
+        };
+        median_ns(samples, 1, move || {
+            let _off = (!share).then(prep::disable_sharing_scoped);
+            prep::clear_cache();
+            for cadence in [1usize, 4, 16] {
+                for s in 0..2u64 {
+                    let req = RunRequest {
+                        seed: base.seed.wrapping_add(s * 7919),
+                        resilience: Some(ResilienceSpec::spot_with_restart(
+                            &base.platform,
+                            1.0,
+                            cadence,
+                            60,
+                        )),
+                        ..base.clone()
+                    };
+                    black_box(execute_resilient(&req).expect("modeled campaign is feasible"));
+                }
+            }
+        })
+    };
+    let sweep_off_ns = sweep(false);
+    let sweep_on_ns = sweep(true);
+    PrepTimes {
+        fresh_ns,
+        hit_ns,
+        sweep_off_ns,
+        sweep_on_ns,
+    }
+}
+
 /// Times the overlapped SpMV against the blocking one across a 2-rank
 /// halo, the fused two-scalar reduction against two scalar ones, and a
 /// fixed-iteration classic vs. pipelined CG solve — the host cost of the
@@ -596,12 +667,16 @@ struct Profile {
     pingpong_msgs: usize,
     /// Unique-key jobs per round for the serve queue-throughput timing.
     serve_jobs: usize,
+    /// Rank count for the prepared-scenario cadence-sweep timing.
+    prep_ranks: usize,
+    /// Steps per modeled run in the prepared-scenario sweep.
+    prep_steps: usize,
     /// Timing samples per kernel (the median is reported).
     samples: usize,
 }
 
 const FULL: Profile = Profile {
-    schema: "hetero-hpc/bench-kernels/v5",
+    schema: "hetero-hpc/bench-kernels/v6",
     out: "BENCH_kernels.json",
     assembly_n: 6,
     rebuild_n: 20,
@@ -613,6 +688,8 @@ const FULL: Profile = Profile {
     spawn_ranks: 256,
     pingpong_msgs: 4096,
     serve_jobs: 32,
+    prep_ranks: 512,
+    prep_steps: 150,
     samples: 9,
 };
 
@@ -620,7 +697,7 @@ const FULL: Profile = Profile {
 /// seconds, and the committed smoke baseline is compared against smoke
 /// remeasurements only.
 const SMOKE: Profile = Profile {
-    schema: "hetero-hpc/bench-kernels-smoke/v5",
+    schema: "hetero-hpc/bench-kernels-smoke/v6",
     out: "BENCH_kernels_smoke.json",
     assembly_n: 4,
     rebuild_n: 12,
@@ -632,6 +709,8 @@ const SMOKE: Profile = Profile {
     spawn_ranks: 64,
     pingpong_msgs: 512,
     serve_jobs: 8,
+    prep_ranks: 64,
+    prep_steps: 40,
     samples: 5,
 };
 
@@ -713,6 +792,10 @@ fn main() {
     // Serving layer: cache-hit latency and queue throughput.
     let srv = time_serve(p.serve_jobs, p.samples);
 
+    // Prepared-scenario cache: single-run setup reuse and the cadence-sweep
+    // wall clock with sharing off vs on.
+    let prep_t = time_prep(p.prep_ranks, p.prep_steps, p.samples);
+
     // Campaign-plan front end: parse + sweep expansion + DAG resolution of
     // the largest checked-in plan (Table III: 72 instances across four
     // stages). This is the fixed cost `plan_run` pays before any stage
@@ -753,9 +836,11 @@ fn main() {
         "spmv_sell": serde_json::json!({
             "rows": p.spmv_n * p.spmv_n * p.spmv_n,
             "simd": cfg!(feature = "simd"),
-            "note": "SpMV is memory/gather-bound: on the SSE2 baseline (2 lanes, \
-                     scalar column gathers) the layout win is well below the 2x \
-                     lane count; wider ISAs and denser rows move the ratio up",
+            "note": "SpMV is memory/gather-bound, so the layout win stays well \
+                     below the lane count on the SSE2 baseline (2 lanes, scalar \
+                     column gathers); the scalar fallback keeps its lane \
+                     accumulators in a stack array so both builds beat serial \
+                     CSR, and wider ISAs and denser rows move the ratio up",
             "chunk_height": sell.chunk_height(),
             "padding_ratio": sell.padding_ratio(a.local().nnz()),
             "sell_c8_ns": sell_ns,
@@ -845,6 +930,28 @@ fn main() {
             "plan": "plans/table3.toml",
             "instances": plan_instances,
             "parse_resolve_ns": plan_resolve_ns,
+        }),
+        "prep_cache_hit": serde_json::json!({
+            "ranks": 8,
+            "note": "numerical RD on puma, same request twice: scenario cache \
+                     bypassed vs warm — the delta is the shared mesh/DofMap/\
+                     symbolic-assembly setup; outputs are byte-identical",
+            "fresh_setup_ns": prep_t.fresh_ns,
+            "shared_setup_ns": prep_t.hit_ns,
+            // Derived from the two _ns leaves; not independently gated.
+            "setup_reuse_speedup": prep_t.fresh_ns / prep_t.hit_ns,
+        }),
+        "sweep_setup_share": serde_json::json!({
+            "ranks": p.prep_ranks,
+            "steps": p.prep_steps,
+            "sweep_runs": 6,
+            "note": "modeled resilient RD on EC2, 3 cadences x 2 seeds: with \
+                     sharing on, every cadence of a (platform, seed, strategy) \
+                     cell reuses one memoized failure-free profile",
+            "share_off_ns": prep_t.sweep_off_ns,
+            "share_on_ns": prep_t.sweep_on_ns,
+            // Derived from the two _ns leaves; not independently gated.
+            "sweep_speedup": prep_t.sweep_off_ns / prep_t.sweep_on_ns,
         }),
     });
     let text = serde_json::to_string_pretty(&report).expect("the report is a finite JSON tree");

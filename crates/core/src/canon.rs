@@ -100,6 +100,66 @@ pub fn canonical_request(req: &RunRequest) -> String {
     c.finish()
 }
 
+/// Version tag of the prepared-scenario sub-key schema (see
+/// `crate::prep`). Like [`KEY_SCHEMA`], it prefixes every key it produces.
+pub const PREP_KEY_SCHEMA: &str = "hetero-prep/key/v1";
+
+/// The content-addressed key of a request's platform-independent setup:
+/// the schema tag followed by the SHA-256 of [`prep_canonical`]'s bytes.
+pub fn prep_key(req: &RunRequest) -> String {
+    format!(
+        "{PREP_KEY_SCHEMA}/{}",
+        sha256_hex(prep_canonical(req).as_bytes())
+    )
+}
+
+/// The canonical text of a request's *setup inputs* under
+/// [`PREP_KEY_SCHEMA`] — the exact bytes [`prep_key`] hashes.
+///
+/// The prepared artifacts (mesh, partition, ghost plans, DoF maps,
+/// symbolic assembly structures, modeled space views) are pure functions
+/// of the mesh spec, the discretization's element orders, the rank count,
+/// and the block-partition factors — nothing else. The encoding therefore
+/// *deliberately excludes* the platform, the seed, the solver variant and
+/// kernel backend, the checkpoint cadence and every other resilience
+/// knob, the time-stepping parameters, and all host-only knobs
+/// (`threads_per_rank`, `engine`, `sched_workers`, `trace`): instances
+/// that differ only in those share one preparation. The golden fixtures
+/// in `tests/prep_keys.rs` pin both the bytes and the exclusions.
+pub fn prep_canonical(req: &RunRequest) -> String {
+    let f = hetero_partition::block::near_cubic_factors(req.ranks);
+    let mut c = Canon::new();
+    c.s("schema", PREP_KEY_SCHEMA);
+    c.group("mesh", |c| {
+        // The generator: a unit cube of uniform hex cells, weak-scaled as
+        // `near_cubic_factors(ranks) * per_rank_axis` per axis.
+        c.lit("generator", "unit-cube-hex");
+        c.u("cells_x", (f.0 * req.per_rank_axis) as u64);
+        c.u("cells_y", (f.1 * req.per_rank_axis) as u64);
+        c.u("cells_z", (f.2 * req.per_rank_axis) as u64);
+    });
+    c.group("discretization", |c| match &req.app {
+        App::Rd(cfg) => {
+            c.lit("app", "rd");
+            c.lit("order", element_order_name(cfg.order));
+        }
+        App::Ns(cfg) => {
+            c.lit("app", "ns");
+            c.lit("vel_order", element_order_name(cfg.vel_order));
+            c.lit("p_order", element_order_name(cfg.p_order));
+        }
+    });
+    c.u("ranks", req.ranks as u64);
+    c.u("per_rank_axis", req.per_rank_axis as u64);
+    c.group("partition", |c| {
+        c.lit("partitioner", "block");
+        c.u("parts_x", f.0 as u64);
+        c.u("parts_y", f.1 as u64);
+        c.u("parts_z", f.2 as u64);
+    });
+    c.finish()
+}
+
 /// Lowercase-hex SHA-256 (FIPS 180-4) of `data`. Hand-rolled because the
 /// build environment vendors no crypto crate; the test battery pins the
 /// standard test vectors.

@@ -58,6 +58,7 @@ pub mod apps;
 pub mod canon;
 pub mod expense;
 pub mod modeled;
+pub mod prep;
 pub mod recovery;
 pub mod report;
 pub mod run;
@@ -65,8 +66,11 @@ pub mod scenarios;
 pub mod snapshot;
 
 pub use apps::App;
-pub use recovery::{execute_resilient, ResilienceOutcome, ResilienceSpec};
-pub use run::{execute, Fidelity, RunOutcome, RunRequest};
+pub use prep::PreparedScenario;
+pub use recovery::{
+    execute_resilient, execute_resilient_with_prep, ResilienceOutcome, ResilienceSpec,
+};
+pub use run::{execute, execute_with_prep, Fidelity, RunOutcome, RunRequest};
 // The tracing vocabulary, re-exported so harness users can request and
 // consume traces without naming `hetero-trace` directly.
 pub use hetero_trace::{Trace, TraceDetail, TraceEvent, TraceSpec};

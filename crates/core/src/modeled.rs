@@ -41,6 +41,7 @@ pub struct ModeledRun {
 }
 
 /// Mirror of one rank's view of the partition, in closed form.
+#[derive(Clone)]
 struct Spaces {
     cells: usize,
     /// For each element order used: (neighbors with shared-node counts,
@@ -50,6 +51,7 @@ struct Spaces {
     n_axis: usize,
 }
 
+#[derive(Clone)]
 struct SpaceInfo {
     neighbors: Vec<(usize, usize)>,
     n_owned: f64,
@@ -386,6 +388,59 @@ fn ns_step(r: &mut Replay, s: &Spaces, cfg: &NsConfig) -> PhaseTimes {
     }
 }
 
+/// The platform-independent setup of a modeled run: the block layout's
+/// critical rank and its closed-form space views. A pure function of
+/// `(ranks, cells, primary element order)` — platform, seed, solver
+/// variant, and every host-only knob are irrelevant — so one prep serves
+/// every instance of a sweep that shares the mesh and rank count.
+#[derive(Clone)]
+pub struct ModeledPrep {
+    ranks: usize,
+    cells: (usize, usize, usize),
+    q: usize,
+    rank: usize,
+    spaces: Spaces,
+}
+
+/// Builds the modeled setup for the weak-scaling sizing used by
+/// [`run_modeled`]: `cells = near_cubic_factors(ranks) * per_rank_axis`.
+/// `q` is the primary element order's degree (`app.primary_order().q()`).
+pub fn prepare_modeled(ranks: usize, per_rank_axis: usize, q: usize) -> ModeledPrep {
+    assert!(ranks > 0 && per_rank_axis > 0);
+    let factors = hetero_partition::block::near_cubic_factors(ranks);
+    let cells = (
+        factors.0 * per_rank_axis,
+        factors.1 * per_rank_axis,
+        factors.2 * per_rank_axis,
+    );
+    let (rank, spaces) = modeled_setup(ranks, cells, q);
+    ModeledPrep {
+        ranks,
+        cells,
+        q,
+        rank,
+        spaces,
+    }
+}
+
+/// Critical rank + its space views for a `(ranks, cells, q)` partition.
+fn modeled_setup(ranks: usize, cells: (usize, usize, usize), q: usize) -> (usize, Spaces) {
+    let factors = hetero_partition::block::near_cubic_factors(ranks);
+    assert!(
+        factors.0 <= cells.0 && factors.1 <= cells.1 && factors.2 <= cells.2,
+        "more ranks than the mesh can host"
+    );
+    let layout = BlockLayout::new(cells, factors);
+    let rank = critical_rank(&layout, q);
+    let spaces = Spaces {
+        cells: layout.cells_in_rank(rank),
+        q1: space_info(&layout, rank, ElementOrder::Q1, ranks),
+        q2: space_info(&layout, rank, ElementOrder::Q2, ranks),
+        n_axis: cells.0.max(cells.1).max(cells.2),
+    };
+    (rank, spaces)
+}
+
 /// Runs the modeled engine under the paper's weak-scaling sizing:
 /// `per_rank_axis` is the paper's `m` (20), so the global mesh has
 /// `m^3 * ranks` cells arranged by near-cubic factorization.
@@ -398,6 +453,24 @@ pub fn run_modeled(
     compute: ComputeModel,
     seed: u64,
 ) -> ModeledRun {
+    run_modeled_prepared(app, ranks, per_rank_axis, topo, net, compute, seed, None)
+}
+
+/// [`run_modeled`] with an optional prepared setup. A matching prep skips
+/// the layout walk and space derivation; the replay itself — the only part
+/// that touches platform, seed, or solver knobs — runs identically either
+/// way, so the result is bitwise identical to a fresh setup.
+#[allow(clippy::too_many_arguments)]
+pub fn run_modeled_prepared(
+    app: &App,
+    ranks: usize,
+    per_rank_axis: usize,
+    topo: &ClusterTopology,
+    net: &NetworkModel,
+    compute: ComputeModel,
+    seed: u64,
+    prep: Option<&ModeledPrep>,
+) -> ModeledRun {
     assert!(per_rank_axis > 0);
     let factors = hetero_partition::block::near_cubic_factors(ranks);
     let cells = (
@@ -405,7 +478,7 @@ pub fn run_modeled(
         factors.1 * per_rank_axis,
         factors.2 * per_rank_axis,
     );
-    run_modeled_sized(app, ranks, cells, topo, net, compute, seed)
+    run_modeled_sized_prepared(app, ranks, cells, topo, net, compute, seed, prep)
 }
 
 /// Runs the modeled engine on an explicit global mesh — used for strong
@@ -421,23 +494,34 @@ pub fn run_modeled_sized(
     compute: ComputeModel,
     seed: u64,
 ) -> ModeledRun {
+    run_modeled_sized_prepared(app, ranks, cells, topo, net, compute, seed, None)
+}
+
+/// [`run_modeled_sized`] with an optional prepared setup (see
+/// [`run_modeled_prepared`]). A prep built for a different
+/// `(ranks, cells, q)` is ignored and the setup is rebuilt fresh.
+#[allow(clippy::too_many_arguments)]
+pub fn run_modeled_sized_prepared(
+    app: &App,
+    ranks: usize,
+    cells: (usize, usize, usize),
+    topo: &ClusterTopology,
+    net: &NetworkModel,
+    compute: ComputeModel,
+    seed: u64,
+    prep: Option<&ModeledPrep>,
+) -> ModeledRun {
     assert!(ranks > 0);
-    let factors = hetero_partition::block::near_cubic_factors(ranks);
-    assert!(
-        factors.0 <= cells.0 && factors.1 <= cells.1 && factors.2 <= cells.2,
-        "more ranks than the mesh can host"
-    );
-    let layout = BlockLayout::new(cells, factors);
     let order = app.primary_order();
-    let rank = critical_rank(&layout, order.q());
-
-    let spaces = Spaces {
-        cells: layout.cells_in_rank(rank),
-        q1: space_info(&layout, rank, ElementOrder::Q1, ranks),
-        q2: space_info(&layout, rank, ElementOrder::Q2, ranks),
-        n_axis: cells.0.max(cells.1).max(cells.2),
+    let built;
+    let (rank, spaces): (usize, &Spaces) = match prep {
+        Some(p) if p.ranks == ranks && p.cells == cells && p.q == order.q() => (p.rank, &p.spaces),
+        _ => {
+            built = modeled_setup(ranks, cells, order.q());
+            (built.0, &built.1)
+        }
     };
-
+    let spaces = spaces.clone();
     let env = VirtualEnv {
         net: net.clone(),
         compute,

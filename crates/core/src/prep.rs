@@ -1,0 +1,360 @@
+//! The prepared-scenario cache: cross-instance sharing of the
+//! platform-independent setup work of a campaign sweep (DESIGN.md §13).
+//!
+//! A sweep re-runs the same FEM problem across platforms, solver variants,
+//! kernel backends, checkpoint cadences, and seeds. All of those knobs
+//! leave the *setup* untouched: the generated mesh, the block partition
+//! and its ghost plans, the DoF maps, the symbolic assembly structures,
+//! and the modeled engine's closed-form space views are pure functions of
+//! `(mesh spec, discretization, ranks, partition params)` — exactly the
+//! inputs hashed by [`crate::canon::prep_key`] (`hetero-prep/key/v1`). A
+//! [`PreparedScenario`] bundles those artifacts immutably behind `Arc`s so
+//! every instance that shares the sub-key shares one preparation.
+//!
+//! Two levels of reuse hang off the bundle:
+//!
+//! * **Setup artifacts** (this module's reason to exist): the modeled
+//!   prep is built eagerly (closed form, tiny); the numerical geometry
+//!   (mesh + partition assignment) is built lazily because the
+//!   per-cell assignment vector is large at high rank counts and the
+//!   numerical engine only runs below the auto-fidelity caps; the
+//!   per-rank FEM artifacts (DoF maps + assembly structures) are
+//!   harvested from the first numerical run of the scenario — there is no
+//!   throwaway preparation pass.
+//! * **A fast-forward profile memo** for [`crate::recovery`]: the
+//!   failure-free reference replay `(probe, fleet0, ff)` is a pure
+//!   function of the request minus its cadence/policy/host knobs, so
+//!   cadence sweeps (Table III) reuse one replay per
+//!   `(platform, ranks, seed, strategy, app)` combination. The memo key
+//!   is the canonical text of the request with those knobs normalized
+//!   out; see `ff_memo_key`.
+//!
+//! **Determinism.** Every shared artifact is immutable and every reuse
+//! path replays the collective protocol of the fresh build bit-for-bit
+//! (see [`hetero_fem::DofMap::replay_build`] and
+//! [`hetero_fem::assembly::MatrixAssembly::with_structure`]) or memoizes
+//! the result of a pure function — so reports are byte-identical to
+//! fresh-setup execution at every worker-pool size and thread count.
+//! Disabling sharing ([`disable_sharing_scoped`] or
+//! `HETERO_PREP_SHARE=0`) can therefore only lose speed, never change a
+//! result.
+
+use crate::canon::{canonical_request, prep_key};
+use crate::modeled::{prepare_modeled, ModeledPrep, ModeledRun};
+use crate::recovery::ResilienceSpec;
+use crate::run::{Fidelity, RunRequest};
+use hetero_fault::{FaultModel, ResiliencePolicy};
+use hetero_fem::ns::NsPrep;
+use hetero_fem::rd::RdPrep;
+use hetero_mesh::StructuredHexMesh;
+use hetero_partition::block::{near_cubic_factors, BlockLayout};
+use hetero_platform::spot::{FleetAllocation, FleetStrategy};
+use hetero_simmpi::EngineKind;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Bound on the process-wide scenario LRU. Scenarios at numerical sizes
+/// hold the partition assignment and per-rank DoF maps, so the cache is
+/// kept small; a sweep touches few distinct `(mesh, ranks)` rungs at a
+/// time and re-preparing on eviction is always correct.
+const SCENARIO_CACHE_CAP: usize = 8;
+
+/// Bound on the per-scenario fast-forward profile memo (distinct
+/// `(platform, seed, strategy, app)` combinations per scenario).
+const FF_MEMO_CAP: usize = 64;
+
+/// The mesh and partition assignment shared by every numerical run of one
+/// scenario. Built lazily: the per-cell assignment vector is proportional
+/// to the global cell count.
+pub(crate) struct NumGeometry {
+    pub(crate) mesh: StructuredHexMesh,
+    pub(crate) assignment: Arc<Vec<usize>>,
+}
+
+/// Per-rank FEM setup artifacts, harvested from the first numerical run.
+#[derive(Clone)]
+pub(crate) enum RankPreps {
+    Rd(Arc<Vec<RdPrep>>),
+    Ns(Arc<Vec<NsPrep>>),
+}
+
+/// The memoized failure-free reference profile of a resilient run: the
+/// one-step traffic probe, the first-attempt fleet, and the full
+/// fast-forward replay. All three are pure functions of the inputs hashed
+/// by [`ff_memo_key`].
+pub(crate) struct FfProfile {
+    pub(crate) probe: ModeledRun,
+    pub(crate) fleet0: FleetAllocation,
+    pub(crate) ff: ModeledRun,
+}
+
+enum FfSlot {
+    /// Another thread is computing this profile; wait on the condvar.
+    InProgress,
+    Ready(Arc<FfProfile>),
+}
+
+struct FfMemo {
+    slots: HashMap<String, FfSlot>,
+    /// Ready keys in insertion order, for FIFO eviction.
+    order: VecDeque<String>,
+}
+
+/// An immutable, `Arc`-shared bundle of the platform-independent setup
+/// artifacts of one scenario, keyed by [`crate::canon::prep_key`].
+pub struct PreparedScenario {
+    key: String,
+    ranks: usize,
+    per_rank_axis: usize,
+    modeled: ModeledPrep,
+    geometry: OnceLock<Arc<NumGeometry>>,
+    rank_preps: Mutex<Option<RankPreps>>,
+    ff: Mutex<FfMemo>,
+    ff_cv: Condvar,
+}
+
+impl PreparedScenario {
+    /// Builds the scenario for `req`: the modeled prep eagerly, everything
+    /// else on demand.
+    fn build(req: &RunRequest) -> Self {
+        PreparedScenario {
+            key: prep_key(req),
+            ranks: req.ranks,
+            per_rank_axis: req.per_rank_axis,
+            modeled: prepare_modeled(req.ranks, req.per_rank_axis, req.app.primary_order().q()),
+            geometry: OnceLock::new(),
+            rank_preps: Mutex::new(None),
+            ff: Mutex::new(FfMemo {
+                slots: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+            ff_cv: Condvar::new(),
+        }
+    }
+
+    /// The `hetero-prep/key/v1` sub-key this scenario was built for.
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+
+    /// The modeled engine's prepared setup.
+    pub(crate) fn modeled(&self) -> &ModeledPrep {
+        &self.modeled
+    }
+
+    /// The shared mesh + partition assignment, built on first use.
+    pub(crate) fn geometry(&self) -> Arc<NumGeometry> {
+        Arc::clone(self.geometry.get_or_init(|| {
+            let factors = near_cubic_factors(self.ranks);
+            let cells = (
+                factors.0 * self.per_rank_axis,
+                factors.1 * self.per_rank_axis,
+                factors.2 * self.per_rank_axis,
+            );
+            let mesh = StructuredHexMesh::new(
+                cells.0,
+                cells.1,
+                cells.2,
+                hetero_mesh::Point3::ZERO,
+                hetero_mesh::Point3::splat(1.0),
+            );
+            let layout = BlockLayout::new(cells, factors);
+            Arc::new(NumGeometry {
+                mesh,
+                assignment: Arc::new(layout.assignment()),
+            })
+        }))
+    }
+
+    /// The harvested per-rank FEM artifacts, if a numerical run of this
+    /// scenario has completed.
+    pub(crate) fn rank_preps(&self) -> Option<RankPreps> {
+        self.rank_preps.lock().expect("rank_preps lock").clone()
+    }
+
+    /// Stores per-rank artifacts harvested by the first numerical run.
+    /// Later stores are dropped: artifacts are pure functions of the
+    /// scenario, so any complete harvest is as good as any other.
+    pub(crate) fn store_rank_preps(&self, preps: RankPreps) {
+        let mut slot = self.rank_preps.lock().expect("rank_preps lock");
+        if slot.is_none() {
+            *slot = Some(preps);
+        }
+    }
+
+    /// Returns the memoized fast-forward profile for `memo_key`, computing
+    /// it with `compute` on first use. Concurrent callers with the same
+    /// key block until the first finishes, so a worker pool never computes
+    /// one profile twice.
+    pub(crate) fn ff_profile_or_compute(
+        &self,
+        memo_key: &str,
+        compute: impl FnOnce() -> FfProfile,
+    ) -> Arc<FfProfile> {
+        let mut memo = self.ff.lock().expect("ff memo lock");
+        loop {
+            match memo.slots.get(memo_key) {
+                Some(FfSlot::Ready(p)) => {
+                    CACHE_FF_HITS.fetch_add(1, Ordering::Relaxed);
+                    return Arc::clone(p);
+                }
+                Some(FfSlot::InProgress) => {
+                    memo = self.ff_cv.wait(memo).expect("ff memo lock");
+                }
+                None => break,
+            }
+        }
+        memo.slots.insert(memo_key.to_string(), FfSlot::InProgress);
+        drop(memo);
+
+        // Remove the in-progress marker if `compute` panics, so waiters
+        // retry instead of deadlocking.
+        struct Unwind<'a>(&'a PreparedScenario, &'a str, bool);
+        impl Drop for Unwind<'_> {
+            fn drop(&mut self) {
+                if !self.2 {
+                    let mut memo = self.0.ff.lock().expect("ff memo lock");
+                    memo.slots.remove(self.1);
+                    self.0.ff_cv.notify_all();
+                }
+            }
+        }
+        let mut guard = Unwind(self, memo_key, false);
+        let profile = Arc::new(compute());
+        guard.2 = true;
+
+        let mut memo = self.ff.lock().expect("ff memo lock");
+        while memo.order.len() >= FF_MEMO_CAP {
+            if let Some(old) = memo.order.pop_front() {
+                memo.slots.remove(&old);
+            }
+        }
+        memo.order.push_back(memo_key.to_string());
+        memo.slots
+            .insert(memo_key.to_string(), FfSlot::Ready(Arc::clone(&profile)));
+        drop(memo);
+        self.ff_cv.notify_all();
+        profile
+    }
+}
+
+/// The memo key of the fast-forward profile: the canonical request text
+/// with everything the profile does not depend on normalized to fixed
+/// values — warm-up discard, host-only engine knobs, fidelity (the
+/// profile is modeled regardless), tracing, and the entire resilience
+/// policy and fault model. The fleet `strategy` stays (it picks
+/// `fleet0`), as do platform, seed, app (solver options included — they
+/// steer the replay), ranks, axis, and the overrides.
+pub(crate) fn ff_memo_key(req: &RunRequest, strategy: FleetStrategy) -> String {
+    let normalized = RunRequest {
+        discard: 0,
+        threads_per_rank: 1,
+        engine: EngineKind::default(),
+        sched_workers: 0,
+        fidelity: Fidelity::Modeled,
+        trace: None,
+        resilience: Some(ResilienceSpec {
+            policy: ResiliencePolicy::fail_fast(),
+            faults: FaultModel::none(),
+            strategy,
+            incremental_checkpoints: false,
+        }),
+        ..req.clone()
+    };
+    canonical_request(&normalized)
+}
+
+// ---------------------------------------------------------------------------
+// The process-wide scenario cache and its kill switch.
+
+static ENV_ENABLED: OnceLock<bool> = OnceLock::new();
+static DISABLE_DEPTH: AtomicUsize = AtomicUsize::new(0);
+static CACHE: OnceLock<Mutex<Vec<Arc<PreparedScenario>>>> = OnceLock::new();
+static CACHE_BUILDS: AtomicU64 = AtomicU64::new(0);
+static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+static CACHE_FF_HITS: AtomicU64 = AtomicU64::new(0);
+
+fn cache() -> &'static Mutex<Vec<Arc<PreparedScenario>>> {
+    CACHE.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Whether prepared-scenario sharing is active: on by default, off while
+/// any [`disable_sharing_scoped`] guard lives or when the process was
+/// started with `HETERO_PREP_SHARE=0`.
+pub fn sharing_enabled() -> bool {
+    *ENV_ENABLED.get_or_init(|| std::env::var("HETERO_PREP_SHARE").as_deref() != Ok("0"))
+        && DISABLE_DEPTH.load(Ordering::Relaxed) == 0
+}
+
+/// An RAII guard that disables sharing process-wide while it lives (the
+/// off-lane of the byte-identity batteries and benches). Nesting is fine;
+/// concurrent scopes from parallel tests only ever *disable* sharing,
+/// which can lose speed but never changes any result.
+pub struct UnsharedScope(());
+
+impl Drop for UnsharedScope {
+    fn drop(&mut self) {
+        DISABLE_DEPTH.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Disables prepared-scenario sharing until the returned guard drops.
+pub fn disable_sharing_scoped() -> UnsharedScope {
+    DISABLE_DEPTH.fetch_add(1, Ordering::Relaxed);
+    UnsharedScope(())
+}
+
+/// Cache counters: `(scenarios built, scenario hits, ff profile hits)`.
+pub fn cache_stats() -> (u64, u64, u64) {
+    (
+        CACHE_BUILDS.load(Ordering::Relaxed),
+        CACHE_HITS.load(Ordering::Relaxed),
+        CACHE_FF_HITS.load(Ordering::Relaxed),
+    )
+}
+
+/// Empties the scenario cache (tests and cold-path benches).
+pub fn clear_cache() {
+    cache().lock().expect("scenario cache lock").clear();
+}
+
+/// The shared scenario for `req`, from the process-wide LRU — building
+/// and inserting it on a miss. Returns `None` when sharing is disabled.
+pub fn scenario_for(req: &RunRequest) -> Option<Arc<PreparedScenario>> {
+    if !sharing_enabled() {
+        return None;
+    }
+    let key = prep_key(req);
+    let mut lru = cache().lock().expect("scenario cache lock");
+    if let Some(pos) = lru.iter().position(|s| s.key == key) {
+        let hit = lru.remove(pos);
+        lru.insert(0, Arc::clone(&hit));
+        CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+        return Some(hit);
+    }
+    let built = Arc::new(PreparedScenario::build(req));
+    lru.insert(0, Arc::clone(&built));
+    lru.truncate(SCENARIO_CACHE_CAP);
+    CACHE_BUILDS.fetch_add(1, Ordering::Relaxed);
+    Some(built)
+}
+
+/// Resolves the scenario an execute path should use: the caller's pinned
+/// `Arc` when it matches `req`'s sub-key, the LRU otherwise, `None` when
+/// sharing is disabled.
+pub(crate) fn resolve(
+    req: &RunRequest,
+    explicit: Option<Arc<PreparedScenario>>,
+) -> Option<Arc<PreparedScenario>> {
+    if !sharing_enabled() {
+        return None;
+    }
+    if let Some(p) = explicit {
+        if p.key == prep_key(req) {
+            CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+            return Some(p);
+        }
+    }
+    scenario_for(req)
+}

@@ -1,11 +1,12 @@
 //! The unified run executor: one request, either engine, one outcome shape.
 
 use crate::apps::App;
-use crate::modeled::run_modeled;
+use crate::modeled::run_modeled_prepared;
+use crate::prep::{PreparedScenario, RankPreps};
 use crate::recovery::ResilienceSpec;
-use hetero_fem::ns::solve_ns;
+use hetero_fem::ns::{solve_ns_prepared, NsPrep};
 use hetero_fem::phase::{summarize, PhaseTimes};
-use hetero_fem::rd::solve_rd;
+use hetero_fem::rd::{solve_rd_prepared, RdPrep};
 use hetero_linalg::{KernelBackend, SolverVariant};
 use hetero_mesh::{DistributedMesh, StructuredHexMesh};
 use hetero_partition::block::near_cubic_factors;
@@ -261,6 +262,18 @@ pub(crate) fn resolve_fidelity(req: &RunRequest) -> Fidelity {
 /// above 125 of the ladder), launcher failure (ellipse above 512), adapter
 /// volume cap (lagrange above 343).
 pub fn execute(req: &RunRequest) -> Result<RunOutcome, LimitViolation> {
+    execute_with_prep(req, None)
+}
+
+/// [`execute`] with an optional pinned [`PreparedScenario`]. With `None`
+/// the process-wide scenario cache is consulted (a no-op while sharing is
+/// disabled — see [`crate::prep`]); a pinned scenario whose sub-key does
+/// not match `req` falls back to the cache. Reports are byte-identical to
+/// the fresh-setup path either way.
+pub fn execute_with_prep(
+    req: &RunRequest,
+    prep: Option<Arc<PreparedScenario>>,
+) -> Result<RunOutcome, LimitViolation> {
     // Normalize the solver-variant and kernel-backend overrides into the
     // app config so both engines see them through the ordinary
     // SolveOptions path.
@@ -270,6 +283,7 @@ pub fn execute(req: &RunRequest) -> Result<RunOutcome, LimitViolation> {
         kernel_backend: None,
         ..req.clone()
     };
+    let prep = crate::prep::resolve(req, prep);
     // Capacity and launcher limits are independent of traffic: check them
     // before even building the topology (an oversubscribed topology cannot
     // be constructed).
@@ -284,7 +298,7 @@ pub fn execute(req: &RunRequest) -> Result<RunOutcome, LimitViolation> {
     );
 
     // Traffic estimate from a one-step modeled probe (cheap, closed form).
-    let probe = run_modeled(
+    let probe = run_modeled_prepared(
         &req.app.with_steps(1),
         req.ranks,
         req.per_rank_axis,
@@ -292,6 +306,7 @@ pub fn execute(req: &RunRequest) -> Result<RunOutcome, LimitViolation> {
         &req.platform.network,
         req.platform.compute,
         req.seed,
+        prep.as_deref().map(|p| p.modeled()),
     );
     req.platform
         .check_limits(req.ranks, probe.bytes_per_iteration)?;
@@ -305,9 +320,9 @@ pub fn execute(req: &RunRequest) -> Result<RunOutcome, LimitViolation> {
     let queue_wait_seconds = req.platform.queue_wait(req.ranks, req.seed);
 
     let (phases, krylov_iters, verification, bytes_per_iteration, trace) = match fidelity {
-        Fidelity::Numerical => run_numerical(req, topo)?,
+        Fidelity::Numerical => run_numerical(req, topo, prep.as_deref())?,
         Fidelity::Modeled | Fidelity::Auto => {
-            let m = run_modeled(
+            let m = run_modeled_prepared(
                 &req.app,
                 req.ranks,
                 req.per_rank_axis,
@@ -315,6 +330,7 @@ pub fn execute(req: &RunRequest) -> Result<RunOutcome, LimitViolation> {
                 &req.platform.network,
                 req.platform.compute,
                 req.seed,
+                prep.as_deref().map(|p| p.modeled()),
             );
             let phases = summarize(&m.iterations, req.discard)
                 .expect("modeled run produced no measurable iterations");
@@ -400,22 +416,33 @@ type NumericalResult = (PhaseTimes, f64, Option<Verification>, f64, Option<Trace
 fn run_numerical(
     req: &RunRequest,
     topo: ClusterTopology,
+    prep: Option<&PreparedScenario>,
 ) -> Result<NumericalResult, LimitViolation> {
-    let factors = near_cubic_factors(req.ranks);
-    let cells = (
-        factors.0 * req.per_rank_axis,
-        factors.1 * req.per_rank_axis,
-        factors.2 * req.per_rank_axis,
-    );
-    let mesh = StructuredHexMesh::new(
-        cells.0,
-        cells.1,
-        cells.2,
-        hetero_mesh::Point3::ZERO,
-        hetero_mesh::Point3::splat(1.0),
-    );
-    let layout = BlockLayout::new(cells, factors);
-    let assignment = Arc::new(layout.assignment());
+    // Mesh + partition assignment: shared from the scenario when present
+    // (both are pure functions of the prep sub-key), rebuilt otherwise.
+    let (mesh, assignment) = match prep {
+        Some(p) => {
+            let g = p.geometry();
+            (g.mesh.clone(), Arc::clone(&g.assignment))
+        }
+        None => {
+            let factors = near_cubic_factors(req.ranks);
+            let cells = (
+                factors.0 * req.per_rank_axis,
+                factors.1 * req.per_rank_axis,
+                factors.2 * req.per_rank_axis,
+            );
+            let mesh = StructuredHexMesh::new(
+                cells.0,
+                cells.1,
+                cells.2,
+                hetero_mesh::Point3::ZERO,
+                hetero_mesh::Point3::splat(1.0),
+            );
+            let layout = BlockLayout::new(cells, factors);
+            (mesh, Arc::new(layout.assignment()))
+        }
+    };
     let ranks = req.ranks;
     let app = req.app.clone();
     let cfg = SpmdConfig {
@@ -426,12 +453,24 @@ fn run_numerical(
         seed: req.seed,
     };
 
+    // Per-rank FEM setup: reused from the scenario's harvest when a prior
+    // numerical run stored it; otherwise this run harvests its own
+    // (resolved once, so every rank of this run agrees).
+    let rank_preps: Option<RankPreps> = prep.and_then(|p| p.rank_preps());
+    let harvest = prep.is_some() && rank_preps.is_none();
+
+    enum PrepOut {
+        Rd(RdPrep),
+        Ns(NsPrep),
+    }
+
     struct RankOut {
         iterations: Vec<PhaseTimes>,
         kiters: f64,
         linf: f64,
         l2: f64,
         bytes: f64,
+        prep: Option<PrepOut>,
     }
 
     // One logical pool shared by all ranks; `install` binds the thread
@@ -450,7 +489,11 @@ fn run_numerical(
                 DistributedMesh::new(mesh.clone(), Arc::clone(&assignment), comm.rank(), ranks);
             match &app {
                 App::Rd(c) => {
-                    let r = solve_rd(&dmesh, c, comm);
+                    let rp = match &rank_preps {
+                        Some(RankPreps::Rd(v)) => Some(&v[comm.rank()]),
+                        _ => None,
+                    };
+                    let (r, built) = solve_rd_prepared(&dmesh, c, None, None, rp, comm);
                     RankOut {
                         iterations: r.iterations,
                         kiters: r.krylov_iters.iter().sum::<usize>() as f64
@@ -458,10 +501,15 @@ fn run_numerical(
                         linf: r.linf_error,
                         l2: r.l2_error,
                         bytes: comm.stats().bytes_received,
+                        prep: harvest.then_some(PrepOut::Rd(built)),
                     }
                 }
                 App::Ns(c) => {
-                    let r = solve_ns(&dmesh, c, comm);
+                    let rp = match &rank_preps {
+                        Some(RankPreps::Ns(v)) => Some(&v[comm.rank()]),
+                        _ => None,
+                    };
+                    let (r, built) = solve_ns_prepared(&dmesh, c, None, None, rp, comm);
                     let total_k: usize =
                         r.vel_iters.iter().sum::<usize>() + r.p_iters.iter().sum::<usize>();
                     RankOut {
@@ -470,6 +518,7 @@ fn run_numerical(
                         linf: r.vel_linf_error,
                         l2: r.vel_l2_error,
                         bytes: comm.stats().bytes_received,
+                        prep: harvest.then_some(PrepOut::Ns(built)),
                     }
                 }
             }
@@ -481,7 +530,28 @@ fn run_numerical(
         ..EngineOpts::default()
     };
     let (res, trace) = run_spmd_opts(cfg, opts, FaultPlan::none(), req.trace, body);
-    let results = res.expect("a trivial fault plan cannot fail a rank");
+    let mut results = res.expect("a trivial fault plan cannot fail a rank");
+
+    // Seed the scenario with this run's harvested per-rank setup.
+    if harvest {
+        if let Some(scen) = prep {
+            results.sort_by_key(|r| r.rank);
+            let mut rds = Vec::with_capacity(results.len());
+            let mut nss = Vec::with_capacity(results.len());
+            for r in &mut results {
+                match r.value.prep.take() {
+                    Some(PrepOut::Rd(p)) => rds.push(p),
+                    Some(PrepOut::Ns(p)) => nss.push(p),
+                    None => {}
+                }
+            }
+            if rds.len() == results.len() {
+                scen.store_rank_preps(RankPreps::Rd(Arc::new(rds)));
+            } else if nss.len() == results.len() {
+                scen.store_rank_preps(RankPreps::Ns(Arc::new(nss)));
+            }
+        }
+    }
 
     // Critical-rank reduction: per-iteration max across ranks.
     let steps = results[0].value.iterations.len();

@@ -30,6 +30,7 @@ use hetero_linalg::csr::{SparsityPattern, TripletBuilder};
 use hetero_linalg::{DistMatrix, DistVector};
 use hetero_mesh::Point3;
 use hetero_simmpi::{Payload, SimComm};
+use std::sync::Arc;
 
 const TAG_MAT_IDX: u64 = 9_600;
 const TAG_MAT_VAL: u64 = 9_601;
@@ -208,7 +209,11 @@ where
 /// The cached structure of a repeated matrix assembly: the sparsity
 /// pattern (with its triplet scatter permutation) plus the structural
 /// index batches shipped to each neighbour.
-struct AssemblyStructure {
+///
+/// Immutable once built, so it can be `Arc`-shared across assemblies of
+/// the same `(row_map, col_map)` pair — and, through the prepared-scenario
+/// cache in `core`, across run instances that share a mesh partition.
+pub struct AssemblyStructure {
     pattern: SparsityPattern,
     /// Per plan-neighbour `(global row, global col)` pairs sent each call.
     send_idx: Vec<Vec<usize>>,
@@ -231,7 +236,7 @@ struct AssemblyStructure {
 /// [`TripletBuilder::build`] bitwise (see `hetero_linalg::csr`).
 pub struct MatrixAssembly {
     charged_ops: usize,
-    structure: Option<AssemblyStructure>,
+    structure: Option<Arc<AssemblyStructure>>,
     /// The live operator of the in-place path ([`Self::assemble_in_place`]):
     /// kept across steps so refreshes reuse its value buffer, exchange plan,
     /// and interior/boundary row split instead of rebuilding them.
@@ -252,9 +257,30 @@ impl MatrixAssembly {
         }
     }
 
+    /// An assembly preloaded with a structure built by an earlier assembly
+    /// over the same maps: the first [`Self::assemble`] call takes the
+    /// cached numeric path directly, skipping the symbolic build. The wire
+    /// traffic and the simulated compute charge of the cached path are
+    /// identical to a first call (see [`Self::assemble_cached`]), so
+    /// preloading never changes a simulated clock — only host time.
+    pub fn with_structure(charged_ops: usize, structure: Arc<AssemblyStructure>) -> Self {
+        MatrixAssembly {
+            charged_ops,
+            structure: Some(structure),
+            retained: None,
+            tvals: Vec::new(),
+        }
+    }
+
     /// Whether the symbolic structure has been built yet.
     pub fn has_structure(&self) -> bool {
         self.structure.is_some()
+    }
+
+    /// The symbolic structure, shareable with other assemblies over the
+    /// same maps (`None` before the first assemble call).
+    pub fn shared_structure(&self) -> Option<Arc<AssemblyStructure>> {
+        self.structure.clone()
     }
 
     /// Assembles a distributed matrix: `cell_matrix(i, out)` fills the
@@ -352,12 +378,12 @@ impl MatrixAssembly {
         }
 
         let pattern = triplets.symbolic();
-        self.structure = Some(AssemblyStructure {
+        self.structure = Some(Arc::new(AssemblyStructure {
             pattern,
             send_idx,
             recv_counts,
             ncells,
-        });
+        }));
         DistMatrix::rectangular(triplets.build(), col_map.plan().clone(), col_map.n_owned())
     }
 
@@ -449,16 +475,22 @@ impl MatrixAssembly {
             "maps must share the mesh partition"
         );
         let ncells = row_map.num_cells();
-        let first = self.structure.is_none() || self.retained.is_none();
-        let chunks = integrate_matrix_chunks(row_map, col_map, rank, first, &cell_matrix);
+        let symbolic = self.structure.is_none();
+        let chunks = integrate_matrix_chunks(row_map, col_map, rank, symbolic, &cell_matrix);
 
         comm.compute(
             profile::assembly_matrix_work(row_map.order(), col_map.order(), self.charged_ops)
                 * ncells as f64,
         );
 
-        if first {
+        if symbolic {
             let m = self.assemble_first(row_map, col_map, comm, chunks);
+            self.retained = Some(m);
+        } else if self.retained.is_none() {
+            // Structure preloaded (shared from another assembly over the
+            // same maps) but no live operator yet: take the cached numeric
+            // path — traffic-identical to a first build — and retain it.
+            let m = self.assemble_cached(row_map, col_map, comm, chunks);
             self.retained = Some(m);
         } else {
             let s = self

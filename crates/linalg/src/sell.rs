@@ -314,7 +314,10 @@ mod kernel {
     }
 
     /// Fixed-lane-count scalar kernel: the `C`-wide inner loop has a
-    /// compile-time trip count, which is what the autovectorizer needs.
+    /// compile-time trip count, the accumulators live in a stack array
+    /// (registers, once the loop is vectorized — a slice accumulator
+    /// forces a load/store round trip per slot), and `chunks_exact` hands
+    /// the optimizer exact-size blocks with no per-element bounds checks.
     #[inline]
     fn chunk_spmv_scalar<const C: usize>(
         width: usize,
@@ -323,15 +326,17 @@ mod kernel {
         x: &[f64],
         acc: &mut [f64],
     ) {
-        let acc: &mut [f64] = &mut acc[..C];
-        for s in 0..width {
-            let o = s * C;
-            let cols = &col_idx[o..o + C];
-            let vals = &values[o..o + C];
+        let mut a = [0.0f64; C];
+        for (cols, vals) in col_idx
+            .chunks_exact(C)
+            .zip(values.chunks_exact(C))
+            .take(width)
+        {
             for l in 0..C {
-                acc[l] += vals[l] * x[cols[l]];
+                a[l] += vals[l] * x[cols[l]];
             }
         }
+        acc[..C].copy_from_slice(&a);
     }
 
     /// Explicit two-lane vector kernels. Multiplies and adds are issued as

@@ -77,6 +77,10 @@ fn main() -> ExitCode {
         "plan_run: {} instances executed, {cached} served from cache",
         out.results.len()
     );
+    let (builds, hits, ff_hits) = hetero_hpc::prep::cache_stats();
+    eprintln!(
+        "plan_run: prepared-scenario cache — {builds} builds, {hits} hits, {ff_hits} profile hits"
+    );
 
     for (_, text) in &out.reports {
         print!("{text}");

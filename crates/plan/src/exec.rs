@@ -4,7 +4,8 @@
 //! Workers pull the *smallest ready instance index* from a shared queue, so
 //! every artifact — and every rendered report — is a pure function of the
 //! plan, independent of worker count or completion order. Run stages go
-//! through the same [`execute`]/[`execute_resilient`] paths as the legacy
+//! through the same [`hetero_hpc::execute`]/[`hetero_hpc::execute_resilient`]
+//! paths as the legacy
 //! `core::scenarios` sweeps; the pinning tests hold the two byte-identical.
 //!
 //! Artifacts are cached under a content-addressed key derived from the
@@ -23,9 +24,10 @@ use crate::schema::{
 };
 use hetero_fault::ResiliencePolicy;
 use hetero_hpc::canon::{canonical_request, sha256_hex};
-use hetero_hpc::recovery::{execute_resilient, ResilienceSpec};
+use hetero_hpc::prep::{scenario_for, PreparedScenario};
+use hetero_hpc::recovery::{execute_resilient_with_prep, ResilienceSpec};
 use hetero_hpc::report::{render_solver_variants, render_table3, render_weak_scaling};
-use hetero_hpc::run::{execute, RunOutcome, RunRequest};
+use hetero_hpc::run::{execute_with_prep, RunOutcome, RunRequest};
 use hetero_hpc::scenarios::{
     uncapped_cell, Cell, SolverVariantRow, Table3Cell, Table3Row, WeakScalingRow, WeakScalingTable,
 };
@@ -37,7 +39,7 @@ use hetero_simmpi::EngineKind;
 use serde::{Deserialize, Serialize};
 use serde_json::{json, Value};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -108,6 +110,7 @@ pub struct PlanOutcome {
 /// a malformed stage wiring, or a cache-write I/O failure).
 pub fn execute_plan(rp: &ResolvedPlan, opts: &ExecOptions) -> Result<PlanOutcome, ExecError> {
     let keys = instance_keys(rp)?;
+    let preps = prep_scenarios(rp);
     if let Some(dir) = &opts.cache_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
             return fail(
@@ -180,7 +183,7 @@ pub fn execute_plan(rp: &ResolvedPlan, opts: &ExecOptions) -> Result<PlanOutcome
                     (idx, deps)
                 };
 
-                let out = run_instance(rp, idx, &keys[idx], &deps, opts);
+                let out = run_instance(rp, idx, &keys[idx], &deps, opts, preps[idx].as_ref());
 
                 let mut st = state.lock().expect("executor state poisoned");
                 match out {
@@ -299,6 +302,35 @@ pub fn instance_keys(rp: &ResolvedPlan) -> Result<Vec<String>, ExecError> {
         keys[i] = Some(format!("{STAGE_SCHEMA}/{}", sha256_hex(input.as_bytes())));
     }
     Ok(keys.into_iter().map(|k| k.expect("all visited")).collect())
+}
+
+// ---------------------------------------------------------------------------
+// Prepared-scenario resolution
+// ---------------------------------------------------------------------------
+
+/// Resolves every run instance's prepared scenario *before* the workers
+/// start: instances whose requests share a `hetero-prep/key/v1` sub-key get
+/// the same pinned [`PreparedScenario`], so one preparation (and one
+/// failure-free profile per memo key) serves the whole sweep regardless of
+/// worker count or completion order. Pinning the `Arc`s here also keeps a
+/// wide sweep immune to the process-wide LRU's bound. Returns all-`None`
+/// when sharing is disabled (`HETERO_PREP_SHARE=0`) — reports are
+/// byte-identical either way; only the setup work repeats.
+fn prep_scenarios(rp: &ResolvedPlan) -> Vec<Option<Arc<PreparedScenario>>> {
+    let mut by_key: HashMap<String, Arc<PreparedScenario>> = HashMap::new();
+    rp.instances
+        .iter()
+        .enumerate()
+        .map(|(i, inst)| {
+            let stage = &rp.plan.stages[inst.stage];
+            if stage.kind != StageKind::Run || stage.uncapped {
+                return None;
+            }
+            let setup = run_setup(rp, i).ok()?;
+            let scen = scenario_for(&setup.req)?;
+            Some(by_key.entry(scen.key().to_string()).or_insert(scen).clone())
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -429,6 +461,7 @@ fn run_instance(
     key: &str,
     deps: &[(usize, Arc<StageResult>)],
     opts: &ExecOptions,
+    prep: Option<&Arc<PreparedScenario>>,
 ) -> Result<StageResult, ExecError> {
     let id = rp.instances[i].id.clone();
     if let Some(dir) = &opts.cache_dir {
@@ -441,7 +474,7 @@ fn run_instance(
             });
         }
     }
-    let artifact = compute_artifact(rp, i, deps)?;
+    let artifact = compute_artifact(rp, i, deps, prep)?;
     if let Some(dir) = &opts.cache_dir {
         store_cached(dir, key, &id, &artifact, i)?;
     }
@@ -514,6 +547,7 @@ fn compute_artifact(
     rp: &ResolvedPlan,
     i: usize,
     deps: &[(usize, Arc<StageResult>)],
+    prep: Option<&Arc<PreparedScenario>>,
 ) -> Result<Value, ExecError> {
     let inst = &rp.instances[i];
     let stage = &rp.plan.stages[inst.stage];
@@ -532,7 +566,7 @@ fn compute_artifact(
         StageKind::Run => {
             let setup = run_setup(rp, i)?;
             match setup.mode {
-                RunMode::Plain => Ok(match execute(&setup.req) {
+                RunMode::Plain => Ok(match execute_with_prep(&setup.req, prep.cloned()) {
                     Ok(out) => json!({ "ok": value_of(&inst.id, &out)? }),
                     Err(e) => json!({ "infeasible": value_of(&inst.id, &e)? }),
                 }),
@@ -557,7 +591,7 @@ fn compute_artifact(
                             resilience: Some(spec.clone()),
                             ..setup.req.clone()
                         };
-                        let out = match execute_resilient(&req) {
+                        let out = match execute_resilient_with_prep(&req, prep.cloned()) {
                             Ok(out) => out,
                             Err(e) => return fail(&inst.id, format!("campaign infeasible: {e}")),
                         };

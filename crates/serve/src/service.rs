@@ -28,9 +28,11 @@
 
 use crate::cache::{CacheLookup, ResultCache};
 use crate::journal::{Journal, PendingJob};
+use hetero_hpc::canon::prep_key;
 use hetero_hpc::canon::request_key;
-use hetero_hpc::recovery::execute_resilient;
-use hetero_hpc::{execute, ResilienceOutcome, RunOutcome, RunRequest};
+use hetero_hpc::prep::{scenario_for, PreparedScenario};
+use hetero_hpc::recovery::execute_resilient_with_prep;
+use hetero_hpc::{execute_with_prep, ResilienceOutcome, RunOutcome, RunRequest};
 use hetero_platform::limits::LimitViolation;
 use hetero_trace::MetricsRegistry;
 use serde::{Deserialize, Serialize};
@@ -136,12 +138,23 @@ struct QueuedJob {
     request: RunRequest,
 }
 
-/// The batch shape: queued jobs agreeing on all three coordinates ride to
-/// a worker together (one dispatch, shared scheduling overhead — the
+/// The batch shape: queued jobs agreeing on every coordinate ride to a
+/// worker together (one dispatch, shared scheduling overhead — the
 /// service-level analogue of the paper's "same platform, same size"
-/// sweep columns).
-fn batch_shape(req: &RunRequest) -> (String, usize, usize) {
-    (req.platform.key.clone(), req.ranks, req.per_rank_axis)
+/// sweep columns). Besides the platform/size coordinates this folds in
+/// the `hetero-prep/key/v1` sub-key — so every job of a batch shares one
+/// [`PreparedScenario`] resolution — and the solver-variant/kernel-backend
+/// overrides, which the prep key deliberately excludes: two jobs differing
+/// only in operator path must not claim-group as interchangeable work.
+fn batch_shape(req: &RunRequest) -> (String, String, usize, usize, String, String) {
+    (
+        prep_key(req),
+        req.platform.key.clone(),
+        req.ranks,
+        req.per_rank_axis,
+        format!("{:?}", req.solver_variant),
+        format!("{:?}", req.kernel_backend),
+    )
 }
 
 struct State {
@@ -409,16 +422,21 @@ impl Drop for ServeHandle {
     }
 }
 
-/// Executes one request, catching panics. Pure: no service state touched.
-fn run_one(request: &RunRequest) -> Result<JobOutcome, String> {
+/// Executes one request, catching panics. Pure: no service state touched
+/// (the optional prepared scenario is immutable shared setup — outputs are
+/// byte-identical with or without it).
+fn run_one(
+    request: &RunRequest,
+    prep: Option<Arc<PreparedScenario>>,
+) -> Result<JobOutcome, String> {
     catch_unwind(AssertUnwindSafe(|| {
         if request.resilience.is_some() {
-            match execute_resilient(request) {
+            match execute_resilient_with_prep(request, prep) {
                 Ok(out) => JobOutcome::Resilient(out),
                 Err(limit) => JobOutcome::Rejected(limit),
             }
         } else {
-            match execute(request) {
+            match execute_with_prep(request, prep) {
                 Ok(out) => JobOutcome::Completed(out),
                 Err(limit) => JobOutcome::Rejected(limit),
             }
@@ -462,9 +480,13 @@ fn worker_loop(shared: &Shared, batch_max: usize) {
             }
         };
 
+        // One prepared-scenario resolution per batch: every job in the
+        // batch shares the same prep key by construction, so the whole
+        // batch reuses one setup. `None` when sharing is disabled.
+        let prep = batch.first().and_then(|job| scenario_for(&job.request));
         for QueuedJob { key, request } in batch {
             // Execute outside the lock: jobs are the slow part.
-            let result = run_one(&request);
+            let result = run_one(&request, prep.clone());
 
             let mut st = shared.state.lock().expect("serve state poisoned");
             let waiters = st.inflight.remove(&key).unwrap_or_default();
@@ -500,5 +522,75 @@ fn worker_loop(shared: &Shared, batch_max: usize) {
             drop(st);
             shared.completion.notify_all();
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::batch_shape;
+    use hetero_hpc::canon::prep_key;
+    use hetero_hpc::{App, RunRequest};
+    use hetero_linalg::{KernelBackend, SolverVariant};
+    use hetero_platform::catalog;
+
+    fn base() -> RunRequest {
+        RunRequest::new(catalog::puma(), App::smoke_rd(2), 8, 3)
+    }
+
+    /// Host-side execution knobs never split a batch: two jobs that
+    /// compute the same report must be claimable together.
+    #[test]
+    fn host_knobs_and_seed_do_not_split_batches() {
+        let shape = batch_shape(&base());
+        for req in [
+            RunRequest {
+                seed: 999,
+                ..base()
+            },
+            RunRequest {
+                threads_per_rank: 4,
+                ..base()
+            },
+            RunRequest {
+                sched_workers: 2,
+                ..base()
+            },
+        ] {
+            assert_eq!(batch_shape(&req), shape);
+        }
+    }
+
+    /// The operator-path overrides the prep key deliberately excludes
+    /// must still split batches: `solver_variant` and `kernel_backend`
+    /// change what a worker executes, so jobs differing only there are
+    /// not interchangeable claim-group members.
+    #[test]
+    fn solver_variant_and_kernel_backend_split_batches() {
+        let plain = batch_shape(&base());
+        let variant = batch_shape(&RunRequest {
+            solver_variant: Some(SolverVariant::Pipelined),
+            ..base()
+        });
+        let backend = batch_shape(&RunRequest {
+            kernel_backend: Some(KernelBackend::MatrixFree),
+            ..base()
+        });
+        assert_ne!(plain, variant, "solver_variant must be in the batch shape");
+        assert_ne!(plain, backend, "kernel_backend must be in the batch shape");
+        assert_ne!(variant, backend);
+    }
+
+    /// The first shape coordinate is exactly the `hetero-prep/key/v1`
+    /// key, so every job of a batch shares one `PreparedScenario`.
+    #[test]
+    fn batch_shape_leads_with_prep_key() {
+        let req = base();
+        assert_eq!(batch_shape(&req).0, prep_key(&req));
+        // Size coordinates change the prep key and the shape together.
+        let wider = RunRequest {
+            ranks: 16,
+            ..base()
+        };
+        assert_ne!(batch_shape(&wider).0, batch_shape(&req).0);
     }
 }

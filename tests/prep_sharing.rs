@@ -1,0 +1,169 @@
+//! Prepared-scenario sharing must be invisible in every report byte.
+//!
+//! The cache (`hetero_hpc::prep`) shares the platform-independent setup —
+//! mesh, partition, ghost plans, DoF maps, symbolic assembly structures,
+//! modeled space views, harvested per-rank numerical preparations —
+//! across every run with the same `hetero-prep/key/v1` key. These tests
+//! drive the same requests three ways (sharing disabled, cold cache,
+//! warm cache) across both SPMD engines, intra-rank thread counts 1 and
+//! 4, and the fault-injected resilient path, and require the serialized
+//! outcome to be byte-identical everywhere. The golden key fixtures live
+//! in `tests/prep_keys.rs`; the plan-executor and serve layers add their
+//! own batteries on top.
+
+use hetero_fault::{FaultModel, SpotMarket};
+use hetero_hpc::apps::App;
+use hetero_hpc::prep;
+use hetero_hpc::recovery::{execute_resilient, ResilienceSpec};
+use hetero_hpc::run::{execute, Fidelity, RunRequest};
+use hetero_platform::catalog;
+use hetero_simmpi::EngineKind;
+use std::sync::Mutex;
+
+/// The scenario cache, its counters, and the disable switch are
+/// process-global, so every test here serializes on this lock. (The
+/// *results* are immune to interference by design — that's the point of
+/// the battery — but the stats assertions are not.)
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn rd_req(engine: EngineKind, threads_per_rank: usize) -> RunRequest {
+    RunRequest {
+        fidelity: Fidelity::Numerical,
+        engine,
+        threads_per_rank,
+        ..RunRequest::new(catalog::ec2(), App::paper_rd(3), 8, 3)
+    }
+}
+
+fn ns_req(threads_per_rank: usize) -> RunRequest {
+    RunRequest {
+        fidelity: Fidelity::Numerical,
+        threads_per_rank,
+        ..RunRequest::new(catalog::ec2(), App::paper_ns(2), 8, 3)
+    }
+}
+
+/// The fault-injected fixture of `tests/determinism.rs`: an EC2 spot
+/// market compressed enough to revoke nodes inside the run.
+fn faulty_rd_request(seed: u64, threads_per_rank: usize) -> RunRequest {
+    let ec2 = catalog::ec2();
+    let mut spec = ResilienceSpec::spot_with_restart(&ec2, 1.0, 1, 50);
+    spec.faults = FaultModel {
+        crashes: None,
+        spot: Some(SpotMarket {
+            epoch_seconds: 0.012,
+            spike_probability: 0.35,
+            ..SpotMarket::ec2_like(1.0)
+        }),
+        degradation: None,
+    };
+    RunRequest {
+        fidelity: Fidelity::Numerical,
+        threads_per_rank,
+        seed,
+        resilience: Some(spec),
+        ..RunRequest::new(ec2, App::paper_rd(6), 8, 3)
+    }
+}
+
+/// Executes `req` three ways — sharing disabled, cold cache, warm cache
+/// (rank preparations harvested by the cold run) — and returns the three
+/// serialized outcomes.
+fn three_ways(req: &RunRequest) -> [String; 3] {
+    let fresh = {
+        let _off = prep::disable_sharing_scoped();
+        format!("{:?}", execute(req).unwrap())
+    };
+    prep::clear_cache();
+    let cold = format!("{:?}", execute(req).unwrap());
+    let warm = format!("{:?}", execute(req).unwrap());
+    [fresh, cold, warm]
+}
+
+#[test]
+fn rd_reports_are_byte_identical_shared_vs_fresh() {
+    let _g = lock();
+    // One report for the whole matrix: sharing must not break what the
+    // determinism battery already guarantees for engines and threads.
+    let mut reports = Vec::new();
+    for engine in [EngineKind::Cooperative, EngineKind::Threads] {
+        for threads in [1, 4] {
+            reports.extend(three_ways(&rd_req(engine, threads)));
+        }
+    }
+    for (i, r) in reports.iter().enumerate() {
+        assert_eq!(r, &reports[0], "report {i} diverged");
+    }
+}
+
+#[test]
+fn ns_reports_are_byte_identical_shared_vs_fresh() {
+    let _g = lock();
+    let mut reports = Vec::new();
+    for threads in [1, 4] {
+        reports.extend(three_ways(&ns_req(threads)));
+    }
+    for (i, r) in reports.iter().enumerate() {
+        assert_eq!(r, &reports[0], "report {i} diverged");
+    }
+}
+
+#[test]
+fn fault_injected_resilient_reports_are_byte_identical_shared_vs_fresh() {
+    let _g = lock();
+    let mut reports = Vec::new();
+    for threads in [1, 4] {
+        let req = faulty_rd_request(7, threads);
+        let fresh = {
+            let _off = prep::disable_sharing_scoped();
+            let out = execute_resilient(&req).unwrap();
+            assert!(
+                out.stats.faults_injected >= 1,
+                "market never fired: {:?}",
+                out.stats
+            );
+            format!("{out:?}")
+        };
+        prep::clear_cache();
+        let cold = format!("{:?}", execute_resilient(&req).unwrap());
+        let warm = format!("{:?}", execute_resilient(&req).unwrap());
+        reports.extend([fresh, cold, warm]);
+    }
+    for (i, r) in reports.iter().enumerate() {
+        assert_eq!(r, &reports[0], "resilient report {i} diverged");
+    }
+}
+
+/// A seed sweep over one scenario builds its preparation exactly once.
+#[test]
+fn seed_sweep_builds_one_scenario_and_hits_thereafter() {
+    let _g = lock();
+    prep::clear_cache();
+    let (builds0, hits0, _) = prep::cache_stats();
+    for seed in 0..4 {
+        let req = RunRequest {
+            seed,
+            ..rd_req(EngineKind::default(), 1)
+        };
+        execute(&req).unwrap();
+    }
+    let (builds1, hits1, _) = prep::cache_stats();
+    assert_eq!(builds1 - builds0, 1, "one build for the whole sweep");
+    assert_eq!(hits1 - hits0, 3, "every later seed reuses it");
+}
+
+/// With sharing disabled nothing is built, looked up, or counted.
+#[test]
+fn disabled_sharing_touches_no_cache() {
+    let _g = lock();
+    let _off = prep::disable_sharing_scoped();
+    assert!(!prep::sharing_enabled());
+    assert!(prep::scenario_for(&rd_req(EngineKind::default(), 1)).is_none());
+    let before = prep::cache_stats();
+    execute(&rd_req(EngineKind::default(), 1)).unwrap();
+    assert_eq!(prep::cache_stats(), before);
+}

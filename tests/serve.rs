@@ -262,3 +262,41 @@ fn limit_violations_are_served_and_cached() {
     serve.shutdown();
     let _ = fs::remove_dir_all(&dir);
 }
+
+/// Jobs differing only in solver-variant/kernel-backend overrides are
+/// adjacent in the queue but must not be treated as interchangeable by
+/// the claim-grouping worker (the shape pin itself lives in the
+/// `batch_shape` unit tests): every override still computes its own
+/// report, byte-identical to a fresh direct execution.
+#[test]
+fn operator_path_overrides_stay_distinct_through_batching() {
+    use hetero_linalg::{KernelBackend, SolverVariant};
+
+    let dir = tdir("overrides");
+    let serve = ServeHandle::open(ServeConfig::new(&dir).with_workers(1)).unwrap();
+
+    let variants: Vec<RunRequest> = vec![
+        rd_req(7),
+        RunRequest {
+            solver_variant: Some(SolverVariant::Pipelined),
+            ..rd_req(7)
+        },
+        RunRequest {
+            kernel_backend: Some(KernelBackend::MatrixFree),
+            ..rd_req(7)
+        },
+    ];
+    for req in &variants {
+        let served = serve.submit_wait(req).unwrap();
+        let direct = JobOutcome::Completed(execute(req).unwrap());
+        assert_eq!(outcome_bytes(&served), outcome_bytes(&direct));
+    }
+    // Three distinct keys, three executions: none coalesced or cached
+    // onto another override's result.
+    let m = serve.metrics();
+    assert_eq!(m.counter("serve.batch.jobs"), variants.len() as f64);
+    assert_eq!(m.counter("serve.cache.hits"), 0.0);
+
+    serve.shutdown();
+    let _ = fs::remove_dir_all(&dir);
+}
